@@ -1,0 +1,61 @@
+// Command psdpbench regenerates the experiment tables of EXPERIMENTS.md.
+//
+// Usage:
+//
+//	psdpbench                 # run every experiment at full size
+//	psdpbench -table E3       # run one experiment
+//	psdpbench -quick          # small sizes (what the test suite runs)
+//	psdpbench -seed 7         # change the deterministic seed
+//	psdpbench -list           # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	table := flag.String("table", "", "run only this experiment id (e.g. E3); empty = all")
+	quick := flag.Bool("quick", false, "use reduced instance sizes")
+	seed := flag.Uint64("seed", 2012, "deterministic seed for all randomness")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-4s %s\n", r.ID, r.Name)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	runners := experiments.All()
+	if *table != "" {
+		r := experiments.ByID(*table)
+		if r == nil {
+			fmt.Fprintf(os.Stderr, "psdpbench: unknown experiment %q (try -list)\n", *table)
+			os.Exit(2)
+		}
+		runners = []experiments.Runner{*r}
+	}
+
+	failed := 0
+	for _, r := range runners {
+		start := time.Now()
+		tbl, err := r.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "psdpbench: %s failed: %v\n", r.ID, err)
+			failed++
+			continue
+		}
+		fmt.Print(tbl.Render())
+		fmt.Printf("(%s in %s)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

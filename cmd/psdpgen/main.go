@@ -1,0 +1,95 @@
+// Command psdpgen writes sample packing SDP instances in the JSON
+// format consumed by psdpsolve.
+//
+// Usage:
+//
+//	psdpgen -family random -n 8 -m 16 -out inst.json
+//	psdpgen -family graph  -m 32 -out inst.json        # edge-Laplacian packing
+//	psdpgen -family beamforming -n 12 -m 16 -out inst.json
+//	psdpgen -family ellipse -out inst.json             # the Figure 1 instance
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/instio"
+)
+
+func main() {
+	family := flag.String("family", "random", "random | graph | beamforming | ellipse | diagonal")
+	n := flag.Int("n", 8, "number of constraints (users/edges where applicable)")
+	m := flag.Int("m", 16, "matrix dimension (vertices/antennas where applicable)")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	out := flag.String("out", "", "output file (required)")
+	flag.Parse()
+
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "psdpgen: -out is required")
+		os.Exit(2)
+	}
+	rng := rand.New(rand.NewPCG(*seed, 0x9e3779b9))
+
+	var doc *instio.Instance
+	switch *family {
+	case "random":
+		inst := gen.RandomDense(*n, *m, max(2, *m/4), rng)
+		set, err := core.NewDenseSet(inst.A)
+		if err != nil {
+			fatal(err)
+		}
+		doc = instio.FromDenseSet(set)
+	case "diagonal":
+		inst, _ := gen.DiagonalLP(*n, *m, 0.6, rng)
+		set, err := core.NewDenseSet(inst.A)
+		if err != nil {
+			fatal(err)
+		}
+		doc = instio.FromDenseSet(set)
+	case "graph":
+		g := graph.ErdosRenyi(*m, 4.0/float64(*m), rng)
+		inst, err := gen.GraphEdgePacking(g)
+		if err != nil {
+			fatal(err)
+		}
+		set, err := core.NewFactoredSet(inst.Q)
+		if err != nil {
+			fatal(err)
+		}
+		doc = instio.FromFactoredSet(set)
+	case "beamforming":
+		inst, err := gen.Beamforming(*n, *m, rng)
+		if err != nil {
+			fatal(err)
+		}
+		set, err := core.NewFactoredSet(inst.Q)
+		if err != nil {
+			fatal(err)
+		}
+		doc = instio.FromFactoredSet(set)
+	case "ellipse":
+		set, err := core.NewDenseSet(gen.Ellipse2D().A)
+		if err != nil {
+			fatal(err)
+		}
+		doc = instio.FromDenseSet(set)
+	default:
+		fmt.Fprintf(os.Stderr, "psdpgen: unknown family %q\n", *family)
+		os.Exit(2)
+	}
+
+	if err := instio.Save(*out, doc); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%s, m=%d)\n", *out, *family, doc.M)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "psdpgen: %v\n", err)
+	os.Exit(1)
+}

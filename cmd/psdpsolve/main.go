@@ -1,0 +1,95 @@
+// Command psdpsolve solves a positive packing SDP read from a JSON
+// instance file (see cmd/psdpgen for the format) and prints a JSON
+// result with the certified bracket, witness, and verification report.
+//
+// Usage:
+//
+//	psdpsolve -in instance.json [-eps 0.1] [-seed 1] [-decision]
+//
+// With -decision, a single ε-decision call (Algorithm 3.1) is run
+// instead of the full optimizer.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	psdp "repro"
+	"repro/internal/instio"
+)
+
+type output struct {
+	Kind          string    `json:"kind"`
+	Eps           float64   `json:"eps"`
+	Lower         float64   `json:"lower"`
+	Upper         float64   `json:"upper"`
+	RelativeGap   float64   `json:"relativeGap"`
+	X             []float64 `json:"x,omitempty"`
+	Outcome       string    `json:"outcome,omitempty"`
+	Iterations    int       `json:"iterations,omitempty"`
+	DecisionCalls int       `json:"decisionCalls,omitempty"`
+	LambdaMax     float64   `json:"lambdaMax"`
+	Feasible      bool      `json:"feasible"`
+}
+
+func main() {
+	in := flag.String("in", "", "instance JSON file (required)")
+	eps := flag.Float64("eps", 0.1, "target relative accuracy in (0,1)")
+	seed := flag.Uint64("seed", 1, "seed for sketches/Lanczos")
+	decision := flag.Bool("decision", false, "run a single decision call instead of optimizing")
+	flag.Parse()
+
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "psdpsolve: -in is required")
+		os.Exit(2)
+	}
+	set, err := instio.Load(*in)
+	if err != nil {
+		fatal(err)
+	}
+
+	var out output
+	out.Eps = *eps
+	opts := psdp.Options{Seed: *seed}
+	if *decision {
+		dr, err := psdp.Decision(set, *eps, opts)
+		if err != nil {
+			fatal(err)
+		}
+		out.Kind = "decision"
+		out.Lower, out.Upper = dr.Lower, dr.Upper
+		out.X = dr.DualX
+		out.Outcome = dr.Outcome.String()
+		out.Iterations = dr.Iterations
+		out.RelativeGap = dr.Upper/dr.Lower - 1
+	} else {
+		sol, err := psdp.Maximize(set, *eps, opts)
+		if err != nil {
+			fatal(err)
+		}
+		out.Kind = "maximize"
+		out.Lower, out.Upper = sol.Lower, sol.Upper
+		out.X = sol.X
+		out.DecisionCalls = sol.DecisionCalls
+		out.RelativeGap = sol.Gap()
+	}
+	cert, err := psdp.VerifyDual(set, out.X, 1e-8)
+	if err != nil {
+		fatal(err)
+	}
+	out.LambdaMax = cert.LambdaMax
+	out.Feasible = cert.Feasible
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "psdpsolve: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,68 @@
+// Beamforming solves a synthetic downlink-beamforming covering SDP —
+// the application of Iyengar, Phillips & Stein (2010) that the paper
+// singles out as fitting the positive packing framework completely.
+//
+// Physical story: a base station with m antennas serves n users; user i
+// has channel vector hᵢ and SINR target γᵢ. The SDP relaxation's
+// normalized dual is a packing problem over the rank-one constraints
+// Aᵢ = hᵢhᵢᵀ/γᵢ, which is precisely the prefactored form (Qᵢ = hᵢ/√γᵢ,
+// one column each) where the paper's Theorem 4.1 oracle runs in
+// nearly-linear work.
+//
+//	go run ./examples/beamforming
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	psdp "repro"
+	"repro/internal/gen"
+)
+
+func main() {
+	const (
+		users    = 24
+		antennas = 64
+	)
+	rng := rand.New(rand.NewPCG(42, 1))
+	inst, err := gen.Beamforming(users, antennas, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	set, err := psdp.NewFactoredSet(inst.Q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("beamforming instance: %d users, %d antennas, q = %d factor nonzeros\n",
+		users, antennas, set.NNZ())
+
+	// The sketched factored oracle is selected automatically for
+	// factored sets — this is the paper's bigDotExp fast path.
+	sol, err := psdp.Maximize(set, 0.1, psdp.Options{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("certified objective bracket: [%.4f, %.4f], gap %.3f\n",
+		sol.Lower, sol.Upper, sol.Gap())
+	fmt.Printf("decision calls: %d, total Algorithm 3.1 iterations: %d\n",
+		sol.DecisionCalls, sol.TotalIterations)
+
+	cert, err := psdp.VerifyDual(set, sol.X, 1e-8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("witness verified by Lanczos: λ_max = %.6f ≤ 1: %v\n",
+		cert.LambdaMax, cert.Feasible)
+
+	// Per-user dual prices: the users with the largest xᵢ are the ones
+	// whose SINR constraints bind the downlink power budget.
+	top, topV := 0, 0.0
+	for i, v := range sol.X {
+		if v > topV {
+			top, topV = i, v
+		}
+	}
+	fmt.Printf("most binding user: #%d with dual weight %.4f\n", top, topV)
+}

@@ -1,0 +1,46 @@
+// Widthsweep demonstrates the paper's headline property live: as the
+// width parameter max_i λ_max(Aᵢ) grows 64x, Algorithm 3.1's iteration
+// count stays flat while an Arora–Kale-style width-dependent MMW solver
+// scales linearly with the width.
+//
+//	go run ./examples/widthsweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	psdp "repro"
+	"repro/internal/gen"
+	"repro/internal/widthdep"
+)
+
+func main() {
+	fmt.Println("width sweep on the exact family (OPT = 1 + 1/w), decision at v = 0.9·OPT")
+	fmt.Printf("%8s  %14s  %18s  %8s\n", "width", "ours (iters)", "baseline (iters)", "ratio")
+	for _, w := range []float64{1, 4, 16, 64} {
+		inst, err := gen.WidthFamilyExact(4, 6, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		v := 0.9 * inst.OPT
+
+		set, err := psdp.NewDenseSet(inst.A)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dr, err := psdp.Decision(set.WithScale(v), 0.2, psdp.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fr, err := widthdep.Feasible(inst.A, v, 0.2, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%8g  %14d  %18d  %8.1f\n",
+			w, dr.Iterations, fr.Iterations, float64(fr.Iterations)/float64(dr.Iterations))
+	}
+	fmt.Println("\nAlgorithm 3.1's count never sees the width; the baseline pays Θ(width).")
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestBucketSteps(t *testing.T) {
+	// At the threshold: exactly one step.
+	if got := bucketSteps(1.2, 1.2, 0.2, 0.01); got != 1 {
+		t.Fatalf("at threshold: %d want 1", got)
+	}
+	// Far below: many steps, capped.
+	deep := bucketSteps(1e-12, 1.2, 0.2, 0.01)
+	limit := int(math.Ceil(0.25 / 0.01))
+	if deep != limit {
+		t.Fatalf("deep bucket: %d want cap %d", deep, limit)
+	}
+	// Monotone: smaller ratio never takes fewer steps.
+	prev := 0
+	for _, r := range []float64{1.2, 0.6, 0.3, 0.1, 0.01} {
+		k := bucketSteps(r, 1.2, 0.2, 0.001)
+		if k < prev {
+			t.Fatalf("bucket steps not monotone at r=%v", r)
+		}
+		prev = k
+	}
+	// Zero/negative ratio handled.
+	if bucketSteps(0, 1.2, 0.2, 0.01) < 1 {
+		t.Fatal("zero ratio broke bucketing")
+	}
+}
+
+// The bucketed variant must (a) still produce certified-correct
+// brackets and (b) need at most as many iterations as the plain variant
+// up to a small factor — on typical instances it needs far fewer.
+func TestBucketedDecisionCorrectAndFaster(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	as, opt := orthogonalRankOne(6, 9, rng)
+	set, err := NewDenseSet(as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled := set.WithScale(opt)
+
+	plain, err := DecisionPSDP(scaled, 0.2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := DecisionPSDP(scaled, 0.2, Options{Bucketed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, dr := range map[string]*DecisionResult{"plain": plain, "bucketed": fast} {
+		if dr.Lower > 1+1e-6 || dr.Upper < 1-1e-6 {
+			t.Fatalf("%s: bracket [%v, %v] misses OPT 1", name, dr.Lower, dr.Upper)
+		}
+		cert, err := VerifyDual(scaled, dr.DualX, 1e-7)
+		if err != nil || !cert.Feasible {
+			t.Fatalf("%s: certificate failed: %+v %v", name, cert, err)
+		}
+	}
+	if fast.Iterations > plain.Iterations {
+		t.Fatalf("bucketing slowed the solver: %d vs %d iterations", fast.Iterations, plain.Iterations)
+	}
+	if fast.Iterations*3 > plain.Iterations*2 {
+		t.Logf("bucketing saved little on this instance: %d vs %d", fast.Iterations, plain.Iterations)
+	}
+}
+
+func TestBucketedMaximizeMatchesPlain(t *testing.T) {
+	rng := rand.New(rand.NewPCG(23, 24))
+	as, opt := orthogonalRankOne(5, 8, rng)
+	set, err := NewDenseSet(as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solPlain, err := MaximizePacking(set, 0.1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solFast, err := MaximizePacking(set, 0.1, Options{Bucketed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, sol := range map[string]*Solution{"plain": solPlain, "bucketed": solFast} {
+		if sol.Lower > opt*(1+1e-6) || sol.Upper < opt*(1-1e-6) {
+			t.Fatalf("%s: bracket [%v, %v] misses OPT %v", name, sol.Lower, sol.Upper, opt)
+		}
+	}
+	if solFast.TotalIterations > 2*solPlain.TotalIterations {
+		t.Fatalf("bucketed optimizer much slower: %d vs %d", solFast.TotalIterations, solPlain.TotalIterations)
+	}
+}

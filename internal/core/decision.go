@@ -1,0 +1,522 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/matrix"
+	"repro/internal/parallel"
+)
+
+// Params are the constants of Algorithm 3.1:
+//
+//	K = (1 + ln N)/ε,  α = ε/(K(1+10ε)),  R = ⌈(32/(εα))·ln N⌉,
+//
+// with N = max(n, m, 2) so the MMW additive term ln(dim)/ε is absorbed
+// exactly as in the paper's Lemma 3.2 (the paper writes ln n for both;
+// taking the max is the safe reading). R = O(ε⁻³ log² N) is Theorem
+// 3.1's iteration bound.
+type Params struct {
+	Eps   float64
+	K     float64
+	Alpha float64
+	R     int
+	LogN  float64
+}
+
+// ParamsFor computes the paper's constants for an instance with n
+// constraints of dimension m at accuracy eps.
+func ParamsFor(n, m int, eps float64) (Params, error) {
+	if err := guardEps(eps); err != nil {
+		return Params{}, err
+	}
+	if n <= 0 || m <= 0 {
+		return Params{}, fmt.Errorf("core: ParamsFor(%d, %d): sizes must be positive", n, m)
+	}
+	logN := math.Log(float64(maxInt3(n, m, 2)))
+	k := (1 + logN) / eps
+	alpha := eps / (k * (1 + 10*eps))
+	r := int(math.Ceil(32 * logN / (eps * alpha)))
+	return Params{Eps: eps, K: k, Alpha: alpha, R: r, LogN: logN}, nil
+}
+
+// OracleKind selects the per-iteration exp(Ψ)•Aᵢ primitive.
+type OracleKind int
+
+const (
+	// OracleAuto picks DenseExact for *DenseSet and FactoredJL for
+	// *FactoredSet.
+	OracleAuto OracleKind = iota
+	// OracleDenseExact uses full eigendecompositions (reference path).
+	OracleDenseExact
+	// OracleFactoredJL is Theorem 4.1's sketched bigDotExp (fast path).
+	OracleFactoredJL
+	// OracleFactoredExact applies exp(Ψ/2) to every factor column and
+	// basis vector: deterministic, for cross-validation on small inputs.
+	OracleFactoredExact
+)
+
+// Options configure DecisionPSDP.
+type Options struct {
+	// Oracle selects the primitive; OracleAuto matches the set type.
+	Oracle OracleKind
+	// MaxIter caps iterations; 0 means the paper's R.
+	MaxIter int
+	// TheoryExact disables the early certificate exits, reproducing
+	// Algorithm 3.1 verbatim (loop until ‖x‖₁ > K or t = R).
+	TheoryExact bool
+	// EarlySlack is the primal early-exit slack: stop once
+	// min_i avg_t rᵢ ≥ 1 − EarlySlack. 0 means eps/2.
+	EarlySlack float64
+	// SketchEps is the JL accuracy for the factored oracle; 0 means 0.2.
+	SketchEps float64
+	// Seed drives all randomness (sketches, Lanczos starts).
+	Seed uint64
+	// Stats, when non-nil, accumulates analytic work/depth.
+	Stats *parallel.Stats
+	// TrackPrimalMatrix accumulates Y = avg_t P⁽ᵗ⁾ densely (dense
+	// oracle only).
+	TrackPrimalMatrix bool
+	// TraceCap excludes constraints with Trace(i) > TraceCap from ever
+	// being updated, implementing the Tr[Aᵢ] ≤ O(n³) cap of Lemma 2.2.
+	// 0 disables.
+	TraceCap float64
+	// Bucketed enables the dynamic-bucketing update of Wang–Mahoney–
+	// Mohan–Rao (arXiv:1511.06468), which §1.1 of the paper notes is
+	// applicable to this analysis: coordinates with ratio far below the
+	// 1+ε threshold take geometrically larger steps, one (1+α) factor
+	// per (1+ε)-bucket of headroom. All certificates remain verified
+	// numerically, so the acceleration never compromises soundness.
+	// Off by default (paper-faithful single-step updates).
+	Bucketed bool
+	// Ctx, when non-nil, is checked every iteration: cancellation stops
+	// the run with the context error. Long decision runs on large
+	// factored instances become interruptible services this way.
+	Ctx context.Context
+	// OnIteration, when non-nil, observes every iteration. Returning
+	// false stops the run early with OutcomeInconclusive (the certified
+	// bounds computed so far remain valid). The callback must not
+	// mutate its arguments.
+	OnIteration func(IterationInfo) bool
+}
+
+// IterationInfo is the per-iteration telemetry passed to
+// Options.OnIteration.
+type IterationInfo struct {
+	// T is the 1-based iteration number.
+	T int
+	// XNorm1 is ‖x‖₁ after the update.
+	XNorm1 float64
+	// LambdaMax is the oracle's λ_max(Ψ) estimate before the update.
+	LambdaMax float64
+	// MinRatio and MaxRatio are the extremes of rᵢ this iteration.
+	MinRatio, MaxRatio float64
+	// Updated is |B|, the number of coordinates bumped.
+	Updated int
+}
+
+// Outcome labels which branch of the ε-decision problem fired.
+type Outcome int
+
+const (
+	// OutcomeDual: ‖x‖₁ exceeded K; x̂ is a near-feasible dual solution
+	// (packing value ≥ (1−10ε) after scaling) — "OPT ≥ 1−O(ε)".
+	OutcomeDual Outcome = iota
+	// OutcomePrimal: the averaged density matrix is a covering witness —
+	// "OPT ≤ 1+O(ε)".
+	OutcomePrimal
+	// OutcomeInconclusive: the iteration cap was reached without either
+	// certificate (possible only with MaxIter < R or heavy sketch noise);
+	// the certified Lower/Upper bounds are still valid.
+	OutcomeInconclusive
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeDual:
+		return "dual"
+	case OutcomePrimal:
+		return "primal"
+	default:
+		return "inconclusive"
+	}
+}
+
+// DecisionResult is the outcome of one run of Algorithm 3.1 together
+// with numerically certified bounds on the packing optimum of the
+// (scaled) instance.
+type DecisionResult struct {
+	Outcome Outcome
+	// X is the raw final dual iterate of Algorithm 3.1.
+	X []float64
+	// DualX = X/λ_max(Ψ) is a certified feasible packing vector:
+	// Σ DualXᵢ Aᵢ ≼ I up to the λ_max estimator's accuracy.
+	DualX []float64
+	// Lower = ‖DualX‖₁ is a certified lower bound on the packing OPT.
+	Lower float64
+	// Upper is a certified upper bound via weak duality against the
+	// averaged density matrix (inflated by the sketch error margin on
+	// the JL path).
+	Upper float64
+	// AvgRatios[i] = (1/T)Σₜ rᵢ⁽ᵗ⁾ — the primal covering values Aᵢ•Y̅.
+	AvgRatios []float64
+	// Y is the averaged density matrix (dense oracle with
+	// TrackPrimalMatrix only).
+	Y *matrix.Dense
+	// Iterations actually executed (T).
+	Iterations int
+	// LambdaMaxPsi is the certified λ_max(Σ XᵢAᵢ) at exit.
+	LambdaMaxPsi float64
+	// MaxPsiNorm is the largest λ_max(Ψ) observed during the run;
+	// Lemma 3.2 asserts it stays ≤ (1+10ε)K.
+	MaxPsiNorm float64
+	// Params echoes the constants used.
+	Params Params
+}
+
+// DecisionPSDP runs Algorithm 3.1 on the packing constraints in set at
+// accuracy eps. It returns a result whose Lower and Upper bounds are
+// always valid certificates for
+//
+//	Lower ≤ max{1ᵀx : Σ xᵢAᵢ ≼ I, x ≥ 0} ≤ Upper,
+//
+// regardless of the outcome branch. In the paper's terms, OutcomeDual
+// answers the ε-decision problem with a dual solution and OutcomePrimal
+// with a primal (covering) solution.
+func DecisionPSDP(set ConstraintSet, eps float64, opts Options) (*DecisionResult, error) {
+	if err := guardEps(eps); err != nil {
+		return nil, err
+	}
+	n, m := set.N(), set.Dim()
+	prm, err := ParamsFor(n, m, eps)
+	if err != nil {
+		return nil, err
+	}
+	orc, err := buildOracle(set, opts)
+	if err != nil {
+		return nil, err
+	}
+	maxIter := opts.MaxIter
+	if maxIter <= 0 || maxIter > prm.R {
+		maxIter = prm.R
+	}
+	slack := opts.EarlySlack
+	if slack <= 0 {
+		slack = eps / 2
+	}
+
+	// Initial point x⁰ᵢ = 1/(n·Tr[Aᵢ]) (paper line 1), which guarantees
+	// Ψ⁰ ≼ I (Claim 3.3). Zero-trace constraints (Aᵢ = 0) are satisfied
+	// by any x and are frozen at a nominal value.
+	x := make([]float64, n)
+	frozen := make([]bool, n)
+	for i := 0; i < n; i++ {
+		tr := set.Trace(i)
+		switch {
+		case tr <= 0:
+			x[i] = 0
+			frozen[i] = true
+		case opts.TraceCap > 0 && tr > opts.TraceCap:
+			x[i] = 1 / (float64(n) * tr)
+			frozen[i] = true
+		default:
+			x[i] = 1 / (float64(n) * tr)
+		}
+	}
+	if err := orc.init(x); err != nil {
+		return nil, err
+	}
+
+	res := &DecisionResult{Params: prm, Outcome: OutcomeInconclusive}
+	avg := make([]float64, n)
+	var ySum *matrix.Dense
+	threshold := 1 + eps
+	var b []int
+	var mults []float64
+
+	// Certificate tracking across iterations. Every density matrix P⁽ᵗ⁾
+	// is individually a trace-1 covering witness, so min_i rᵢ⁽ᵗ⁾ yields
+	// an upper bound 1/min r; likewise every iterate x⁽ᵗ⁾ scaled by
+	// λ_max(Ψ⁽ᵗ⁾) is a feasible packing vector. We keep the best of
+	// each seen anywhere in the run and re-certify the dual snapshot at
+	// exit, which makes the reported bracket far tighter than the exit-
+	// point certificates alone.
+	bestMinR := 0.0
+	bestDualRatio := 0.0
+	var bestDualX []float64
+
+	t := 0
+	for t < maxIter {
+		if opts.Ctx != nil {
+			if err := opts.Ctx.Err(); err != nil {
+				return nil, fmt.Errorf("core: iteration %d: %w", t+1, err)
+			}
+		}
+		t++
+		r, info, err := orc.ratios()
+		if err != nil {
+			return nil, fmt.Errorf("core: iteration %d: %w", t, err)
+		}
+		if info.LambdaMax > res.MaxPsiNorm {
+			res.MaxPsiNorm = info.LambdaMax
+		}
+		matrix.VecAXPY(avg, 1, r)
+		if minR := matrix.VecMin(r); minR > bestMinR {
+			bestMinR = minR
+		}
+		if lam := math.Max(info.LambdaMax, 1); lam > 0 {
+			if ratio := matrix.VecSum(x) / lam; ratio > bestDualRatio {
+				bestDualRatio = ratio
+				bestDualX = append(bestDualX[:0], x...)
+			}
+		}
+		if opts.TrackPrimalMatrix {
+			if p := orc.probability(); p != nil {
+				if ySum == nil {
+					ySum = matrix.New(m, m)
+				}
+				matrix.AXPY(ySum, 1, p)
+			}
+		}
+
+		// B⁽ᵗ⁾ = {i : rᵢ ≤ 1+ε} (paper line 5), minus frozen indices.
+		b = b[:0]
+		mults = mults[:0]
+		for i := 0; i < n; i++ {
+			if !frozen[i] && r[i] <= threshold {
+				b = append(b, i)
+				steps := 1
+				if opts.Bucketed {
+					steps = bucketSteps(r[i], threshold, eps, prm.Alpha)
+				}
+				mults = append(mults, math.Pow(1+prm.Alpha, float64(steps)))
+			}
+		}
+		if len(b) > 0 {
+			for j, i := range b {
+				x[i] *= mults[j]
+			}
+			if err := orc.update(b, mults, x); err != nil {
+				return nil, err
+			}
+		}
+
+		if opts.OnIteration != nil {
+			cont := opts.OnIteration(IterationInfo{
+				T:         t,
+				XNorm1:    matrix.VecSum(x),
+				LambdaMax: info.LambdaMax,
+				MinRatio:  matrix.VecMin(r),
+				MaxRatio:  matrix.VecMax(r),
+				Updated:   len(b),
+			})
+			if !cont {
+				break
+			}
+		}
+
+		if matrix.VecSum(x) > prm.K {
+			res.Outcome = OutcomeDual
+			break
+		}
+		if !opts.TheoryExact {
+			// Early primal exit: the running average Y̅ = (1/t)ΣP⁽ᵗ⁾ is
+			// already a covering certificate once min_i Aᵢ•Y̅ ≥ 1−slack,
+			// and so is any single P⁽ᵗ⁾ with min_i rᵢ ≥ 1+ε (which is
+			// exactly the situation when B is empty).
+			minAvg := matrix.VecMin(avg) / float64(t)
+			if minAvg >= 1-slack {
+				res.Outcome = OutcomePrimal
+				break
+			}
+			if len(b) == 0 && bestMinR >= 1 {
+				res.Outcome = OutcomePrimal
+				break
+			}
+		}
+	}
+	if res.Outcome == OutcomeInconclusive && opts.TheoryExact && t >= maxIter {
+		// Paper semantics: exhausting R iterations is the primal branch
+		// (Lemma 3.6).
+		if matrix.VecSum(x) > prm.K {
+			res.Outcome = OutcomeDual
+		} else {
+			res.Outcome = OutcomePrimal
+		}
+	}
+
+	res.Iterations = t
+	res.X = matrix.VecClone(x)
+	res.AvgRatios = make([]float64, n)
+	matrix.VecScale(res.AvgRatios, 1/float64(t), avg)
+	if ySum != nil {
+		matrix.Scale(ySum, 1/float64(t), ySum)
+		res.Y = ySum
+	}
+
+	// Certified dual bound: x/λ_max(Ψ) is feasible whenever the λ_max
+	// estimate is exact or an overestimate; the dense path is exact and
+	// the Lanczos path converges to ~1e-12 relative, so a hair of
+	// headroom makes the certificate robust. Both the final iterate and
+	// the best snapshot along the run are candidates; the snapshot's
+	// λ_max is recomputed at certificate grade before use.
+	lam, err := orc.lambdaMaxPsi()
+	if err != nil {
+		return nil, err
+	}
+	res.LambdaMaxPsi = lam
+	denom := math.Max(lam*(1+1e-9), 1)
+	res.DualX = make([]float64, n)
+	matrix.VecScale(res.DualX, 1/denom, x)
+	res.Lower = matrix.VecSum(res.DualX)
+	if bestDualX != nil && bestDualRatio > res.Lower*(1+1e-12) {
+		lamSnap, err := lambdaMaxPsiOf(set, bestDualX)
+		if err != nil {
+			return nil, err
+		}
+		dSnap := math.Max(lamSnap*(1+1e-9), 1)
+		if v := matrix.VecSum(bestDualX) / dSnap; v > res.Lower {
+			res.Lower = v
+			matrix.VecScale(res.DualX, 1/dSnap, bestDualX)
+		}
+	}
+
+	// Certified primal bound (weak duality): for any density matrix Y
+	// (a single P⁽ᵗ⁾ or the running average Y̅), any feasible x' has
+	// 1ᵀx' ≤ Tr[Y]/min_i Aᵢ•Y. On the JL path each ratio estimate
+	// carries (1±ε_s) noise; inflate accordingly.
+	minAvg := math.Max(matrix.VecMin(res.AvgRatios), bestMinR)
+	if minAvg > 0 {
+		res.Upper = sketchInflation(set, opts) / minAvg
+	} else {
+		res.Upper = math.Inf(1)
+	}
+	// On the sketched path, one deterministic evaluation of the final
+	// density matrix (exp(Ψ/2) applied column-exactly) usually certifies
+	// a far tighter upper bound than the inflated sketch average. Cost:
+	// m ExpMV sweeps, once per decision call.
+	if fs, ok := set.(*FactoredSet); ok && usesJL(set, opts) && fs.Dim() <= exactFinalBoundDim {
+		exact := newFactoredExactOracle(fs, opts.Seed^0xbead, nil)
+		if err := exact.init(x); err == nil {
+			if rExact, _, err := exact.ratios(); err == nil {
+				if mr := matrix.VecMin(rExact); mr > 0 {
+					if ub := (1 + 1e-6) / mr; ub < res.Upper {
+						res.Upper = ub
+					}
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// exactFinalBoundDim caps the dimension at which the final exact
+// verification sweep (m ExpMV applications) is considered cheap.
+const exactFinalBoundDim = 4096
+
+// bucketSteps returns how many (1+α) factors a coordinate with ratio r
+// may take under dynamic bucketing: one per (1+ε)-bucket of headroom
+// below the threshold, capped so a single iteration never multiplies a
+// coordinate by more than ~e^{1/4} (keeping the ‖x‖₁ > K overshoot of
+// Claim 3.5 controlled).
+func bucketSteps(r, threshold, eps, alpha float64) int {
+	if r <= 0 {
+		r = 1e-300
+	}
+	if r > threshold {
+		return 1
+	}
+	k := 1 + int(math.Log(threshold/r)/math.Log(1+eps))
+	limit := int(math.Ceil(0.25 / alpha))
+	if limit < 1 {
+		limit = 1
+	}
+	if k > limit {
+		k = limit
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// usesJL reports whether the run used the sketched factored oracle.
+func usesJL(set ConstraintSet, opts Options) bool {
+	if opts.Oracle == OracleFactoredJL {
+		return true
+	}
+	if opts.Oracle == OracleAuto {
+		_, ok := set.(*FactoredSet)
+		return ok
+	}
+	return false
+}
+
+// sketchInflation returns the multiplicative margin applied to the
+// weak-duality upper bound to cover JL estimation noise: (1+εₛ)/(1−εₛ)
+// on the sketched path, 1 elsewhere.
+func sketchInflation(set ConstraintSet, opts Options) float64 {
+	kind := opts.Oracle
+	if kind == OracleAuto {
+		if _, ok := set.(*FactoredSet); ok {
+			kind = OracleFactoredJL
+		}
+	}
+	if kind != OracleFactoredJL {
+		return 1
+	}
+	es := opts.SketchEps
+	if es <= 0 {
+		es = 0.2
+	}
+	if es >= 1 {
+		return math.Inf(1)
+	}
+	return (1 + es) / (1 - es)
+}
+
+func buildOracle(set ConstraintSet, opts Options) (expOracle, error) {
+	switch opts.Oracle {
+	case OracleAuto:
+		switch s := set.(type) {
+		case *DenseSet:
+			return newDenseOracle(s, opts.Stats), nil
+		case *FactoredSet:
+			return newFactoredJLOracle(s, opts.SketchEps, opts.Seed, opts.Stats), nil
+		default:
+			return nil, fmt.Errorf("core: unknown constraint set type %T", set)
+		}
+	case OracleDenseExact:
+		s, ok := set.(*DenseSet)
+		if !ok {
+			return nil, errNotDense
+		}
+		return newDenseOracle(s, opts.Stats), nil
+	case OracleFactoredJL:
+		s, ok := set.(*FactoredSet)
+		if !ok {
+			return nil, fmt.Errorf("core: OracleFactoredJL requires a *FactoredSet, got %T", set)
+		}
+		return newFactoredJLOracle(s, opts.SketchEps, opts.Seed, opts.Stats), nil
+	case OracleFactoredExact:
+		s, ok := set.(*FactoredSet)
+		if !ok {
+			return nil, fmt.Errorf("core: OracleFactoredExact requires a *FactoredSet, got %T", set)
+		}
+		return newFactoredExactOracle(s, opts.Seed, opts.Stats), nil
+	default:
+		return nil, fmt.Errorf("core: unknown oracle kind %d", opts.Oracle)
+	}
+}
+
+func maxInt3(a, b, c int) int {
+	if b > a {
+		a = b
+	}
+	if c > a {
+		a = c
+	}
+	return a
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/chol"
+	"repro/internal/matrix"
+	"repro/internal/sparse"
+)
+
+func TestFactoredProgramNormalizeIdentityC(t *testing.T) {
+	// With C = I and b = 1 the factors pass through unchanged.
+	q, err := sparse.NewCSC(3, 1, []sparse.Triplet{{Row: 0, Col: 0, Val: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := &FactoredProgram{CInvSqrt: matrix.Identity(3), Q: []*sparse.CSC{q}, B: []float64{1}}
+	set, kept, err := fp.Normalize(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) != 1 || kept[0] != 0 {
+		t.Fatalf("kept = %v", kept)
+	}
+	if !matrix.ApproxEqual(set.Q[0].ToDense(), q.ToDense(), 1e-12) {
+		t.Fatal("identity normalization altered the factor")
+	}
+}
+
+func TestFactoredProgramNormalizeScalesByB(t *testing.T) {
+	q, err := sparse.NewCSC(2, 1, []sparse.Triplet{{Row: 0, Col: 0, Val: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := &FactoredProgram{CInvSqrt: matrix.Identity(2), Q: []*sparse.CSC{q}, B: []float64{4}}
+	set, _, err := fp.Normalize(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A' = QQᵀ/4: entry (0,0) = 4/4 = 1 → factor entry 1.
+	if got := set.Q[0].ToDense().At(0, 0); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("b-scaling wrong: %v", got)
+	}
+}
+
+// The factored normalization must agree with the dense Appendix A
+// normalization on the same program.
+func TestFactoredProgramMatchesDenseNormalize(t *testing.T) {
+	rng := rand.New(rand.NewPCG(41, 42))
+	m := 5
+	// Random PD C and its inverse square root.
+	g := matrix.New(m, m)
+	for i := range g.Data {
+		g.Data[i] = rng.NormFloat64()
+	}
+	c := matrix.MulABT(g, g, nil)
+	matrix.AddScaledIdentity(c, 0.5)
+	cInv, _, err := chol.InvSqrtPSD(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Random factored constraints.
+	var qs []*sparse.CSC
+	var as []*matrix.Dense
+	bs := []float64{2, 0.5, 1.5}
+	for range bs {
+		col := make([]float64, m)
+		for j := range col {
+			col[j] = rng.NormFloat64()
+		}
+		q, err := sparse.CSCFromColumns(m, [][]float64{col}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs = append(qs, q)
+		as = append(as, q.GramDense())
+	}
+
+	fp := &FactoredProgram{CInvSqrt: cInv, Q: qs, B: bs}
+	fset, _, err := fp.Normalize(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp := &Program{C: c, A: as, B: bs}
+	dset, _, err := dp.Normalize(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dback, err := fset.Densify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bs {
+		if !matrix.ApproxEqual(dback.A[i], dset.A[i], 1e-7) {
+			t.Fatalf("constraint %d: factored and dense normalizations disagree", i)
+		}
+	}
+}
+
+func TestFactoredProgramValidation(t *testing.T) {
+	q, _ := sparse.NewCSC(2, 1, []sparse.Triplet{{Row: 0, Col: 0, Val: 1}})
+	cases := []*FactoredProgram{
+		{CInvSqrt: nil, Q: []*sparse.CSC{q}, B: []float64{1}},
+		{CInvSqrt: matrix.New(2, 3), Q: []*sparse.CSC{q}, B: []float64{1}},
+		{CInvSqrt: matrix.Identity(2), Q: nil, B: nil},
+		{CInvSqrt: matrix.Identity(2), Q: []*sparse.CSC{q}, B: []float64{1, 2}},
+		{CInvSqrt: matrix.Identity(2), Q: []*sparse.CSC{q}, B: []float64{-1}},
+		{CInvSqrt: matrix.Identity(3), Q: []*sparse.CSC{q}, B: []float64{1}},
+		{CInvSqrt: matrix.Identity(2), Q: []*sparse.CSC{q}, B: []float64{0}},
+	}
+	for i, fp := range cases {
+		if _, _, err := fp.Normalize(0); err == nil {
+			t.Fatalf("case %d: invalid factored program accepted", i)
+		}
+	}
+}
+
+func TestFactoredProgramEndToEnd(t *testing.T) {
+	// Diagonal C = diag(4, 1), single rank-1 constraint A = e₀e₀ᵀ, b = 1:
+	// normalized B = C^{-1/2}AC^{-1/2} = e₀e₀ᵀ/4; packing OPT = 1/λmax = 4.
+	cInv := matrix.Diag([]float64{0.5, 1}) // C^{-1/2}
+	q, err := sparse.NewCSC(2, 1, []sparse.Triplet{{Row: 0, Col: 0, Val: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := &FactoredProgram{CInvSqrt: cInv, Q: []*sparse.CSC{q}, B: []float64{1}}
+	set, _, err := fp.Normalize(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := MaximizePacking(set, 0.05, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Lower > 4*(1+1e-6) || sol.Upper < 4*(1-1e-6) {
+		t.Fatalf("bracket [%v, %v] misses OPT 4", sol.Lower, sol.Upper)
+	}
+}

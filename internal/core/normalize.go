@@ -1,0 +1,248 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/chol"
+	"repro/internal/matrix"
+	"repro/internal/sparse"
+)
+
+// Program is the general positive SDP of the paper's equation (1.1):
+//
+//	minimize    C • Y
+//	subject to  Aᵢ • Y ≥ bᵢ,  i = 1..n,   Y ≽ 0,
+//
+// with C and every Aᵢ symmetric PSD and bᵢ ≥ 0.
+type Program struct {
+	C *matrix.Dense
+	A []*matrix.Dense
+	B []float64
+}
+
+// NormalizeMap records how a Program was mapped to normalized form so
+// solutions can be mapped back.
+type NormalizeMap struct {
+	// CInvSqrt is the (pseudo-)inverse square root of C.
+	CInvSqrt *matrix.Dense
+	// Rank is the numerical rank of C.
+	Rank int
+	// Kept lists the original constraint indices that survived (bᵢ > 0).
+	Kept []int
+	// B holds the surviving right-hand sides.
+	B []float64
+}
+
+// Normalize applies the Appendix A transformation
+//
+//	Bᵢ = (1/bᵢ)·C^{-1/2} Aᵢ C^{-1/2},
+//
+// producing the normalized covering/packing pair of Figure 2, whose
+// packing optimum equals the original SDP optimum. Constraints with
+// bᵢ = 0 are dropped (they are implied by Y ≽ 0, as the paper notes).
+// tol controls the pseudo-inverse eigenvalue cutoff (0 means 1e-12).
+func (p *Program) Normalize(tol float64) (*DenseSet, *NormalizeMap, error) {
+	if err := p.validate(); err != nil {
+		return nil, nil, err
+	}
+	cInv, rank, err := chol.InvSqrtPSD(p.C, tol)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: normalizing C: %w", err)
+	}
+	if rank == 0 {
+		return nil, nil, errors.New("core: C is the zero matrix; objective degenerate")
+	}
+	nm := &NormalizeMap{CInvSqrt: cInv, Rank: rank}
+	var bs []*matrix.Dense
+	for i, ai := range p.A {
+		if p.B[i] == 0 {
+			continue
+		}
+		bi := matrix.MulAB(matrix.MulAB(cInv, ai, nil), cInv, nil)
+		bi.Symmetrize() // kill round-off asymmetry from the two products
+		matrix.Scale(bi, 1/p.B[i], bi)
+		bs = append(bs, bi)
+		nm.Kept = append(nm.Kept, i)
+		nm.B = append(nm.B, p.B[i])
+	}
+	if len(bs) == 0 {
+		return nil, nil, errors.New("core: all right-hand sides are zero; optimum is 0")
+	}
+	set, err := NewDenseSet(bs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return set, nm, nil
+}
+
+// RecoverCovering maps a trace-normalized covering witness for the
+// normalized instance at scale theta back to an (approximately)
+// feasible Y for the original program:
+//
+//	Y = s · C^{-1/2} · Z · C^{-1/2},  s = 1/min_i (θ·Bᵢ • Z),
+//
+// which satisfies Aᵢ • Y ≥ bᵢ for every kept constraint (up to the
+// accuracy of Z's covering values). Returns Y and the achieved
+// objective C • Y.
+func (nm *NormalizeMap) RecoverCovering(set *DenseSet, z *matrix.Dense, theta float64, c *matrix.Dense) (*matrix.Dense, float64, error) {
+	if z == nil {
+		return nil, 0, errors.New("core: RecoverCovering: nil covering matrix")
+	}
+	minDot := math.Inf(1)
+	for i := 0; i < set.N(); i++ {
+		d := theta * matrix.Dot(set.A[i], z)
+		if d < minDot {
+			minDot = d
+		}
+	}
+	if minDot <= 0 {
+		return nil, 0, errors.New("core: covering witness has a nonpositive constraint value")
+	}
+	y := matrix.MulAB(matrix.MulAB(nm.CInvSqrt, z, nil), nm.CInvSqrt, nil)
+	y.Symmetrize()
+	matrix.Scale(y, theta/minDot, y)
+	obj := matrix.Dot(c, y)
+	return y, obj, nil
+}
+
+func (p *Program) validate() error {
+	if p.C == nil || len(p.A) == 0 {
+		return errors.New("core: program needs C and at least one constraint")
+	}
+	if len(p.A) != len(p.B) {
+		return fmt.Errorf("core: %d constraint matrices but %d right-hand sides", len(p.A), len(p.B))
+	}
+	if !p.C.IsSquare() {
+		return errors.New("core: C must be square")
+	}
+	m := p.C.R
+	tol := 1e-8 * math.Max(1, p.C.MaxAbs())
+	if !p.C.IsSymmetric(tol) {
+		return errors.New("core: C must be symmetric")
+	}
+	for i, ai := range p.A {
+		if ai.R != m || ai.C != m {
+			return fmt.Errorf("core: constraint %d is %dx%d, want %dx%d", i, ai.R, ai.C, m, m)
+		}
+		if p.B[i] < 0 || math.IsNaN(p.B[i]) {
+			return fmt.Errorf("core: b[%d] = %v must be nonnegative", i, p.B[i])
+		}
+	}
+	return nil
+}
+
+// FactoredProgram is the prefactored general positive SDP the paper's
+// Corollary 1.2 assumes as input: constraint factors Aᵢ = QᵢQᵢᵀ plus
+// C^{-1/2} supplied directly ("the matrices Aᵢ are given as QᵢQᵢᵀ and
+// the matrix C^{-1/2} is given").
+type FactoredProgram struct {
+	// CInvSqrt is C^{-1/2} (symmetric PSD). Use Identity for C = I.
+	CInvSqrt *matrix.Dense
+	// Q holds the constraint factors.
+	Q []*sparse.CSC
+	// B holds the right-hand sides bᵢ ≥ 0.
+	B []float64
+}
+
+// Normalize produces the normalized packing set with factors
+// Q'ᵢ = C^{-1/2}·Qᵢ/√bᵢ (paper Appendix A: Bᵢ = (C^{-1/2}Qᵢ)(C^{-1/2}Qᵢ)ᵀ/bᵢ).
+// Constraints with bᵢ = 0 are dropped. The products C^{-1/2}·Qᵢ are in
+// general dense columns; entries below dropTol (0 keeps everything) are
+// pruned to preserve sparsity when C^{-1/2} is structured.
+func (p *FactoredProgram) Normalize(dropTol float64) (*FactoredSet, []int, error) {
+	if p.CInvSqrt == nil || !p.CInvSqrt.IsSquare() {
+		return nil, nil, errors.New("core: FactoredProgram needs square C^{-1/2}")
+	}
+	if len(p.Q) == 0 || len(p.Q) != len(p.B) {
+		return nil, nil, fmt.Errorf("core: FactoredProgram has %d factors and %d rhs", len(p.Q), len(p.B))
+	}
+	m := p.CInvSqrt.R
+	var out []*sparse.CSC
+	var kept []int
+	for i, qi := range p.Q {
+		if p.B[i] < 0 || math.IsNaN(p.B[i]) {
+			return nil, nil, fmt.Errorf("core: b[%d] = %v must be nonnegative", i, p.B[i])
+		}
+		if p.B[i] == 0 {
+			continue
+		}
+		if qi.R != m {
+			return nil, nil, fmt.Errorf("core: factor %d has %d rows, want %d", i, qi.R, m)
+		}
+		inv := 1 / math.Sqrt(p.B[i])
+		cols := make([][]float64, qi.C)
+		for j := 0; j < qi.C; j++ {
+			col := make([]float64, m)
+			for k := qi.ColPtr[j]; k < qi.ColPtr[j+1]; k++ {
+				// col += val · (C^{-1/2})[:, row]; C^{-1/2} symmetric so
+				// column = row slice.
+				row := p.CInvSqrt.Row(qi.Row[k])
+				matrix.VecAXPY(col, qi.Val[k]*inv, row)
+			}
+			cols[j] = col
+		}
+		q, err := sparse.CSCFromColumns(m, cols, dropTol)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, q)
+		kept = append(kept, i)
+	}
+	if len(out) == 0 {
+		return nil, nil, errors.New("core: all right-hand sides are zero; optimum is 0")
+	}
+	set, err := NewFactoredSet(out)
+	if err != nil {
+		return nil, nil, err
+	}
+	return set, kept, nil
+}
+
+// SolveCovering runs the full paper pipeline on a general positive SDP:
+// Appendix A normalization, then the Lemma 2.2 binary search over
+// Algorithm 3.1. The returned value brackets the optimum of the
+// original program (which equals the normalized packing optimum).
+// When opts.TrackPrimalMatrix is set (dense oracle), a feasible
+// covering witness Y for the original program is also recovered.
+type CoveringSolution struct {
+	// Lower and Upper bracket the optimum C • Y*.
+	Lower, Upper float64
+	// DualX is the packing witness for the normalized instance.
+	DualX []float64
+	// Y is a feasible covering matrix for the original program (nil if
+	// no primal witness was tracked).
+	Y *matrix.Dense
+	// Objective is C • Y when Y is present.
+	Objective float64
+	// DecisionCalls and TotalIterations mirror Solution.
+	DecisionCalls, TotalIterations int
+}
+
+// SolveCovering approximates the positive SDP p to relative accuracy eps.
+func SolveCovering(p *Program, eps float64, opts Options) (*CoveringSolution, error) {
+	set, nm, err := p.Normalize(0)
+	if err != nil {
+		return nil, err
+	}
+	sol, err := MaximizePacking(set, eps, opts)
+	if err != nil {
+		return nil, err
+	}
+	cs := &CoveringSolution{
+		Lower:           sol.Lower,
+		Upper:           sol.Upper,
+		DualX:           sol.X,
+		DecisionCalls:   sol.DecisionCalls,
+		TotalIterations: sol.TotalIterations,
+	}
+	if sol.Y != nil {
+		y, obj, err := nm.RecoverCovering(set, sol.Y, sol.YScale, p.C)
+		if err == nil {
+			cs.Y = y
+			cs.Objective = obj
+		}
+	}
+	return cs, nil
+}

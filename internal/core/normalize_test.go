@@ -1,0 +1,157 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func TestNormalizeIdentityC(t *testing.T) {
+	// With C = I and bᵢ = 1 the normalized set is just the Aᵢ.
+	rng := rand.New(rand.NewPCG(1, 2))
+	as, _ := orthogonalRankOne(3, 4, rng)
+	prog := &Program{C: matrix.Identity(4), A: as, B: []float64{1, 1, 1}}
+	set, nm, err := prog.Normalize(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nm.Rank != 4 || len(nm.Kept) != 3 {
+		t.Fatalf("rank=%d kept=%v", nm.Rank, nm.Kept)
+	}
+	for i := range as {
+		if !matrix.ApproxEqual(set.A[i], as[i], 1e-9) {
+			t.Fatalf("constraint %d altered by identity normalization", i)
+		}
+	}
+}
+
+func TestNormalizeScalesByB(t *testing.T) {
+	a := matrix.Diag([]float64{1, 1})
+	prog := &Program{C: matrix.Identity(2), A: []*matrix.Dense{a}, B: []float64{4}}
+	set, _, err := prog.Normalize(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := matrix.Diag([]float64{0.25, 0.25})
+	if !matrix.ApproxEqual(set.A[0], want, 1e-12) {
+		t.Fatalf("B scaling wrong: %v", set.A[0])
+	}
+}
+
+func TestNormalizeDropsZeroB(t *testing.T) {
+	prog := &Program{
+		C: matrix.Identity(2),
+		A: []*matrix.Dense{matrix.Identity(2), matrix.Diag([]float64{1, 0})},
+		B: []float64{0, 1},
+	}
+	set, nm, err := prog.Normalize(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.N() != 1 || len(nm.Kept) != 1 || nm.Kept[0] != 1 {
+		t.Fatalf("zero-b constraint not dropped: n=%d kept=%v", set.N(), nm.Kept)
+	}
+}
+
+func TestNormalizeGeneralCMatchesKnownOptimum(t *testing.T) {
+	// min C•Y s.t. A•Y ≥ b with C = diag(c), A = diag(a):
+	// optimum = b·min_j c_j/a_j (put mass on the best diagonal entry).
+	c := matrix.Diag([]float64{2, 3})
+	a := matrix.Diag([]float64{1, 4})
+	b := 5.0
+	// OPT = 5·min(2/1, 3/4) = 5·0.75 = 3.75.
+	prog := &Program{C: c, A: []*matrix.Dense{a}, B: []float64{b}}
+	set, _, err := prog.Normalize(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := MaximizePacking(set, 0.05, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := 3.75
+	if sol.Lower > opt*(1+1e-6) || sol.Upper < opt*(1-1e-6) {
+		t.Fatalf("normalized bracket [%v, %v] misses OPT %v", sol.Lower, sol.Upper, opt)
+	}
+}
+
+func TestNormalizeValidation(t *testing.T) {
+	id := matrix.Identity(2)
+	cases := []*Program{
+		{C: nil, A: []*matrix.Dense{id}, B: []float64{1}},
+		{C: id, A: nil, B: nil},
+		{C: id, A: []*matrix.Dense{id}, B: []float64{1, 2}},
+		{C: matrix.New(2, 3), A: []*matrix.Dense{id}, B: []float64{1}},
+		{C: id, A: []*matrix.Dense{matrix.Identity(3)}, B: []float64{1}},
+		{C: id, A: []*matrix.Dense{id}, B: []float64{-1}},
+	}
+	for i, p := range cases {
+		if _, _, err := p.Normalize(0); err == nil {
+			t.Fatalf("case %d: invalid program accepted", i)
+		}
+	}
+	zero := &Program{C: matrix.New(2, 2), A: []*matrix.Dense{id}, B: []float64{1}}
+	if _, _, err := zero.Normalize(0); err == nil {
+		t.Fatal("zero C accepted")
+	}
+	allZeroB := &Program{C: id, A: []*matrix.Dense{id}, B: []float64{0}}
+	if _, _, err := allZeroB.Normalize(0); err == nil {
+		t.Fatal("all-zero b accepted")
+	}
+}
+
+func TestSolveCoveringEndToEnd(t *testing.T) {
+	// Diagonal covering problem with known optimum (see above): 3.75.
+	prog := &Program{
+		C: matrix.Diag([]float64{2, 3}),
+		A: []*matrix.Dense{matrix.Diag([]float64{1, 4})},
+		B: []float64{5},
+	}
+	cs, err := SolveCovering(prog, 0.05, Options{TrackPrimalMatrix: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := 3.75
+	if cs.Lower > opt*(1+1e-6) || cs.Upper < opt*(1-1e-6) {
+		t.Fatalf("covering bracket [%v, %v] misses OPT %v", cs.Lower, cs.Upper, opt)
+	}
+	if cs.Y != nil {
+		// The recovered Y must be feasible for the original program.
+		dot := matrix.Dot(prog.A[0], cs.Y)
+		if dot < 5*(1-1e-6) {
+			t.Fatalf("recovered Y violates constraint: A•Y = %v < 5", dot)
+		}
+		// Objective within a modest factor of OPT (the recovered witness
+		// is feasible but only near-optimal).
+		if cs.Objective < opt*(1-1e-6) || cs.Objective > opt*1.5 {
+			t.Fatalf("recovered objective %v implausible for OPT %v", cs.Objective, opt)
+		}
+	}
+}
+
+func TestRecoverCoveringRejectsNil(t *testing.T) {
+	nm := &NormalizeMap{CInvSqrt: matrix.Identity(2)}
+	if _, _, err := nm.RecoverCovering(nil, nil, 1, matrix.Identity(2)); err == nil {
+		t.Fatal("nil Z accepted")
+	}
+}
+
+func TestNormalizeRankDeficientC(t *testing.T) {
+	// C with a null direction: constraints supported on C's range still
+	// normalize; the pseudo-inverse square root handles the rest.
+	c := matrix.Diag([]float64{1, 0})
+	a := matrix.Diag([]float64{2, 0})
+	prog := &Program{C: c, A: []*matrix.Dense{a}, B: []float64{1}}
+	set, nm, err := prog.Normalize(1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nm.Rank != 1 {
+		t.Fatalf("rank = %d want 1", nm.Rank)
+	}
+	if math.Abs(set.A[0].At(0, 0)-2) > 1e-12 {
+		t.Fatalf("normalized entry = %v want 2", set.A[0].At(0, 0))
+	}
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func TestOnIterationObservesEveryStep(t *testing.T) {
+	rng := rand.New(rand.NewPCG(51, 52))
+	as, opt := orthogonalRankOne(4, 6, rng)
+	set, err := NewDenseSet(as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen []IterationInfo
+	dr, err := DecisionPSDP(set.WithScale(opt), 0.25, Options{
+		OnIteration: func(info IterationInfo) bool {
+			seen = append(seen, info)
+			return true
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != dr.Iterations {
+		t.Fatalf("observed %d iterations, solver reports %d", len(seen), dr.Iterations)
+	}
+	// Telemetry invariants: T increments, ‖x‖₁ nondecreasing, λmax
+	// nondecreasing (x only grows and the Aᵢ are PSD), ratios sane.
+	for i, info := range seen {
+		if info.T != i+1 {
+			t.Fatalf("iteration numbering broken at %d: T=%d", i, info.T)
+		}
+		if info.MinRatio > info.MaxRatio {
+			t.Fatalf("iteration %d: min ratio %v > max %v", i, info.MinRatio, info.MaxRatio)
+		}
+		if i > 0 {
+			if info.XNorm1 < seen[i-1].XNorm1-1e-12 {
+				t.Fatalf("iteration %d: ‖x‖₁ decreased", i)
+			}
+			if info.LambdaMax < seen[i-1].LambdaMax-1e-9 {
+				t.Fatalf("iteration %d: λmax(Ψ) decreased", i)
+			}
+		}
+	}
+}
+
+func TestOnIterationEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewPCG(53, 54))
+	as, opt := orthogonalRankOne(4, 6, rng)
+	set, err := NewDenseSet(as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr, err := DecisionPSDP(set.WithScale(opt), 0.25, Options{
+		OnIteration: func(info IterationInfo) bool { return info.T < 5 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr.Iterations != 5 {
+		t.Fatalf("stopped after %d iterations, want 5", dr.Iterations)
+	}
+	if dr.Outcome != OutcomeInconclusive {
+		t.Fatalf("outcome %v, want inconclusive on callback stop", dr.Outcome)
+	}
+	// Bounds remain valid certificates.
+	if dr.Lower > 1+1e-6 {
+		t.Fatalf("lower bound %v exceeds OPT after early stop", dr.Lower)
+	}
+	cert, err := VerifyDual(set.WithScale(opt), dr.DualX, 1e-8)
+	if err != nil || !cert.Feasible {
+		t.Fatalf("early-stop dual certificate invalid: %+v, %v", cert, err)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	rng := rand.New(rand.NewPCG(55, 56))
+	as, opt := orthogonalRankOne(4, 6, rng)
+	set, err := NewDenseSet(as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	_, err = DecisionPSDP(set.WithScale(opt), 0.25, Options{
+		Ctx: ctx,
+		OnIteration: func(info IterationInfo) bool {
+			calls++
+			if calls == 3 {
+				cancel()
+			}
+			return true
+		},
+	})
+	if err == nil {
+		t.Fatal("cancelled run returned no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	if calls > 4 {
+		t.Fatalf("run continued %d iterations past cancellation", calls)
+	}
+}
+
+func TestContextPreCancelled(t *testing.T) {
+	set, err := NewDenseSet([]*matrix.Dense{matrix.Identity(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := DecisionPSDP(set, 0.2, Options{Ctx: ctx}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled context not honored: %v", err)
+	}
+}
+
+func TestInconclusiveOnTinyBudget(t *testing.T) {
+	rng := rand.New(rand.NewPCG(57, 58))
+	as, opt := orthogonalRankOne(4, 6, rng)
+	set, err := NewDenseSet(as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr, err := DecisionPSDP(set.WithScale(opt), 0.25, Options{MaxIter: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr.Iterations != 1 {
+		t.Fatalf("iterations %d want 1", dr.Iterations)
+	}
+	// Even one iteration yields valid certificates.
+	if dr.Lower > 1+1e-6 || dr.Upper < 1-1e-6 {
+		t.Fatalf("one-iteration bracket [%v, %v] misses OPT 1", dr.Lower, dr.Upper)
+	}
+}
+
+func TestTraceCapFreezesHeavyConstraints(t *testing.T) {
+	// One heavy constraint (trace 100) and one light; with TraceCap 10
+	// the heavy one must keep its initial value.
+	as := []*matrix.Dense{
+		matrix.Diag([]float64{100, 0}),
+		matrix.Diag([]float64{0, 0.5}),
+	}
+	set, err := NewDenseSet(as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr, err := DecisionPSDP(set, 0.25, Options{TraceCap: 10, MaxIter: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0 := 1.0 / (2 * 100)
+	if dr.X[0] != x0 {
+		t.Fatalf("capped constraint moved: x[0] = %v want %v", dr.X[0], x0)
+	}
+	if dr.X[1] <= 1.0/(2*0.5) {
+		t.Fatalf("uncapped constraint did not move: x[1] = %v", dr.X[1])
+	}
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matrix"
+)
+
+func TestMaximizeIdenticalKnownOPT(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	as, opt := identicalInstance(5, 4, rng)
+	set, err := NewDenseSet(as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := MaximizePacking(set, 0.1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSolution(t, set, sol, opt, 0.1)
+}
+
+func TestMaximizeOrthogonalKnownOPT(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	as, opt := orthogonalRankOne(6, 9, rng)
+	set, err := NewDenseSet(as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := MaximizePacking(set, 0.1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSolution(t, set, sol, opt, 0.1)
+}
+
+func TestMaximizeFactoredJL(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	as, opt := orthogonalRankOne(5, 8, rng)
+	fact := toFactored(t, as)
+	sol, err := MaximizePacking(fact, 0.15, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSolution(t, fact, sol, opt, 0.3)
+}
+
+func TestMaximizeSingleConstraint(t *testing.T) {
+	// One constraint A = diag(2, 1): OPT = 1/2.
+	set, err := NewDenseSet([]*matrix.Dense{matrix.Diag([]float64{2, 1})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := MaximizePacking(set, 0.05, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSolution(t, set, sol, 0.5, 0.05)
+}
+
+func TestMaximizeRejectsZeroConstraintOnly(t *testing.T) {
+	set, err := NewDenseSet([]*matrix.Dense{matrix.New(2, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MaximizePacking(set, 0.1, Options{}); err == nil {
+		t.Fatal("unbounded instance accepted")
+	}
+}
+
+func TestMaximizeDecisionCallBudget(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	as, _ := orthogonalRankOne(8, 12, rng)
+	set, err := NewDenseSet(as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := MaximizePacking(set, 0.1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lemma 2.2: O(log n) decision calls. Generous constant check.
+	if sol.DecisionCalls > 40 {
+		t.Fatalf("decision calls = %d, want O(log n)", sol.DecisionCalls)
+	}
+}
+
+// Property: on random orthogonal instances the certified bracket always
+// contains the known OPT and the witness is always verifiably feasible.
+func TestQuickMaximizeCertified(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 101))
+		n := 2 + int(seed%4)
+		m := n + 2 + int(seed%3)
+		as, opt := orthogonalRankOne(n, m, rng)
+		set, err := NewDenseSet(as)
+		if err != nil {
+			return false
+		}
+		sol, err := MaximizePacking(set, 0.15, Options{})
+		if err != nil {
+			return false
+		}
+		if sol.Lower > opt*(1+1e-6) || sol.Upper < opt*(1-1e-6) {
+			return false
+		}
+		cert, err := VerifyDual(set, sol.X, 1e-7)
+		return err == nil && cert.Feasible && math.Abs(cert.Value-sol.Value) < 1e-9*(1+sol.Value)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func checkSolution(t *testing.T, set ConstraintSet, sol *Solution, opt, wantGap float64) {
+	t.Helper()
+	if sol.Lower > opt*(1+1e-6) {
+		t.Fatalf("lower %v exceeds OPT %v", sol.Lower, opt)
+	}
+	if sol.Upper < opt*(1-1e-6) {
+		t.Fatalf("upper %v below OPT %v", sol.Upper, opt)
+	}
+	if g := sol.Gap(); g > 3*wantGap {
+		t.Fatalf("certified gap %v too large (target %v): [%v, %v], OPT %v", g, wantGap, sol.Lower, sol.Upper, opt)
+	}
+	cert, err := VerifyDual(set, sol.X, 1e-7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cert.Feasible {
+		t.Fatalf("witness infeasible: λmax = %v", cert.LambdaMax)
+	}
+	if math.Abs(cert.Value-sol.Value) > 1e-6*(1+sol.Value) {
+		t.Fatalf("witness value %v != reported %v", cert.Value, sol.Value)
+	}
+}
+
+func TestGapInfiniteOnZeroLower(t *testing.T) {
+	s := &Solution{Lower: 0, Upper: 1}
+	if !math.IsInf(s.Gap(), 1) {
+		t.Fatal("Gap should be +Inf for zero lower bound")
+	}
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/eigen"
+	"repro/internal/expm"
+	"repro/internal/matrix"
+	"repro/internal/parallel"
+)
+
+// expOracle abstracts the per-iteration primitive of Algorithm 3.1:
+// given the current dual vector x (maintained by the solver), produce
+// the ratios
+//
+//	rᵢ = (exp(Ψ) • Aᵢ) / Tr[exp(Ψ)] = Aᵢ • P,   Ψ = Σᵢ xᵢAᵢ,
+//
+// which the solver thresholds against 1+ε. The two implementations are
+// the exact eigendecomposition oracle (dense path) and the JL-sketched
+// Taylor oracle realizing Theorem 4.1's bigDotExp (factored path).
+type expOracle interface {
+	// init installs the starting dual vector.
+	init(x []float64) error
+	// update informs the oracle that x[b[j]] was multiplied by mults[j]
+	// (each > 1); x is the post-update vector.
+	update(b []int, mults []float64, x []float64) error
+	// ratios returns rᵢ for all i plus spectral side information.
+	ratios() ([]float64, oracleInfo, error)
+	// lambdaMaxPsi returns a high-accuracy estimate of λ_max(Ψ) for the
+	// current x (used for certificates, so it must be trustworthy).
+	lambdaMaxPsi() (float64, error)
+	// probability returns the dense density matrix P from the most
+	// recent ratios() call, or nil if the representation does not
+	// materialize it (factored path).
+	probability() *matrix.Dense
+}
+
+// oracleInfo carries per-iteration spectral byproducts.
+type oracleInfo struct {
+	// LambdaMax is the oracle's running estimate of λ_max(Ψ) — exact on
+	// the dense path, a converged Lanczos value on the factored path.
+	LambdaMax float64
+	// LogTrW is log Tr[exp(Ψ)], tracked in log-space.
+	LogTrW float64
+}
+
+// denseOracle evaluates the primitive exactly via eigendecomposition:
+// the reference implementation of the paper's per-iteration step.
+// Ψ is maintained incrementally (update adds Σ δᵢAᵢ) with periodic
+// rebuilds to cancel floating-point drift.
+type denseOracle struct {
+	set *DenseSet
+	x   []float64
+	psi *matrix.Dense
+	p   *matrix.Dense // last density matrix
+	// updatesSinceRebuild triggers a fresh Ψ = Σ xᵢAᵢ rebuild.
+	updatesSinceRebuild int
+	st                  *parallel.Stats
+}
+
+const denseRebuildPeriod = 256
+
+func newDenseOracle(set *DenseSet, st *parallel.Stats) *denseOracle {
+	return &denseOracle{set: set, st: st}
+}
+
+func (o *denseOracle) init(x []float64) error {
+	if len(x) != o.set.N() {
+		return fmt.Errorf("core: dense oracle: x has %d entries, want %d", len(x), o.set.N())
+	}
+	o.x = x
+	o.rebuild()
+	return nil
+}
+
+func (o *denseOracle) rebuild() {
+	o.psi = o.set.PsiDense(o.x)
+	o.updatesSinceRebuild = 0
+}
+
+func (o *denseOracle) update(b []int, mults []float64, x []float64) error {
+	o.x = x
+	o.updatesSinceRebuild++
+	if o.updatesSinceRebuild >= denseRebuildPeriod {
+		o.rebuild()
+		return nil
+	}
+	// δᵢ = x_newᵢ − x_oldᵢ = x_newᵢ·(1 − 1/multᵢ).
+	for j, i := range b {
+		f := 1 - 1/mults[j]
+		matrix.AXPY(o.psi, o.set.scale*x[i]*f, o.set.A[i])
+	}
+	o.st.Add(int64(len(b))*int64(o.set.m)*int64(o.set.m), parallel.Log2(len(b)+1))
+	return nil
+}
+
+func (o *denseOracle) ratios() ([]float64, oracleInfo, error) {
+	p, lmax, logTr, err := expm.NormalizedExpSym(o.psi)
+	if err != nil {
+		return nil, oracleInfo{}, err
+	}
+	o.p = p
+	n := o.set.N()
+	m := o.set.m
+	r := make([]float64, n)
+	parallel.ForBlock(n, rowGrainFor(m*m), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a := o.set.A[i]
+			var s float64
+			for k := range a.Data {
+				s += a.Data[k] * p.Data[k]
+			}
+			r[i] = o.set.scale * s
+		}
+	})
+	// Analytic cost: one m³ eigendecomposition + n·m² dot products.
+	o.st.Add(int64(9)*int64(m)*int64(m)*int64(m)+int64(2*n)*int64(m)*int64(m),
+		int64(m)*parallel.Log2(m))
+	return r, oracleInfo{LambdaMax: lmax, LogTrW: logTr}, nil
+}
+
+func (o *denseOracle) lambdaMaxPsi() (float64, error) {
+	// Fresh rebuild for certificate-grade accuracy.
+	o.rebuild()
+	return eigen.LambdaMax(o.psi)
+}
+
+func (o *denseOracle) probability() *matrix.Dense { return o.p }
+
+func rowGrainFor(flopsPerItem int) int {
+	if flopsPerItem <= 0 {
+		flopsPerItem = 1
+	}
+	g := 4096 / flopsPerItem
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// errNotDense is returned when a dense-only feature is requested from a
+// factored run.
+var errNotDense = errors.New("core: operation requires the dense oracle")
+
+// guardEps validates the accuracy parameter shared by all entry points.
+func guardEps(eps float64) error {
+	if math.IsNaN(eps) || eps <= 0 || eps >= 1 {
+		return fmt.Errorf("core: eps = %v out of (0, 1)", eps)
+	}
+	return nil
+}

@@ -1,0 +1,268 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/eigen"
+	"repro/internal/expm"
+	"repro/internal/matrix"
+	"repro/internal/parallel"
+	"repro/internal/sketch"
+)
+
+// factoredJLOracle is the bigDotExp primitive of Theorem 4.1: with
+// Aᵢ = QᵢQᵢᵀ,
+//
+//	exp(Ψ) • Aᵢ = ‖exp(Ψ/2) Qᵢ‖_F²,
+//
+// estimated by sketching with a fresh Gaussian Π each iteration:
+// S = Π exp(Ψ/2) is assembled from k = O(ε_s⁻² log m) ExpMV applications
+// of exp(Ψ/2) to the rows of Π (each O(q·κ) work), after which every
+// constraint costs O(k·nnz(Qᵢ)), and Tr[exp(Ψ)] = ‖exp(Ψ/2)‖_F² is
+// estimated by ‖S‖_F². All quantities are carried in a common log-scale
+// so ‖Ψ‖₂ ~ K/ε never overflows.
+type factoredJLOracle struct {
+	set       *FactoredSet
+	x         []float64
+	sketchEps float64
+	rows      int
+	seed      uint64
+	iter      uint64
+	// lambdaEst is a running Lanczos estimate of λ_max(Ψ), refreshed
+	// every iteration (cheap: O(q) per Lanczos step) and used to bound
+	// the ExpMV segmentation.
+	lambdaEst float64
+	st        *parallel.Stats
+	tol       float64
+}
+
+func newFactoredJLOracle(set *FactoredSet, sketchEps float64, seed uint64, st *parallel.Stats) *factoredJLOracle {
+	if sketchEps <= 0 {
+		sketchEps = 0.2
+	}
+	return &factoredJLOracle{
+		set:       set,
+		sketchEps: sketchEps,
+		rows:      sketch.Rows(set.Dim(), sketchEps),
+		seed:      seed,
+		st:        st,
+		tol:       1e-10,
+	}
+}
+
+func (o *factoredJLOracle) init(x []float64) error {
+	if len(x) != o.set.N() {
+		return fmt.Errorf("core: factored oracle: x has %d entries, want %d", len(x), o.set.N())
+	}
+	o.x = x
+	o.lambdaEst = 0
+	return nil
+}
+
+func (o *factoredJLOracle) update(_ []int, _ []float64, x []float64) error {
+	o.x = x
+	return nil
+}
+
+func (o *factoredJLOracle) applyPsi(in, out []float64) {
+	o.set.ApplyPsi(o.x, in, out)
+}
+
+func (o *factoredJLOracle) applyHalfPsi(in, out []float64) {
+	o.set.ApplyPsi(o.x, in, out)
+	for i := range out {
+		out[i] *= 0.5
+	}
+}
+
+// refreshLambda updates the Lanczos estimate of λ_max(Ψ). Lanczos
+// returns a lower bound; a 5% headroom makes it a safe ExpMV
+// segmentation bound (undershooting only lengthens the Taylor series a
+// little, it does not break correctness).
+func (o *factoredJLOracle) refreshLambda() error {
+	lam, err := eigen.LanczosMax(o.applyPsi, o.set.Dim(), eigen.LanczosOpts{
+		MaxIter: 48,
+		Tol:     1e-6,
+		Rng:     rand.New(rand.NewPCG(o.seed^0xabcdef, o.iter)),
+	})
+	if err != nil {
+		return err
+	}
+	if lam < 0 {
+		lam = 0
+	}
+	o.lambdaEst = lam
+	return nil
+}
+
+func (o *factoredJLOracle) ratios() ([]float64, oracleInfo, error) {
+	if err := o.refreshLambda(); err != nil {
+		return nil, oracleInfo{}, err
+	}
+	m := o.set.Dim()
+	n := o.set.N()
+	normHalf := 0.55*o.lambdaEst + 0.5 // bound for ‖Ψ/2‖ with headroom
+
+	jl, err := sketch.New(o.rows, m, rand.New(rand.NewPCG(o.seed, o.iter)))
+	if err != nil {
+		return nil, oracleInfo{}, err
+	}
+	o.iter++
+
+	// Rows of S: sᵣ = exp(Ψ/2)·Πᵣ, each with its own log-scale.
+	s := matrix.New(o.rows, m)
+	logs := make([]float64, o.rows)
+	parallel.For(o.rows, func(r int) {
+		w, ls := expm.ExpMV(o.applyHalfPsi, jl.RowVec(r), normHalf, o.tol)
+		copy(s.Data[r*m:(r+1)*m], w)
+		logs[r] = ls
+	})
+	// Rescale all rows to the common maximum log-scale L.
+	maxLog := logs[0]
+	for _, l := range logs[1:] {
+		if l > maxLog {
+			maxLog = l
+		}
+	}
+	for r := 0; r < o.rows; r++ {
+		f := math.Exp(logs[r] - maxLog)
+		row := s.Data[r*m : (r+1)*m]
+		for j := range row {
+			row[j] *= f
+		}
+	}
+
+	// trEst·e^{2L} ≈ Tr[exp(Ψ)] = ‖exp(Ψ/2)‖_F².
+	trEst := parallel.SumFloat(len(s.Data), func(i int) float64 { return s.Data[i] * s.Data[i] })
+	if trEst <= 0 || math.IsNaN(trEst) {
+		return nil, oracleInfo{}, fmt.Errorf("core: factored oracle: degenerate trace estimate %v", trEst)
+	}
+
+	// rᵢ = scale·‖S·Qᵢ‖² / trEst (the e^{2L} factors cancel).
+	r := make([]float64, n)
+	parallel.For(n, func(i int) {
+		r[i] = o.set.scale * o.set.Q[i].SketchDot(s) / trEst
+	})
+
+	// Analytic cost per Theorem 4.1: k ExpMV passes + k·q sketch dots.
+	expm.ExpMVStats(o.st, o.set.NNZ(), normHalf, o.tol, m)
+	o.st.Add(int64(o.rows)*int64(2*o.set.NNZ()), parallel.Log2(m))
+
+	return r, oracleInfo{
+		LambdaMax: o.lambdaEst,
+		LogTrW:    2*maxLog + math.Log(trEst),
+	}, nil
+}
+
+// lambdaMaxPsi runs a certificate-grade Lanczos (tight tolerance, many
+// iterations, full reorthogonalization).
+func (o *factoredJLOracle) lambdaMaxPsi() (float64, error) {
+	lam, err := eigen.LanczosMax(o.applyPsi, o.set.Dim(), eigen.LanczosOpts{
+		MaxIter: 256,
+		Tol:     1e-12,
+		Rng:     rand.New(rand.NewPCG(o.seed^0x5eed, 0x7ea1)),
+	})
+	if err != nil {
+		return 0, err
+	}
+	return lam, nil
+}
+
+func (o *factoredJLOracle) probability() *matrix.Dense { return nil }
+
+// factoredExactOracle evaluates exp(Ψ)•Aᵢ = Σ_cols ‖exp(Ψ/2)q‖² exactly
+// (to ExpMV tolerance) by applying exp(Ψ/2) to every factor column, and
+// Tr[exp(Ψ)] by applying it to every basis vector. Deterministic but
+// O((q + m²)·κ) per iteration — the cross-validation oracle for the JL
+// path on small instances.
+type factoredExactOracle struct {
+	set       *FactoredSet
+	x         []float64
+	lambdaEst float64
+	seed      uint64
+	st        *parallel.Stats
+}
+
+func newFactoredExactOracle(set *FactoredSet, seed uint64, st *parallel.Stats) *factoredExactOracle {
+	return &factoredExactOracle{set: set, seed: seed, st: st}
+}
+
+func (o *factoredExactOracle) init(x []float64) error {
+	if len(x) != o.set.N() {
+		return fmt.Errorf("core: factored-exact oracle: x has %d entries, want %d", len(x), o.set.N())
+	}
+	o.x = x
+	return nil
+}
+
+func (o *factoredExactOracle) update(_ []int, _ []float64, x []float64) error {
+	o.x = x
+	return nil
+}
+
+func (o *factoredExactOracle) applyPsi(in, out []float64) { o.set.ApplyPsi(o.x, in, out) }
+
+func (o *factoredExactOracle) applyHalfPsi(in, out []float64) {
+	o.set.ApplyPsi(o.x, in, out)
+	for i := range out {
+		out[i] *= 0.5
+	}
+}
+
+func (o *factoredExactOracle) ratios() ([]float64, oracleInfo, error) {
+	lam, err := eigen.LanczosMax(o.applyPsi, o.set.Dim(), eigen.LanczosOpts{
+		MaxIter: 64, Tol: 1e-8,
+		Rng: rand.New(rand.NewPCG(o.seed, 0xfeed)),
+	})
+	if err != nil {
+		return nil, oracleInfo{}, err
+	}
+	o.lambdaEst = math.Max(lam, 0)
+	m := o.set.Dim()
+	normHalf := 0.55*o.lambdaEst + 0.5
+
+	// Exponentiate the identity column by column: column j of exp(Ψ/2).
+	// Shared log-scale normalization as in the JL oracle.
+	cols := matrix.New(m, m) // row r = exp(Ψ/2)·e_r (symmetric, so rows = cols)
+	logs := make([]float64, m)
+	parallel.For(m, func(r int) {
+		w, ls := expm.ExpMV(o.applyHalfPsi, matrix.Basis(m, r), normHalf, 1e-12)
+		copy(cols.Data[r*m:(r+1)*m], w)
+		logs[r] = ls
+	})
+	maxLog := logs[0]
+	for _, l := range logs[1:] {
+		if l > maxLog {
+			maxLog = l
+		}
+	}
+	for r := 0; r < m; r++ {
+		f := math.Exp(logs[r] - maxLog)
+		row := cols.Data[r*m : (r+1)*m]
+		for j := range row {
+			row[j] *= f
+		}
+	}
+	trEst := parallel.SumFloat(len(cols.Data), func(i int) float64 { return cols.Data[i] * cols.Data[i] })
+	if trEst <= 0 || math.IsNaN(trEst) {
+		return nil, oracleInfo{}, fmt.Errorf("core: factored-exact oracle: degenerate trace %v", trEst)
+	}
+	n := o.set.N()
+	r := make([]float64, n)
+	parallel.For(n, func(i int) {
+		r[i] = o.set.scale * o.set.Q[i].SketchDot(cols) / trEst
+	})
+	o.st.Add(int64(m)*int64(2*o.set.NNZ()), parallel.Log2(m))
+	return r, oracleInfo{LambdaMax: o.lambdaEst, LogTrW: 2*maxLog + math.Log(trEst)}, nil
+}
+
+func (o *factoredExactOracle) lambdaMaxPsi() (float64, error) {
+	return eigen.LanczosMax(o.applyPsi, o.set.Dim(), eigen.LanczosOpts{
+		MaxIter: 256, Tol: 1e-12,
+		Rng: rand.New(rand.NewPCG(o.seed^0x5eed, 0x7ea1)),
+	})
+}
+
+func (o *factoredExactOracle) probability() *matrix.Dense { return nil }

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matrix"
+)
+
+// Property: scaling every constraint by s scales the optimum by 1/s,
+// and the solver's certified bracket respects that exactly (WithScale
+// is used by the binary search itself, so this is a consistency check
+// of the whole pipeline).
+func TestQuickScaleInvariance(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 201))
+		n := 2 + int(seed%3)
+		as, opt := orthogonalRankOne(n, n+2, rng)
+		set, err := NewDenseSet(as)
+		if err != nil {
+			return false
+		}
+		s := 0.25 + 4*rng.Float64()
+		scaled := set.WithScale(s)
+		sol, err := MaximizePacking(scaled, 0.15, Options{})
+		if err != nil {
+			return false
+		}
+		want := opt / s
+		return sol.Lower <= want*(1+1e-6) && sol.Upper >= want*(1-1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: adding a constraint (a new variable in the packing max) can
+// only increase the optimum; removing one can only decrease it. Checked
+// via certified brackets: Lower(bigger) ≥ Lower(smaller) would be too
+// strong for approximations, but Upper(smaller) can never fall below
+// Lower of a sub-instance witness, and any witness of the smaller
+// instance extends to the larger one.
+func TestMonotonicityUnderConstraintAddition(t *testing.T) {
+	rng := rand.New(rand.NewPCG(61, 62))
+	as, _ := orthogonalRankOne(6, 9, rng)
+	small, err := NewDenseSet(as[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := NewDenseSet(as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solSmall, err := MaximizePacking(small, 0.1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solBig, err := MaximizePacking(big, 0.1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The small witness padded with zeros is feasible for the big
+	// instance, so OPT(big) ≥ value(small witness) must be reflected by
+	// the big bracket's upper bound.
+	if solBig.Upper < solSmall.Value*(1-1e-9) {
+		t.Fatalf("upper bound of superset instance (%v) fell below a subset witness value (%v)",
+			solBig.Upper, solSmall.Value)
+	}
+	padded := make([]float64, 6)
+	copy(padded, solSmall.X[:4])
+	cert, err := VerifyDual(big, padded, 1e-8)
+	if err != nil || !cert.Feasible {
+		t.Fatalf("padded subset witness not feasible in superset: %+v %v", cert, err)
+	}
+}
+
+// Property: duplicating a constraint never changes the optimum (the
+// duplicate's weight can always be folded into the original).
+func TestDuplicateConstraintInvariance(t *testing.T) {
+	rng := rand.New(rand.NewPCG(63, 64))
+	as, opt := orthogonalRankOne(4, 6, rng)
+	dup := append(append([]*matrix.Dense{}, as...), as[0])
+	set, err := NewDenseSet(dup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := MaximizePacking(set, 0.1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Lower > opt*(1+1e-6) || sol.Upper < opt*(1-1e-6) {
+		t.Fatalf("duplicate changed the optimum: [%v, %v] vs %v", sol.Lower, sol.Upper, opt)
+	}
+}
+
+// Property: the decision result's Lower and Upper are internally
+// consistent (Lower ≤ Upper) across random instances, scales, and both
+// oracle paths.
+func TestQuickBoundsOrdered(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 202))
+		n := 2 + int(seed%3)
+		as, opt := orthogonalRankOne(n, n+2, rng)
+		set, err := NewDenseSet(as)
+		if err != nil {
+			return false
+		}
+		theta := opt * (0.4 + 1.2*rng.Float64())
+		dr, err := DecisionPSDP(set.WithScale(theta), 0.25, Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		return dr.Lower <= dr.Upper*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyPrimalDense(t *testing.T) {
+	// Covering witness for A₁ = diag(2, 0), A₂ = diag(0, 2):
+	// Y = I/2 has Tr 1 and Aᵢ•Y = 1 → UpperBound = 1.
+	set, err := NewDenseSet([]*matrix.Dense{
+		matrix.Diag([]float64{2, 0}),
+		matrix.Diag([]float64{0, 2}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := matrix.Diag([]float64{0.5, 0.5})
+	cert, err := VerifyPrimalDense(set, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cert.PSD || math.Abs(cert.Trace-1) > 1e-12 || math.Abs(cert.MinDot-1) > 1e-12 {
+		t.Fatalf("certificate wrong: %+v", cert)
+	}
+	if math.Abs(cert.UpperBound-1) > 1e-12 {
+		t.Fatalf("upper bound %v want 1", cert.UpperBound)
+	}
+	// And indeed the packing optimum is 1 (x₁ = x₂ = 1/2 saturates).
+	sol, err := MaximizePacking(set, 0.05, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Lower > 1+1e-9 || sol.Upper < 1-1e-9 {
+		t.Fatalf("OPT bracket [%v, %v] disagrees with primal certificate", sol.Lower, sol.Upper)
+	}
+}
+
+func TestVerifyPrimalDenseRejectsBadShapes(t *testing.T) {
+	set, _ := NewDenseSet([]*matrix.Dense{matrix.Identity(2)})
+	if _, err := VerifyPrimalDense(set, matrix.Identity(3)); err == nil {
+		t.Fatal("wrong-shape Y accepted")
+	}
+	// Indefinite Y flagged.
+	y := matrix.Diag([]float64{1, -0.5})
+	cert, err := VerifyPrimalDense(set, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.PSD {
+		t.Fatal("indefinite Y reported PSD")
+	}
+}
+
+func TestMaximizeTracksPrimalMatrix(t *testing.T) {
+	rng := rand.New(rand.NewPCG(65, 66))
+	as, _ := orthogonalRankOne(4, 6, rng)
+	set, err := NewDenseSet(as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := MaximizePacking(set, 0.1, Options{TrackPrimalMatrix: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Y == nil {
+		t.Skip("no primal-certifying decision call tracked Y on this instance")
+	}
+	// The tracked Y is a covering witness for the scaled instance: its
+	// weak-duality bound must be consistent with the final bracket.
+	scaled := set.WithScale(sol.YScale).(*DenseSet)
+	cert, err := VerifyPrimalDense(scaled, sol.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cert.PSD || math.Abs(cert.Trace-1) > 1e-6 {
+		t.Fatalf("tracked Y malformed: %+v", cert)
+	}
+	implied := sol.YScale * cert.UpperBound
+	if implied < sol.Lower*(1-1e-6) {
+		t.Fatalf("tracked primal bound %v below certified lower %v", implied, sol.Lower)
+	}
+}
+
+func TestVerifyDualRejectsBadVectors(t *testing.T) {
+	set, _ := NewDenseSet([]*matrix.Dense{matrix.Identity(2)})
+	if _, err := VerifyDual(set, []float64{1, 2}, 0); err == nil {
+		t.Fatal("wrong-length x accepted")
+	}
+	if _, err := VerifyDual(set, []float64{-1}, 0); err == nil {
+		t.Fatal("negative x accepted")
+	}
+	if _, err := VerifyDual(set, []float64{math.NaN()}, 0); err == nil {
+		t.Fatal("NaN x accepted")
+	}
+}

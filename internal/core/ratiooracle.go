@@ -1,0 +1,48 @@
+package core
+
+// RatioOracle exposes the per-iteration primitive of Algorithm 3.1 —
+// the ratios rᵢ = exp(Ψ)•Aᵢ/Tr[exp(Ψ)] — to sibling packages that build
+// extensions on top of it (internal/mixed couples it with covering
+// constraints). It is a thin adapter over the solver's internal oracle
+// selection, honoring the same Options.
+type RatioOracle struct {
+	o expOracle
+}
+
+// NewRatioOracle builds the oracle selected by opts for the set.
+func NewRatioOracle(set ConstraintSet, opts Options) (*RatioOracle, error) {
+	o, err := buildOracle(set, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &RatioOracle{o: o}, nil
+}
+
+// Init installs the starting dual vector.
+func (r *RatioOracle) Init(x []float64) error { return r.o.init(x) }
+
+// Update informs the oracle that x[i] was multiplied by (1+alpha) for
+// each i in b; x is the post-update vector.
+func (r *RatioOracle) Update(b []int, alpha float64, x []float64) error {
+	mults := make([]float64, len(b))
+	for j := range mults {
+		mults[j] = 1 + alpha
+	}
+	return r.o.update(b, mults, x)
+}
+
+// Ratios returns rᵢ for all constraints at the current x.
+func (r *RatioOracle) Ratios() ([]float64, error) {
+	v, _, err := r.o.ratios()
+	return v, err
+}
+
+// LambdaMax returns the oracle's certificate-grade λ_max(Ψ) estimate at
+// the current x.
+func (r *RatioOracle) LambdaMax() (float64, error) { return r.o.lambdaMaxPsi() }
+
+// LambdaMaxPsi computes a certificate-grade λ_max(Σ xᵢAᵢ) for any set
+// and vector, independent of any oracle state.
+func LambdaMaxPsi(set ConstraintSet, x []float64) (float64, error) {
+	return lambdaMaxPsiOf(set, x)
+}

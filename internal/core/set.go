@@ -1,0 +1,264 @@
+// Package core implements the paper's primary contribution: the
+// width-independent parallel decision procedure for positive packing
+// SDPs (Algorithm 3.1, decisionPSDP), the binary-search optimizer built
+// on it (Lemma 2.2), the Appendix A normalization of general positive
+// SDPs, and certificate verification for both solution branches.
+//
+// The normalized problem the package works with is the packing SDP
+//
+//	maximize 1ᵀx  subject to  Σᵢ xᵢ Aᵢ ≼ I,  x ≥ 0,
+//
+// whose dual is the trace-normalized covering SDP of the paper's
+// Figure 2. Constraints are held either densely (DenseSet) or in the
+// factored form Aᵢ = QᵢQᵢᵀ (FactoredSet) that enables the nearly-linear
+// work bigDotExp oracle of Theorem 4.1.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/chol"
+	"repro/internal/matrix"
+	"repro/internal/sparse"
+)
+
+// ErrEmptySet indicates a constraint set with no constraints.
+var ErrEmptySet = errors.New("core: constraint set has no constraints")
+
+// ConstraintSet is the read-only view of packing constraints shared by
+// both representations. A global Scale() multiplier is applied to every
+// constraint, which is how the Lemma 2.2 binary search rescales the
+// instance without copying it.
+type ConstraintSet interface {
+	// N returns the number of constraints.
+	N() int
+	// Dim returns the matrix dimension m.
+	Dim() int
+	// Trace returns Tr[Aᵢ] including the scale factor.
+	Trace(i int) float64
+	// Scale returns the current global multiplier.
+	Scale() float64
+	// WithScale returns a view of the set with the scale multiplied by s.
+	WithScale(s float64) ConstraintSet
+	// ApplyPsi computes out = (Σᵢ xᵢAᵢ)·in (scaled).
+	ApplyPsi(x, in, out []float64)
+	// NNZ returns the representation size (dense: n·m², factored: q).
+	NNZ() int
+}
+
+// DenseSet holds constraints as dense symmetric PSD matrices.
+type DenseSet struct {
+	A      []*matrix.Dense
+	m      int
+	scale  float64
+	traces []float64
+}
+
+// NewDenseSet validates and wraps a list of symmetric m-by-m matrices.
+// Symmetry is always checked; positive semidefiniteness is the caller's
+// responsibility (use ValidatePSD for an explicit check — it costs one
+// eigendecomposition per constraint).
+func NewDenseSet(a []*matrix.Dense) (*DenseSet, error) {
+	if len(a) == 0 {
+		return nil, ErrEmptySet
+	}
+	m := a[0].R
+	traces := make([]float64, len(a))
+	for i, ai := range a {
+		if ai.R != m || ai.C != m {
+			return nil, fmt.Errorf("core: constraint %d is %dx%d, want %dx%d", i, ai.R, ai.C, m, m)
+		}
+		if ai.HasNaN() {
+			return nil, fmt.Errorf("core: constraint %d contains NaN/Inf", i)
+		}
+		tol := 1e-8 * math.Max(1, ai.MaxAbs())
+		if !ai.IsSymmetric(tol) {
+			return nil, fmt.Errorf("core: constraint %d is not symmetric", i)
+		}
+		traces[i] = ai.Trace()
+		if traces[i] < 0 {
+			return nil, fmt.Errorf("core: constraint %d has negative trace %v (not PSD)", i, traces[i])
+		}
+	}
+	return &DenseSet{A: a, m: m, scale: 1, traces: traces}, nil
+}
+
+// N returns the number of constraints.
+func (s *DenseSet) N() int { return len(s.A) }
+
+// Dim returns the matrix dimension m.
+func (s *DenseSet) Dim() int { return s.m }
+
+// Trace returns the scaled trace of constraint i.
+func (s *DenseSet) Trace(i int) float64 { return s.scale * s.traces[i] }
+
+// Scale returns the global multiplier.
+func (s *DenseSet) Scale() float64 { return s.scale }
+
+// WithScale returns a view with the scale multiplied by f.
+func (s *DenseSet) WithScale(f float64) ConstraintSet {
+	c := *s
+	c.scale *= f
+	return &c
+}
+
+// NNZ returns n·m², the dense representation size.
+func (s *DenseSet) NNZ() int { return len(s.A) * s.m * s.m }
+
+// ApplyPsi computes out = (Σᵢ xᵢAᵢ)·in with the scale applied.
+func (s *DenseSet) ApplyPsi(x, in, out []float64) {
+	tmp := make([]float64, s.m)
+	for j := range out {
+		out[j] = 0
+	}
+	for i, ai := range s.A {
+		if x[i] == 0 {
+			continue
+		}
+		ai.MulVecTo(tmp, in)
+		matrix.VecAXPY(out, s.scale*x[i], tmp)
+	}
+}
+
+// PsiDense materializes Ψ = Σᵢ xᵢAᵢ (scaled) as a dense matrix.
+func (s *DenseSet) PsiDense(x []float64) *matrix.Dense {
+	psi := matrix.New(s.m, s.m)
+	for i, ai := range s.A {
+		if x[i] != 0 {
+			matrix.AXPY(psi, s.scale*x[i], ai)
+		}
+	}
+	return psi
+}
+
+// ValidatePSD checks every constraint for positive semidefiniteness via
+// pivoted Cholesky (errors identify the offending index).
+func (s *DenseSet) ValidatePSD(tol float64) error {
+	for i, ai := range s.A {
+		if _, _, err := chol.PivotedCholesky(ai, tol); err != nil {
+			return fmt.Errorf("core: constraint %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Factorize converts the set to factored form Aᵢ = QᵢQᵢᵀ using pivoted
+// Cholesky — the preprocessing step the paper prescribes for input not
+// already given prefactored. The current scale is baked into the
+// factors.
+func (s *DenseSet) Factorize(tol float64) (*FactoredSet, error) {
+	qs := make([]*sparse.CSC, len(s.A))
+	for i, ai := range s.A {
+		q, _, err := chol.PivotedCholesky(ai, tol)
+		if err != nil {
+			return nil, fmt.Errorf("core: factorizing constraint %d: %w", i, err)
+		}
+		qq := sparse.CSCFromDense(q, 0)
+		if s.scale != 1 {
+			qq = qq.Scale(math.Sqrt(s.scale))
+		}
+		qs[i] = qq
+	}
+	return NewFactoredSet(qs)
+}
+
+// FactoredSet holds constraints in factored form Aᵢ = QᵢQᵢᵀ with sparse
+// factors — the representation of Theorem 4.1 whose total nonzero count
+// q drives the nearly-linear work bound.
+type FactoredSet struct {
+	Q      []*sparse.CSC
+	m      int
+	scale  float64
+	traces []float64
+	nnz    int
+	// Flattened view: all factor columns concatenated, with col2con
+	// mapping each flat column to its constraint. Ψ·v is then two O(q)
+	// sparse passes.
+	flat    *sparse.CSC
+	col2con []int
+}
+
+// NewFactoredSet validates and wraps the factors. All Qᵢ must share the
+// row dimension m.
+func NewFactoredSet(q []*sparse.CSC) (*FactoredSet, error) {
+	if len(q) == 0 {
+		return nil, ErrEmptySet
+	}
+	m := q[0].R
+	traces := make([]float64, len(q))
+	nnz := 0
+	var trips []sparse.Triplet
+	var col2con []int
+	colBase := 0
+	for i, qi := range q {
+		if qi.R != m {
+			return nil, fmt.Errorf("core: factor %d has %d rows, want %d", i, qi.R, m)
+		}
+		traces[i] = qi.GramTrace()
+		nnz += qi.NNZ()
+		for j := 0; j < qi.C; j++ {
+			for k := qi.ColPtr[j]; k < qi.ColPtr[j+1]; k++ {
+				trips = append(trips, sparse.Triplet{Row: qi.Row[k], Col: colBase + j, Val: qi.Val[k]})
+			}
+			col2con = append(col2con, i)
+		}
+		colBase += qi.C
+	}
+	flat, err := sparse.NewCSC(m, max(colBase, 1), trips)
+	if err != nil {
+		return nil, err
+	}
+	return &FactoredSet{Q: q, m: m, scale: 1, traces: traces, nnz: nnz, flat: flat, col2con: col2con}, nil
+}
+
+// N returns the number of constraints.
+func (s *FactoredSet) N() int { return len(s.Q) }
+
+// Dim returns the matrix dimension m.
+func (s *FactoredSet) Dim() int { return s.m }
+
+// Trace returns the scaled trace Tr[Aᵢ] = scale·‖Qᵢ‖_F².
+func (s *FactoredSet) Trace(i int) float64 { return s.scale * s.traces[i] }
+
+// Scale returns the global multiplier.
+func (s *FactoredSet) Scale() float64 { return s.scale }
+
+// WithScale returns a view with the scale multiplied by f.
+func (s *FactoredSet) WithScale(f float64) ConstraintSet {
+	c := *s
+	c.scale *= f
+	return &c
+}
+
+// NNZ returns q, the total nonzeros across factors.
+func (s *FactoredSet) NNZ() int { return s.nnz }
+
+// ApplyPsi computes out = (Σᵢ xᵢ QᵢQᵢᵀ)·in (scaled) in O(q) work via the
+// flattened factor matrix.
+func (s *FactoredSet) ApplyPsi(x, in, out []float64) {
+	t := s.flat.TMulVec(in) // Qᵀin per flat column
+	for c := range t {
+		t[c] *= s.scale * x[s.col2con[c]]
+	}
+	for j := range out {
+		out[j] = 0
+	}
+	s.flat.MulVecAdd(out, 1, t)
+}
+
+// Densify materializes each constraint as a dense matrix (with the
+// current scale folded in): the bridge from the fast path back to the
+// exact reference path.
+func (s *FactoredSet) Densify() (*DenseSet, error) {
+	as := make([]*matrix.Dense, len(s.Q))
+	for i, qi := range s.Q {
+		d := qi.GramDense()
+		if s.scale != 1 {
+			matrix.Scale(d, s.scale, d)
+		}
+		as[i] = d
+	}
+	return NewDenseSet(as)
+}

@@ -1,0 +1,201 @@
+package eigen
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/matrix"
+	"repro/internal/parallel"
+)
+
+// Decomposition is a full symmetric eigendecomposition A = V Λ Vᵀ.
+type Decomposition struct {
+	// Values holds the eigenvalues in descending order.
+	Values []float64
+	// Vectors holds the corresponding orthonormal eigenvectors as
+	// columns: column j pairs with Values[j].
+	Vectors *matrix.Dense
+}
+
+// SymEigen computes the full eigendecomposition of the symmetric matrix
+// a. a is not modified. Analytic cost: work O(n³), depth O(n log n)
+// (the QL sweep is inherently sequential across eigenvalues; the paper
+// notes exact decompositions cost Ω(m^ω) work, which is why they appear
+// only in reference/verification paths).
+func SymEigen(a *matrix.Dense) (*Decomposition, error) {
+	if err := checkSym(a); err != nil {
+		return nil, err
+	}
+	n := a.R
+	work := a.Clone()
+	d := make([]float64, n)
+	e := make([]float64, n)
+	tred2(work.Data, n, d, e, true)
+	if err := tqli(d, e, n, work.Data); err != nil {
+		return nil, err
+	}
+	sortDesc(d, work)
+	st := statsOf(a)
+	st.Add(int64(9)*int64(n)*int64(n)*int64(n), int64(n)*parallel.Log2(n))
+	return &Decomposition{Values: d, Vectors: work}, nil
+}
+
+// SymEigenvalues computes only the eigenvalues of the symmetric matrix
+// a, in descending order. a is not modified.
+func SymEigenvalues(a *matrix.Dense) ([]float64, error) {
+	if err := checkSym(a); err != nil {
+		return nil, err
+	}
+	n := a.R
+	work := a.Clone()
+	d := make([]float64, n)
+	e := make([]float64, n)
+	tred2(work.Data, n, d, e, false)
+	if err := tqli(d, e, n, nil); err != nil {
+		return nil, err
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(d)))
+	st := statsOf(a)
+	st.Add(int64(4)*int64(n)*int64(n)*int64(n), int64(n)*parallel.Log2(n))
+	return d, nil
+}
+
+// LambdaMax returns the largest eigenvalue of the symmetric matrix a.
+func LambdaMax(a *matrix.Dense) (float64, error) {
+	vals, err := SymEigenvalues(a)
+	if err != nil {
+		return 0, err
+	}
+	return vals[0], nil
+}
+
+// LambdaMin returns the smallest eigenvalue of the symmetric matrix a.
+func LambdaMin(a *matrix.Dense) (float64, error) {
+	vals, err := SymEigenvalues(a)
+	if err != nil {
+		return 0, err
+	}
+	return vals[len(vals)-1], nil
+}
+
+// IsPSD reports whether symmetric a is positive semidefinite up to a
+// small relative tolerance: λ_min(a) >= -tol·max(1, |λ|_max).
+func IsPSD(a *matrix.Dense, tol float64) (bool, error) {
+	vals, err := SymEigenvalues(a)
+	if err != nil {
+		return false, err
+	}
+	scale := 1.0
+	for _, v := range vals {
+		if av := abs(v); av > scale {
+			scale = av
+		}
+	}
+	return vals[len(vals)-1] >= -tol*scale, nil
+}
+
+// Apply evaluates f on the spectrum: returns V f(Λ) Vᵀ.
+func (dec *Decomposition) Apply(f func(float64) float64) *matrix.Dense {
+	n := len(dec.Values)
+	v := dec.Vectors
+	out := matrix.New(n, n)
+	fl := make([]float64, n)
+	for j, lam := range dec.Values {
+		fl[j] = f(lam)
+	}
+	parallel.ForBlock(n, rowGrain(n), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			orow := out.Data[i*n : (i+1)*n]
+			vrow := v.Data[i*n : (i+1)*n]
+			for k := i; k < n; k++ {
+				vkrow := v.Data[k*n : (k+1)*n]
+				var s float64
+				for j := 0; j < n; j++ {
+					s += vrow[j] * fl[j] * vkrow[j]
+				}
+				orow[k] = s
+			}
+		}
+	})
+	// Mirror the strictly computed upper triangle.
+	for i := 0; i < n; i++ {
+		for k := i + 1; k < n; k++ {
+			out.Data[k*n+i] = out.Data[i*n+k]
+		}
+	}
+	return out
+}
+
+// Reconstruct returns V Λ Vᵀ, which should reproduce the input matrix.
+func (dec *Decomposition) Reconstruct() *matrix.Dense {
+	return dec.Apply(func(x float64) float64 { return x })
+}
+
+func checkSym(a *matrix.Dense) error {
+	if !a.IsSquare() {
+		return fmt.Errorf("eigen: matrix is %dx%d, want square", a.R, a.C)
+	}
+	if a.HasNaN() {
+		return errors.New("eigen: matrix contains NaN or Inf")
+	}
+	tol := 1e-8 * max(1.0, a.MaxAbs())
+	if !a.IsSymmetric(tol) {
+		return errors.New("eigen: matrix is not symmetric")
+	}
+	return nil
+}
+
+// sortDesc sorts eigenvalues descending, permuting the columns of z the
+// same way (selection sort mirrors the classical eigsrt).
+func sortDesc(d []float64, z *matrix.Dense) {
+	n := len(d)
+	for i := 0; i < n-1; i++ {
+		k := i
+		p := d[i]
+		for j := i + 1; j < n; j++ {
+			if d[j] > p {
+				k = j
+				p = d[j]
+			}
+		}
+		if k != i {
+			d[k] = d[i]
+			d[i] = p
+			for r := 0; r < n; r++ {
+				z.Data[r*n+i], z.Data[r*n+k] = z.Data[r*n+k], z.Data[r*n+i]
+			}
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func rowGrain(flopsPerRow int) int {
+	if flopsPerRow <= 0 {
+		flopsPerRow = 1
+	}
+	g := 4096 / flopsPerRow
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// stats hook: package-level recorder that callers may set to account
+// eigendecomposition work; nil disables. The solver wires its Stats in
+// via SetStats around timed sections (single-threaded configuration
+// phase), and experiments read it back out.
+var pkgStats *parallel.Stats
+
+// SetStats installs st as the work/depth recorder for this package's
+// decompositions. Pass nil to disable. Not safe to call concurrently
+// with decompositions.
+func SetStats(st *parallel.Stats) { pkgStats = st }
+
+func statsOf(_ *matrix.Dense) *parallel.Stats { return pkgStats }

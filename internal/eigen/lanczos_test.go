@@ -1,0 +1,119 @@
+package eigen
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func denseApply(a *matrix.Dense) func(in, out []float64) {
+	return func(in, out []float64) { a.MulVecTo(out, in) }
+}
+
+func TestLanczosMaxMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewPCG(100, 200))
+	for _, n := range []int{1, 2, 5, 20, 60} {
+		a := randPSD(n, n, rng)
+		want, err := LambdaMax(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := LanczosMax(denseApply(a), n, LanczosOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-7*math.Max(1, want) {
+			t.Fatalf("n=%d: Lanczos %v vs dense %v", n, got, want)
+		}
+	}
+}
+
+func TestLanczosMaxRankOne(t *testing.T) {
+	// λmax(vvᵀ) = |v|².
+	n := 30
+	rng := rand.New(rand.NewPCG(7, 8))
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	norm2 := matrix.VecDot(v, v)
+	apply := func(in, out []float64) {
+		s := matrix.VecDot(v, in)
+		for i := range out {
+			out[i] = s * v[i]
+		}
+	}
+	got, err := LanczosMax(apply, n, LanczosOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-norm2) > 1e-8*norm2 {
+		t.Fatalf("rank-1 λmax = %v want %v", got, norm2)
+	}
+}
+
+func TestLanczosMaxIdentity(t *testing.T) {
+	apply := func(in, out []float64) { copy(out, in) }
+	got, err := LanczosMax(apply, 17, LanczosOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-10 {
+		t.Fatalf("λmax(I) = %v want 1", got)
+	}
+}
+
+func TestLanczosMaxZeroOperator(t *testing.T) {
+	apply := func(in, out []float64) {
+		for i := range out {
+			out[i] = 0
+		}
+	}
+	got, err := LanczosMax(apply, 9, LanczosOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got) > 1e-12 {
+		t.Fatalf("λmax(0) = %v want 0", got)
+	}
+}
+
+func TestLanczosMaxBadDim(t *testing.T) {
+	if _, err := LanczosMax(nil, 0, LanczosOpts{}); err == nil {
+		t.Fatal("dim=0 accepted")
+	}
+}
+
+func TestPowerMaxAgrees(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	a := randPSD(15, 15, rng)
+	want, err := LambdaMax(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := PowerMax(denseApply(a), 15, 500, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-4*want {
+		t.Fatalf("PowerMax %v vs dense %v", got, want)
+	}
+}
+
+func TestLanczosDeterministicDefaultSeed(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	a := randPSD(25, 25, rng)
+	g1, err := LanczosMax(denseApply(a), 25, LanczosOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LanczosMax(denseApply(a), 25, LanczosOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 != g2 {
+		t.Fatalf("nondeterministic Lanczos: %v vs %v", g1, g2)
+	}
+}

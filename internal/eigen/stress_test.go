@@ -1,0 +1,140 @@
+package eigen
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+// Larger random matrices: reconstruction, orthogonality, and trace
+// identities must survive at n = 64.
+func TestSymEigenStress64(t *testing.T) {
+	rng := rand.New(rand.NewPCG(101, 102))
+	n := 64
+	a := randSym(n, rng)
+	dec, err := SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := dec.Reconstruct()
+	if !matrix.ApproxEqual(rec, a, 1e-8*float64(n)) {
+		t.Fatal("reconstruction failed at n=64")
+	}
+	vtv := matrix.MulATB(dec.Vectors, dec.Vectors, nil)
+	if !matrix.ApproxEqual(vtv, matrix.Identity(n), 1e-9) {
+		t.Fatal("orthogonality lost at n=64")
+	}
+	sum := 0.0
+	for _, v := range dec.Values {
+		sum += v
+	}
+	if math.Abs(sum-a.Trace()) > 1e-8*float64(n) {
+		t.Fatal("trace identity failed at n=64")
+	}
+	// Values must be sorted descending.
+	for i := 1; i < n; i++ {
+		if dec.Values[i] > dec.Values[i-1]+1e-12 {
+			t.Fatal("eigenvalues not sorted descending")
+		}
+	}
+}
+
+// Tightly clustered spectrum: eigenvalues within 1e-10 of each other.
+func TestSymEigenClusteredSpectrum(t *testing.T) {
+	n := 10
+	d := make([]float64, n)
+	for i := range d {
+		d[i] = 1 + 1e-10*float64(i)
+	}
+	// Conjugate by a random rotation so the clustering is hidden.
+	rng := rand.New(rand.NewPCG(103, 104))
+	q := randomOrthogonal(n, rng)
+	a := matrix.MulAB(matrix.MulAB(q, matrix.Diag(d), nil), q.T(), nil)
+	a.Symmetrize()
+	vals, err := SymEigenvalues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vals {
+		if math.Abs(v-1) > 1e-8 {
+			t.Fatalf("clustered eigenvalue %v drifted from 1", v)
+		}
+	}
+}
+
+// Wide dynamic range: eigenvalues spanning 12 orders of magnitude.
+func TestSymEigenWideRange(t *testing.T) {
+	d := []float64{1e6, 1e3, 1, 1e-3, 1e-6}
+	rng := rand.New(rand.NewPCG(105, 106))
+	q := randomOrthogonal(len(d), rng)
+	a := matrix.MulAB(matrix.MulAB(q, matrix.Diag(d), nil), q.T(), nil)
+	a.Symmetrize()
+	vals, err := SymEigenvalues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range d {
+		// Relative accuracy degrades toward the small end (absolute
+		// errors scale with ‖A‖); check each against ‖A‖-scaled slack.
+		if math.Abs(vals[i]-want) > 1e-10*d[0] {
+			t.Fatalf("eigenvalue %d = %v want %v", i, vals[i], want)
+		}
+	}
+}
+
+// Negative definite input: eigen handles arbitrary symmetric matrices.
+func TestSymEigenNegativeDefinite(t *testing.T) {
+	rng := rand.New(rand.NewPCG(107, 108))
+	a := randPSD(6, 6, rng)
+	matrix.Scale(a, -1, a)
+	vals, err := SymEigenvalues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] > 1e-10 {
+		t.Fatalf("negative definite matrix has positive λmax %v", vals[0])
+	}
+}
+
+func TestLanczosIllConditioned(t *testing.T) {
+	// λmax detection must work when the top eigenvalue barely separates.
+	d := []float64{1.000001, 1, 1, 0.5, 0.1}
+	rng := rand.New(rand.NewPCG(109, 110))
+	q := randomOrthogonal(len(d), rng)
+	a := matrix.MulAB(matrix.MulAB(q, matrix.Diag(d), nil), q.T(), nil)
+	a.Symmetrize()
+	got, err := LanczosMax(denseApply(a), len(d), LanczosOpts{MaxIter: 64, Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1.000001) > 1e-6 {
+		t.Fatalf("Lanczos λmax = %v want 1.000001", got)
+	}
+}
+
+// randomOrthogonal builds an orthogonal matrix by Gram–Schmidt on a
+// random Gaussian matrix.
+func randomOrthogonal(n int, rng *rand.Rand) *matrix.Dense {
+	q := matrix.New(n, n)
+	for j := 0; j < n; j++ {
+		col := make([]float64, n)
+		for {
+			for i := range col {
+				col[i] = rng.NormFloat64()
+			}
+			for k := 0; k < j; k++ {
+				prev := q.Col(k)
+				matrix.VecAXPY(col, -matrix.VecDot(col, prev), prev)
+			}
+			if matrix.Normalize(col) > 1e-8 {
+				break
+			}
+		}
+		for i := range col {
+			q.Set(i, j, col[i])
+		}
+	}
+	return q
+}

@@ -1,0 +1,203 @@
+// Package eigen implements a symmetric eigensolver from scratch:
+// Householder reduction to tridiagonal form followed by the implicit-
+// shift QL algorithm, plus Lanczos and power iteration for extremal
+// eigenvalues of implicitly represented operators.
+//
+// The solver substrate needs eigendecompositions for three jobs in the
+// paper's pipeline: exact matrix exponentials exp(Ψ) on the dense path,
+// the C^{-1/2} normalization of Appendix A, and λ_max certificate
+// verification of dual solutions (Σ xᵢAᵢ ≼ I).
+package eigen
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNoConvergence is returned when the QL iteration exceeds its
+// iteration budget, which for float64 symmetric input essentially never
+// happens.
+var ErrNoConvergence = errors.New("eigen: QL iteration failed to converge")
+
+// tred2 reduces the symmetric matrix stored row-major in a (n-by-n) to
+// tridiagonal form by Householder similarity transformations.
+// On return d holds the diagonal, e the subdiagonal (e[0] is spare), and
+// a is overwritten with the orthogonal matrix Z effecting the reduction
+// when accumulate is true (column j of a is the j-th basis image).
+// When accumulate is false, a is left holding Householder debris and
+// only d, e are meaningful. Classic EISPACK/NR scheme, zero-indexed.
+func tred2(a []float64, n int, d, e []float64, accumulate bool) {
+	for i := n - 1; i >= 1; i-- {
+		l := i - 1
+		h, scale := 0.0, 0.0
+		if l > 0 {
+			for k := 0; k <= l; k++ {
+				scale += math.Abs(a[i*n+k])
+			}
+			if scale == 0 {
+				e[i] = a[i*n+l]
+			} else {
+				for k := 0; k <= l; k++ {
+					a[i*n+k] /= scale
+					h += a[i*n+k] * a[i*n+k]
+				}
+				f := a[i*n+l]
+				g := math.Sqrt(h)
+				if f >= 0 {
+					g = -g
+				}
+				e[i] = scale * g
+				h -= f * g
+				a[i*n+l] = f - g
+				f = 0
+				for j := 0; j <= l; j++ {
+					if accumulate {
+						a[j*n+i] = a[i*n+j] / h
+					}
+					g := 0.0
+					for k := 0; k <= j; k++ {
+						g += a[j*n+k] * a[i*n+k]
+					}
+					for k := j + 1; k <= l; k++ {
+						g += a[k*n+j] * a[i*n+k]
+					}
+					e[j] = g / h
+					f += e[j] * a[i*n+j]
+				}
+				hh := f / (h + h)
+				for j := 0; j <= l; j++ {
+					f := a[i*n+j]
+					g := e[j] - hh*f
+					e[j] = g
+					for k := 0; k <= j; k++ {
+						a[j*n+k] -= f*e[k] + g*a[i*n+k]
+					}
+				}
+			}
+		} else {
+			e[i] = a[i*n+l]
+		}
+		d[i] = h
+	}
+	d[0] = 0
+	e[0] = 0
+	if !accumulate {
+		for i := 0; i < n; i++ {
+			d[i] = a[i*n+i]
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		l := i - 1
+		if d[i] != 0 {
+			for j := 0; j <= l; j++ {
+				g := 0.0
+				for k := 0; k <= l; k++ {
+					g += a[i*n+k] * a[k*n+j]
+				}
+				for k := 0; k <= l; k++ {
+					a[k*n+j] -= g * a[k*n+i]
+				}
+			}
+		}
+		d[i] = a[i*n+i]
+		a[i*n+i] = 1
+		for j := 0; j <= l; j++ {
+			a[j*n+i] = 0
+			a[i*n+j] = 0
+		}
+	}
+}
+
+// tqli diagonalizes a symmetric tridiagonal matrix with diagonal d and
+// subdiagonal e[1..n-1] (as produced by tred2) using the QL algorithm
+// with implicit shifts. d is overwritten with eigenvalues (unsorted).
+// If z is non-nil (n-by-n row-major), its columns are rotated so that
+// column j becomes the eigenvector of d[j]; pass the tred2 output to get
+// eigenvectors of the original matrix, or the identity for eigenvectors
+// of the tridiagonal matrix itself.
+func tqli(d, e []float64, n int, z []float64) error {
+	if n == 1 {
+		return nil
+	}
+	for i := 1; i < n; i++ {
+		e[i-1] = e[i]
+	}
+	e[n-1] = 0
+	const maxIter = 50
+	for l := 0; l < n; l++ {
+		iter := 0
+		for {
+			var m int
+			for m = l; m < n-1; m++ {
+				dd := math.Abs(d[m]) + math.Abs(d[m+1])
+				if math.Abs(e[m])+dd == dd {
+					break
+				}
+			}
+			if m == l {
+				break
+			}
+			if iter == maxIter {
+				return ErrNoConvergence
+			}
+			iter++
+			g := (d[l+1] - d[l]) / (2 * e[l])
+			r := math.Hypot(g, 1)
+			g = d[m] - d[l] + e[l]/(g+math.Copysign(r, g))
+			s, c, p := 1.0, 1.0, 0.0
+			underflow := false
+			for i := m - 1; i >= l; i-- {
+				f := s * e[i]
+				b := c * e[i]
+				r = math.Hypot(f, g)
+				e[i+1] = r
+				if r == 0 {
+					d[i+1] -= p
+					e[m] = 0
+					underflow = true
+					break
+				}
+				s = f / r
+				c = g / r
+				g = d[i+1] - p
+				r = (d[i]-g)*s + 2*c*b
+				p = s * r
+				d[i+1] = g + p
+				g = c*r - b
+				if z != nil {
+					for k := 0; k < n; k++ {
+						f := z[k*n+i+1]
+						z[k*n+i+1] = s*z[k*n+i] + c*f
+						z[k*n+i] = c*z[k*n+i] - s*f
+					}
+				}
+			}
+			if underflow {
+				continue
+			}
+			d[l] -= p
+			e[l] = g
+			e[m] = 0
+		}
+	}
+	return nil
+}
+
+// tridiagEigenvalues returns the eigenvalues of the symmetric
+// tridiagonal matrix with diagonal diag and subdiagonal sub
+// (len(sub) == len(diag)-1), unsorted. Inputs are not modified.
+func tridiagEigenvalues(diag, sub []float64) ([]float64, error) {
+	n := len(diag)
+	d := make([]float64, n)
+	copy(d, diag)
+	e := make([]float64, n)
+	// tqli expects the subdiagonal in e[1..n-1].
+	for i := 1; i < n; i++ {
+		e[i] = sub[i-1]
+	}
+	if err := tqli(d, e, n, nil); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

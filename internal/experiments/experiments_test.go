@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var quickCfg = Config{Quick: true, Seed: 12345}
+
+func runAndRender(t *testing.T, id string) *Table {
+	t.Helper()
+	r := ByID(id)
+	if r == nil {
+		t.Fatalf("experiment %s not registered", id)
+	}
+	tbl, err := r.Run(quickCfg)
+	if err != nil {
+		t.Fatalf("%s failed: %v", id, err)
+	}
+	out := tbl.Render()
+	if !strings.Contains(out, id+":") {
+		t.Fatalf("%s render missing header: %q", id, out)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatalf("%s produced no rows", id)
+	}
+	return tbl
+}
+
+func col(t *testing.T, tbl *Table, name string) int {
+	t.Helper()
+	for i, c := range tbl.Columns {
+		if c == name {
+			return i
+		}
+	}
+	t.Fatalf("%s: column %q not found in %v", tbl.ID, name, tbl.Columns)
+	return -1
+}
+
+func cellFloat(t *testing.T, tbl *Table, row int, name string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(tbl.Rows[row][col(t, tbl, name)], 64)
+	if err != nil {
+		t.Fatalf("%s row %d col %s: %v", tbl.ID, row, name, err)
+	}
+	return v
+}
+
+func TestE1SpectrumAndIterationBounds(t *testing.T) {
+	tbl := runAndRender(t, "E1")
+	for i := range tbl.Rows {
+		if got := tbl.Rows[i][col(t, tbl, "specOK")]; got != "true" {
+			t.Fatalf("row %d: Lemma 3.2 spectrum bound violated", i)
+		}
+		if r := cellFloat(t, tbl, i, "iters/R"); r > 1 {
+			t.Fatalf("row %d: iterations exceeded the Theorem 3.1 cap (ratio %v)", i, r)
+		}
+	}
+}
+
+func TestE2IterationsIncreaseAsEpsShrinks(t *testing.T) {
+	tbl := runAndRender(t, "E2")
+	first := cellFloat(t, tbl, 0, "iters")
+	last := cellFloat(t, tbl, len(tbl.Rows)-1, "iters")
+	if last < first {
+		t.Fatalf("iterations should not decrease as eps shrinks: %v -> %v", first, last)
+	}
+}
+
+func TestE3WidthIndependenceShape(t *testing.T) {
+	tbl := runAndRender(t, "E3")
+	rows := len(tbl.Rows)
+	oursFirst := cellFloat(t, tbl, 0, "ours(iters)")
+	oursLast := cellFloat(t, tbl, rows-1, "ours(iters)")
+	baseFirst := cellFloat(t, tbl, 0, "baseline(iters)")
+	baseLast := cellFloat(t, tbl, rows-1, "baseline(iters)")
+	if oursLast > 3*oursFirst {
+		t.Fatalf("our iterations grew with width: %v -> %v", oursFirst, oursLast)
+	}
+	if baseLast < 4*baseFirst {
+		t.Fatalf("baseline iterations did not grow with width: %v -> %v", baseFirst, baseLast)
+	}
+}
+
+func TestE4BracketsContainOPT(t *testing.T) {
+	tbl := runAndRender(t, "E4")
+	for i := range tbl.Rows {
+		if got := tbl.Rows[i][col(t, tbl, "inBracket")]; got != "true" {
+			t.Fatalf("row %d (%s): certified bracket missed OPT", i, tbl.Rows[i][0])
+		}
+		if g := cellFloat(t, tbl, i, "relGap"); g > 0.5 {
+			t.Fatalf("row %d: gap %v unreasonably large", i, g)
+		}
+	}
+}
+
+func TestE5SandwichHolds(t *testing.T) {
+	tbl := runAndRender(t, "E5")
+	for i := range tbl.Rows {
+		if tbl.Rows[i][col(t, tbl, "upperOK")] != "true" || tbl.Rows[i][col(t, tbl, "lowerOK")] != "true" {
+			t.Fatalf("row %d: Lemma 4.2 sandwich violated", i)
+		}
+		if e := cellFloat(t, tbl, i, "maxRelErr"); e > 0.1 {
+			t.Fatalf("row %d: relative error %v exceeds eps", i, e)
+		}
+	}
+}
+
+func TestE6SketchAccuracyAndLinearWork(t *testing.T) {
+	tbl := runAndRender(t, "E6")
+	for i := range tbl.Rows {
+		if e := cellFloat(t, tbl, i, "maxRelErr"); e > 0.6 {
+			t.Fatalf("row %d: sketched ratios off by %v", i, e)
+		}
+	}
+	// work/q must stay within a modest band as q grows.
+	first := cellFloat(t, tbl, 0, "work/q")
+	last := cellFloat(t, tbl, len(tbl.Rows)-1, "work/q")
+	if last > 4*first {
+		t.Fatalf("work per nonzero grew superlinearly: %v -> %v", first, last)
+	}
+}
+
+func TestE7NearLinearWork(t *testing.T) {
+	tbl := runAndRender(t, "E7")
+	first := cellFloat(t, tbl, 0, "work/(n+m+q)")
+	last := cellFloat(t, tbl, len(tbl.Rows)-1, "work/(n+m+q)")
+	if last > 6*first {
+		t.Fatalf("work per instance unit grew too fast: %v -> %v", first, last)
+	}
+}
+
+func TestE8BoundAlwaysHolds(t *testing.T) {
+	tbl := runAndRender(t, "E8")
+	for i := range tbl.Rows {
+		if tbl.Rows[i][col(t, tbl, "holds")] != "true" {
+			t.Fatalf("row %d: Theorem 2.1 violated", i)
+		}
+		if s := cellFloat(t, tbl, i, "slack"); s < 0 {
+			t.Fatalf("row %d: negative slack %v", i, s)
+		}
+	}
+}
+
+func TestE9EllipseFeasibleAndMixed(t *testing.T) {
+	tbl := runAndRender(t, "E9")
+	vals := map[string]string{}
+	for _, r := range tbl.Rows {
+		vals[r[0]] = r[1]
+	}
+	if vals["feasible"] != "true" {
+		t.Fatal("ellipse witness infeasible")
+	}
+	x3, err := strconv.ParseFloat(vals["x3 (rotated A3)"], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x3 <= 0 {
+		t.Fatal("optimal packing should use the rotated ellipse A3")
+	}
+}
+
+func TestE10AllSolversAgree(t *testing.T) {
+	tbl := runAndRender(t, "E10")
+	for i := range tbl.Rows {
+		if tbl.Rows[i][col(t, tbl, "allAgree")] != "true" {
+			t.Fatalf("row %d: solvers disagree on diagonal instance", i)
+		}
+	}
+}
+
+func TestE11FormulasDominateMeasured(t *testing.T) {
+	tbl := runAndRender(t, "E11")
+	for i := range tbl.Rows {
+		jy, err := strconv.ParseFloat(tbl.Rows[i][col(t, tbl, "JY11(formula)")], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		meas := cellFloat(t, tbl, i, "measured(ours)")
+		if jy < 1e6*meas {
+			t.Fatalf("row %d: JY formula %v not astronomically above measured %v", i, jy, meas)
+		}
+	}
+}
+
+func TestE12RunsAndReportsSpeedup(t *testing.T) {
+	tbl := runAndRender(t, "E12")
+	if s := cellFloat(t, tbl, 0, "speedup"); s != 1 {
+		t.Fatalf("first row speedup = %v want 1", s)
+	}
+}
+
+func TestE13BucketingSoundAndFaster(t *testing.T) {
+	tbl := runAndRender(t, "E13")
+	for i := range tbl.Rows {
+		if tbl.Rows[i][col(t, tbl, "bothCertified")] != "true" {
+			t.Fatalf("row %d: bucketed variant broke certificates", i)
+		}
+		if s := cellFloat(t, tbl, i, "speedup"); s < 1 {
+			t.Fatalf("row %d: bucketing slowed the solver (%vx)", i, s)
+		}
+	}
+}
+
+func TestE14SketchBracketHolds(t *testing.T) {
+	tbl := runAndRender(t, "E14")
+	for i := range tbl.Rows {
+		if tbl.Rows[i][col(t, tbl, "inBracket")] != "true" {
+			t.Fatalf("row %d: bracket failed at sketchEps %s", i, tbl.Rows[i][0])
+		}
+	}
+}
+
+func TestE15TrajectoryWithinCaps(t *testing.T) {
+	tbl := runAndRender(t, "E15")
+	for i := range tbl.Rows {
+		if tbl.Rows[i][col(t, tbl, "everViolated")] != "false" {
+			t.Fatalf("row %d (%s): cap violated along the trajectory", i, tbl.Rows[i][0])
+		}
+		if spark := tbl.Rows[i][col(t, tbl, "sparkline")]; len(spark) == 0 {
+			t.Fatalf("row %d: empty sparkline", i)
+		}
+	}
+}
+
+func TestE16MixedCorrectness(t *testing.T) {
+	tbl := runAndRender(t, "E16")
+	for i := range tbl.Rows {
+		if tbl.Rows[i][col(t, tbl, "correct")] != "true" {
+			t.Fatalf("row %d (%s): mixed extension misbehaved", i, tbl.Rows[i][0])
+		}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	if len(All()) != 16 {
+		t.Fatalf("registry has %d experiments, want 16", len(All()))
+	}
+	if ByID("e3") == nil || ByID("E3") == nil {
+		t.Fatal("ByID should be case-insensitive")
+	}
+	if ByID("E99") != nil {
+		t.Fatal("unknown id should return nil")
+	}
+}
+
+func TestTableRenderAlignment(t *testing.T) {
+	tbl := &Table{ID: "T", Title: "x", Claim: "c", Columns: []string{"a", "long-column"}}
+	tbl.AddRow(1.23456789, "v")
+	out := tbl.Render()
+	if !strings.Contains(out, "1.235") {
+		t.Fatalf("float formatting wrong: %q", out)
+	}
+	if !strings.Contains(out, "long-column") {
+		t.Fatal("missing column header")
+	}
+}

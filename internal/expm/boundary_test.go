@@ -1,0 +1,92 @@
+package expm
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/eigen"
+	"repro/internal/matrix"
+)
+
+// Norm exactly at the segment boundary: ‖A‖ = 8 must still converge in
+// a single segment, and ‖A‖ = 8+δ must split into two without a
+// discontinuity in the result.
+func TestExpMVSegmentBoundary(t *testing.T) {
+	rng := rand.New(rand.NewPCG(71, 72))
+	a := randPSD(5, 5, rng)
+	lam, err := eigen.LambdaMax(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := make([]float64, 5)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	for _, target := range []float64{7.999, 8.0, 8.001} {
+		b := a.Clone()
+		matrix.Scale(b, target/lam, b)
+		exact, err := ExpSym(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, logScale := ExpMV(applyDense(b), v, target, 1e-13)
+		want := exact.MulVec(v)
+		scale := math.Exp(logScale)
+		for i := range want {
+			if math.Abs(scale*w[i]-want[i]) > 1e-7*matrix.VecNorm2(want) {
+				t.Fatalf("norm %v: mismatch at %d", target, i)
+			}
+		}
+	}
+}
+
+// Underestimated norm bound: ExpMV must still converge (the series just
+// needs more terms per segment), it must not silently truncate.
+func TestExpMVUnderestimatedNorm(t *testing.T) {
+	rng := rand.New(rand.NewPCG(73, 74))
+	a := randPSD(4, 4, rng)
+	lam, err := eigen.LambdaMax(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matrix.Scale(a, 12/lam, a) // true norm 12
+	exact, err := ExpSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := []float64{1, -1, 0.5, 2}
+	// Claim the norm is only 6: one segment of nominal budget 8 now
+	// carries effective norm 12 — the adaptive term loop must absorb it.
+	w, logScale := ExpMV(applyDense(a), v, 6, 1e-13)
+	want := exact.MulVec(v)
+	scale := math.Exp(logScale)
+	for i := range want {
+		if math.Abs(scale*w[i]-want[i]) > 1e-6*matrix.VecNorm2(want) {
+			t.Fatalf("underestimated norm broke ExpMV at %d: %v vs %v", i, scale*w[i], want[i])
+		}
+	}
+}
+
+func TestTaylorExpPSDDegreeOne(t *testing.T) {
+	// Degree 1 means just the identity term.
+	b := matrix.Diag([]float64{3, 1})
+	got := TaylorExpPSD(b, 1)
+	if !matrix.ApproxEqual(got, matrix.Identity(2), 0) {
+		t.Fatalf("degree-1 Taylor = %v want I", got)
+	}
+	// Degree <= 0 clamps to 1.
+	got0 := TaylorExpPSD(b, 0)
+	if !matrix.ApproxEqual(got0, matrix.Identity(2), 0) {
+		t.Fatal("degree-0 Taylor should clamp to identity")
+	}
+}
+
+func TestNormalizedExpDegenerate(t *testing.T) {
+	// A matrix of NaNs must error, not panic or return garbage.
+	bad := matrix.Identity(2)
+	bad.Set(0, 0, math.NaN())
+	if _, _, _, err := NormalizedExpSym(bad); err == nil {
+		t.Fatal("NaN input accepted")
+	}
+}

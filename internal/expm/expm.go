@@ -1,0 +1,189 @@
+// Package expm computes matrix exponentials, the primitive at the heart
+// of Algorithm 3.1: every iteration needs exp(Ψ)•Aᵢ for all i, where
+// Ψ = Σ xᵢAᵢ is PSD with ‖Ψ‖₂ ≤ (1+10ε)K (paper Lemma 3.2).
+//
+// Three evaluation strategies are provided, mirroring the paper:
+//
+//   - ExpSym / NormalizedExpSym: exact eigendecomposition-based
+//     exponentials for the dense reference path. NormalizedExpSym works
+//     with the shifted matrix exp(Ψ−λ_max I), which never overflows, and
+//     returns the probability matrix P = exp(Ψ)/Tr[exp(Ψ)] directly —
+//     all of Algorithm 3.1's tests are scale-free ratios.
+//   - TaylorExpPSD: the truncated Taylor series of Lemma 4.2 (Arora–
+//     Kale Lemma 6): degree k = max{e²κ, ln(2ε⁻¹)} gives the Loewner
+//     sandwich (1−ε)exp(B) ≼ B̂ ≼ exp(B).
+//   - ExpMV: applies exp(A) to a vector using segmented Taylor
+//     evaluation with running log-scale normalization, the workhorse of
+//     the factored bigDotExp path (Theorem 4.1). Cost: O(‖A‖·log(1/tol))
+//     operator applications, each O(nnz) work.
+package expm
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/eigen"
+	"repro/internal/matrix"
+	"repro/internal/parallel"
+)
+
+// ExpSym returns exp(a) for symmetric a via full eigendecomposition.
+// It overflows for ‖a‖₂ ≳ 709; use NormalizedExpSym in solver loops.
+func ExpSym(a *matrix.Dense) (*matrix.Dense, error) {
+	dec, err := eigen.SymEigen(a)
+	if err != nil {
+		return nil, err
+	}
+	return dec.Apply(math.Exp), nil
+}
+
+// NormalizedExpSym returns the "probability matrix" of the MMW framework,
+//
+//	P = exp(a) / Tr[exp(a)],
+//
+// computed shift-invariantly as exp(a−λ_max I)/Tr[exp(a−λ_max I)], along
+// with λ_max(a) and logTr = log Tr[exp(a)] = λ_max + log Tr[exp(a−λ_max I)].
+// This never overflows regardless of ‖a‖₂.
+func NormalizedExpSym(a *matrix.Dense) (p *matrix.Dense, lambdaMax, logTr float64, err error) {
+	dec, err := eigen.SymEigen(a)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	lambdaMax = dec.Values[0]
+	shifted := dec.Apply(func(x float64) float64 { return math.Exp(x - lambdaMax) })
+	tr := shifted.Trace()
+	if tr <= 0 || math.IsNaN(tr) {
+		return nil, 0, 0, errors.New("expm: degenerate trace in NormalizedExpSym")
+	}
+	matrix.Scale(shifted, 1/tr, shifted)
+	return shifted, lambdaMax, lambdaMax + math.Log(tr), nil
+}
+
+// TaylorDegree returns the truncation degree of Lemma 4.2:
+// k = max{⌈e²·κ⌉, ⌈ln(2/ε)⌉}, valid whenever ‖B‖₂ ≤ κ.
+func TaylorDegree(kappa, eps float64) int {
+	if kappa < 0 {
+		kappa = 0
+	}
+	k1 := int(math.Ceil(math.E * math.E * kappa))
+	k2 := 1
+	if eps > 0 && eps < 2 {
+		k2 = int(math.Ceil(math.Log(2 / eps)))
+	}
+	k := k1
+	if k2 > k {
+		k = k2
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// TaylorExpPSD evaluates B̂ = Σ_{0≤i<k} Bⁱ/i! for symmetric PSD B by
+// Horner's scheme. Per Lemma 4.2, with k = TaylorDegree(κ, ε) and
+// ‖B‖₂ ≤ κ this satisfies (1−ε)exp(B) ≼ B̂ ≼ exp(B).
+// Cost: k dense multiplies (work O(k·m³)); the factored path avoids this
+// via ExpMV, but the dense form is what Lemma 4.2 is stated for and is
+// validated directly in experiment E5.
+func TaylorExpPSD(b *matrix.Dense, k int) *matrix.Dense {
+	if !b.IsSquare() {
+		panic("expm: TaylorExpPSD of non-square matrix")
+	}
+	if k < 1 {
+		k = 1
+	}
+	n := b.R
+	// Horner: p = I + B/(k-1)·(I + B/(k-2)·(...)).
+	p := matrix.Identity(n)
+	for i := k - 1; i >= 1; i-- {
+		p = matrix.MulAB(b, p, nil)
+		matrix.Scale(p, 1/float64(i), p)
+		matrix.AddScaledIdentity(p, 1)
+	}
+	return p
+}
+
+// expMVSegNorm is the per-segment norm budget for ExpMV's segmented
+// Taylor evaluation: segments apply exp(A/s) with ‖A/s‖₂ ≤ expMVSegNorm,
+// keeping the series short and the intermediate values well-scaled.
+const expMVSegNorm = 8.0
+
+// ExpMV computes w ≈ exp(A)·v for a symmetric operator A available as
+// apply (out = A·in), with ‖A‖₂ ≤ normUB. The result is returned as a
+// pair (w, logScale) with exp(A)·v ≈ e^{logScale}·w and ‖w‖₂ = O(1),
+// so no overflow occurs even when ‖A‖₂·‖v‖ is astronomically large.
+// tol is the relative truncation tolerance per segment (default 1e-12
+// when tol <= 0).
+//
+// The evaluation splits exp(A) = (exp(A/s))^s with s = ⌈normUB/8⌉ and
+// runs an adaptively truncated Taylor series per segment — the vector
+// form of Lemma 4.2 with scaling, using O(normUB·log(1/tol)) applies.
+func ExpMV(apply func(in, out []float64), v []float64, normUB, tol float64) (w []float64, logScale float64) {
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	if normUB < 0 {
+		normUB = 0
+	}
+	m := len(v)
+	segments := int(math.Ceil(normUB / expMVSegNorm))
+	if segments < 1 {
+		segments = 1
+	}
+	invS := 1.0 / float64(segments)
+
+	cur := matrix.VecClone(v)
+	logScale = 0
+	if n := matrix.Normalize(cur); n > 0 {
+		logScale = math.Log(n)
+	} else {
+		return cur, 0 // exp(A)·0 = 0
+	}
+
+	term := make([]float64, m)
+	next := make([]float64, m)
+	sum := make([]float64, m)
+	// Terms needed per segment: the series for e^θ with θ=8 needs ~35
+	// terms to reach 1e-16 relative; cap generously.
+	maxTerms := 64
+
+	for seg := 0; seg < segments; seg++ {
+		copy(sum, cur)
+		copy(term, cur)
+		for j := 1; j <= maxTerms; j++ {
+			apply(term, next)
+			f := invS / float64(j)
+			for i := range next {
+				next[i] *= f
+			}
+			term, next = next, term
+			matrix.VecAXPY(sum, 1, term)
+			if matrix.VecNorm2(term) <= tol*matrix.VecNorm2(sum) {
+				break
+			}
+		}
+		copy(cur, sum)
+		if n := matrix.Normalize(cur); n > 0 {
+			logScale += math.Log(n)
+		} else {
+			return cur, logScale
+		}
+	}
+	return cur, logScale
+}
+
+// ExpMVStats estimates the analytic work/depth of one ExpMV call with
+// the given operator nnz and norm bound: segments·terms applies in
+// sequence, each O(nnz) work and O(log m) depth.
+func ExpMVStats(st *parallel.Stats, nnz int, normUB, tol float64, m int) {
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	segments := int(math.Ceil(normUB / expMVSegNorm))
+	if segments < 1 {
+		segments = 1
+	}
+	terms := int(math.Ceil(math.Log(1/tol))) + int(expMVSegNorm)
+	st.Add(int64(segments)*int64(terms)*int64(2*nnz+2*m), int64(segments)*int64(terms)*parallel.Log2(m))
+}

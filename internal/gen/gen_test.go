@@ -1,0 +1,207 @@
+package gen
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/eigen"
+	"repro/internal/graph"
+	"repro/internal/matrix"
+)
+
+func TestRandomPSDIsPSD(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	a := RandomPSD(6, 3, rng)
+	ok, err := eigen.IsPSD(a, 1e-9)
+	if err != nil || !ok {
+		t.Fatalf("RandomPSD not PSD: %v", err)
+	}
+	vals, err := eigen.SymEigenvalues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rank <= 3: eigenvalues 4..6 must be ~0.
+	for _, v := range vals[3:] {
+		if math.Abs(v) > 1e-9*vals[0] {
+			t.Fatalf("rank exceeded: %v", vals)
+		}
+	}
+}
+
+func TestRandomDenseShape(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	inst := RandomDense(5, 7, 2, rng)
+	if len(inst.A) != 5 || inst.A[0].R != 7 {
+		t.Fatal("shape wrong")
+	}
+	if !math.IsNaN(inst.OPT) {
+		t.Fatal("OPT should be NaN for random instances")
+	}
+}
+
+func TestIdenticalOPT(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	lm := func(a *matrix.Dense) float64 {
+		v, err := eigen.LambdaMax(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	inst := Identical(4, 5, rng, lm)
+	want, err := eigen.LambdaMax(inst.A[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(inst.OPT-1/want) > 1e-12 {
+		t.Fatalf("OPT = %v want %v", inst.OPT, 1/want)
+	}
+}
+
+func TestOrthogonalRankOneStructure(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	inst, err := OrthogonalRankOne(4, 6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pairwise products AᵢAⱼ = vᵢ(vᵢ·vⱼ)vⱼᵀ must vanish for i≠j.
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			prod := matrix.MulAB(inst.A[i], inst.A[j], nil)
+			if prod.MaxAbs() > 1e-8 {
+				t.Fatalf("constraints %d,%d not orthogonal: %v", i, j, prod.MaxAbs())
+			}
+		}
+	}
+	// OPT = Σ 1/Tr (rank one: Tr = |v|² = λmax).
+	want := 0.0
+	for _, a := range inst.A {
+		want += 1 / a.Trace()
+	}
+	if math.Abs(inst.OPT-want) > 1e-12 {
+		t.Fatalf("OPT = %v want %v", inst.OPT, want)
+	}
+	if _, err := OrthogonalRankOne(7, 6, rng); err == nil {
+		t.Fatal("n > m accepted")
+	}
+}
+
+func TestDiagonalLPConsistent(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	inst, p := DiagonalLP(5, 4, 0.6, rng)
+	if len(inst.A) != 5 || p.R != 4 || p.C != 5 {
+		t.Fatal("shape wrong")
+	}
+	for i, a := range inst.A {
+		col := p.Col(i)
+		for j, v := range col {
+			if a.At(j, j) != v {
+				t.Fatalf("constraint %d diagonal mismatch", i)
+			}
+		}
+	}
+}
+
+func TestWidthFamilyControlsWidth(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	for _, w := range []float64{1, 8, 64} {
+		inst, err := WidthFamily(5, 6, w, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lam, err := eigen.LambdaMax(inst.A[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(lam-w) > 1e-12 {
+			t.Fatalf("spike λmax = %v want %v", lam, w)
+		}
+		for i := 1; i < 5; i++ {
+			lam, err := eigen.LambdaMax(inst.A[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lam > 1.01 {
+				t.Fatalf("plate %d has λmax %v > 1", i, lam)
+			}
+		}
+	}
+	if _, err := WidthFamily(1, 2, 1, rng); err == nil {
+		t.Fatal("n<2 accepted")
+	}
+	if _, err := WidthFamily(3, 3, -1, rng); err == nil {
+		t.Fatal("negative width accepted")
+	}
+}
+
+func TestEllipse2DMatchesFigure1(t *testing.T) {
+	inst := Ellipse2D()
+	if len(inst.A) != 3 {
+		t.Fatal("Figure 1 has 3 ellipses")
+	}
+	// A1 and A2 axis-aligned (diagonal), A3 not.
+	if inst.A[0].At(0, 1) != 0 || inst.A[1].At(0, 1) != 0 {
+		t.Fatal("A1/A2 must be axis-aligned")
+	}
+	if math.Abs(inst.A[2].At(0, 1)) < 1e-9 {
+		t.Fatal("A3 must be rotated (off-diagonal nonzero)")
+	}
+	for i, a := range inst.A {
+		ok, err := eigen.IsPSD(a, 1e-12)
+		if err != nil || !ok {
+			t.Fatalf("ellipse %d not PSD", i)
+		}
+	}
+}
+
+func TestBeamformingRankOne(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 14))
+	inst, err := Beamforming(6, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.Q) != 6 {
+		t.Fatal("wrong user count")
+	}
+	for i, q := range inst.Q {
+		if q.C != 1 || q.R != 8 {
+			t.Fatalf("user %d factor is %dx%d, want 8x1", i, q.R, q.C)
+		}
+	}
+	if _, err := Beamforming(0, 4, rng); err == nil {
+		t.Fatal("zero users accepted")
+	}
+}
+
+func TestGraphEdgePackingFactors(t *testing.T) {
+	g := graph.Cycle(5)
+	inst, err := GraphEdgePacking(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.Q) != 5 {
+		t.Fatal("edge count wrong")
+	}
+	for _, q := range inst.Q {
+		if q.NNZ() != 2 {
+			t.Fatalf("edge factor nnz = %d want 2", q.NNZ())
+		}
+	}
+}
+
+func TestRandomFactoredShape(t *testing.T) {
+	rng := rand.New(rand.NewPCG(15, 16))
+	inst, err := RandomFactored(4, 10, 3, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range inst.Q {
+		if q.C != 3 || q.NNZ() != 6 {
+			t.Fatalf("factor shape wrong: cols=%d nnz=%d", q.C, q.NNZ())
+		}
+	}
+	if _, err := RandomFactored(2, 3, 1, 9, rng); err == nil {
+		t.Fatal("nnzPerCol > m accepted")
+	}
+}

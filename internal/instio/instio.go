@@ -1,0 +1,127 @@
+// Package instio reads and writes packing SDP instances as JSON, the
+// interchange format of cmd/psdpsolve and cmd/psdpgen.
+//
+// Format (one of "dense" or "factored" must be present):
+//
+//	{
+//	  "m": 3,
+//	  "dense":    [ [[1,0,0],[0,1,0],[0,0,1]], ... ],
+//	  "factored": [ {"cols": 2, "entries": [[row, col, value], ...]}, ... ]
+//	}
+package instio
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+	"repro/internal/sparse"
+)
+
+// Instance is the JSON document shape.
+type Instance struct {
+	M        int           `json:"m"`
+	Dense    [][][]float64 `json:"dense,omitempty"`
+	Factored []Factor      `json:"factored,omitempty"`
+}
+
+// Factor is one factored constraint Q (m rows, Cols columns).
+type Factor struct {
+	Cols    int          `json:"cols"`
+	Entries [][3]float64 `json:"entries"`
+}
+
+// Load reads an instance file and builds the constraint set.
+func Load(path string) (core.ConstraintSet, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var inst Instance
+	if err := json.Unmarshal(data, &inst); err != nil {
+		return nil, fmt.Errorf("instio: parsing %s: %w", path, err)
+	}
+	return Build(&inst)
+}
+
+// Build converts a parsed document into a constraint set.
+func Build(inst *Instance) (core.ConstraintSet, error) {
+	if inst.M <= 0 {
+		return nil, errors.New("instio: field m must be positive")
+	}
+	switch {
+	case len(inst.Dense) > 0 && len(inst.Factored) > 0:
+		return nil, errors.New("instio: specify dense or factored, not both")
+	case len(inst.Dense) > 0:
+		as := make([]*matrix.Dense, len(inst.Dense))
+		for i, rows := range inst.Dense {
+			if len(rows) != inst.M {
+				return nil, fmt.Errorf("instio: dense[%d] has %d rows, want %d", i, len(rows), inst.M)
+			}
+			as[i] = matrix.FromRows(rows)
+			if as[i].C != inst.M {
+				return nil, fmt.Errorf("instio: dense[%d] is not %dx%d", i, inst.M, inst.M)
+			}
+		}
+		return core.NewDenseSet(as)
+	case len(inst.Factored) > 0:
+		qs := make([]*sparse.CSC, len(inst.Factored))
+		for i, f := range inst.Factored {
+			if f.Cols <= 0 {
+				return nil, fmt.Errorf("instio: factored[%d].cols must be positive", i)
+			}
+			trips := make([]sparse.Triplet, len(f.Entries))
+			for k, e := range f.Entries {
+				trips[k] = sparse.Triplet{Row: int(e[0]), Col: int(e[1]), Val: e[2]}
+			}
+			q, err := sparse.NewCSC(inst.M, f.Cols, trips)
+			if err != nil {
+				return nil, fmt.Errorf("instio: factored[%d]: %w", i, err)
+			}
+			qs[i] = q
+		}
+		return core.NewFactoredSet(qs)
+	default:
+		return nil, errors.New("instio: instance has no constraints")
+	}
+}
+
+// FromDenseSet converts a dense set to the document form.
+func FromDenseSet(set *core.DenseSet) *Instance {
+	inst := &Instance{M: set.Dim()}
+	for _, a := range set.A {
+		rows := make([][]float64, a.R)
+		for i := range rows {
+			rows[i] = append([]float64(nil), a.Row(i)...)
+		}
+		inst.Dense = append(inst.Dense, rows)
+	}
+	return inst
+}
+
+// FromFactoredSet converts a factored set to the document form.
+func FromFactoredSet(set *core.FactoredSet) *Instance {
+	inst := &Instance{M: set.Dim()}
+	for _, q := range set.Q {
+		f := Factor{Cols: q.C}
+		for j := 0; j < q.C; j++ {
+			for k := q.ColPtr[j]; k < q.ColPtr[j+1]; k++ {
+				f.Entries = append(f.Entries, [3]float64{float64(q.Row[k]), float64(j), q.Val[k]})
+			}
+		}
+		inst.Factored = append(inst.Factored, f)
+	}
+	return inst
+}
+
+// Save writes an instance document to path.
+func Save(path string, inst *Instance) error {
+	data, err := json.MarshalIndent(inst, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,102 @@
+package instio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+	"repro/internal/sparse"
+)
+
+func TestDenseRoundTrip(t *testing.T) {
+	set, err := core.NewDenseSet([]*matrix.Dense{
+		matrix.Diag([]float64{1, 2}),
+		matrix.FromRows([][]float64{{1, 0.5}, {0.5, 1}}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := FromDenseSet(set)
+	path := filepath.Join(t.TempDir(), "inst.json")
+	if err := Save(path, doc); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, ok := loaded.(*core.DenseSet)
+	if !ok {
+		t.Fatalf("loaded type %T, want *core.DenseSet", loaded)
+	}
+	if ds.N() != 2 || ds.Dim() != 2 {
+		t.Fatalf("shape wrong: n=%d m=%d", ds.N(), ds.Dim())
+	}
+	for i := range set.A {
+		if !matrix.ApproxEqual(ds.A[i], set.A[i], 0) {
+			t.Fatalf("constraint %d altered in round trip", i)
+		}
+	}
+}
+
+func TestFactoredRoundTrip(t *testing.T) {
+	q1, err := sparse.NewCSC(3, 2, []sparse.Triplet{{Row: 0, Col: 0, Val: 1}, {Row: 2, Col: 1, Val: -2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := core.NewFactoredSet([]*sparse.CSC{q1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := FromFactoredSet(set)
+	path := filepath.Join(t.TempDir(), "inst.json")
+	if err := Save(path, doc); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, ok := loaded.(*core.FactoredSet)
+	if !ok {
+		t.Fatalf("loaded type %T, want *core.FactoredSet", loaded)
+	}
+	if fs.N() != 1 || fs.Dim() != 3 || fs.NNZ() != 2 {
+		t.Fatalf("shape wrong: n=%d m=%d nnz=%d", fs.N(), fs.Dim(), fs.NNZ())
+	}
+	if !matrix.ApproxEqual(fs.Q[0].ToDense(), q1.ToDense(), 0) {
+		t.Fatal("factor altered in round trip")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	cases := []*Instance{
+		{M: 0},
+		{M: 2},
+		{M: 2, Dense: [][][]float64{{{1, 0}, {0, 1}}}, Factored: []Factor{{Cols: 1}}},
+		{M: 2, Dense: [][][]float64{{{1, 0}}}},                                  // wrong row count
+		{M: 2, Dense: [][][]float64{{{1, 0, 0}, {0, 1, 0}}}},                    // wrong col count
+		{M: 2, Factored: []Factor{{Cols: 0}}},                                   // bad cols
+		{M: 2, Factored: []Factor{{Cols: 1, Entries: [][3]float64{{5, 0, 1}}}}}, // row out of range
+	}
+	for i, inst := range cases {
+		if _, err := Build(inst); err == nil {
+			t.Fatalf("case %d: invalid instance accepted", i)
+		}
+	}
+}
+
+func TestLoadMissingAndMalformed(t *testing.T) {
+	if _, err := Load("/nonexistent/inst.json"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}

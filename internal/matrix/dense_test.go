@@ -1,0 +1,233 @@
+package matrix
+
+import (
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+)
+
+func randDense(r, c int, rng *rand.Rand) *Dense {
+	m := New(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.Float64()*2 - 1
+	}
+	return m
+}
+
+func randSym(n int, rng *rand.Rand) *Dense {
+	m := randDense(n, n, rng)
+	m.Symmetrize()
+	return m
+}
+
+func TestNewPanicsOnBadDims(t *testing.T) {
+	for _, dims := range [][2]int{{0, 1}, {1, 0}, {-1, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", dims[0], dims[1])
+				}
+			}()
+			New(dims[0], dims[1])
+		}()
+	}
+}
+
+func TestIdentityAndDiag(t *testing.T) {
+	id := Identity(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if id.At(i, j) != want {
+				t.Fatalf("Identity(3)[%d][%d] = %v", i, j, id.At(i, j))
+			}
+		}
+	}
+	d := Diag([]float64{2, 3, 5})
+	if d.Trace() != 10 {
+		t.Fatalf("Diag trace = %v want 10", d.Trace())
+	}
+	if d.At(0, 1) != 0 || d.At(2, 2) != 5 {
+		t.Fatal("Diag entries wrong")
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Fatal("FromRows entries wrong")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("ragged FromRows did not panic")
+			}
+		}()
+		FromRows([][]float64{{1, 2}, {3}})
+	}()
+}
+
+func TestOuterProduct(t *testing.T) {
+	v := []float64{1, 2, 3}
+	m := OuterProduct(2, v)
+	for i := range v {
+		for j := range v {
+			if got, want := m.At(i, j), 2*v[i]*v[j]; got != want {
+				t.Fatalf("outer[%d][%d] = %v want %v", i, j, got, want)
+			}
+		}
+	}
+	if !m.IsSymmetric(0) {
+		t.Fatal("outer product not symmetric")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	m := randDense(4, 7, rng)
+	mt := m.T()
+	if mt.R != 7 || mt.C != 4 {
+		t.Fatal("transpose shape wrong")
+	}
+	for i := 0; i < m.R; i++ {
+		for j := 0; j < m.C; j++ {
+			if m.At(i, j) != mt.At(j, i) {
+				t.Fatal("transpose entry wrong")
+			}
+		}
+	}
+	if !ApproxEqual(mt.T(), m, 0) {
+		t.Fatal("double transpose != original")
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	m := FromRows([][]float64{{1, 4}, {0, 2}})
+	m.Symmetrize()
+	if m.At(0, 1) != 2 || m.At(1, 0) != 2 {
+		t.Fatal("Symmetrize wrong")
+	}
+	if !m.IsSymmetric(0) {
+		t.Fatal("not symmetric after Symmetrize")
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	if Identity(4).IsSymmetric(0) != true {
+		t.Fatal("identity should be symmetric")
+	}
+	m := FromRows([][]float64{{1, 2}, {2.001, 1}})
+	if m.IsSymmetric(1e-6) {
+		t.Fatal("asymmetric matrix declared symmetric")
+	}
+	if !m.IsSymmetric(0.01) {
+		t.Fatal("near-symmetric matrix rejected at loose tol")
+	}
+	rect := New(2, 3)
+	if rect.IsSymmetric(1) {
+		t.Fatal("rectangular matrix cannot be symmetric")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := Identity(2)
+	c := m.Clone()
+	c.Set(0, 0, 42)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestTracePanicsNonSquare(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Trace of rectangular matrix did not panic")
+		}
+	}()
+	New(2, 3).Trace()
+}
+
+func TestFrobNormAndMaxAbs(t *testing.T) {
+	m := FromRows([][]float64{{3, 0}, {0, -4}})
+	if got := m.FrobNorm(); math.Abs(got-5) > 1e-14 {
+		t.Fatalf("FrobNorm = %v want 5", got)
+	}
+	if got := m.MaxAbs(); got != 4 {
+		t.Fatalf("MaxAbs = %v want 4", got)
+	}
+}
+
+func TestHasNaN(t *testing.T) {
+	m := Identity(2)
+	if m.HasNaN() {
+		t.Fatal("identity has no NaN")
+	}
+	m.Set(0, 1, math.NaN())
+	if !m.HasNaN() {
+		t.Fatal("NaN not detected")
+	}
+	m.Set(0, 1, math.Inf(1))
+	if !m.HasNaN() {
+		t.Fatal("Inf not detected")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := Identity(2).String()
+	if !strings.HasPrefix(s, "2x2[") {
+		t.Fatalf("String() = %q", s)
+	}
+	big := New(20, 20)
+	if !strings.Contains(big.String(), "...") {
+		t.Fatal("large matrix String() should elide")
+	}
+}
+
+func TestRowColAccessors(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	r := m.Row(1)
+	if r[0] != 4 || r[2] != 6 {
+		t.Fatal("Row wrong")
+	}
+	c := m.Col(2)
+	if c[0] != 3 || c[1] != 6 {
+		t.Fatal("Col wrong")
+	}
+	// Row aliases storage.
+	r[0] = 99
+	if m.At(1, 0) != 99 {
+		t.Fatal("Row should alias")
+	}
+	// Col copies.
+	c[0] = -1
+	if m.At(0, 2) != 3 {
+		t.Fatal("Col should copy")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	a := Identity(3)
+	b := New(3, 3)
+	b.CopyFrom(a)
+	if !ApproxEqual(a, b, 0) {
+		t.Fatal("CopyFrom failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CopyFrom with mismatched dims did not panic")
+		}
+	}()
+	New(2, 2).CopyFrom(a)
+}
+
+func TestZero(t *testing.T) {
+	m := Identity(3)
+	m.Zero()
+	if m.FrobNorm() != 0 {
+		t.Fatal("Zero failed")
+	}
+}

@@ -1,0 +1,240 @@
+package matrix
+
+import (
+	"repro/internal/parallel"
+)
+
+// Add computes dst = a + b. dst may alias a or b.
+func Add(dst, a, b *Dense) {
+	if a.R != b.R || a.C != b.C || dst.R != a.R || dst.C != a.C {
+		panic(dimErr("Add", a, b))
+	}
+	parallel.ForBlock(len(a.Data), 4096, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst.Data[i] = a.Data[i] + b.Data[i]
+		}
+	})
+}
+
+// Sub computes dst = a − b. dst may alias a or b.
+func Sub(dst, a, b *Dense) {
+	if a.R != b.R || a.C != b.C || dst.R != a.R || dst.C != a.C {
+		panic(dimErr("Sub", a, b))
+	}
+	parallel.ForBlock(len(a.Data), 4096, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst.Data[i] = a.Data[i] - b.Data[i]
+		}
+	})
+}
+
+// Scale computes dst = s·a. dst may alias a.
+func Scale(dst *Dense, s float64, a *Dense) {
+	if dst.R != a.R || dst.C != a.C {
+		panic(dimErr("Scale", dst, a))
+	}
+	parallel.ForBlock(len(a.Data), 4096, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst.Data[i] = s * a.Data[i]
+		}
+	})
+}
+
+// AXPY computes dst += s·x.
+func AXPY(dst *Dense, s float64, x *Dense) {
+	if dst.R != x.R || dst.C != x.C {
+		panic(dimErr("AXPY", dst, x))
+	}
+	parallel.ForBlock(len(x.Data), 4096, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst.Data[i] += s * x.Data[i]
+		}
+	})
+}
+
+// AddScaledIdentity computes m += s·I in place. m must be square.
+func AddScaledIdentity(m *Dense, s float64) {
+	if !m.IsSquare() {
+		panic("matrix: AddScaledIdentity of non-square matrix")
+	}
+	for i := 0; i < m.R; i++ {
+		m.Data[i*m.C+i] += s
+	}
+}
+
+// Dot returns the pointwise (Frobenius) inner product
+// A • B = Σᵢⱼ AᵢⱼBᵢⱼ. For symmetric A, B this equals Tr[AB], the
+// operation written A • B throughout the paper.
+func Dot(a, b *Dense) float64 {
+	if a.R != b.R || a.C != b.C {
+		panic(dimErr("Dot", a, b))
+	}
+	return parallel.SumBlocks(len(a.Data), 4096, func(lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += a.Data[i] * b.Data[i]
+		}
+		return s
+	})
+}
+
+// TraceProd returns Tr[AB] = Σᵢⱼ Aᵢⱼ Bⱼᵢ for general (not necessarily
+// symmetric) square matrices of equal dimension.
+func TraceProd(a, b *Dense) float64 {
+	if a.R != b.C || a.C != b.R {
+		panic(dimErr("TraceProd", a, b))
+	}
+	n := a.R
+	return parallel.SumBlocks(n, 8, func(lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*a.C : (i+1)*a.C]
+			for j, v := range arow {
+				s += v * b.Data[j*b.C+i]
+			}
+		}
+		return s
+	})
+}
+
+// MulAB returns the product a·b as a new matrix, computed with a
+// parallel row-blocked kernel. Analytic cost: work 2·R·K·C, depth
+// O(log K) in the fork-join model.
+func MulAB(a, b *Dense, st *parallel.Stats) *Dense {
+	if a.C != b.R {
+		panic(dimErr("MulAB", a, b))
+	}
+	out := New(a.R, b.C)
+	k, c := a.C, b.C
+	parallel.ForBlock(a.R, rowGrain(k*c), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			orow := out.Data[i*c : (i+1)*c]
+			for l, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[l*c : (l+1)*c]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	})
+	st.Add(int64(2*a.R)*int64(k)*int64(c), parallel.Log2(k))
+	return out
+}
+
+// MulABT returns a·bᵀ. Both operands are traversed row-major, which is
+// the cache-friendly orientation, so MulABT is preferred where either
+// formulation works.
+func MulABT(a, b *Dense, st *parallel.Stats) *Dense {
+	if a.C != b.C {
+		panic(dimErr("MulABT", a, b))
+	}
+	out := New(a.R, b.R)
+	k := a.C
+	parallel.ForBlock(a.R, rowGrain(k*b.R), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			orow := out.Data[i*b.R : (i+1)*b.R]
+			for j := 0; j < b.R; j++ {
+				brow := b.Data[j*k : (j+1)*k]
+				var s float64
+				for l, av := range arow {
+					s += av * brow[l]
+				}
+				orow[j] = s
+			}
+		}
+	})
+	st.Add(int64(2*a.R)*int64(k)*int64(b.R), parallel.Log2(k))
+	return out
+}
+
+// MulATB returns aᵀ·b.
+func MulATB(a, b *Dense, st *parallel.Stats) *Dense {
+	if a.R != b.R {
+		panic(dimErr("MulATB", a, b))
+	}
+	out := New(a.C, b.C)
+	// Accumulate rank-1 updates row by row of a and b; parallelize over
+	// output rows by transposing the loop structure: out[i][j] = Σ_l a[l][i] b[l][j].
+	parallel.ForBlock(a.C, rowGrain(a.R*b.C), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			orow := out.Data[i*b.C : (i+1)*b.C]
+			for l := 0; l < a.R; l++ {
+				av := a.Data[l*a.C+i]
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[l*b.C : (l+1)*b.C]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	})
+	st.Add(int64(2*a.C)*int64(a.R)*int64(b.C), parallel.Log2(a.R))
+	return out
+}
+
+// MulVec returns m·v.
+func (m *Dense) MulVec(v []float64) []float64 {
+	if m.C != len(v) {
+		panic("matrix: MulVec dimension mismatch")
+	}
+	out := make([]float64, m.R)
+	m.MulVecTo(out, v)
+	return out
+}
+
+// MulVecTo computes dst = m·v. dst must not alias v.
+func (m *Dense) MulVecTo(dst, v []float64) {
+	if m.C != len(v) || m.R != len(dst) {
+		panic("matrix: MulVecTo dimension mismatch")
+	}
+	parallel.ForBlock(m.R, rowGrain(m.C), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := m.Data[i*m.C : (i+1)*m.C]
+			var s float64
+			for j, rv := range row {
+				s += rv * v[j]
+			}
+			dst[i] = s
+		}
+	})
+}
+
+// QuadForm returns vᵀ·m·v for square m.
+func (m *Dense) QuadForm(v []float64) float64 {
+	if !m.IsSquare() || m.C != len(v) {
+		panic("matrix: QuadForm dimension mismatch")
+	}
+	return parallel.SumBlocks(m.R, 8, func(lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			row := m.Data[i*m.C : (i+1)*m.C]
+			var ri float64
+			for j, rv := range row {
+				ri += rv * v[j]
+			}
+			s += v[i] * ri
+		}
+		return s
+	})
+}
+
+// rowGrain picks a per-row parallel grain so that each forked block does
+// at least ~minGrain scalar operations; flopsPerRow is the approximate
+// scalar work per row.
+func rowGrain(flopsPerRow int) int {
+	if flopsPerRow <= 0 {
+		flopsPerRow = 1
+	}
+	g := 4096 / flopsPerRow
+	if g < 1 {
+		g = 1
+	}
+	return g
+}

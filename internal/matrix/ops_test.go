@@ -1,0 +1,167 @@
+package matrix
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddSubScaleAXPY(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	sum := New(2, 2)
+	Add(sum, a, b)
+	if !ApproxEqual(sum, FromRows([][]float64{{6, 8}, {10, 12}}), 0) {
+		t.Fatal("Add wrong")
+	}
+	diff := New(2, 2)
+	Sub(diff, b, a)
+	if !ApproxEqual(diff, FromRows([][]float64{{4, 4}, {4, 4}}), 0) {
+		t.Fatal("Sub wrong")
+	}
+	sc := New(2, 2)
+	Scale(sc, 2, a)
+	if !ApproxEqual(sc, FromRows([][]float64{{2, 4}, {6, 8}}), 0) {
+		t.Fatal("Scale wrong")
+	}
+	AXPY(sc, -1, a) // sc = 2a - a = a
+	if !ApproxEqual(sc, a, 0) {
+		t.Fatal("AXPY wrong")
+	}
+}
+
+func TestAddAliasing(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	Add(a, a, a)
+	if !ApproxEqual(a, FromRows([][]float64{{2, 4}, {6, 8}}), 0) {
+		t.Fatal("aliased Add wrong")
+	}
+}
+
+func TestAddScaledIdentity(t *testing.T) {
+	m := New(3, 3)
+	AddScaledIdentity(m, 2.5)
+	if !ApproxEqual(m, Diag([]float64{2.5, 2.5, 2.5}), 0) {
+		t.Fatal("AddScaledIdentity wrong")
+	}
+}
+
+func TestDotMatchesTraceForSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	a := randSym(6, rng)
+	b := randSym(6, rng)
+	ab := MulAB(a, b, nil)
+	if d, tr := Dot(a, b), ab.Trace(); math.Abs(d-tr) > 1e-10 {
+		t.Fatalf("Dot=%v Tr[AB]=%v should agree for symmetric matrices", d, tr)
+	}
+}
+
+func TestTraceProdGeneral(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	a := randDense(5, 5, rng)
+	b := randDense(5, 5, rng)
+	want := MulAB(a, b, nil).Trace()
+	if got := TraceProd(a, b); math.Abs(got-want) > 1e-10 {
+		t.Fatalf("TraceProd=%v want %v", got, want)
+	}
+}
+
+func TestMulABKnown(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	got := MulAB(a, b, nil)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if !ApproxEqual(got, want, 1e-12) {
+		t.Fatalf("MulAB = %v want %v", got, want)
+	}
+}
+
+func TestMulABRectangular(t *testing.T) {
+	a := FromRows([][]float64{{1, 0, 2}}) // 1x3
+	b := FromRows([][]float64{{1}, {1}, {1}})
+	got := MulAB(a, b, nil)
+	if got.R != 1 || got.C != 1 || got.At(0, 0) != 3 {
+		t.Fatalf("MulAB rectangular wrong: %v", got)
+	}
+}
+
+func TestMulABTAndMulATBAgreeWithMulAB(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	a := randDense(4, 6, rng)
+	b := randDense(5, 6, rng)
+	got := MulABT(a, b, nil)
+	want := MulAB(a, b.T(), nil)
+	if !ApproxEqual(got, want, 1e-12) {
+		t.Fatal("MulABT disagrees with MulAB(a, bᵀ)")
+	}
+	c := randDense(6, 3, rng)
+	d := randDense(6, 5, rng)
+	got2 := MulATB(c, d, nil)
+	want2 := MulAB(c.T(), d, nil)
+	if !ApproxEqual(got2, want2, 1e-12) {
+		t.Fatal("MulATB disagrees with MulAB(cᵀ, d)")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	got := m.MulVec([]float64{1, -1})
+	want := []float64{-1, -1, -1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MulVec = %v want %v", got, want)
+		}
+	}
+}
+
+func TestQuadForm(t *testing.T) {
+	m := FromRows([][]float64{{2, 1}, {1, 3}})
+	v := []float64{1, 2}
+	// vᵀMv = 2 + 2 + 2 + 12 = 18
+	if got := m.QuadForm(v); math.Abs(got-18) > 1e-14 {
+		t.Fatalf("QuadForm = %v want 18", got)
+	}
+}
+
+// Property: (AB)C == A(BC) for random small matrices.
+func TestQuickMulAssociative(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b9))
+		n := 1 + int(seed%6)
+		a, b, c := randDense(n, n, rng), randDense(n, n, rng), randDense(n, n, rng)
+		l := MulAB(MulAB(a, b, nil), c, nil)
+		r := MulAB(a, MulAB(b, c, nil), nil)
+		return ApproxEqual(l, r, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Dot(A, B) == Dot(B, A) and Dot is bilinear.
+func TestQuickDotSymmetryBilinearity(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		n := 1 + int(seed%5)
+		a, b, c := randDense(n, n, rng), randDense(n, n, rng), randDense(n, n, rng)
+		if math.Abs(Dot(a, b)-Dot(b, a)) > 1e-10 {
+			return false
+		}
+		s := New(n, n)
+		Add(s, b, c)
+		return math.Abs(Dot(a, s)-(Dot(a, b)+Dot(a, c))) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulDimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MulAB with bad dims did not panic")
+		}
+	}()
+	MulAB(New(2, 3), New(2, 3), nil)
+}

@@ -1,0 +1,123 @@
+package matrix
+
+import (
+	"math"
+
+	"repro/internal/parallel"
+)
+
+// Vector helpers. Vectors are plain []float64; these functions implement
+// the handful of BLAS-1 style operations the solver needs, with the same
+// deterministic parallel reductions as the matrix kernels.
+
+// VecClone returns a copy of v.
+func VecClone(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}
+
+// Ones returns the all-ones vector of length n.
+func Ones(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+// Basis returns the i-th standard basis vector of length n.
+func Basis(n, i int) []float64 {
+	v := make([]float64, n)
+	v[i] = 1
+	return v
+}
+
+// VecAdd computes dst = a + b elementwise.
+func VecAdd(dst, a, b []float64) {
+	for i := range dst {
+		dst[i] = a[i] + b[i]
+	}
+}
+
+// VecScale computes dst = s·a.
+func VecScale(dst []float64, s float64, a []float64) {
+	for i := range dst {
+		dst[i] = s * a[i]
+	}
+}
+
+// VecAXPY computes dst += s·x.
+func VecAXPY(dst []float64, s float64, x []float64) {
+	for i := range dst {
+		dst[i] += s * x[i]
+	}
+}
+
+// VecDot returns Σ aᵢbᵢ with a deterministic block reduction.
+func VecDot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("matrix: VecDot length mismatch")
+	}
+	return parallel.SumBlocks(len(a), 4096, func(lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += a[i] * b[i]
+		}
+		return s
+	})
+}
+
+// VecSum returns Σ aᵢ.
+func VecSum(a []float64) float64 {
+	return parallel.SumBlocks(len(a), 4096, func(lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += a[i]
+		}
+		return s
+	})
+}
+
+// VecNorm2 returns the Euclidean norm.
+func VecNorm2(a []float64) float64 {
+	return math.Sqrt(VecDot(a, a))
+}
+
+// VecNorm1 returns Σ |aᵢ|.
+func VecNorm1(a []float64) float64 {
+	return parallel.SumBlocks(len(a), 4096, func(lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += math.Abs(a[i])
+		}
+		return s
+	})
+}
+
+// VecMax returns the maximum entry; it panics on empty input.
+func VecMax(a []float64) float64 {
+	if len(a) == 0 {
+		panic("matrix: VecMax of empty vector")
+	}
+	return parallel.MaxFloat(len(a), func(i int) float64 { return a[i] })
+}
+
+// VecMin returns the minimum entry; it panics on empty input.
+func VecMin(a []float64) float64 {
+	if len(a) == 0 {
+		panic("matrix: VecMin of empty vector")
+	}
+	return -parallel.MaxFloat(len(a), func(i int) float64 { return -a[i] })
+}
+
+// Normalize scales v to unit Euclidean norm in place and returns the
+// original norm. A zero vector is left unchanged and 0 is returned.
+func Normalize(v []float64) float64 {
+	n := VecNorm2(v)
+	if n == 0 {
+		return 0
+	}
+	VecScale(v, 1/n, v)
+	return n
+}

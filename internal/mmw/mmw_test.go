@@ -1,0 +1,200 @@
+package mmw
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matrix"
+)
+
+// randGain produces a random PSD gain with 0 ≼ M ≼ I: a random
+// projector-like matrix V diag(u) Vᵀ with u ∈ [0,1] would need an
+// eigenbasis; instead scale a random Gram matrix to norm <= 1 via its
+// trace (λmax <= Tr for PSD).
+func randGain(n int, rng *rand.Rand) *matrix.Dense {
+	g := matrix.New(n, 2)
+	for i := range g.Data {
+		g.Data[i] = rng.NormFloat64()
+	}
+	m := matrix.MulABT(g, g, nil)
+	tr := m.Trace()
+	if tr > 0 {
+		matrix.Scale(m, rng.Float64()/tr, m)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 0.1); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := New(3, 0); err == nil {
+		t.Fatal("eps0=0 accepted")
+	}
+	if _, err := New(3, 0.7); err == nil {
+		t.Fatal("eps0>1/2 accepted")
+	}
+}
+
+func TestInitialProbabilityIsUniform(t *testing.T) {
+	g, err := New(4, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := g.Probability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.ApproxEqual(p, matrix.Diag([]float64{0.25, 0.25, 0.25, 0.25}), 1e-12) {
+		t.Fatalf("initial P = %v want I/4", p)
+	}
+}
+
+func TestPlayAccumulates(t *testing.T) {
+	g, err := New(3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := matrix.Diag([]float64{1, 0, 0})
+	gain, err := g.Play(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First round P = I/3, gain = 1/3.
+	if math.Abs(gain-1.0/3) > 1e-12 {
+		t.Fatalf("first gain = %v want 1/3", gain)
+	}
+	if g.Rounds() != 1 || math.Abs(g.TotalGain()-1.0/3) > 1e-12 {
+		t.Fatal("accounting wrong")
+	}
+	// After playing e₁e₁ᵀ, the density must tilt toward coordinate 1.
+	p, err := g.Probability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.At(0, 0) <= p.At(1, 1) {
+		t.Fatal("weights did not tilt toward the played direction")
+	}
+}
+
+func TestPlayRejectsWrongShape(t *testing.T) {
+	g, _ := New(3, 0.25)
+	if _, err := g.Play(matrix.New(2, 2)); err == nil {
+		t.Fatal("wrong shape accepted")
+	}
+}
+
+func TestGainCheckingRejectsBadGains(t *testing.T) {
+	g, _ := New(2, 0.25)
+	g.SetGainChecking(true)
+	if _, err := g.Play(matrix.Diag([]float64{2, 0})); err == nil {
+		t.Fatal("M with λmax > 1 accepted")
+	}
+	if _, err := g.Play(matrix.Diag([]float64{-0.5, 0})); err == nil {
+		t.Fatal("indefinite M accepted")
+	}
+	if _, err := g.Play(matrix.Diag([]float64{1, 0.5})); err != nil {
+		t.Fatalf("valid gain rejected: %v", err)
+	}
+}
+
+// Theorem 2.1 must hold for adversarial single-direction play.
+func TestRegretBoundSingleDirection(t *testing.T) {
+	n := 5
+	g, err := New(n, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := matrix.Diag([]float64{1, 0, 0, 0, 0})
+	for trounds := 0; trounds < 40; trounds++ {
+		if _, err := g.Play(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ok, err := g.BoundHolds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		lhs, rhs, _ := g.Regret()
+		t.Fatalf("regret bound violated: lhs=%v rhs=%v", lhs, rhs)
+	}
+	// The bound should also be reasonably tight for this adversary:
+	// total gain must lag λmax=T by roughly ln(n)/ε₀.
+	lhs, rhs, _ := g.Regret()
+	if lhs < rhs || lhs > rhs+3*(1+math.Log(float64(n))/0.5+0.5*g.TotalGain()) {
+		t.Fatalf("bound unexpectedly loose: lhs=%v rhs=%v", lhs, rhs)
+	}
+}
+
+// Theorem 2.1 for random gain sequences, multiple dimensions and eps0.
+func TestQuickRegretBoundRandomPlay(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 1234))
+		n := 2 + int(seed%4)
+		eps0 := 0.1 + 0.4*rng.Float64()
+		g, err := New(n, eps0)
+		if err != nil {
+			return false
+		}
+		rounds := 5 + int(seed%15)
+		for r := 0; r < rounds; r++ {
+			if _, err := g.Play(randGain(n, rng)); err != nil {
+				return false
+			}
+		}
+		ok, err := g.BoundHolds()
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Alternating adversary that always rewards the currently *least*
+// weighted direction — the classic worst case for multiplicative
+// weights; the bound must still hold.
+func TestRegretBoundAdaptiveAdversary(t *testing.T) {
+	n := 4
+	g, err := New(n, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 60; r++ {
+		p, err := g.Probability()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Find the min diagonal direction and reward it fully.
+		best, arg := math.Inf(1), 0
+		for i := 0; i < n; i++ {
+			if p.At(i, i) < best {
+				best = p.At(i, i)
+				arg = i
+			}
+		}
+		m := matrix.New(n, n)
+		m.Set(arg, arg, 1)
+		if _, err := g.Play(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ok, err := g.BoundHolds()
+	if err != nil || !ok {
+		lhs, rhs, _ := g.Regret()
+		t.Fatalf("adaptive adversary broke the bound: lhs=%v rhs=%v err=%v", lhs, rhs, err)
+	}
+}
+
+func TestGainSumIsCopy(t *testing.T) {
+	g, _ := New(2, 0.25)
+	_, _ = g.Play(matrix.Diag([]float64{0.5, 0}))
+	s := g.GainSum()
+	s.Set(0, 0, 99)
+	s2 := g.GainSum()
+	if s2.At(0, 0) == 99 {
+		t.Fatal("GainSum leaked internal state")
+	}
+}

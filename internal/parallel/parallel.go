@@ -1,0 +1,196 @@
+// Package parallel provides the fork-join primitives used by every
+// numerical kernel in this repository, together with an analytic
+// work/depth accounting facility that mirrors the PRAM-style cost model
+// of Peng–Tangwongsan–Zhang (SPAA 2012).
+//
+// All reductions use fixed block decompositions so that results are
+// bit-for-bit deterministic regardless of GOMAXPROCS or goroutine
+// scheduling: a block count is chosen from the problem size alone, each
+// block is summed sequentially, and the per-block partial results are
+// combined in block order.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// minGrain is the smallest amount of per-goroutine work worth forking for.
+// Below this, loops run sequentially; goroutine startup would dominate.
+const minGrain = 1024
+
+// Workers reports the number of worker goroutines fork-join operations
+// will use, which is GOMAXPROCS at call time.
+func Workers() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+// For runs body(i) for every i in [0, n), potentially in parallel.
+// body must be safe to call concurrently for distinct i.
+func For(n int, body func(i int)) {
+	ForBlock(n, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForBlock partitions [0, n) into contiguous blocks and runs body(lo, hi)
+// on each block, potentially in parallel. grain is the minimum block
+// size; if grain <= 0 a default is chosen. body must be safe to call
+// concurrently for disjoint ranges.
+func ForBlock(n, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain <= 0 {
+		grain = minGrain
+	}
+	workers := Workers()
+	if workers == 1 || n <= grain {
+		body(0, n)
+		return
+	}
+	blocks := (n + grain - 1) / grain
+	if blocks > workers*4 {
+		blocks = workers * 4
+	}
+	if blocks < 2 {
+		body(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(blocks)
+	for b := 0; b < blocks; b++ {
+		lo := b * n / blocks
+		hi := (b + 1) * n / blocks
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Do runs each function concurrently and waits for all of them.
+func Do(fs ...func()) {
+	if len(fs) == 0 {
+		return
+	}
+	if len(fs) == 1 {
+		fs[0]()
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(fs) - 1)
+	for _, f := range fs[1:] {
+		go func(f func()) {
+			defer wg.Done()
+			f()
+		}(f)
+	}
+	fs[0]()
+	wg.Wait()
+}
+
+// blockCount returns the deterministic number of reduction blocks for a
+// problem of size n with the given grain. It depends only on n and
+// grain, never on GOMAXPROCS, so reduction trees are reproducible.
+func blockCount(n, grain int) int {
+	if grain <= 0 {
+		grain = minGrain
+	}
+	blocks := (n + grain - 1) / grain
+	const maxBlocks = 64
+	if blocks > maxBlocks {
+		blocks = maxBlocks
+	}
+	if blocks < 1 {
+		blocks = 1
+	}
+	return blocks
+}
+
+// SumFloat computes the sum over i in [0, n) of f(i) using a
+// deterministic block reduction. The result is identical for any
+// GOMAXPROCS setting.
+func SumFloat(n int, f func(i int) float64) float64 {
+	return SumBlocks(n, 0, func(lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += f(i)
+		}
+		return s
+	})
+}
+
+// SumBlocks computes the sum of block(lo, hi) over a deterministic block
+// decomposition of [0, n). block must return the sequential sum of its
+// range. Blocks may execute concurrently; partial sums are combined in
+// block order, so the result is deterministic.
+func SumBlocks(n, grain int, block func(lo, hi int) float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	blocks := blockCount(n, grain)
+	if blocks == 1 {
+		return block(0, n)
+	}
+	partial := make([]float64, blocks)
+	var wg sync.WaitGroup
+	wg.Add(blocks)
+	for b := 0; b < blocks; b++ {
+		lo := b * n / blocks
+		hi := (b + 1) * n / blocks
+		go func(b, lo, hi int) {
+			defer wg.Done()
+			partial[b] = block(lo, hi)
+		}(b, lo, hi)
+	}
+	wg.Wait()
+	var s float64
+	for _, p := range partial {
+		s += p
+	}
+	return s
+}
+
+// MaxFloat computes max over i in [0, n) of f(i). n must be >= 1.
+// Deterministic under any GOMAXPROCS.
+func MaxFloat(n int, f func(i int) float64) float64 {
+	blocks := blockCount(n, 0)
+	if blocks == 1 {
+		m := f(0)
+		for i := 1; i < n; i++ {
+			if v := f(i); v > m {
+				m = v
+			}
+		}
+		return m
+	}
+	partial := make([]float64, blocks)
+	var wg sync.WaitGroup
+	wg.Add(blocks)
+	for b := 0; b < blocks; b++ {
+		lo := b * n / blocks
+		hi := (b + 1) * n / blocks
+		go func(b, lo, hi int) {
+			defer wg.Done()
+			m := f(lo)
+			for i := lo + 1; i < hi; i++ {
+				if v := f(i); v > m {
+					m = v
+				}
+			}
+			partial[b] = m
+		}(b, lo, hi)
+	}
+	wg.Wait()
+	m := partial[0]
+	for _, p := range partial[1:] {
+		if p > m {
+			m = p
+		}
+	}
+	return m
+}

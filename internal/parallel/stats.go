@@ -1,0 +1,87 @@
+package parallel
+
+import "sync/atomic"
+
+// Stats accumulates analytic work and depth in the fork-join cost model
+// used by the paper (work = total operations, depth = longest chain of
+// dependent operations). Kernels report their analytic costs here; the
+// counters are not a profiler, they implement the paper's cost model on
+// the actual execution so that Corollary 1.2's Õ(n+m+q) work and polylog
+// depth claims can be measured (experiment E7).
+//
+// Convention: only "primitive" kernels invoked from a sequential driver
+// record costs (matrix multiply, SpMV, eigendecomposition, one Taylor
+// application, ...). Composite routines do not add on top of the
+// primitives they call, so nothing is double counted.
+//
+// The zero value is a valid, enabled recorder. A nil *Stats is a valid
+// no-op recorder, so hot paths can call methods unconditionally.
+type Stats struct {
+	work  atomic.Int64
+	depth atomic.Int64
+}
+
+// AddWork records w units of work (roughly, floating point operations).
+func (s *Stats) AddWork(w int64) {
+	if s == nil {
+		return
+	}
+	s.work.Add(w)
+}
+
+// AddDepth records d units of critical-path length. Callers invoke this
+// once per sequential step of a driver loop, with d the analytic depth
+// of the parallel kernel executed in that step.
+func (s *Stats) AddDepth(d int64) {
+	if s == nil {
+		return
+	}
+	s.depth.Add(d)
+}
+
+// Add records work and depth together.
+func (s *Stats) Add(w, d int64) {
+	if s == nil {
+		return
+	}
+	s.work.Add(w)
+	s.depth.Add(d)
+}
+
+// Work returns the accumulated work.
+func (s *Stats) Work() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.work.Load()
+}
+
+// Depth returns the accumulated depth.
+func (s *Stats) Depth() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.depth.Load()
+}
+
+// Reset zeroes both counters.
+func (s *Stats) Reset() {
+	if s == nil {
+		return
+	}
+	s.work.Store(0)
+	s.depth.Store(0)
+}
+
+// Log2 returns ceil(log2(n)) for n >= 1, the analytic depth of a
+// balanced reduction tree over n leaves. Log2(0) and Log2(1) are 0.
+func Log2(n int) int64 {
+	if n <= 1 {
+		return 0
+	}
+	d := int64(0)
+	for v := n - 1; v > 0; v >>= 1 {
+		d++
+	}
+	return d
+}

@@ -1,0 +1,88 @@
+package poslp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func TestTheoryExactLPPrimalBranch(t *testing.T) {
+	// Single constraint 2x ≤ 1: OPT = 1/2 < 1 → the while loop runs out
+	// and the paper's primal branch fires.
+	pk, err := NewPacking(matrix.FromRows([][]float64{{2}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr, err := DecisionLP(pk, 0.3, Options{TheoryExact: true, MaxIter: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr.Outcome == OutcomeDual {
+		t.Fatal("OPT=0.5 instance exited dual")
+	}
+	// The certified bounds still bracket 0.5.
+	if dr.Lower > 0.5+1e-9 || dr.Upper < 0.5-1e-9 {
+		t.Fatalf("bracket [%v, %v] misses 0.5", dr.Lower, dr.Upper)
+	}
+}
+
+func TestDecisionLPFrozenZeroColumn(t *testing.T) {
+	// One zero column (unbounded direction) frozen, the other active.
+	pk, err := NewPacking(matrix.FromRows([][]float64{{0, 1}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr, err := DecisionLP(pk, 0.2, Options{MaxIter: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr.X[0] != 0 {
+		t.Fatalf("frozen column moved: %v", dr.X[0])
+	}
+}
+
+func TestDecisionLPUpperIsWeakDualityBound(t *testing.T) {
+	// For P = [[1]], OPT = 1; Upper must never dip below 1.
+	pk, err := NewPacking(matrix.FromRows([][]float64{{1}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr, err := DecisionLP(pk, 0.25, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr.Upper < 1-1e-9 {
+		t.Fatalf("upper %v below OPT 1", dr.Upper)
+	}
+	if dr.Lower > 1+1e-9 {
+		t.Fatalf("lower %v above OPT 1", dr.Lower)
+	}
+}
+
+func TestSimplexZeroObjective(t *testing.T) {
+	a := matrix.FromRows([][]float64{{1}})
+	x, v, err := SimplexMax(a, []float64{1}, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 || x[0] != 0 {
+		t.Fatalf("zero objective: v=%v x=%v", v, x)
+	}
+}
+
+func TestSimplexTightDegenerateRatio(t *testing.T) {
+	// Multiple rows tie in the ratio test (all rhs zero on the entering
+	// column's positive rows): Bland must still terminate.
+	a := matrix.FromRows([][]float64{{1, 0}, {1, 0}, {0, 1}})
+	x, v, err := SimplexMax(a, []float64{0, 0, 2}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-2) > 1e-10 {
+		t.Fatalf("v = %v want 2 (x1 pinned to 0)", v)
+	}
+	if x[0] != 0 {
+		t.Fatalf("x1 = %v want 0", x[0])
+	}
+}

@@ -1,0 +1,219 @@
+package poslp
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matrix"
+)
+
+func randPacking(d, n int, rng *rand.Rand) *Packing {
+	p := matrix.New(d, n)
+	for i := range p.Data {
+		if rng.Float64() < 0.7 {
+			p.Data[i] = rng.Float64()
+		}
+	}
+	// Make sure each column touches at least one constraint.
+	for i := 0; i < n; i++ {
+		p.Set(rng.IntN(d), i, 0.3+rng.Float64())
+	}
+	pk, err := NewPacking(p)
+	if err != nil {
+		panic(err)
+	}
+	return pk
+}
+
+func TestNewPackingValidation(t *testing.T) {
+	if _, err := NewPacking(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+	neg := matrix.FromRows([][]float64{{1, -1}})
+	if _, err := NewPacking(neg); err == nil {
+		t.Fatal("negative entry accepted")
+	}
+	nan := matrix.FromRows([][]float64{{math.NaN()}})
+	if _, err := NewPacking(nan); err == nil {
+		t.Fatal("NaN accepted")
+	}
+}
+
+func TestColSums(t *testing.T) {
+	pk, err := NewPacking(matrix.FromRows([][]float64{{1, 2}, {3, 0}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := pk.ColSums()
+	if s[0] != 4 || s[1] != 2 {
+		t.Fatalf("ColSums = %v", s)
+	}
+}
+
+func TestSimplexKnownLP(t *testing.T) {
+	// max x1 + x2 s.t. x1 ≤ 2, x2 ≤ 3, x1 + x2 ≤ 4: OPT = 4.
+	a := matrix.FromRows([][]float64{{1, 0}, {0, 1}, {1, 1}})
+	x, v, err := SimplexMax(a, []float64{2, 3, 4}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-4) > 1e-10 {
+		t.Fatalf("OPT = %v want 4", v)
+	}
+	if math.Abs(x[0]+x[1]-4) > 1e-10 {
+		t.Fatalf("x = %v infeasible-sum", x)
+	}
+}
+
+func TestSimplexDegenerate(t *testing.T) {
+	// Degenerate vertex (redundant constraint) must not cycle.
+	a := matrix.FromRows([][]float64{{1, 1}, {1, 1}, {1, 0}})
+	_, v, err := SimplexMax(a, []float64{1, 1, 1}, []float64{2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-2) > 1e-10 {
+		t.Fatalf("OPT = %v want 2", v)
+	}
+}
+
+func TestSimplexUnbounded(t *testing.T) {
+	// max x with no binding constraint on x: unbounded.
+	a := matrix.FromRows([][]float64{{0}})
+	if _, _, err := SimplexMax(a, []float64{1}, []float64{1}); err == nil {
+		t.Fatal("unbounded LP not detected")
+	}
+}
+
+func TestSimplexRejectsNegativeRHS(t *testing.T) {
+	a := matrix.FromRows([][]float64{{1}})
+	if _, _, err := SimplexMax(a, []float64{-1}, []float64{1}); err == nil {
+		t.Fatal("negative rhs accepted")
+	}
+}
+
+func TestDecisionLPBracketsKnownOPT(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	pk := randPacking(6, 5, rng)
+	opt, _, err := ExactPackingOPT(pk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, theta := range []float64{opt / 2, opt, 2 * opt} {
+		scaled := &Packing{P: pk.P.Clone()}
+		matrix.Scale(scaled.P, theta, scaled.P)
+		dr, err := DecisionLP(scaled, 0.2, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		optS := opt / theta
+		if dr.Lower > optS*(1+1e-9) || dr.Upper < optS*(1-1e-9) {
+			t.Fatalf("θ=%v: bracket [%v, %v] misses OPT %v", theta, dr.Lower, dr.Upper, optS)
+		}
+	}
+}
+
+func TestDecisionLPDualFeasibility(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	pk := randPacking(5, 7, rng)
+	dr, err := DecisionLP(pk, 0.25, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DualX must satisfy P·x ≤ 1 exactly.
+	px := pk.P.MulVec(dr.DualX)
+	if matrix.VecMax(px) > 1+1e-9 {
+		t.Fatalf("certified dual violates packing: max (Px) = %v", matrix.VecMax(px))
+	}
+	if math.Abs(matrix.VecSum(dr.DualX)-dr.Lower) > 1e-12 {
+		t.Fatal("Lower != value of DualX")
+	}
+}
+
+func TestMaximizeMatchesSimplex(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	for trial := 0; trial < 5; trial++ {
+		pk := randPacking(4+trial, 3+trial, rng)
+		opt, _, err := ExactPackingOPT(pk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := Maximize(pk, 0.1, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Lower > opt*(1+1e-9) || sol.Upper < opt*(1-1e-9) {
+			t.Fatalf("trial %d: bracket [%v, %v] misses simplex OPT %v", trial, sol.Lower, sol.Upper, opt)
+		}
+		if sol.Gap() > 0.35 {
+			t.Fatalf("trial %d: gap %v too large", trial, sol.Gap())
+		}
+	}
+}
+
+func (s *Solution) Gap() float64 {
+	if s.Lower <= 0 {
+		return math.Inf(1)
+	}
+	return s.Upper/s.Lower - 1
+}
+
+func TestMaximizeRejectsZeroColumn(t *testing.T) {
+	pk, err := NewPacking(matrix.FromRows([][]float64{{1, 0}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Maximize(pk, 0.2, Options{}); err == nil {
+		t.Fatal("zero column (unbounded) accepted")
+	}
+}
+
+func TestDecisionLPValidation(t *testing.T) {
+	pk := randPacking(2, 2, rand.New(rand.NewPCG(9, 9)))
+	if _, err := DecisionLP(pk, 0, Options{}); err == nil {
+		t.Fatal("eps=0 accepted")
+	}
+	if _, err := DecisionLP(pk, 1.5, Options{}); err == nil {
+		t.Fatal("eps>1 accepted")
+	}
+}
+
+// Property: Young's solver bracket always contains the simplex optimum.
+func TestQuickYoungVsSimplex(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 31))
+		d := 2 + int(seed%4)
+		n := 2 + int((seed/4)%4)
+		pk := randPacking(d, n, rng)
+		opt, _, err := ExactPackingOPT(pk)
+		if err != nil || opt <= 0 {
+			return true // skip degenerate cases
+		}
+		sol, err := Maximize(pk, 0.15, Options{})
+		if err != nil {
+			return false
+		}
+		return sol.Lower <= opt*(1+1e-9) && sol.Upper >= opt*(1-1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTheoryExactLPDualBranch(t *testing.T) {
+	// Single constraint x/2 ≤ 1: OPT = 2 > 1 → dual branch in pure
+	// theory mode.
+	pk, err := NewPacking(matrix.FromRows([][]float64{{0.5}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr, err := DecisionLP(pk, 0.3, Options{TheoryExact: true, MaxIter: 200000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr.Outcome != OutcomeDual {
+		t.Fatalf("outcome = %v want dual", dr.Outcome)
+	}
+}

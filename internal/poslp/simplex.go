@@ -1,0 +1,122 @@
+package poslp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/matrix"
+)
+
+// SimplexMax solves  max cᵀx  s.t.  A·x ≤ b, x ≥ 0  exactly (to
+// floating-point accuracy) with the standard primal simplex method on
+// the slack-augmented tableau, using Bland's anti-cycling rule. It
+// requires b ≥ 0 (a feasible all-slack basis), which every packing LP
+// satisfies. Intended as the exact reference oracle for small
+// instances; cost is O((n+d)·d) per pivot.
+func SimplexMax(a *matrix.Dense, b, c []float64) (x []float64, value float64, err error) {
+	d, n := a.R, a.C
+	if len(b) != d || len(c) != n {
+		return nil, 0, fmt.Errorf("poslp: simplex dimensions: A %dx%d, b %d, c %d", d, n, len(b), len(c))
+	}
+	for j, v := range b {
+		if v < 0 {
+			return nil, 0, fmt.Errorf("poslp: simplex requires b ≥ 0, got b[%d] = %v", j, v)
+		}
+	}
+
+	// Tableau: rows 0..d-1 constraints over columns [x | slack | rhs],
+	// row d is the objective (negated c, maximization).
+	cols := n + d + 1
+	tab := matrix.New(d+1, cols)
+	for i := 0; i < d; i++ {
+		copy(tab.Row(i)[:n], a.Row(i))
+		tab.Set(i, n+i, 1)
+		tab.Set(i, cols-1, b[i])
+	}
+	for j := 0; j < n; j++ {
+		tab.Set(d, j, -c[j])
+	}
+	basis := make([]int, d)
+	for i := range basis {
+		basis[i] = n + i
+	}
+
+	const maxPivots = 100000
+	for pivots := 0; ; pivots++ {
+		if pivots > maxPivots {
+			return nil, 0, errors.New("poslp: simplex exceeded pivot budget")
+		}
+		// Bland: entering column = lowest index with negative reduced cost.
+		enter := -1
+		objRow := tab.Row(d)
+		for j := 0; j < n+d; j++ {
+			if objRow[j] < -1e-12 {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			break // optimal
+		}
+		// Ratio test; Bland tie-break on lowest basis index.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < d; i++ {
+			aij := tab.At(i, enter)
+			if aij > 1e-12 {
+				ratio := tab.At(i, cols-1) / aij
+				if ratio < bestRatio-1e-15 || (math.Abs(ratio-bestRatio) <= 1e-15 && (leave < 0 || basis[i] < basis[leave])) {
+					bestRatio = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return nil, 0, errors.New("poslp: LP is unbounded")
+		}
+		pivot(tab, leave, enter)
+		basis[leave] = enter
+	}
+
+	x = make([]float64, n)
+	for i, bj := range basis {
+		if bj < n {
+			x[bj] = tab.At(i, cols-1)
+		}
+	}
+	return x, tab.At(d, cols-1), nil
+}
+
+func pivot(tab *matrix.Dense, pr, pc int) {
+	cols := tab.C
+	p := tab.At(pr, pc)
+	prow := tab.Row(pr)
+	inv := 1 / p
+	for j := 0; j < cols; j++ {
+		prow[j] *= inv
+	}
+	for i := 0; i < tab.R; i++ {
+		if i == pr {
+			continue
+		}
+		f := tab.At(i, pc)
+		if f == 0 {
+			continue
+		}
+		row := tab.Row(i)
+		for j := 0; j < cols; j++ {
+			row[j] -= f * prow[j]
+		}
+	}
+}
+
+// ExactPackingOPT solves the packing LP max 1ᵀx, Px ≤ 1, x ≥ 0 exactly
+// via simplex — the ground-truth oracle for experiment E10 and for the
+// diagonal-instance tests of the SDP solver.
+func ExactPackingOPT(pk *Packing) (float64, []float64, error) {
+	ones := matrix.Ones(pk.N())
+	rhs := matrix.Ones(pk.D())
+	x, v, err := SimplexMax(pk.P, rhs, ones)
+	return v, x, err
+}

@@ -1,0 +1,292 @@
+// Package poslp implements positive linear programming substrates from
+// the lineage the paper builds on: Young's width-independent parallel
+// packing LP solver [You01] — of which Algorithm 3.1 is the SDP
+// generalization (the diagonal-matrix special case of the SDP solver
+// IS this algorithm) — and a dense simplex solver used as an exact
+// reference on small instances.
+package poslp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/matrix"
+)
+
+// Packing is a positive packing LP:
+//
+//	maximize 1ᵀx  subject to  P·x ≤ 1,  x ≥ 0,
+//
+// with P a d-by-n entrywise-nonnegative matrix (d constraints, n vars).
+type Packing struct {
+	P *matrix.Dense
+}
+
+// NewPacking validates the constraint matrix.
+func NewPacking(p *matrix.Dense) (*Packing, error) {
+	if p == nil || p.R == 0 || p.C == 0 {
+		return nil, errors.New("poslp: empty constraint matrix")
+	}
+	for i, v := range p.Data {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("poslp: entry %d = %v is not a valid packing coefficient", i, v)
+		}
+	}
+	return &Packing{P: p}, nil
+}
+
+// N returns the number of variables.
+func (pk *Packing) N() int { return pk.P.C }
+
+// D returns the number of constraints.
+func (pk *Packing) D() int { return pk.P.R }
+
+// ColSums returns the per-variable column sums Σⱼ P[j][i] — the
+// "traces" of the diagonal-SDP view.
+func (pk *Packing) ColSums() []float64 {
+	n := pk.N()
+	s := make([]float64, n)
+	for j := 0; j < pk.P.R; j++ {
+		row := pk.P.Row(j)
+		for i := 0; i < n; i++ {
+			s[i] += row[i]
+		}
+	}
+	return s
+}
+
+// Outcome mirrors core.Outcome for the LP decision problem.
+type Outcome int
+
+const (
+	// OutcomeDual indicates ‖x‖₁ exceeded K (packing value ≥ 1−O(ε)).
+	OutcomeDual Outcome = iota
+	// OutcomePrimal indicates a covering certificate was produced
+	// (packing value ≤ 1+O(ε)).
+	OutcomePrimal
+	// OutcomeInconclusive indicates the iteration cap was reached.
+	OutcomeInconclusive
+)
+
+// DecisionResult reports a run of the Young-style decision procedure
+// with certified bounds, exactly parallel to core.DecisionResult.
+type DecisionResult struct {
+	Outcome    Outcome
+	X          []float64
+	DualX      []float64 // X scaled to certified feasibility
+	Lower      float64   // certified: OPT ≥ Lower
+	Upper      float64   // certified: OPT ≤ Upper
+	Iterations int
+	AvgWeights []float64 // averaged normalized weight vector (covering witness)
+}
+
+// Options configure DecisionLP.
+type Options struct {
+	// MaxIter caps iterations; 0 means the theory bound R.
+	MaxIter int
+	// EarlySlack for the primal exit; 0 means eps/2.
+	EarlySlack float64
+	// TheoryExact disables early certificate exits.
+	TheoryExact bool
+}
+
+// DecisionLP runs the diagonal specialization of Algorithm 3.1 — which
+// is Young's parallel packing algorithm with the soft-max penalty
+// wⱼ = exp((Px)ⱼ): coordinates whose penalty-weighted column sum is
+// below (1+ε)·Σw are multiplied by 1+α. Certified bounds come from the
+// same weak-duality pairing as the SDP solver: any normalized weight
+// vector y = w/‖w‖₁ satisfies 1ᵀx' ≤ 1/minᵢ(Pᵀy)ᵢ for all feasible x'.
+func DecisionLP(pk *Packing, eps float64, opts Options) (*DecisionResult, error) {
+	if eps <= 0 || eps >= 1 || math.IsNaN(eps) {
+		return nil, fmt.Errorf("poslp: eps = %v out of (0, 1)", eps)
+	}
+	n, d := pk.N(), pk.D()
+	logN := math.Log(float64(max(n, d, 2)))
+	bigK := (1 + logN) / eps
+	alpha := eps / (bigK * (1 + 10*eps))
+	bigR := int(math.Ceil(32 * logN / (eps * alpha)))
+	maxIter := opts.MaxIter
+	if maxIter <= 0 || maxIter > bigR {
+		maxIter = bigR
+	}
+	slack := opts.EarlySlack
+	if slack <= 0 {
+		slack = eps / 2
+	}
+
+	cols := pk.ColSums()
+	x := make([]float64, n)
+	frozen := make([]bool, n)
+	for i := range x {
+		if cols[i] <= 0 {
+			frozen[i] = true // zero column: unbounded direction, freeze
+			continue
+		}
+		x[i] = 1 / (float64(n) * cols[i])
+	}
+
+	psi := make([]float64, d)
+	w := make([]float64, d)
+	r := make([]float64, n)
+	avg := make([]float64, n)
+	bestMinR := 0.0
+	bestDualRatio := 0.0
+	var bestDualX []float64
+	res := &DecisionResult{Outcome: OutcomeInconclusive}
+
+	t := 0
+	for t < maxIter {
+		t++
+		pk.P.MulVecTo(psi, x)
+		// Soft-max weights, shifted for overflow safety.
+		shift := matrix.VecMax(psi)
+		for j := range w {
+			w[j] = math.Exp(psi[j] - shift)
+		}
+		trW := matrix.VecSum(w)
+		// rᵢ = Σⱼ wⱼ P[j][i] / Σⱼ wⱼ — the diagonal exp(Ψ)•Aᵢ/Tr ratio.
+		for i := range r {
+			r[i] = 0
+		}
+		for j := 0; j < d; j++ {
+			row := pk.P.Row(j)
+			wj := w[j] / trW
+			if wj == 0 {
+				continue
+			}
+			for i := 0; i < n; i++ {
+				r[i] += wj * row[i]
+			}
+		}
+		matrix.VecAXPY(avg, 1, r)
+		if mr := matrix.VecMin(r); mr > bestMinR {
+			bestMinR = mr
+		}
+		if lam := math.Max(matrix.VecMax(psi), 1); lam > 0 {
+			if ratio := matrix.VecSum(x) / lam; ratio > bestDualRatio {
+				bestDualRatio = ratio
+				bestDualX = append(bestDualX[:0], x...)
+			}
+		}
+
+		grew := false
+		for i := 0; i < n; i++ {
+			if !frozen[i] && r[i] <= 1+eps {
+				x[i] *= 1 + alpha
+				grew = true
+			}
+		}
+		if matrix.VecSum(x) > bigK {
+			res.Outcome = OutcomeDual
+			break
+		}
+		if !opts.TheoryExact {
+			minAvg := matrix.VecMin(avg) / float64(t)
+			if minAvg >= 1-slack {
+				res.Outcome = OutcomePrimal
+				break
+			}
+			if !grew && bestMinR >= 1 {
+				res.Outcome = OutcomePrimal
+				break
+			}
+		}
+	}
+
+	res.Iterations = t
+	res.X = matrix.VecClone(x)
+	res.AvgWeights = make([]float64, n)
+	matrix.VecScale(res.AvgWeights, 1/float64(t), avg)
+
+	// Certified dual: x / max((Px)_max, 1) is feasible.
+	pk.P.MulVecTo(psi, x)
+	lam := math.Max(matrix.VecMax(psi), 1)
+	res.DualX = make([]float64, n)
+	matrix.VecScale(res.DualX, 1/lam, x)
+	res.Lower = matrix.VecSum(res.DualX)
+	if bestDualX != nil {
+		pk.P.MulVecTo(psi, bestDualX)
+		if l2 := math.Max(matrix.VecMax(psi), 1); matrix.VecSum(bestDualX)/l2 > res.Lower {
+			matrix.VecScale(res.DualX, 1/l2, bestDualX)
+			res.Lower = matrix.VecSum(res.DualX)
+		}
+	}
+	minAvg := math.Max(matrix.VecMin(res.AvgWeights), bestMinR)
+	if minAvg > 0 {
+		res.Upper = 1 / minAvg
+	} else {
+		res.Upper = math.Inf(1)
+	}
+	return res, nil
+}
+
+// Solution is the optimization result with a certified bracket.
+type Solution struct {
+	Value         float64
+	X             []float64
+	Lower, Upper  float64
+	DecisionCalls int
+	TotalIters    int
+}
+
+// Maximize approximates the packing LP optimum by the same Lemma 2.2
+// binary search as the SDP optimizer.
+func Maximize(pk *Packing, eps float64, opts Options) (*Solution, error) {
+	if eps <= 0 || eps >= 1 || math.IsNaN(eps) {
+		return nil, fmt.Errorf("poslp: eps = %v out of (0, 1)", eps)
+	}
+	cols := pk.ColSums()
+	lo, hi := 0.0, 0.0
+	minCol := math.Inf(1)
+	for i, c := range cols {
+		if c <= 0 {
+			return nil, fmt.Errorf("poslp: variable %d has a zero column; optimum unbounded", i)
+		}
+		if c < minCol {
+			minCol = c
+		}
+		hi += float64(pk.D()) / c
+	}
+	lo = 1 / minCol
+	sol := &Solution{Lower: lo, Upper: hi}
+	sol.X = make([]float64, pk.N())
+	for i, c := range cols {
+		if c == minCol {
+			sol.X[i] = 1 / minCol
+			break
+		}
+	}
+	sol.Value = lo
+
+	maxCalls := 64
+	for call := 0; call < maxCalls && hi > (1+eps)*lo; call++ {
+		theta := math.Sqrt(lo * hi)
+		scaled := &Packing{P: pk.P.Clone()}
+		matrix.Scale(scaled.P, theta, scaled.P)
+		dr, err := DecisionLP(scaled, eps/4, opts)
+		if err != nil {
+			return nil, err
+		}
+		sol.DecisionCalls++
+		sol.TotalIters += dr.Iterations
+		improved := false
+		if v := theta * dr.Lower; v > lo {
+			lo = v
+			improved = true
+			for i := range sol.X {
+				sol.X[i] = theta * dr.DualX[i]
+			}
+			sol.Value = lo
+		}
+		if v := theta * dr.Upper; v < hi {
+			hi = v
+			improved = true
+		}
+		if !improved {
+			break
+		}
+	}
+	sol.Lower, sol.Upper = lo, hi
+	return sol, nil
+}

@@ -1,0 +1,81 @@
+// Package sketch implements the Johnson–Lindenstrauss Gaussian
+// projection used by Theorem 4.1's bigDotExp: a k-by-m matrix Π with
+// i.i.d. N(0, 1/k) entries preserves squared Euclidean norms to within
+// (1±ε) with high probability when k = O(ε⁻² log m) [DG03, IM98].
+package sketch
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/matrix"
+)
+
+// JL is a Gaussian Johnson–Lindenstrauss sketch.
+type JL struct {
+	// M is the k-by-m projection matrix with N(0, 1/k) entries, so that
+	// E‖M·u‖² = ‖u‖².
+	M *matrix.Dense
+}
+
+// Rows returns the recommended sketch dimension for m-dimensional
+// vectors at accuracy eps: ⌈c·ln(max(m, 2))/eps²⌉ with c = 4, clamped
+// to [1, m]. Clamping to m keeps the sketch never larger than the
+// identity; callers detect rows == m and may skip sketching entirely.
+func Rows(m int, eps float64) int {
+	if m <= 0 {
+		return 1
+	}
+	if eps <= 0 {
+		eps = 0.5
+	}
+	k := int(math.Ceil(4 * math.Log(math.Max(float64(m), 2)) / (eps * eps)))
+	if k < 1 {
+		k = 1
+	}
+	if k > m {
+		k = m
+	}
+	return k
+}
+
+// New creates a k-by-m Gaussian sketch using rng (which must not be
+// nil; the solver threads a seeded stream through for reproducibility).
+func New(k, m int, rng *rand.Rand) (*JL, error) {
+	if k <= 0 || m <= 0 {
+		return nil, fmt.Errorf("sketch: New(%d, %d): dimensions must be positive", k, m)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("sketch: New: rng must not be nil")
+	}
+	p := matrix.New(k, m)
+	inv := 1 / math.Sqrt(float64(k))
+	for i := range p.Data {
+		p.Data[i] = rng.NormFloat64() * inv
+	}
+	return &JL{M: p}, nil
+}
+
+// K returns the number of sketch rows.
+func (j *JL) K() int { return j.M.R }
+
+// Dim returns the ambient dimension m.
+func (j *JL) Dim() int { return j.M.C }
+
+// Apply returns Π·u.
+func (j *JL) Apply(u []float64) []float64 {
+	return j.M.MulVec(u)
+}
+
+// Norm2Sq returns ‖Π·u‖², the JL estimate of ‖u‖².
+func (j *JL) Norm2Sq(u []float64) float64 {
+	pu := j.M.MulVec(u)
+	return matrix.VecDot(pu, pu)
+}
+
+// RowVec returns row r of Π as a slice aliasing the sketch storage.
+// bigDotExp feeds these rows through exp(Φ/2) one at a time.
+func (j *JL) RowVec(r int) []float64 {
+	return j.M.Row(r)
+}

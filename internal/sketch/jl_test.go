@@ -1,0 +1,130 @@
+package sketch
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func TestRowsBounds(t *testing.T) {
+	if Rows(0, 0.1) != 1 {
+		t.Fatal("Rows(0) should clamp to 1")
+	}
+	if got := Rows(10, 0.1); got != 10 {
+		t.Fatalf("Rows should clamp to m, got %d", got)
+	}
+	big := Rows(100000, 0.5)
+	if big < 10 || big > 100000 {
+		t.Fatalf("Rows(1e5, 0.5) = %d out of sane range", big)
+	}
+	// Tighter eps needs more rows.
+	if Rows(100000, 0.1) <= Rows(100000, 0.5) {
+		t.Fatal("smaller eps should need more rows")
+	}
+	if Rows(16, 0) < 1 {
+		t.Fatal("eps=0 must not produce zero rows")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	if _, err := New(0, 5, rng); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := New(5, 0, rng); err == nil {
+		t.Fatal("m=0 accepted")
+	}
+	if _, err := New(2, 2, nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+}
+
+// With k rows, E‖Πu‖² = ‖u‖²; averaged over many independent sketches
+// the estimate should concentrate tightly.
+func TestNormPreservationInExpectation(t *testing.T) {
+	m := 60
+	rng := rand.New(rand.NewPCG(2, 3))
+	u := make([]float64, m)
+	for i := range u {
+		u[i] = rng.NormFloat64()
+	}
+	want := matrix.VecDot(u, u)
+	trials := 300
+	var sum float64
+	for trial := 0; trial < trials; trial++ {
+		j, err := New(8, m, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += j.Norm2Sq(u)
+	}
+	avg := sum / float64(trials)
+	if math.Abs(avg-want) > 0.15*want {
+		t.Fatalf("E‖Πu‖² = %v want ≈ %v", avg, want)
+	}
+}
+
+// A single sketch with the recommended row count should estimate norms
+// within a few ε for a batch of vectors (w.h.p.; fixed seed keeps the
+// test deterministic).
+func TestNormPreservationSingleSketch(t *testing.T) {
+	m := 200
+	eps := 0.25
+	rng := rand.New(rand.NewPCG(4, 5))
+	j, err := New(Rows(m, eps), m, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		u := make([]float64, m)
+		for i := range u {
+			u[i] = rng.NormFloat64()
+		}
+		want := matrix.VecDot(u, u)
+		got := j.Norm2Sq(u)
+		if got < (1-2*eps)*want || got > (1+2*eps)*want {
+			t.Fatalf("trial %d: ‖Πu‖² = %v outside (1±2ε)‖u‖² = %v", trial, got, want)
+		}
+	}
+}
+
+func TestApplyMatchesMatrix(t *testing.T) {
+	rng := rand.New(rand.NewPCG(6, 7))
+	j, err := New(4, 9, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := make([]float64, 9)
+	for i := range u {
+		u[i] = rng.NormFloat64()
+	}
+	got := j.Apply(u)
+	want := j.M.MulVec(u)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatal("Apply disagrees with matrix multiply")
+		}
+	}
+	if j.K() != 4 || j.Dim() != 9 {
+		t.Fatal("K/Dim wrong")
+	}
+	if len(j.RowVec(2)) != 9 {
+		t.Fatal("RowVec length wrong")
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	a, err := New(3, 5, rand.New(rand.NewPCG(9, 9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(3, 5, rand.New(rand.NewPCG(9, 9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.ApproxEqual(a.M, b.M, 0) {
+		t.Fatal("same seed should give identical sketches")
+	}
+}

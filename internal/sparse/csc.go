@@ -1,0 +1,216 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/matrix"
+	"repro/internal/parallel"
+)
+
+// CSC is a compressed sparse column matrix. It is the natural layout for
+// the constraint factors Qᵢ (m rows, cᵢ columns): the solver needs
+// Qᵀv (column dot products), Q·u (column-scaled accumulation), and
+// S·Q for a dense sketch S, all of which stream over columns.
+type CSC struct {
+	R, C   int
+	ColPtr []int // length C+1
+	Row    []int
+	Val    []float64
+}
+
+// NewCSC builds a CSC matrix from triplets; duplicates are summed.
+func NewCSC(r, c int, trips []Triplet) (*CSC, error) {
+	if r <= 0 || c <= 0 {
+		return nil, fmt.Errorf("sparse: NewCSC(%d, %d): dimensions must be positive", r, c)
+	}
+	sorted := make([]Triplet, len(trips))
+	copy(sorted, trips)
+	for _, t := range sorted {
+		if t.Row < 0 || t.Row >= r || t.Col < 0 || t.Col >= c {
+			return nil, fmt.Errorf("sparse: entry (%d, %d) out of range for %dx%d", t.Row, t.Col, r, c)
+		}
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Col != sorted[j].Col {
+			return sorted[i].Col < sorted[j].Col
+		}
+		return sorted[i].Row < sorted[j].Row
+	})
+	m := &CSC{R: r, C: c, ColPtr: make([]int, c+1)}
+	for k := 0; k < len(sorted); {
+		t := sorted[k]
+		v := t.Val
+		k++
+		for k < len(sorted) && sorted[k].Col == t.Col && sorted[k].Row == t.Row {
+			v += sorted[k].Val
+			k++
+		}
+		if v == 0 {
+			continue
+		}
+		m.Row = append(m.Row, t.Row)
+		m.Val = append(m.Val, v)
+		m.ColPtr[t.Col+1]++
+	}
+	for j := 0; j < c; j++ {
+		m.ColPtr[j+1] += m.ColPtr[j]
+	}
+	return m, nil
+}
+
+// CSCFromDense converts a dense matrix, dropping |v| <= dropTol.
+func CSCFromDense(d *matrix.Dense, dropTol float64) *CSC {
+	var trips []Triplet
+	for i := 0; i < d.R; i++ {
+		for j := 0; j < d.C; j++ {
+			v := d.At(i, j)
+			if v > dropTol || v < -dropTol {
+				trips = append(trips, Triplet{i, j, v})
+			}
+		}
+	}
+	m, err := NewCSC(d.R, d.C, trips)
+	if err != nil {
+		panic(err) // unreachable: indices come from d itself
+	}
+	return m
+}
+
+// CSCFromColumns builds an m-by-len(cols) CSC whose j-th column is the
+// dense vector cols[j]; entries with |v| <= dropTol are dropped.
+func CSCFromColumns(m int, cols [][]float64, dropTol float64) (*CSC, error) {
+	var trips []Triplet
+	for j, col := range cols {
+		if len(col) != m {
+			return nil, fmt.Errorf("sparse: column %d has length %d, want %d", j, len(col), m)
+		}
+		for i, v := range col {
+			if v > dropTol || v < -dropTol {
+				trips = append(trips, Triplet{i, j, v})
+			}
+		}
+	}
+	return NewCSC(m, len(cols), trips)
+}
+
+// NNZ returns the number of stored nonzeros.
+func (m *CSC) NNZ() int { return len(m.Val) }
+
+// TMulVec returns Qᵀ·v (length C). Work O(nnz), depth O(log).
+func (m *CSC) TMulVec(v []float64) []float64 {
+	if len(v) != m.R {
+		panic("sparse: CSC.TMulVec dimension mismatch")
+	}
+	out := make([]float64, m.C)
+	avg := 1
+	if m.C > 0 {
+		avg = len(m.Val)/m.C + 1
+	}
+	parallel.ForBlock(m.C, 4096/avg+1, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			var s float64
+			for k := m.ColPtr[j]; k < m.ColPtr[j+1]; k++ {
+				s += m.Val[k] * v[m.Row[k]]
+			}
+			out[j] = s
+		}
+	})
+	return out
+}
+
+// MulVecAdd accumulates dst += s·Q·u where u has length C.
+// Sequential over columns (columns may share rows); callers parallelize
+// at a higher level.
+func (m *CSC) MulVecAdd(dst []float64, s float64, u []float64) {
+	if len(u) != m.C || len(dst) != m.R {
+		panic("sparse: CSC.MulVecAdd dimension mismatch")
+	}
+	for j := 0; j < m.C; j++ {
+		su := s * u[j]
+		if su == 0 {
+			continue
+		}
+		for k := m.ColPtr[j]; k < m.ColPtr[j+1]; k++ {
+			dst[m.Row[k]] += m.Val[k] * su
+		}
+	}
+}
+
+// GramDense returns the dense m-by-m matrix Q·Qᵀ. Used to materialize
+// factored constraints on the dense/reference path.
+func (m *CSC) GramDense() *matrix.Dense {
+	out := matrix.New(m.R, m.R)
+	for j := 0; j < m.C; j++ {
+		for k1 := m.ColPtr[j]; k1 < m.ColPtr[j+1]; k1++ {
+			r1, v1 := m.Row[k1], m.Val[k1]
+			for k2 := m.ColPtr[j]; k2 < m.ColPtr[j+1]; k2++ {
+				out.Data[r1*m.R+m.Row[k2]] += v1 * m.Val[k2]
+			}
+		}
+	}
+	return out
+}
+
+// GramTrace returns Tr[QQᵀ] = Σᵢⱼ Qᵢⱼ², i.e. the squared Frobenius norm
+// of the factor — the constraint trace the reduction of Lemma 2.2 caps.
+func (m *CSC) GramTrace() float64 {
+	return parallel.SumBlocks(len(m.Val), 4096, func(lo, hi int) float64 {
+		var s float64
+		for k := lo; k < hi; k++ {
+			s += m.Val[k] * m.Val[k]
+		}
+		return s
+	})
+}
+
+// GramQuad returns vᵀ(QQᵀ)v = |Qᵀv|².
+func (m *CSC) GramQuad(v []float64) float64 {
+	qv := m.TMulVec(v)
+	return matrix.VecDot(qv, qv)
+}
+
+// SketchDot returns |S·Q|_F² where S is a dense k-by-m sketch: this is
+// the per-constraint estimate |Π exp(Φ/2) Qᵢ|² of Theorem 4.1.
+// Work O(k·nnz(Q)), depth O(log).
+func (m *CSC) SketchDot(s *matrix.Dense) float64 {
+	if s.C != m.R {
+		panic("sparse: CSC.SketchDot dimension mismatch")
+	}
+	k := s.R
+	return parallel.SumBlocks(m.C, 4, func(lo, hi int) float64 {
+		var total float64
+		for j := lo; j < hi; j++ {
+			// |S·qⱼ|² for the sparse column qⱼ.
+			for r := 0; r < k; r++ {
+				row := s.Data[r*s.C : (r+1)*s.C]
+				var dot float64
+				for p := m.ColPtr[j]; p < m.ColPtr[j+1]; p++ {
+					dot += row[m.Row[p]] * m.Val[p]
+				}
+				total += dot * dot
+			}
+		}
+		return total
+	})
+}
+
+// ToDense converts to dense.
+func (m *CSC) ToDense() *matrix.Dense {
+	d := matrix.New(m.R, m.C)
+	for j := 0; j < m.C; j++ {
+		for k := m.ColPtr[j]; k < m.ColPtr[j+1]; k++ {
+			d.Data[m.Row[k]*m.C+j] += m.Val[k]
+		}
+	}
+	return d
+}
+
+// Scale returns a copy of m with every value multiplied by s.
+func (m *CSC) Scale(s float64) *CSC {
+	out := &CSC{R: m.R, C: m.C, ColPtr: append([]int(nil), m.ColPtr...), Row: append([]int(nil), m.Row...), Val: make([]float64, len(m.Val))}
+	for i, v := range m.Val {
+		out.Val[i] = s * v
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package widthdep
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/matrix"
+)
+
+func TestFeasibleIdentityInstance(t *testing.T) {
+	// Aᵢ = I/2, OPT = 2. v = 1 is comfortably feasible, v = 4 is not.
+	as := make([]*matrix.Dense, 3)
+	for i := range as {
+		id := matrix.Identity(3)
+		matrix.Scale(id, 0.5, id)
+		as[i] = id
+	}
+	fr, err := Feasible(as, 1, 0.2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fr.Feasible {
+		t.Fatalf("v=1 should be feasible (OPT=2): %+v", fr)
+	}
+	fr, err = Feasible(as, 4, 0.2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Feasible {
+		t.Fatal("v=4 should be infeasible (OPT=2)")
+	}
+}
+
+func TestFeasibleValidation(t *testing.T) {
+	if _, err := Feasible(nil, 1, 0.1, 0); err == nil {
+		t.Fatal("empty accepted")
+	}
+	as := []*matrix.Dense{matrix.Identity(2)}
+	if _, err := Feasible(as, -1, 0.1, 0); err == nil {
+		t.Fatal("negative v accepted")
+	}
+	if _, err := Feasible(as, 1, 0, 0); err == nil {
+		t.Fatal("delta=0 accepted")
+	}
+}
+
+func TestFeasibleWitnessVerifies(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	inst, err := gen.OrthogonalRankOne(3, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := Feasible(inst.A, inst.OPT*0.6, 0.2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fr.Feasible {
+		t.Fatalf("0.6·OPT should be feasible: λmax = %v", fr.LambdaMax)
+	}
+	if fr.LambdaMax > 1.2 {
+		t.Fatalf("witness exceeds (1+δ): %v", fr.LambdaMax)
+	}
+	if math.Abs(matrix.VecSum(fr.X)-inst.OPT*0.6) > 1e-9 {
+		t.Fatal("witness value wrong")
+	}
+}
+
+func TestIterationsGrowWithWidth(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	itersAt := func(w float64) int {
+		inst, err := gen.WidthFamily(4, 5, w, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Test a fixed mid-range value; iterations scale with ρ = v·maxλ.
+		fr, err := Feasible(inst.A, 1, 0.3, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fr.Iterations
+	}
+	i1, i16 := itersAt(1), itersAt(16)
+	if i16 < 4*i1 {
+		t.Fatalf("width dependence not visible: iters(w=1)=%d iters(w=16)=%d", i1, i16)
+	}
+}
+
+func TestMaximizeMatchesKnownOPT(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	inst, err := gen.OrthogonalRankOne(3, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := Maximize(inst.A, 0.2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Value > inst.OPT*(1+1e-9) {
+		t.Fatalf("value %v exceeds OPT %v", sol.Value, inst.OPT)
+	}
+	if sol.Value < inst.OPT*0.6 {
+		t.Fatalf("value %v too far below OPT %v", sol.Value, inst.OPT)
+	}
+}
+
+func TestMaximizeValidation(t *testing.T) {
+	if _, err := Maximize([]*matrix.Dense{matrix.Identity(2)}, 0, 0); err == nil {
+		t.Fatal("eps=0 accepted")
+	}
+	if _, err := Maximize([]*matrix.Dense{matrix.New(2, 2)}, 0.2, 0); err == nil {
+		t.Fatal("zero constraint accepted")
+	}
+}

@@ -1,0 +1,184 @@
+// Package psdp is a width-independent parallel solver for positive
+// semidefinite programs, reproducing Peng, Tangwongsan & Zhang,
+// "Faster and Simpler Width-Independent Parallel Algorithms for
+// Positive Semidefinite Programming" (SPAA 2012, arXiv:1201.5135).
+//
+// # Problem
+//
+// A positive SDP in the paper's primal form (1.1) is
+//
+//	minimize    C • Y
+//	subject to  Aᵢ • Y ≥ bᵢ,   i = 1..n,    Y ≽ 0,
+//
+// with C, Aᵢ symmetric positive semidefinite and bᵢ ≥ 0. Its normalized
+// dual is the packing SDP
+//
+//	maximize 1ᵀx  subject to  Σᵢ xᵢ Aᵢ ≼ I,  x ≥ 0,
+//
+// and by strong duality the two optima coincide. The solver produces a
+// (1+ε)-approximation with explicitly verified certificates on both
+// sides, in O(ε⁻³ log² n) iterations per decision call and O(log n)
+// decision calls, independent of the instance's width parameter.
+//
+// # Entry points
+//
+//   - NewDenseSet / NewFactoredSet wrap packing constraints; factored
+//     sets (Aᵢ = QᵢQᵢᵀ with sparse Qᵢ) enable the nearly-linear-work
+//     sketched oracle of the paper's Theorem 4.1.
+//   - Decision runs one ε-decision call (Algorithm 3.1).
+//   - Maximize runs the full optimizer (binary search of Lemma 2.2).
+//   - Solve handles a general positive SDP end to end (Appendix A
+//     normalization + optimizer).
+//   - VerifyDual / VerifyPrimalDense re-check any witness independently.
+//
+// All randomness (sketches, Lanczos starts) derives from Options.Seed,
+// and all parallel reductions use fixed block trees, so results are
+// reproducible at any GOMAXPROCS.
+package psdp
+
+import (
+	"repro/internal/core"
+	"repro/internal/matrix"
+	"repro/internal/mixed"
+	"repro/internal/sparse"
+)
+
+// Re-exported types. The implementation lives in internal/core; these
+// aliases are the supported public surface.
+type (
+	// Dense is a dense row-major matrix (entry (i,j) at Data[i*C+j]).
+	Dense = matrix.Dense
+	// Triplet is an explicit sparse entry.
+	Triplet = sparse.Triplet
+	// CSC is a compressed sparse column matrix, the factor format.
+	CSC = sparse.CSC
+	// ConstraintSet is a packing constraint collection (dense or factored).
+	ConstraintSet = core.ConstraintSet
+	// DenseSet holds constraints as dense PSD matrices.
+	DenseSet = core.DenseSet
+	// FactoredSet holds constraints as Aᵢ = QᵢQᵢᵀ.
+	FactoredSet = core.FactoredSet
+	// Options configure the solver (oracle choice, seeds, limits).
+	Options = core.Options
+	// Params are Algorithm 3.1's constants (K, α, R).
+	Params = core.Params
+	// DecisionResult reports one ε-decision call with certified bounds.
+	DecisionResult = core.DecisionResult
+	// Solution is the optimizer result with a certified bracket.
+	Solution = core.Solution
+	// Outcome labels the decision branch (dual/primal/inconclusive).
+	Outcome = core.Outcome
+	// Program is a general positive SDP in primal form (1.1).
+	Program = core.Program
+	// CoveringSolution is the end-to-end result for a Program.
+	CoveringSolution = core.CoveringSolution
+	// DualCertificate reports independent verification of a packing vector.
+	DualCertificate = core.DualCertificate
+	// PrimalCertificate reports verification of a covering matrix.
+	PrimalCertificate = core.PrimalCertificate
+	// OracleKind selects the per-iteration exponential primitive.
+	OracleKind = core.OracleKind
+)
+
+// Outcome and oracle constants.
+const (
+	OutcomeDual         = core.OutcomeDual
+	OutcomePrimal       = core.OutcomePrimal
+	OutcomeInconclusive = core.OutcomeInconclusive
+
+	OracleAuto          = core.OracleAuto
+	OracleDenseExact    = core.OracleDenseExact
+	OracleFactoredJL    = core.OracleFactoredJL
+	OracleFactoredExact = core.OracleFactoredExact
+)
+
+// NewMatrix returns a zero r-by-c dense matrix.
+func NewMatrix(r, c int) *Dense { return matrix.New(r, c) }
+
+// MatrixFromRows builds a dense matrix from rows.
+func MatrixFromRows(rows [][]float64) *Dense { return matrix.FromRows(rows) }
+
+// Identity returns the n-by-n identity.
+func Identity(n int) *Dense { return matrix.Identity(n) }
+
+// Diag returns a diagonal matrix.
+func Diag(d []float64) *Dense { return matrix.Diag(d) }
+
+// NewCSC builds a sparse factor from triplets.
+func NewCSC(rows, cols int, trips []Triplet) (*CSC, error) {
+	return sparse.NewCSC(rows, cols, trips)
+}
+
+// NewDenseSet wraps dense symmetric PSD packing constraints.
+func NewDenseSet(a []*Dense) (*DenseSet, error) { return core.NewDenseSet(a) }
+
+// NewFactoredSet wraps factored constraints Aᵢ = QᵢQᵢᵀ.
+func NewFactoredSet(q []*CSC) (*FactoredSet, error) { return core.NewFactoredSet(q) }
+
+// ParamsFor computes Algorithm 3.1's constants for an instance shape.
+func ParamsFor(n, m int, eps float64) (Params, error) { return core.ParamsFor(n, m, eps) }
+
+// Decision runs one ε-decision call (the paper's Algorithm 3.1,
+// decisionPSDP) on the packing constraints: it returns either a
+// near-feasible dual solution or a primal covering certificate, plus
+// always-valid certified bounds on the packing optimum.
+func Decision(set ConstraintSet, eps float64, opts Options) (*DecisionResult, error) {
+	return core.DecisionPSDP(set, eps, opts)
+}
+
+// Maximize approximates max{1ᵀx : Σ xᵢAᵢ ≼ I, x ≥ 0} to relative
+// accuracy ε with certified bounds (the paper's Theorem 1.1 pipeline).
+func Maximize(set ConstraintSet, eps float64, opts Options) (*Solution, error) {
+	return core.MaximizePacking(set, eps, opts)
+}
+
+// Solve approximates a general positive SDP (normalization of
+// Appendix A followed by the optimizer).
+func Solve(p *Program, eps float64, opts Options) (*CoveringSolution, error) {
+	return core.SolveCovering(p, eps, opts)
+}
+
+// VerifyDual independently certifies a packing vector.
+func VerifyDual(set ConstraintSet, x []float64, tol float64) (*DualCertificate, error) {
+	return core.VerifyDual(set, x, tol)
+}
+
+// VerifyPrimalDense independently certifies a covering matrix against a
+// dense constraint set.
+func VerifyPrimalDense(set *DenseSet, y *Dense) (*PrimalCertificate, error) {
+	return core.VerifyPrimalDense(set, y)
+}
+
+// Mixed packing/covering extension (the paper's §5 future-work class:
+// matrix packing plus diagonal covering constraints).
+type (
+	// MixedProblem couples packing constraints with a nonnegative
+	// covering matrix C (find x ≥ 0: Σ xᵢAᵢ ≼ I and Cx ≥ 1).
+	MixedProblem = mixed.Problem
+	// MixedOptions configure SolveMixed.
+	MixedOptions = mixed.Options
+	// MixedResult reports a verified bicriteria point or inconclusive.
+	MixedResult = mixed.Result
+	// MixedStatus labels the mixed outcome.
+	MixedStatus = mixed.Status
+)
+
+// Mixed status constants.
+const (
+	MixedFeasible     = mixed.StatusFeasible
+	MixedInconclusive = mixed.StatusInconclusive
+)
+
+// NewMixedProblem validates and wraps a mixed packing/covering system.
+func NewMixedProblem(pack ConstraintSet, cover *Dense) (*MixedProblem, error) {
+	return mixed.NewProblem(pack, cover)
+}
+
+// SolveMixed searches for a verified bicriteria-feasible point of the
+// mixed system: coverage ≥ 1−ε and λ_max(Σ xᵢAᵢ) ≤ 1+10ε.
+func SolveMixed(p *MixedProblem, eps float64, opts MixedOptions) (*MixedResult, error) {
+	return mixed.Solve(p, eps, opts)
+}
+
+// IterationInfo is the telemetry passed to Options.OnIteration.
+type IterationInfo = core.IterationInfo

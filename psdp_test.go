@@ -1,0 +1,152 @@
+package psdp_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	psdp "repro"
+)
+
+// TestFacadeDecisionAndMaximize exercises the public API end to end on
+// a hand-checkable instance: A₁ = diag(1/2, 1/4), A₂ = diag(1/4, 1/2).
+// Optimal packing: x₁ = x₂ = 4/3 (sum saturates both coordinates at 1),
+// so OPT = 8/3.
+func TestFacadeDecisionAndMaximize(t *testing.T) {
+	set, err := psdp.NewDenseSet([]*psdp.Dense{
+		psdp.Diag([]float64{0.5, 0.25}),
+		psdp.Diag([]float64{0.25, 0.5}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := 8.0 / 3
+
+	dr, err := psdp.Decision(set, 0.2, psdp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr.Outcome != psdp.OutcomeDual {
+		t.Fatalf("outcome = %v want dual (OPT = %v > 1)", dr.Outcome, opt)
+	}
+
+	sol, err := psdp.Maximize(set, 0.05, psdp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Lower > opt*(1+1e-9) || sol.Upper < opt*(1-1e-9) {
+		t.Fatalf("bracket [%v, %v] misses OPT %v", sol.Lower, sol.Upper, opt)
+	}
+	cert, err := psdp.VerifyDual(set, sol.X, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cert.Feasible {
+		t.Fatalf("witness infeasible: λmax = %v", cert.LambdaMax)
+	}
+}
+
+func TestFacadeFactored(t *testing.T) {
+	// Two rank-1 factors on orthogonal coordinates: A₁ = 4·e₀e₀ᵀ,
+	// A₂ = e₁e₁ᵀ. OPT = 1/4 + 1 = 1.25.
+	q1, err := psdp.NewCSC(2, 1, []psdp.Triplet{{Row: 0, Col: 0, Val: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := psdp.NewCSC(2, 1, []psdp.Triplet{{Row: 1, Col: 0, Val: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := psdp.NewFactoredSet([]*psdp.CSC{q1, q2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := psdp.Maximize(set, 0.1, psdp.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := 1.25
+	if sol.Lower > opt*(1+1e-6) || sol.Upper < opt*(1-1e-6) {
+		t.Fatalf("bracket [%v, %v] misses OPT %v", sol.Lower, sol.Upper, opt)
+	}
+}
+
+func TestFacadeSolveProgram(t *testing.T) {
+	// min Tr[Y] s.t. diag(2,1)•Y ≥ 1: put weight on the large entry:
+	// OPT = 1/2.
+	prog := &psdp.Program{
+		C: psdp.Identity(2),
+		A: []*psdp.Dense{psdp.Diag([]float64{2, 1})},
+		B: []float64{1},
+	}
+	cs, err := psdp.Solve(prog, 0.05, psdp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Lower > 0.5*(1+1e-9) || cs.Upper < 0.5*(1-1e-9) {
+		t.Fatalf("bracket [%v, %v] misses OPT 0.5", cs.Lower, cs.Upper)
+	}
+}
+
+func TestFacadeParams(t *testing.T) {
+	p, err := psdp.ParamsFor(10, 10, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.K <= 0 || p.Alpha <= 0 || p.R <= 0 {
+		t.Fatalf("degenerate params: %+v", p)
+	}
+	if _, err := psdp.ParamsFor(10, 10, 2); err == nil {
+		t.Fatal("eps=2 accepted")
+	}
+}
+
+func TestFacadeMatrixHelpers(t *testing.T) {
+	m := psdp.MatrixFromRows([][]float64{{1, 2}, {2, 1}})
+	if m.At(0, 1) != 2 {
+		t.Fatal("FromRows wrong")
+	}
+	if psdp.NewMatrix(2, 3).R != 2 {
+		t.Fatal("NewMatrix wrong")
+	}
+	if psdp.Identity(3).Trace() != 3 {
+		t.Fatal("Identity wrong")
+	}
+}
+
+// ExampleMaximize demonstrates the quickstart flow: build a packing
+// instance, solve, verify.
+func ExampleMaximize() {
+	set, err := psdp.NewDenseSet([]*psdp.Dense{
+		psdp.Diag([]float64{0.5, 0.25}),
+		psdp.Diag([]float64{0.25, 0.5}),
+	})
+	if err != nil {
+		panic(err)
+	}
+	sol, err := psdp.Maximize(set, 0.05, psdp.Options{})
+	if err != nil {
+		panic(err)
+	}
+	opt := 8.0 / 3
+	fmt.Printf("bracket contains OPT: %v\n", sol.Lower <= opt*(1+1e-9) && opt*(1-1e-9) <= sol.Upper)
+	fmt.Printf("relative gap below 3*eps: %v\n", sol.Gap() < 0.15)
+	cert, err := psdp.VerifyDual(set, sol.X, 1e-8)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("witness feasible: %v\n", cert.Feasible)
+	// Output:
+	// bracket contains OPT: true
+	// relative gap below 3*eps: true
+	// witness feasible: true
+}
+
+func TestOutcomeConstants(t *testing.T) {
+	if psdp.OutcomeDual.String() != "dual" {
+		t.Fatal("outcome alias broken")
+	}
+	if math.IsNaN(float64(psdp.OracleFactoredJL)) {
+		t.Fatal("unreachable")
+	}
+}
