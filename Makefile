@@ -1,0 +1,26 @@
+# Build/test/bench entry points. Plain go-tool wrappers: no code
+# generation, no external dependencies.
+
+GO ?= go
+
+.PHONY: build test race bench experiments
+
+## build: compile every package and command
+build:
+	$(GO) build ./...
+
+## test: tier-1 check — build plus the full test suite
+test: build
+	$(GO) test ./...
+
+## race: tier-2 check — full suite under the race detector
+race:
+	$(GO) test -race ./...
+
+## bench: refresh the committed kernel perf baseline BENCH_psdp.json
+bench:
+	$(GO) run ./cmd/psdpbench -kernels -bench-out BENCH_psdp.json
+
+## experiments: regenerate the paper experiment tables (E1–E16)
+experiments:
+	$(GO) run ./cmd/psdpbench

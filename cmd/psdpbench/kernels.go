@@ -1,0 +1,369 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/matrix"
+)
+
+// Kernel benchmark mode (-kernels): times each dense hot-path kernel at
+// GOMAXPROCS=1 and GOMAXPROCS=N against a pure sequential reference and
+// writes the results as machine-readable JSON (BENCH_psdp.json). This
+// file is the perf baseline every later scaling PR is measured against.
+
+// kernelResult is one (kernel, size) measurement.
+type kernelResult struct {
+	Kernel string `json:"kernel"`
+	N      int    `json:"n"`
+	// NsSeq is ns/op of the straightforward sequential reference.
+	NsSeq float64 `json:"ns_seq"`
+	// NsPar1 is ns/op of the blocked kernel at GOMAXPROCS=1.
+	NsPar1 float64 `json:"ns_par_p1"`
+	// NsParN is ns/op of the blocked kernel at GOMAXPROCS=Procs.
+	NsParN float64 `json:"ns_par_pN"`
+	// Speedup is NsSeq / NsParN.
+	Speedup float64 `json:"speedup"`
+}
+
+// benchReport is the top-level BENCH_psdp.json document.
+type benchReport struct {
+	GoVersion string         `json:"go_version"`
+	Procs     int            `json:"gomaxprocs"`
+	NumCPU    int            `json:"num_cpu"`
+	Sizes     []int          `json:"sizes"`
+	Kernels   []kernelResult `json:"kernels"`
+}
+
+// benchKernel describes one kernel: a setup returning (parallel op,
+// sequential reference op) closures for size n.
+type benchKernel struct {
+	name  string
+	build func(n int, rng *rand.Rand) (par, seq func())
+}
+
+// Benchmark sinks: every op stores its result here so the compiler
+// cannot dead-code-eliminate any part of either variant (reductions
+// with discarded results otherwise measure as faster than they are).
+var (
+	sinkF float64
+	sinkM *matrix.Dense
+	sinkV []float64
+)
+
+func kernelTable() []benchKernel {
+	return []benchKernel{
+		{name: "Gram", build: func(n int, rng *rand.Rand) (func(), func()) {
+			q := randMat(n, n/4+1, rng)
+			return func() { sinkM = matrix.Gram(q, nil) }, func() { sinkM = seqGram(q) }
+		}},
+		{name: "SymMulAB", build: func(n int, rng *rand.Rand) (func(), func()) {
+			// B·B is symmetric, the shape of every Horner step in
+			// TaylorExpPSD (a polynomial in B times B).
+			b := randSym(n, rng)
+			return func() { sinkM = matrix.SymMulAB(b, b, nil) }, func() { sinkM = seqMulAB(b, b) }
+		}},
+		{name: "MulAB", build: func(n int, rng *rand.Rand) (func(), func()) {
+			a := randMat(n, n, rng)
+			b := randMat(n, n, rng)
+			return func() { sinkM = matrix.MulAB(a, b, nil) }, func() { sinkM = seqMulAB(a, b) }
+		}},
+		{name: "CongruenceDiag", build: func(n int, rng *rand.Rand) (func(), func()) {
+			v := randMat(n, n, rng)
+			d := randVec(n, rng)
+			return func() { sinkM = matrix.CongruenceDiag(v, d, nil) }, func() { sinkM = seqCongruenceDiag(v, d) }
+		}},
+		{name: "DotMany", build: func(n int, rng *rand.Rand) (func(), func()) {
+			// n constraints of dimension ~sqrt-scaled so the batch is the
+			// hot axis, as in the dense oracle's ratio sweep.
+			m := 64
+			as := make([]*matrix.Dense, n)
+			for i := range as {
+				as[i] = randMat(m, m, rng)
+			}
+			p := randMat(m, m, rng)
+			out := make([]float64, n)
+			return func() { matrix.DotMany(out, as, 1.25, p); sinkV = out },
+				func() { seqDotMany(out, as, 1.25, p); sinkV = out }
+		}},
+		{name: "LinComb", build: func(n int, rng *rand.Rand) (func(), func()) {
+			m := 64
+			k := n / 8
+			if k < 1 {
+				k = 1
+			}
+			mats := make([]*matrix.Dense, k)
+			for i := range mats {
+				mats[i] = randMat(m, m, rng)
+			}
+			coeffs := randVec(k, rng)
+			dst := matrix.New(m, m)
+			return func() { matrix.LinComb(dst, coeffs, mats); sinkM = dst },
+				func() { seqLinComb(dst, coeffs, mats); sinkM = dst }
+		}},
+		{name: "MulVec", build: func(n int, rng *rand.Rand) (func(), func()) {
+			m := randMat(n, n, rng)
+			v := randVec(n, rng)
+			dst := make([]float64, n)
+			return func() { m.MulVecTo(dst, v); sinkV = dst },
+				func() { seqMulVec(dst, m, v); sinkV = dst }
+		}},
+		{name: "VecDot", build: func(n int, rng *rand.Rand) (func(), func()) {
+			// Reduction over n² entries to give the block tree real work.
+			a := randVec(n*n, rng)
+			b := randVec(n*n, rng)
+			return func() { sinkF = matrix.VecDot(a, b) }, func() { sinkF = seqDot(a, b) }
+		}},
+	}
+}
+
+// runKernelBench measures every kernel at every size and writes the
+// JSON report to path.
+func runKernelBench(path string, sizes []int, seed uint64) error {
+	// Fail fast on an unwritable output path rather than after minutes
+	// of measurement.
+	probe, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	probe.Close()
+
+	origProcs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(origProcs)
+	procs := runtime.NumCPU()
+	if procs < origProcs {
+		procs = origProcs
+	}
+
+	rep := benchReport{
+		GoVersion: runtime.Version(),
+		Procs:     procs,
+		NumCPU:    runtime.NumCPU(),
+		Sizes:     sizes,
+	}
+	for _, k := range kernelTable() {
+		for _, n := range sizes {
+			rng := rand.New(rand.NewPCG(seed, uint64(n)))
+			par, seq := k.build(n, rng)
+			res := kernelResult{Kernel: k.name, N: n}
+			// Interleave the three variants round-robin and keep per-variant
+			// minima, so slow drift (GC, noisy neighbours, frequency
+			// scaling) hits all variants equally instead of whichever ran
+			// last.
+			ts := timeOps([]timedOp{
+				{op: seq},
+				{op: par, procs: 1},
+				{op: par, procs: procs},
+			})
+			runtime.GOMAXPROCS(origProcs)
+			res.NsSeq, res.NsPar1, res.NsParN = ts[0], ts[1], ts[2]
+			if res.NsParN > 0 {
+				res.Speedup = res.NsSeq / res.NsParN
+			}
+			rep.Kernels = append(rep.Kernels, res)
+			fmt.Printf("%-16s n=%-5d seq %12.0f ns  par@1 %12.0f ns  par@%d %12.0f ns  speedup %.2fx\n",
+				k.name, n, res.NsSeq, res.NsPar1, procs, res.NsParN, res.Speedup)
+		}
+	}
+	out, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	return os.WriteFile(path, out, 0o644)
+}
+
+// timedOp is one benchmark variant: op runs under GOMAXPROCS=procs
+// (0 keeps the current setting).
+type timedOp struct {
+	op    func()
+	procs int
+}
+
+// timeOps measures ns/op for each variant with interleaved rounds:
+// iteration counts are calibrated per variant for a ~20ms round, then
+// several rounds run round-robin across variants and the per-variant
+// minimum is reported.
+func timeOps(ops []timedOp) []float64 {
+	const (
+		roundBudget = 20 * time.Millisecond
+		rounds      = 9
+	)
+	iters := make([]int, len(ops))
+	for i, t := range ops {
+		setProcs(t.procs)
+		t.op() // warm up
+		it := 1
+		for {
+			start := time.Now()
+			for k := 0; k < it; k++ {
+				t.op()
+			}
+			el := time.Since(start)
+			if el >= roundBudget || it >= 1<<20 {
+				break
+			}
+			next := int(float64(it) * float64(roundBudget) / float64(el+1) * 1.2)
+			if next <= it {
+				next = it * 2
+			}
+			it = next
+		}
+		iters[i] = it
+	}
+	best := make([]float64, len(ops))
+	for r := 0; r < rounds; r++ {
+		for k := 0; k < len(ops); k++ {
+			// Alternate the visiting order between rounds so slow drift
+			// does not systematically tax the later variants.
+			i := k
+			if r%2 == 1 {
+				i = len(ops) - 1 - k
+			}
+			t := ops[i]
+			setProcs(t.procs)
+			start := time.Now()
+			for it := 0; it < iters[i]; it++ {
+				t.op()
+			}
+			ns := float64(time.Since(start).Nanoseconds()) / float64(iters[i])
+			if r == 0 || ns < best[i] {
+				best[i] = ns
+			}
+		}
+	}
+	return best
+}
+
+func setProcs(p int) {
+	if p > 0 {
+		runtime.GOMAXPROCS(p)
+	}
+}
+
+// --- sequential reference implementations (no fork-join, no blocks) ---
+
+func seqGram(q *matrix.Dense) *matrix.Dense {
+	n, k := q.R, q.C
+	out := matrix.New(n, n)
+	for i := 0; i < n; i++ {
+		qi := q.Data[i*k : (i+1)*k]
+		for j := i; j < n; j++ {
+			qj := q.Data[j*k : (j+1)*k]
+			var s float64
+			for l, v := range qi {
+				s += v * qj[l]
+			}
+			out.Data[i*n+j] = s
+			out.Data[j*n+i] = s
+		}
+	}
+	return out
+}
+
+func seqMulAB(a, b *matrix.Dense) *matrix.Dense {
+	out := matrix.New(a.R, b.C)
+	k, c := a.C, b.C
+	for i := 0; i < a.R; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		orow := out.Data[i*c : (i+1)*c]
+		for l, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[l*c : (l+1)*c]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+func seqCongruenceDiag(v *matrix.Dense, d []float64) *matrix.Dense {
+	n, k := v.R, v.C
+	out := matrix.New(n, n)
+	for i := 0; i < n; i++ {
+		vi := v.Data[i*k : (i+1)*k]
+		for j := i; j < n; j++ {
+			vj := v.Data[j*k : (j+1)*k]
+			var s float64
+			for l, vv := range vi {
+				s += vv * d[l] * vj[l]
+			}
+			out.Data[i*n+j] = s
+			out.Data[j*n+i] = s
+		}
+	}
+	return out
+}
+
+func seqDotMany(out []float64, as []*matrix.Dense, scale float64, p *matrix.Dense) {
+	for i, a := range as {
+		var s float64
+		for k, v := range a.Data {
+			s += v * p.Data[k]
+		}
+		out[i] = scale * s
+	}
+}
+
+func seqLinComb(dst *matrix.Dense, coeffs []float64, mats []*matrix.Dense) {
+	for k := range dst.Data {
+		dst.Data[k] = 0
+	}
+	for i, m := range mats {
+		c := coeffs[i]
+		if c == 0 {
+			continue
+		}
+		for k, v := range m.Data {
+			dst.Data[k] += c * v
+		}
+	}
+}
+
+func seqMulVec(dst []float64, m *matrix.Dense, v []float64) {
+	for i := 0; i < m.R; i++ {
+		row := m.Data[i*m.C : (i+1)*m.C]
+		var s float64
+		for j, rv := range row {
+			s += rv * v[j]
+		}
+		dst[i] = s
+	}
+}
+
+func seqDot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func randMat(r, c int, rng *rand.Rand) *matrix.Dense {
+	m := matrix.New(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func randSym(n int, rng *rand.Rand) *matrix.Dense {
+	m := randMat(n, n, rng)
+	m.Symmetrize()
+	return m
+}
+
+func randVec(n int, rng *rand.Rand) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}

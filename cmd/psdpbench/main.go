@@ -1,4 +1,5 @@
-// Command psdpbench regenerates the experiment tables of EXPERIMENTS.md.
+// Command psdpbench regenerates the experiment tables of EXPERIMENTS.md
+// and the dense-kernel performance baseline BENCH_psdp.json.
 //
 // Usage:
 //
@@ -7,6 +8,8 @@
 //	psdpbench -quick          # small sizes (what the test suite runs)
 //	psdpbench -seed 7         # change the deterministic seed
 //	psdpbench -list           # list experiment ids
+//	psdpbench -kernels        # time the dense hot-path kernels at
+//	                          # GOMAXPROCS 1 vs N and write BENCH_psdp.json
 package main
 
 import (
@@ -23,7 +26,22 @@ func main() {
 	quick := flag.Bool("quick", false, "use reduced instance sizes")
 	seed := flag.Uint64("seed", 2012, "deterministic seed for all randomness")
 	list := flag.Bool("list", false, "list experiments and exit")
+	kernels := flag.Bool("kernels", false, "benchmark the dense hot-path kernels and write -bench-out")
+	benchOut := flag.String("bench-out", "BENCH_psdp.json", "output path for -kernels JSON report")
 	flag.Parse()
+
+	if *kernels {
+		sizes := []int{256, 512, 1024}
+		if *quick {
+			sizes = []int{64, 128}
+		}
+		if err := runKernelBench(*benchOut, sizes, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "psdpbench: kernel benchmark failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *benchOut)
+		return
+	}
 
 	if *list {
 		for _, r := range experiments.All() {

@@ -1,0 +1,177 @@
+// Cross-GOMAXPROCS determinism harness: the repo guarantees that every
+// solver result — traces, witnesses, certified bounds — is bit-for-bit
+// identical at any GOMAXPROCS, because all parallel reductions use
+// fixed block trees (see internal/parallel). These tests run the public
+// Decision/Maximize entry points on small seeded instances at
+// GOMAXPROCS=1 and GOMAXPROCS=8 and compare everything bitwise.
+package psdp_test
+
+import (
+	"math"
+	"math/rand/v2"
+	"runtime"
+	"testing"
+
+	psdp "repro"
+	"repro/internal/gen"
+)
+
+// runTrace captures the full per-iteration telemetry of a run.
+type runTrace struct {
+	iters []psdp.IterationInfo
+}
+
+func traceOpts(seed uint64, tr *runTrace) psdp.Options {
+	return psdp.Options{
+		Seed: seed,
+		OnIteration: func(info psdp.IterationInfo) bool {
+			tr.iters = append(tr.iters, info)
+			return true
+		},
+	}
+}
+
+func sameBits(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
+
+func sameVec(t *testing.T, name string, a, b []float64) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: length %d vs %d", name, len(a), len(b))
+	}
+	for i := range a {
+		if !sameBits(a[i], b[i]) {
+			t.Fatalf("%s[%d]: %v vs %v (bitwise mismatch)", name, i, a[i], b[i])
+		}
+	}
+}
+
+func sameTrace(t *testing.T, name string, a, b runTrace) {
+	t.Helper()
+	if len(a.iters) != len(b.iters) {
+		t.Fatalf("%s: %d iterations vs %d", name, len(a.iters), len(b.iters))
+	}
+	for i := range a.iters {
+		x, y := a.iters[i], b.iters[i]
+		if x.T != y.T || x.Updated != y.Updated ||
+			!sameBits(x.XNorm1, y.XNorm1) || !sameBits(x.LambdaMax, y.LambdaMax) ||
+			!sameBits(x.MinRatio, y.MinRatio) || !sameBits(x.MaxRatio, y.MaxRatio) {
+			t.Fatalf("%s: iteration %d differs: %+v vs %+v", name, i, x, y)
+		}
+	}
+}
+
+func sameDecision(t *testing.T, name string, a, b *psdp.DecisionResult) {
+	t.Helper()
+	if a.Outcome != b.Outcome || a.Iterations != b.Iterations {
+		t.Fatalf("%s: outcome/iterations differ: %v/%d vs %v/%d",
+			name, a.Outcome, a.Iterations, b.Outcome, b.Iterations)
+	}
+	if !sameBits(a.Lower, b.Lower) || !sameBits(a.Upper, b.Upper) ||
+		!sameBits(a.LambdaMaxPsi, b.LambdaMaxPsi) || !sameBits(a.MaxPsiNorm, b.MaxPsiNorm) {
+		t.Fatalf("%s: certified bounds differ: [%v, %v] λ=%v vs [%v, %v] λ=%v",
+			name, a.Lower, a.Upper, a.LambdaMaxPsi, b.Lower, b.Upper, b.LambdaMaxPsi)
+	}
+	sameVec(t, name+".X", a.X, b.X)
+	sameVec(t, name+".DualX", a.DualX, b.DualX)
+	sameVec(t, name+".AvgRatios", a.AvgRatios, b.AvgRatios)
+}
+
+// atGOMAXPROCS runs f under the given GOMAXPROCS setting.
+func atGOMAXPROCS(p int, f func()) {
+	orig := runtime.GOMAXPROCS(p)
+	defer runtime.GOMAXPROCS(orig)
+	f()
+}
+
+func TestDecisionDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	inst, err := gen.OrthogonalRankOne(10, 12, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := psdp.NewDenseSet(inst.A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled := set.WithScale(inst.OPT)
+
+	run := func() (*psdp.DecisionResult, runTrace) {
+		var tr runTrace
+		dr, err := psdp.Decision(scaled, 0.2, traceOpts(5, &tr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dr, tr
+	}
+	var dr1, dr8 *psdp.DecisionResult
+	var tr1, tr8 runTrace
+	atGOMAXPROCS(1, func() { dr1, tr1 = run() })
+	atGOMAXPROCS(8, func() { dr8, tr8 = run() })
+
+	sameTrace(t, "dense trace", tr1, tr8)
+	sameDecision(t, "dense decision", dr1, dr8)
+}
+
+func TestDecisionFactoredJLDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	inst, err := gen.RandomFactored(12, 24, 2, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset, err := psdp.NewFactoredSet(inst.Q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minTr := math.Inf(1)
+	for i := 0; i < fset.N(); i++ {
+		if tr := fset.Trace(i); tr < minTr {
+			minTr = tr
+		}
+	}
+	scaled := fset.WithScale(2 / minTr)
+
+	run := func() (*psdp.DecisionResult, runTrace) {
+		var tr runTrace
+		opts := traceOpts(7, &tr)
+		opts.SketchEps = 0.3
+		dr, err := psdp.Decision(scaled, 0.25, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dr, tr
+	}
+	var dr1, dr8 *psdp.DecisionResult
+	var tr1, tr8 runTrace
+	atGOMAXPROCS(1, func() { dr1, tr1 = run() })
+	atGOMAXPROCS(8, func() { dr8, tr8 = run() })
+
+	sameTrace(t, "factored trace", tr1, tr8)
+	sameDecision(t, "factored decision", dr1, dr8)
+}
+
+func TestMaximizeDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	set, err := psdp.NewDenseSet([]*psdp.Dense{
+		psdp.Diag([]float64{0.5, 0.25, 0.1}),
+		psdp.Diag([]float64{0.25, 0.5, 0.3}),
+		psdp.MatrixFromRows([][]float64{{0.2, 0.1, 0}, {0.1, 0.3, 0.05}, {0, 0.05, 0.4}}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *psdp.Solution {
+		sol, err := psdp.Maximize(set, 0.15, psdp.Options{Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sol
+	}
+	var s1, s8 *psdp.Solution
+	atGOMAXPROCS(1, func() { s1 = run() })
+	atGOMAXPROCS(8, func() { s8 = run() })
+
+	if !sameBits(s1.Lower, s8.Lower) || !sameBits(s1.Upper, s8.Upper) {
+		t.Fatalf("Maximize bounds differ: [%v, %v] vs [%v, %v]",
+			s1.Lower, s1.Upper, s8.Lower, s8.Upper)
+	}
+	sameVec(t, "Maximize.X", s1.X, s8.X)
+}

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/eigen"
 	"repro/internal/matrix"
+	"repro/internal/parallel"
 )
 
 // ErrNotPD is returned by Cholesky when the matrix is not (numerically)
@@ -38,15 +39,31 @@ func Cholesky(a *matrix.Dense) (*matrix.Dense, error) {
 		}
 		ljj := math.Sqrt(d)
 		l.Set(j, j, ljj)
-		for i := j + 1; i < n; i++ {
-			s := a.At(i, j)
-			for k := 0; k < j; k++ {
-				s -= l.At(i, k) * l.At(j, k)
+		// Rows below the pivot are independent given column j's prefix:
+		// the classical right-looking update, blocked over rows.
+		parallel.ForBlock(n-j-1, colGrain(j+1), func(lo, hi int) {
+			for i := j + 1 + lo; i < j+1+hi; i++ {
+				s := a.At(i, j)
+				lrow := l.Data[i*n : i*n+j]
+				jrow := l.Data[j*n : j*n+j]
+				for k, v := range lrow {
+					s -= v * jrow[k]
+				}
+				l.Set(i, j, s/ljj)
 			}
-			l.Set(i, j, s/ljj)
-		}
+		})
 	}
 	return l, nil
+}
+
+// colGrain picks a row-block grain so each forked block performs at
+// least ~4096 scalar operations when every row costs flopsPerRow.
+func colGrain(flopsPerRow int) int {
+	g := 4096 / flopsPerRow
+	if g < 1 {
+		g = 1
+	}
+	return g
 }
 
 // PivotedCholesky computes a rank-revealing factorization A ≈ Q Qᵀ of a
@@ -91,27 +108,31 @@ func PivotedCholesky(a *matrix.Dense, tol float64) (q *matrix.Dense, rank int, e
 		}
 		piv := math.Sqrt(diag[p])
 		col := make([]float64, n)
-		for i := 0; i < n; i++ {
-			s := a.At(i, p)
-			for _, c := range cols {
-				s -= c[i] * c[p]
+		// Each entry of the new factor column depends only on the already
+		// computed columns, so the sweep blocks over rows.
+		parallel.ForBlock(n, colGrain(len(cols)+1), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				s := a.At(i, p)
+				for _, c := range cols {
+					s -= c[i] * c[p]
+				}
+				col[i] = s / piv
 			}
-			col[i] = s / piv
-		}
+		})
 		col[p] = piv
 		cols = append(cols, col)
 		perm = append(perm, p)
-		for i := 0; i < n; i++ {
-			diag[i] -= col[i] * col[i]
-		}
+		parallel.ForBlock(n, 4096, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				diag[i] -= col[i] * col[i]
+			}
+		})
 		diag[p] = 0
 		// A meaningfully negative residual diagonal certifies the input
 		// was not PSD: for true PSD matrices the Schur complement stays
 		// (numerically) nonnegative.
-		for i := 0; i < n; i++ {
-			if diag[i] < -1e-8*trace {
-				return nil, 0, errors.New("chol: matrix is not positive semidefinite")
-			}
+		if matrix.VecMin(diag) < -1e-8*trace {
+			return nil, 0, errors.New("chol: matrix is not positive semidefinite")
 		}
 	}
 	rank = len(cols)

@@ -105,16 +105,7 @@ func (o *denseOracle) ratios() ([]float64, oracleInfo, error) {
 	n := o.set.N()
 	m := o.set.m
 	r := make([]float64, n)
-	parallel.ForBlock(n, rowGrainFor(m*m), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			a := o.set.A[i]
-			var s float64
-			for k := range a.Data {
-				s += a.Data[k] * p.Data[k]
-			}
-			r[i] = o.set.scale * s
-		}
-	})
+	matrix.DotMany(r, o.set.A, o.set.scale, p)
 	// Analytic cost: one m³ eigendecomposition + n·m² dot products.
 	o.st.Add(int64(9)*int64(m)*int64(m)*int64(m)+int64(2*n)*int64(m)*int64(m),
 		int64(m)*parallel.Log2(m))
@@ -128,17 +119,6 @@ func (o *denseOracle) lambdaMaxPsi() (float64, error) {
 }
 
 func (o *denseOracle) probability() *matrix.Dense { return o.p }
-
-func rowGrainFor(flopsPerItem int) int {
-	if flopsPerItem <= 0 {
-		flopsPerItem = 1
-	}
-	g := 4096 / flopsPerItem
-	if g < 1 {
-		g = 1
-	}
-	return g
-}
 
 // errNotDense is returned when a dense-only feature is requested from a
 // factored run.

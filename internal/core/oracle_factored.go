@@ -120,19 +120,7 @@ func (o *factoredJLOracle) ratios() ([]float64, oracleInfo, error) {
 		logs[r] = ls
 	})
 	// Rescale all rows to the common maximum log-scale L.
-	maxLog := logs[0]
-	for _, l := range logs[1:] {
-		if l > maxLog {
-			maxLog = l
-		}
-	}
-	for r := 0; r < o.rows; r++ {
-		f := math.Exp(logs[r] - maxLog)
-		row := s.Data[r*m : (r+1)*m]
-		for j := range row {
-			row[j] *= f
-		}
-	}
+	maxLog := rescaleRows(s, logs)
 
 	// trEst·e^{2L} ≈ Tr[exp(Ψ)] = ‖exp(Ψ/2)‖_F².
 	trEst := parallel.SumFloat(len(s.Data), func(i int) float64 { return s.Data[i] * s.Data[i] })
@@ -154,6 +142,24 @@ func (o *factoredJLOracle) ratios() ([]float64, oracleInfo, error) {
 		LambdaMax: o.lambdaEst,
 		LogTrW:    2*maxLog + math.Log(trEst),
 	}, nil
+}
+
+// rescaleRows brings every row of s from its own log-scale logs[r] to
+// the common maximum log-scale, which it returns. Rows are rescaled in
+// parallel with the blocked vector kernel.
+func rescaleRows(s *matrix.Dense, logs []float64) (maxLog float64) {
+	maxLog = logs[0]
+	for _, l := range logs[1:] {
+		if l > maxLog {
+			maxLog = l
+		}
+	}
+	m := s.C
+	parallel.For(s.R, func(r int) {
+		row := s.Data[r*m : (r+1)*m]
+		matrix.VecScale(row, math.Exp(logs[r]-maxLog), row)
+	})
+	return maxLog
 }
 
 // lambdaMaxPsi runs a certificate-grade Lanczos (tight tolerance, many
@@ -232,19 +238,7 @@ func (o *factoredExactOracle) ratios() ([]float64, oracleInfo, error) {
 		copy(cols.Data[r*m:(r+1)*m], w)
 		logs[r] = ls
 	})
-	maxLog := logs[0]
-	for _, l := range logs[1:] {
-		if l > maxLog {
-			maxLog = l
-		}
-	}
-	for r := 0; r < m; r++ {
-		f := math.Exp(logs[r] - maxLog)
-		row := cols.Data[r*m : (r+1)*m]
-		for j := range row {
-			row[j] *= f
-		}
-	}
+	maxLog := rescaleRows(cols, logs)
 	trEst := parallel.SumFloat(len(cols.Data), func(i int) float64 { return cols.Data[i] * cols.Data[i] })
 	if trEst <= 0 || math.IsNaN(trEst) {
 		return nil, oracleInfo{}, fmt.Errorf("core: factored-exact oracle: degenerate trace %v", trEst)

@@ -122,14 +122,14 @@ func (s *DenseSet) ApplyPsi(x, in, out []float64) {
 	}
 }
 
-// PsiDense materializes Ψ = Σᵢ xᵢAᵢ (scaled) as a dense matrix.
+// PsiDense materializes Ψ = Σᵢ xᵢAᵢ (scaled) as a dense matrix with one
+// blocked linear-combination pass over the entries (instead of n
+// sequential AXPY sweeps).
 func (s *DenseSet) PsiDense(x []float64) *matrix.Dense {
 	psi := matrix.New(s.m, s.m)
-	for i, ai := range s.A {
-		if x[i] != 0 {
-			matrix.AXPY(psi, s.scale*x[i], ai)
-		}
-	}
+	coeffs := make([]float64, len(x))
+	matrix.VecScale(coeffs, s.scale, x)
+	matrix.LinComb(psi, coeffs, s.A)
 	return psi
 }
 

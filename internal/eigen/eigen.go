@@ -95,36 +95,17 @@ func IsPSD(a *matrix.Dense, tol float64) (bool, error) {
 	return vals[len(vals)-1] >= -tol*scale, nil
 }
 
-// Apply evaluates f on the spectrum: returns V f(Λ) Vᵀ.
+// Apply evaluates f on the spectrum: returns V f(Λ) Vᵀ via the blocked
+// symmetric congruence kernel (upper triangle computed, then mirrored).
 func (dec *Decomposition) Apply(f func(float64) float64) *matrix.Dense {
 	n := len(dec.Values)
-	v := dec.Vectors
-	out := matrix.New(n, n)
 	fl := make([]float64, n)
 	for j, lam := range dec.Values {
 		fl[j] = f(lam)
 	}
-	parallel.ForBlock(n, rowGrain(n), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			orow := out.Data[i*n : (i+1)*n]
-			vrow := v.Data[i*n : (i+1)*n]
-			for k := i; k < n; k++ {
-				vkrow := v.Data[k*n : (k+1)*n]
-				var s float64
-				for j := 0; j < n; j++ {
-					s += vrow[j] * fl[j] * vkrow[j]
-				}
-				orow[k] = s
-			}
-		}
-	})
-	// Mirror the strictly computed upper triangle.
-	for i := 0; i < n; i++ {
-		for k := i + 1; k < n; k++ {
-			out.Data[k*n+i] = out.Data[i*n+k]
-		}
-	}
-	return out
+	// No stats: Apply is part of composite decomposition pipelines whose
+	// analytic cost the drivers record (see the Stats convention).
+	return matrix.CongruenceDiag(dec.Vectors, fl, nil)
 }
 
 // Reconstruct returns V Λ Vᵀ, which should reproduce the input matrix.
@@ -174,17 +155,6 @@ func abs(x float64) float64 {
 		return -x
 	}
 	return x
-}
-
-func rowGrain(flopsPerRow int) int {
-	if flopsPerRow <= 0 {
-		flopsPerRow = 1
-	}
-	g := 4096 / flopsPerRow
-	if g < 1 {
-		g = 1
-	}
-	return g
 }
 
 // stats hook: package-level recorder that callers may set to account

@@ -73,11 +73,13 @@ func LanczosMax(apply func(in, out []float64), dim int, opts LanczosOpts) (float
 		apply(v, w)
 		alpha := matrix.VecDot(w, v)
 		alphas = append(alphas, alpha)
-		// Full reorthogonalization: stable for the modest Krylov
-		// dimensions used here, and keeps the Ritz values trustworthy.
-		for _, u := range basis {
-			matrix.VecAXPY(w, -matrix.VecDot(w, u), u)
-		}
+		// Full reorthogonalization, batched: two classical Gram–Schmidt
+		// sweeps (CGS2, numerically on par with modified GS against an
+		// orthonormal basis) so each sweep is one parallel pass — all
+		// projection coefficients first, then a single blocked update —
+		// instead of a sequential AXPY chain per basis vector.
+		reorthogonalize(w, basis)
+		reorthogonalize(w, basis)
 		beta := matrix.VecNorm2(w)
 		lam, err := topRitz(alphas, betas)
 		if err != nil {
@@ -96,6 +98,17 @@ func LanczosMax(apply func(in, out []float64), dim int, opts LanczosOpts) (float
 		matrix.VecScale(v, 1/beta, w)
 	}
 	return prev, nil
+}
+
+// reorthogonalize removes the components of w along every basis vector
+// with one classical Gram–Schmidt sweep: coefficients are deterministic
+// block reductions, and the update is a single VecLinComb pass.
+func reorthogonalize(w []float64, basis [][]float64) {
+	coeffs := make([]float64, len(basis))
+	for u, b := range basis {
+		coeffs[u] = -matrix.VecDot(w, b)
+	}
+	matrix.VecLinComb(w, coeffs, basis)
 }
 
 // topRitz returns the largest eigenvalue of the Lanczos tridiagonal

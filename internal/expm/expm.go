@@ -94,10 +94,13 @@ func TaylorExpPSD(b *matrix.Dense, k int) *matrix.Dense {
 		k = 1
 	}
 	n := b.R
-	// Horner: p = I + B/(k-1)·(I + B/(k-2)·(...)).
+	// Horner: p = I + B/(k-1)·(I + B/(k-2)·(...)). Every Horner iterate
+	// is a polynomial in B, so each product B·p is symmetric and the
+	// blocked symmetric kernel (half the multiply work, exact symmetry)
+	// applies.
 	p := matrix.Identity(n)
 	for i := k - 1; i >= 1; i-- {
-		p = matrix.MulAB(b, p, nil)
+		p = matrix.SymMulAB(b, p, nil)
 		matrix.Scale(p, 1/float64(i), p)
 		matrix.AddScaledIdentity(p, 1)
 	}

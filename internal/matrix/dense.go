@@ -72,13 +72,15 @@ func FromRows(rows [][]float64) *Dense {
 func OuterProduct(s float64, v []float64) *Dense {
 	n := len(v)
 	m := New(n, n)
-	for i := 0; i < n; i++ {
-		si := s * v[i]
-		row := m.Data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			row[j] = si * v[j]
+	parallel.ForBlock(n, rowGrain(n), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			si := s * v[i]
+			row := m.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				row[j] = si * v[j]
+			}
 		}
-	}
+	})
 	return m
 }
 
@@ -125,12 +127,14 @@ func (m *Dense) Zero() {
 // T returns the transpose as a new matrix.
 func (m *Dense) T() *Dense {
 	out := New(m.C, m.R)
-	for i := 0; i < m.R; i++ {
-		row := m.Data[i*m.C : (i+1)*m.C]
-		for j, v := range row {
-			out.Data[j*m.R+i] = v
+	parallel.ForBlock(m.R, rowGrain(m.C), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := m.Data[i*m.C : (i+1)*m.C]
+			for j, v := range row {
+				out.Data[j*m.R+i] = v
+			}
 		}
-	}
+	})
 	return out
 }
 
@@ -158,13 +162,15 @@ func (m *Dense) Symmetrize() {
 		panic("matrix: Symmetrize of non-square matrix")
 	}
 	n := m.R
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			v := (m.Data[i*n+j] + m.Data[j*n+i]) / 2
-			m.Data[i*n+j] = v
-			m.Data[j*n+i] = v
+	parallel.ForBlock(n, rowGrain(n/2+1), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := i + 1; j < n; j++ {
+				v := (m.Data[i*n+j] + m.Data[j*n+i]) / 2
+				m.Data[i*n+j] = v
+				m.Data[j*n+i] = v
+			}
 		}
-	}
+	})
 }
 
 // Trace returns the sum of diagonal entries. m must be square.

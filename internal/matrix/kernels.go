@@ -1,0 +1,175 @@
+package matrix
+
+import (
+	"repro/internal/parallel"
+)
+
+// Blocked symmetric and batched kernels. These are the dense hot paths
+// of the solver: every Algorithm 3.1 iteration on the dense oracle is
+// one spectral reconstruction (CongruenceDiag) plus n pointwise
+// products (DotMany), and the Taylor path of Lemma 4.2 is a chain of
+// symmetric multiplies (SymMulAB). All kernels fork via
+// parallel.ForBlock with deterministic block decompositions, so results
+// are bit-for-bit identical at any GOMAXPROCS.
+
+// SymMulAB returns a·b for square a, b whose product is known to be
+// symmetric (e.g. commuting symmetric matrices, such as polynomials in
+// a common matrix). Only the upper triangle is computed — roughly half
+// the work of MulAB — and mirrored, so the result is exactly symmetric.
+// Analytic cost: work R·K·C, depth O(log K).
+func SymMulAB(a, b *Dense, st *parallel.Stats) *Dense {
+	if a.C != b.R || a.R != b.C || a.R != a.C {
+		panic(dimErr("SymMulAB", a, b))
+	}
+	n := a.R
+	out := New(n, n)
+	parallel.ForBlock(n, rowGrain(n*n/2+1), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*n : (i+1)*n]
+			orow := out.Data[i*n : (i+1)*n]
+			for l, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[l*n+i : (l+1)*n]
+				for jo, bv := range brow {
+					orow[i+jo] += av * bv
+				}
+			}
+		}
+	})
+	mirrorUpper(out)
+	st.Add(int64(n)*int64(n)*int64(n), parallel.Log2(n))
+	return out
+}
+
+// Gram returns q·qᵀ, the Gram matrix of the rows of q — the dense form
+// of the paper's factored constraints Aᵢ = QᵢQᵢᵀ. Only the upper
+// triangle is computed and mirrored. Analytic cost: work R²·C, depth
+// O(log C).
+func Gram(q *Dense, st *parallel.Stats) *Dense {
+	n, k := q.R, q.C
+	out := New(n, n)
+	parallel.ForBlock(n, rowGrain(n*k/2+1), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			qi := q.Data[i*k : (i+1)*k]
+			orow := out.Data[i*n : (i+1)*n]
+			for j := i; j < n; j++ {
+				qj := q.Data[j*k : (j+1)*k]
+				var s float64
+				for l, v := range qi {
+					s += v * qj[l]
+				}
+				orow[j] = s
+			}
+		}
+	})
+	mirrorUpper(out)
+	st.Add(int64(n)*int64(n)*int64(k), parallel.Log2(k))
+	return out
+}
+
+// CongruenceDiag returns v·diag(d)·vᵀ treating the rows of v as the
+// congruence frame: out[i][j] = Σ_l v[i][l]·d[l]·v[j][l]. This is the
+// spectral reconstruction V f(Λ) Vᵀ at the heart of the dense
+// exponential oracle. Only the upper triangle is computed and mirrored.
+// Analytic cost: work R²·C, depth O(log C).
+func CongruenceDiag(v *Dense, d []float64, st *parallel.Stats) *Dense {
+	if v.C != len(d) {
+		panic("matrix: CongruenceDiag dimension mismatch")
+	}
+	n, k := v.R, v.C
+	out := New(n, n)
+	parallel.ForBlock(n, rowGrain(n*k/2+1), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			vi := v.Data[i*k : (i+1)*k]
+			orow := out.Data[i*n : (i+1)*n]
+			for j := i; j < n; j++ {
+				vj := v.Data[j*k : (j+1)*k]
+				var s float64
+				for l, vv := range vi {
+					s += vv * d[l] * vj[l]
+				}
+				orow[j] = s
+			}
+		}
+	})
+	mirrorUpper(out)
+	st.Add(int64(2)*int64(n)*int64(n)*int64(k), parallel.Log2(k))
+	return out
+}
+
+// DotMany computes out[i] = scale·(as[i] • p) for every i: the batched
+// A•X inner products that turn one density matrix into all n constraint
+// ratios. Each inner product is summed sequentially (so per-entry
+// results are independent of the blocking), and the batch is blocked
+// over constraints. Analytic cost: work 2·n·len(p), depth O(log n).
+func DotMany(out []float64, as []*Dense, scale float64, p *Dense) {
+	if len(out) != len(as) {
+		panic("matrix: DotMany length mismatch")
+	}
+	sz := len(p.Data)
+	// Validate before forking so a mismatch panics in the caller's
+	// goroutine, not inside a spawned worker.
+	for _, a := range as {
+		if len(a.Data) != sz {
+			panic(dimErr("DotMany", a, p))
+		}
+	}
+	parallel.ForBlock(len(as), rowGrain(sz), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a := as[i]
+			var s float64
+			for k, v := range a.Data {
+				s += v * p.Data[k]
+			}
+			out[i] = scale * s
+		}
+	})
+}
+
+// LinComb overwrites dst with Σᵢ coeffs[i]·mats[i], blocked over matrix
+// entries. Every entry is accumulated over i in index order, so the
+// result is deterministic at any GOMAXPROCS. Matrices with a zero
+// coefficient are skipped. Analytic cost: work n·len(dst), depth
+// O(log n).
+func LinComb(dst *Dense, coeffs []float64, mats []*Dense) {
+	if len(coeffs) != len(mats) {
+		panic("matrix: LinComb length mismatch")
+	}
+	sz := len(dst.Data)
+	for _, m := range mats {
+		if len(m.Data) != sz || m.R != dst.R {
+			panic(dimErr("LinComb", dst, m))
+		}
+	}
+	parallel.ForBlock(sz, 2048, func(lo, hi int) {
+		seg := dst.Data[lo:hi]
+		for k := range seg {
+			seg[k] = 0
+		}
+		for i, m := range mats {
+			c := coeffs[i]
+			if c == 0 {
+				continue
+			}
+			src := m.Data[lo:hi]
+			for k, v := range src {
+				seg[k] += c * v
+			}
+		}
+	})
+}
+
+// mirrorUpper copies the strictly upper triangle of the square matrix m
+// onto the strictly lower triangle, in parallel over rows.
+func mirrorUpper(m *Dense) {
+	n := m.R
+	parallel.ForBlock(n, rowGrain(n/2+1), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := i + 1; j < n; j++ {
+				m.Data[j*n+i] = m.Data[i*n+j]
+			}
+		}
+	})
+}

@@ -1,0 +1,326 @@
+package matrix
+
+import (
+	"math"
+	"math/rand/v2"
+	"runtime"
+	"testing"
+	"testing/quick"
+)
+
+// Property tests asserting the blocked-parallel kernels return results
+// identical to straightforward sequential references. For elementwise
+// and row-partitioned kernels the match is bitwise: every output entry
+// is accumulated in exactly the same order as the naive loop, only the
+// row/entry ranges are distributed. Reduction kernels (VecDot, Dot, …)
+// use a fixed block tree, so they are instead asserted bitwise-stable
+// across GOMAXPROCS and approximately equal to the naive sum.
+
+func quickCfg() *quick.Config { return &quick.Config{MaxCount: 40} }
+
+func randDenseN(r, c int, rng *rand.Rand) *Dense {
+	m := New(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// naiveMulAB is the textbook triple loop in ikj order, matching the
+// accumulation order of the blocked kernel.
+func naiveMulAB(a, b *Dense) *Dense {
+	out := New(a.R, b.C)
+	for i := 0; i < a.R; i++ {
+		for l := 0; l < a.C; l++ {
+			av := a.At(i, l)
+			if av == 0 {
+				continue
+			}
+			for j := 0; j < b.C; j++ {
+				out.Data[i*b.C+j] += av * b.At(l, j)
+			}
+		}
+	}
+	return out
+}
+
+func bitwiseEqual(t *testing.T, got, want *Dense, name string) bool {
+	t.Helper()
+	if got.R != want.R || got.C != want.C {
+		t.Errorf("%s: shape %dx%d, want %dx%d", name, got.R, got.C, want.R, want.C)
+		return false
+	}
+	for i := range got.Data {
+		if math.Float64bits(got.Data[i]) != math.Float64bits(want.Data[i]) {
+			t.Errorf("%s: entry %d = %v, want %v (bitwise)", name, i, got.Data[i], want.Data[i])
+			return false
+		}
+	}
+	return true
+}
+
+func TestQuickMulABMatchesNaiveBitwise(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 0xabc))
+		r := 1 + int(seed%9)
+		k := 1 + int((seed>>8)%9)
+		c := 1 + int((seed>>16)%9)
+		a := randDenseN(r, k, rng)
+		b := randDenseN(k, c, rng)
+		return bitwiseEqual(t, MulAB(a, b, nil), naiveMulAB(a, b), "MulAB")
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSymMulABMatchesNaiveUpperBitwise(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 0xdef))
+		n := 1 + int(seed%10)
+		b := randDenseN(n, n, rng)
+		b.Symmetrize()
+		// b·b is symmetric, the kernel's contract.
+		got := SymMulAB(b, b, nil)
+		want := naiveMulAB(b, b)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				if math.Float64bits(got.At(i, j)) != math.Float64bits(want.At(i, j)) {
+					return false
+				}
+				// Lower triangle is mirrored, exactly.
+				if math.Float64bits(got.At(j, i)) != math.Float64bits(got.At(i, j)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickGramMatchesNaiveBitwise(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 0x123))
+		n := 1 + int(seed%10)
+		k := 1 + int((seed>>8)%7)
+		q := randDenseN(n, k, rng)
+		got := Gram(q, nil)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				var s float64
+				for l := 0; l < k; l++ {
+					s += q.At(i, l) * q.At(j, l)
+				}
+				if math.Float64bits(got.At(i, j)) != math.Float64bits(s) {
+					return false
+				}
+				if math.Float64bits(got.At(j, i)) != math.Float64bits(s) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCongruenceDiagMatchesNaiveBitwise(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 0x456))
+		n := 1 + int(seed%8)
+		k := 1 + int((seed>>8)%8)
+		v := randDenseN(n, k, rng)
+		d := make([]float64, k)
+		for i := range d {
+			d[i] = rng.NormFloat64()
+		}
+		got := CongruenceDiag(v, d, nil)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				var s float64
+				for l := 0; l < k; l++ {
+					s += v.At(i, l) * d[l] * v.At(j, l)
+				}
+				if math.Float64bits(got.At(i, j)) != math.Float64bits(s) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDotManyMatchesNaiveBitwise(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 0x789))
+		n := 1 + int(seed%12)
+		m := 1 + int((seed>>8)%6)
+		as := make([]*Dense, n)
+		for i := range as {
+			as[i] = randDenseN(m, m, rng)
+		}
+		p := randDenseN(m, m, rng)
+		scale := 1 + rng.Float64()
+		got := make([]float64, n)
+		DotMany(got, as, scale, p)
+		for i := range as {
+			var s float64
+			for k := range as[i].Data {
+				s += as[i].Data[k] * p.Data[k]
+			}
+			if math.Float64bits(got[i]) != math.Float64bits(scale*s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickLinCombMatchesNaiveBitwise(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 0xaaa))
+		n := 1 + int(seed%8)
+		m := 1 + int((seed>>8)%6)
+		mats := make([]*Dense, n)
+		coeffs := make([]float64, n)
+		for i := range mats {
+			mats[i] = randDenseN(m, m, rng)
+			coeffs[i] = rng.NormFloat64()
+		}
+		if n > 2 {
+			coeffs[1] = 0 // exercise the zero-coefficient skip
+		}
+		got := New(m, m)
+		LinComb(got, coeffs, mats)
+		want := New(m, m)
+		for i, mat := range mats {
+			if coeffs[i] == 0 {
+				continue
+			}
+			for k, v := range mat.Data {
+				want.Data[k] += coeffs[i] * v
+			}
+		}
+		return bitwiseEqual(t, got, want, "LinComb")
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickVecKernelsMatchNaiveBitwise(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 0xbbb))
+		n := 1 + int(seed%2000)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		s := rng.NormFloat64()
+
+		sum := make([]float64, n)
+		VecAdd(sum, a, b)
+		sc := make([]float64, n)
+		VecScale(sc, s, a)
+		ax := append([]float64(nil), b...)
+		VecAXPY(ax, s, a)
+		lc := append([]float64(nil), b...)
+		VecLinComb(lc, []float64{s, 2 * s}, [][]float64{a, b})
+		for i := range a {
+			if math.Float64bits(sum[i]) != math.Float64bits(a[i]+b[i]) {
+				return false
+			}
+			if math.Float64bits(sc[i]) != math.Float64bits(s*a[i]) {
+				return false
+			}
+			if math.Float64bits(ax[i]) != math.Float64bits(b[i]+s*a[i]) {
+				return false
+			}
+			if math.Float64bits(lc[i]) != math.Float64bits(b[i]+s*a[i]+2*s*b[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Reductions use a fixed block tree: the result is asserted bitwise
+// identical across GOMAXPROCS settings and approximately equal to the
+// plain left-to-right sum.
+func TestQuickReductionsStableAcrossGOMAXPROCS(t *testing.T) {
+	orig := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(orig)
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 0xccc))
+		n := 1 + int(seed%50000)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		var naive float64
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+			naive += a[i] * b[i]
+		}
+		runtime.GOMAXPROCS(1)
+		d1 := VecDot(a, b)
+		s1 := VecSum(a)
+		m1 := VecMax(a)
+		runtime.GOMAXPROCS(8)
+		d8 := VecDot(a, b)
+		s8 := VecSum(a)
+		m8 := VecMax(a)
+		runtime.GOMAXPROCS(orig)
+		if math.Float64bits(d1) != math.Float64bits(d8) ||
+			math.Float64bits(s1) != math.Float64bits(s8) ||
+			math.Float64bits(m1) != math.Float64bits(m8) {
+			return false
+		}
+		return math.Abs(d1-naive) <= 1e-9*(1+math.Abs(naive))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Matrix kernels are bitwise stable across GOMAXPROCS (the blocked
+// partitions change with worker count, but per-entry accumulation
+// order does not).
+func TestKernelsStableAcrossGOMAXPROCS(t *testing.T) {
+	orig := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(orig)
+	rng := rand.New(rand.NewPCG(42, 43))
+	n := 96
+	a := randDenseN(n, n, rng)
+	b := randDenseN(n, n, rng)
+	a.Symmetrize()
+
+	runtime.GOMAXPROCS(1)
+	p1 := MulAB(a, b, nil)
+	g1 := Gram(a, nil)
+	s1 := SymMulAB(a, a, nil)
+	runtime.GOMAXPROCS(8)
+	p8 := MulAB(a, b, nil)
+	g8 := Gram(a, nil)
+	s8 := SymMulAB(a, a, nil)
+	runtime.GOMAXPROCS(orig)
+
+	bitwiseEqual(t, p8, p1, "MulAB across GOMAXPROCS")
+	bitwiseEqual(t, g8, g1, "Gram across GOMAXPROCS")
+	bitwiseEqual(t, s8, s1, "SymMulAB across GOMAXPROCS")
+}

@@ -70,9 +70,10 @@ func Dot(a, b *Dense) float64 {
 		panic(dimErr("Dot", a, b))
 	}
 	return parallel.SumBlocks(len(a.Data), 4096, func(lo, hi int) float64 {
+		as, bs := a.Data[lo:hi], b.Data[lo:hi]
 		var s float64
-		for i := lo; i < hi; i++ {
-			s += a.Data[i] * b.Data[i]
+		for i, v := range as {
+			s += v * bs[i]
 		}
 		return s
 	})
@@ -106,23 +107,64 @@ func MulAB(a, b *Dense, st *parallel.Stats) *Dense {
 	}
 	out := New(a.R, b.C)
 	k, c := a.C, b.C
+	ad, bd, od := a.Data, b.Data, out.Data
+	// The hot loop lives in a plain top-level function: loop bodies
+	// inside closures optimize measurably worse (bounds-check and
+	// register allocation quality), and this kernel is the hottest in
+	// the dense path.
 	parallel.ForBlock(a.R, rowGrain(k*c), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Data[i*k : (i+1)*k]
-			orow := out.Data[i*c : (i+1)*c]
-			for l, av := range arow {
-				if av == 0 {
-					continue
-				}
-				brow := b.Data[l*c : (l+1)*c]
-				for j, bv := range brow {
-					orow[j] += av * bv
-				}
-			}
-		}
+		mulRowsAB(ad, bd, od, k, c, lo, hi)
 	})
 	st.Add(int64(2*a.R)*int64(k)*int64(c), parallel.Log2(k))
 	return out
+}
+
+// mulRowsAB computes rows [lo, hi) of the product: od rows accumulate
+// ad-row-scaled bd rows. Rows are processed in pairs (register
+// blocking) so every streamed b row feeds two output rows; each output
+// entry still accumulates over l in increasing order, so results are
+// bit-for-bit identical to the single-row loop.
+func mulRowsAB(ad, bd, od []float64, k, c, lo, hi int) {
+	i := lo
+	for ; i+1 < hi; i += 2 {
+		a0 := ad[i*k : (i+1)*k]
+		a1 := ad[(i+1)*k : (i+2)*k]
+		o0 := od[i*c : (i+1)*c]
+		o1 := od[(i+1)*c : (i+2)*c]
+		for l := 0; l < k; l++ {
+			av0, av1 := a0[l], a1[l]
+			brow := bd[l*c : (l+1)*c]
+			switch {
+			case av0 == 0 && av1 == 0:
+			case av1 == 0:
+				for j, bv := range brow {
+					o0[j] += av0 * bv
+				}
+			case av0 == 0:
+				for j, bv := range brow {
+					o1[j] += av1 * bv
+				}
+			default:
+				for j, bv := range brow {
+					o0[j] += av0 * bv
+					o1[j] += av1 * bv
+				}
+			}
+		}
+	}
+	for ; i < hi; i++ {
+		arow := ad[i*k : (i+1)*k]
+		orow := od[i*c : (i+1)*c]
+		for l, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := bd[l*c : (l+1)*c]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
 }
 
 // MulABT returns a·bᵀ. Both operands are traversed row-major, which is

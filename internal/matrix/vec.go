@@ -35,23 +35,57 @@ func Basis(n, i int) []float64 {
 
 // VecAdd computes dst = a + b elementwise.
 func VecAdd(dst, a, b []float64) {
-	for i := range dst {
-		dst[i] = a[i] + b[i]
-	}
+	parallel.ForBlock(len(dst), 4096, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = a[i] + b[i]
+		}
+	})
 }
 
 // VecScale computes dst = s·a.
 func VecScale(dst []float64, s float64, a []float64) {
-	for i := range dst {
-		dst[i] = s * a[i]
-	}
+	parallel.ForBlock(len(dst), 4096, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = s * a[i]
+		}
+	})
 }
 
 // VecAXPY computes dst += s·x.
 func VecAXPY(dst []float64, s float64, x []float64) {
-	for i := range dst {
-		dst[i] += s * x[i]
+	parallel.ForBlock(len(dst), 4096, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] += s * x[i]
+		}
+	})
+}
+
+// VecLinComb computes dst += Σ_u coeffs[u]·vs[u] in one blocked pass:
+// each dst entry is accumulated over u in index order, so the result is
+// deterministic at any GOMAXPROCS. This is the batched update of
+// classical Gram–Schmidt reorthogonalization (Lanczos), replacing
+// len(vs) sequential AXPY sweeps with a single parallel one.
+func VecLinComb(dst []float64, coeffs []float64, vs [][]float64) {
+	if len(coeffs) != len(vs) {
+		panic("matrix: VecLinComb length mismatch")
 	}
+	n := len(dst)
+	for _, v := range vs {
+		if len(v) != n {
+			panic("matrix: VecLinComb vector length mismatch")
+		}
+	}
+	parallel.ForBlock(n, 2048/(len(vs)+1)+1, func(lo, hi int) {
+		for u, v := range vs {
+			c := coeffs[u]
+			if c == 0 {
+				continue
+			}
+			for i := lo; i < hi; i++ {
+				dst[i] += c * v[i]
+			}
+		}
+	})
 }
 
 // VecDot returns Σ aᵢbᵢ with a deterministic block reduction.
@@ -60,9 +94,11 @@ func VecDot(a, b []float64) float64 {
 		panic("matrix: VecDot length mismatch")
 	}
 	return parallel.SumBlocks(len(a), 4096, func(lo, hi int) float64 {
+		// Reslicing lets the compiler elide per-element bounds checks.
+		as, bs := a[lo:hi], b[lo:hi]
 		var s float64
-		for i := lo; i < hi; i++ {
-			s += a[i] * b[i]
+		for i, v := range as {
+			s += v * bs[i]
 		}
 		return s
 	})
@@ -72,8 +108,8 @@ func VecDot(a, b []float64) float64 {
 func VecSum(a []float64) float64 {
 	return parallel.SumBlocks(len(a), 4096, func(lo, hi int) float64 {
 		var s float64
-		for i := lo; i < hi; i++ {
-			s += a[i]
+		for _, v := range a[lo:hi] {
+			s += v
 		}
 		return s
 	})
@@ -88,8 +124,8 @@ func VecNorm2(a []float64) float64 {
 func VecNorm1(a []float64) float64 {
 	return parallel.SumBlocks(len(a), 4096, func(lo, hi int) float64 {
 		var s float64
-		for i := lo; i < hi; i++ {
-			s += math.Abs(a[i])
+		for _, v := range a[lo:hi] {
+			s += math.Abs(v)
 		}
 		return s
 	})

@@ -136,6 +136,15 @@ func SumBlocks(n, grain int, block func(lo, hi int) float64) float64 {
 	if blocks == 1 {
 		return block(0, n)
 	}
+	if Workers() == 1 {
+		// Same block decomposition, same combine order — bit-identical to
+		// the forked path — without goroutine overhead.
+		var s float64
+		for b := 0; b < blocks; b++ {
+			s += block(b*n/blocks, (b+1)*n/blocks)
+		}
+		return s
+	}
 	partial := make([]float64, blocks)
 	var wg sync.WaitGroup
 	wg.Add(blocks)
@@ -164,6 +173,25 @@ func MaxFloat(n int, f func(i int) float64) float64 {
 		for i := 1; i < n; i++ {
 			if v := f(i); v > m {
 				m = v
+			}
+		}
+		return m
+	}
+	if Workers() == 1 {
+		// Replay the identical block decomposition sequentially (same
+		// per-block seeds, same combine order) so results — including
+		// NaN propagation — match the forked path bit for bit.
+		var m float64
+		for b := 0; b < blocks; b++ {
+			lo, hi := b*n/blocks, (b+1)*n/blocks
+			p := f(lo)
+			for i := lo + 1; i < hi; i++ {
+				if v := f(i); v > p {
+					p = v
+				}
+			}
+			if b == 0 || p > m {
+				m = p
 			}
 		}
 		return m
