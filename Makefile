@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench experiments
+.PHONY: build test race race-smoke vet ci fuzz bench experiments
 
 ## build: compile every package and command
 build:
@@ -16,6 +16,22 @@ test: build
 ## race: tier-2 check — full suite under the race detector
 race:
 	$(GO) test -race ./...
+
+## race-smoke: the fast race subset CI runs
+race-smoke:
+	$(GO) test -race -run 'TestRaceSmoke' .
+
+## vet: static analysis
+vet:
+	$(GO) vet ./...
+
+## ci: what .github/workflows/ci.yml runs — vet, tier-1, race smoke
+ci: vet test race-smoke
+
+## fuzz: explore each fuzz target briefly (seeds replay in `make test`)
+fuzz:
+	$(GO) test ./internal/instio -fuzz=FuzzBuild -fuzztime=30s
+	$(GO) test ./internal/sparse -fuzz=FuzzNewCSC -fuzztime=30s
 
 ## bench: refresh the committed kernel perf baseline BENCH_psdp.json
 bench:

@@ -8,6 +8,8 @@ import (
 	"runtime"
 	"time"
 
+	psdp "repro"
+	"repro/internal/gen"
 	"repro/internal/matrix"
 )
 
@@ -28,15 +30,57 @@ type kernelResult struct {
 	NsParN float64 `json:"ns_par_pN"`
 	// Speedup is NsSeq / NsParN.
 	Speedup float64 `json:"speedup"`
+	// AllocsPerOp and BytesPerOp are heap allocations of the blocked
+	// kernel at GOMAXPROCS=1 (the regime the workspace refactor pins:
+	// serial fast paths fire, fork closures are never built).
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// decisionResult is one end-to-end Decision-call measurement: the
+// steady-state cost of a full Algorithm 3.1 run with a warm shared
+// workspace, plus its per-iteration allocation rate — the headline
+// number of the zero-allocation workspace refactor.
+type decisionResult struct {
+	Case        string  `json:"case"`
+	N           int     `json:"n"`
+	M           int     `json:"m"`
+	Iterations  int     `json:"iterations"`
+	NsPerCall   float64 `json:"ns_per_call"`
+	AllocsPerOp float64 `json:"allocs_per_call"`
+	BytesPerOp  float64 `json:"bytes_per_call"`
+	// AllocsPerIter is AllocsPerOp spread over the run's iterations:
+	// ~0 on the dense path (all per-call setup), small on the JL path.
+	AllocsPerIter float64 `json:"allocs_per_iter"`
 }
 
 // benchReport is the top-level BENCH_psdp.json document.
 type benchReport struct {
-	GoVersion string         `json:"go_version"`
-	Procs     int            `json:"gomaxprocs"`
-	NumCPU    int            `json:"num_cpu"`
-	Sizes     []int          `json:"sizes"`
-	Kernels   []kernelResult `json:"kernels"`
+	GoVersion string           `json:"go_version"`
+	Procs     int              `json:"gomaxprocs"`
+	NumCPU    int              `json:"num_cpu"`
+	Sizes     []int            `json:"sizes"`
+	Kernels   []kernelResult   `json:"kernels"`
+	Decision  []decisionResult `json:"decision"`
+}
+
+// allocsPerOp measures heap allocations and bytes per invocation of op,
+// at the current GOMAXPROCS, via MemStats deltas (the same counters
+// testing.AllocsPerRun reads).
+func allocsPerOp(op func(), iters int) (allocs, bytes float64) {
+	if iters < 1 {
+		iters = 1
+	}
+	op() // warm-up: pools fill, lazy state builds
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < iters; i++ {
+		op()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(iters),
+		float64(after.TotalAlloc-before.TotalAlloc) / float64(iters)
 }
 
 // benchKernel describes one kernel: a setup returning (parallel op,
@@ -59,23 +103,35 @@ func kernelTable() []benchKernel {
 	return []benchKernel{
 		{name: "Gram", build: func(n int, rng *rand.Rand) (func(), func()) {
 			q := randMat(n, n/4+1, rng)
-			return func() { sinkM = matrix.Gram(q, nil) }, func() { sinkM = seqGram(q) }
+			dst := matrix.New(n, n)
+			ref := matrix.New(n, n)
+			return func() { matrix.GramInto(dst, q, nil); sinkM = dst },
+				func() { seqGramInto(ref, q); sinkM = ref }
 		}},
 		{name: "SymMulAB", build: func(n int, rng *rand.Rand) (func(), func()) {
 			// B·B is symmetric, the shape of every Horner step in
 			// TaylorExpPSD (a polynomial in B times B).
 			b := randSym(n, rng)
-			return func() { sinkM = matrix.SymMulAB(b, b, nil) }, func() { sinkM = seqMulAB(b, b) }
+			dst := matrix.New(n, n)
+			ref := matrix.New(n, n)
+			return func() { matrix.SymMulABInto(dst, b, b, nil); sinkM = dst },
+				func() { seqMulABInto(ref, b, b); sinkM = ref }
 		}},
 		{name: "MulAB", build: func(n int, rng *rand.Rand) (func(), func()) {
 			a := randMat(n, n, rng)
 			b := randMat(n, n, rng)
-			return func() { sinkM = matrix.MulAB(a, b, nil) }, func() { sinkM = seqMulAB(a, b) }
+			dst := matrix.New(n, n)
+			ref := matrix.New(n, n)
+			return func() { matrix.MulABInto(dst, a, b, nil); sinkM = dst },
+				func() { seqMulABInto(ref, a, b); sinkM = ref }
 		}},
 		{name: "CongruenceDiag", build: func(n int, rng *rand.Rand) (func(), func()) {
 			v := randMat(n, n, rng)
 			d := randVec(n, rng)
-			return func() { sinkM = matrix.CongruenceDiag(v, d, nil) }, func() { sinkM = seqCongruenceDiag(v, d) }
+			dst := matrix.New(n, n)
+			ref := matrix.New(n, n)
+			return func() { matrix.CongruenceDiagInto(dst, v, d, nil); sinkM = dst },
+				func() { seqCongruenceDiagInto(ref, v, d); sinkM = ref }
 		}},
 		{name: "DotMany", build: func(n int, rng *rand.Rand) (func(), func()) {
 			// n constraints of dimension ~sqrt-scaled so the batch is the
@@ -164,17 +220,103 @@ func runKernelBench(path string, sizes []int, seed uint64) error {
 			if res.NsParN > 0 {
 				res.Speedup = res.NsSeq / res.NsParN
 			}
+			setProcs(1)
+			res.AllocsPerOp, res.BytesPerOp = allocsPerOp(par, 16)
+			runtime.GOMAXPROCS(origProcs)
 			rep.Kernels = append(rep.Kernels, res)
-			fmt.Printf("%-16s n=%-5d seq %12.0f ns  par@1 %12.0f ns  par@%d %12.0f ns  speedup %.2fx\n",
-				k.name, n, res.NsSeq, res.NsPar1, procs, res.NsParN, res.Speedup)
+			fmt.Printf("%-16s n=%-5d seq %12.0f ns  par@1 %12.0f ns  par@%d %12.0f ns  speedup %.2fx  %6.1f allocs/op %9.0f B/op\n",
+				k.name, n, res.NsSeq, res.NsPar1, procs, res.NsParN, res.Speedup, res.AllocsPerOp, res.BytesPerOp)
 		}
 	}
+	rep.Decision = runDecisionBench()
 	out, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
 		return err
 	}
 	out = append(out, '\n')
 	return os.WriteFile(path, out, 0o644)
+}
+
+// runDecisionBench measures end-to-end Decision calls — dense and
+// factored-JL — with a shared workspace, at GOMAXPROCS=1: wall time per
+// call, heap allocations per call, and allocations amortized per MMW
+// iteration. The dense per-iteration rate is ~0 by the workspace
+// contract (all remaining allocations are per-call result assembly).
+func runDecisionBench() []decisionResult {
+	origProcs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(origProcs)
+	setProcs(1)
+
+	var out []decisionResult
+
+	// Dense: random PSD constraints, fixed iteration budget so every
+	// call costs the same.
+	{
+		rng := rand.New(rand.NewPCG(77, 78))
+		inst := gen.RandomDense(32, 48, 8, rng)
+		set, err := psdp.NewDenseSet(inst.A)
+		if err != nil {
+			panic(err)
+		}
+		scaled := set.WithScale(0.25)
+		ws := psdp.NewWorkspace()
+		const iters = 120
+		opts := psdp.Options{Seed: 1, TheoryExact: true, MaxIter: iters, Workspace: ws}
+		op := func() {
+			if _, err := psdp.Decision(scaled, 0.25, opts); err != nil {
+				panic(err)
+			}
+		}
+		out = append(out, measureDecision("dense-exact", set.N(), set.Dim(), iters, op))
+	}
+
+	// Factored JL: sparse rank-2 factors through the sketched oracle.
+	{
+		rng := rand.New(rand.NewPCG(79, 80))
+		inst, err := gen.RandomFactored(48, 96, 2, 4, rng)
+		if err != nil {
+			panic(err)
+		}
+		set, err := psdp.NewFactoredSet(inst.Q)
+		if err != nil {
+			panic(err)
+		}
+		scaled := set.WithScale(0.02)
+		ws := psdp.NewWorkspace()
+		const iters = 40
+		opts := psdp.Options{Seed: 2, TheoryExact: true, MaxIter: iters, SketchEps: 0.4, Workspace: ws}
+		op := func() {
+			if _, err := psdp.Decision(scaled, 0.25, opts); err != nil {
+				panic(err)
+			}
+		}
+		out = append(out, measureDecision("factored-jl", set.N(), set.Dim(), iters, op))
+	}
+	return out
+}
+
+func measureDecision(name string, n, m, iters int, op func()) decisionResult {
+	op() // warm the workspace
+	const calls = 6
+	start := time.Now()
+	for i := 0; i < calls; i++ {
+		op()
+	}
+	ns := float64(time.Since(start).Nanoseconds()) / calls
+	allocs, bytes := allocsPerOp(op, calls)
+	res := decisionResult{
+		Case:          name,
+		N:             n,
+		M:             m,
+		Iterations:    iters,
+		NsPerCall:     ns,
+		AllocsPerOp:   allocs,
+		BytesPerOp:    bytes,
+		AllocsPerIter: allocs / float64(iters),
+	}
+	fmt.Printf("decision %-12s n=%-3d m=%-3d iters=%-4d %12.0f ns/call %8.1f allocs/call %9.0f B/call %6.2f allocs/iter\n",
+		name, n, m, iters, res.NsPerCall, allocs, bytes, res.AllocsPerIter)
+	return res
 }
 
 // timedOp is one benchmark variant: op runs under GOMAXPROCS=procs
@@ -247,9 +389,8 @@ func setProcs(p int) {
 
 // --- sequential reference implementations (no fork-join, no blocks) ---
 
-func seqGram(q *matrix.Dense) *matrix.Dense {
+func seqGramInto(out, q *matrix.Dense) {
 	n, k := q.R, q.C
-	out := matrix.New(n, n)
 	for i := 0; i < n; i++ {
 		qi := q.Data[i*k : (i+1)*k]
 		for j := i; j < n; j++ {
@@ -262,12 +403,13 @@ func seqGram(q *matrix.Dense) *matrix.Dense {
 			out.Data[j*n+i] = s
 		}
 	}
-	return out
 }
 
-func seqMulAB(a, b *matrix.Dense) *matrix.Dense {
-	out := matrix.New(a.R, b.C)
+func seqMulABInto(out, a, b *matrix.Dense) {
 	k, c := a.C, b.C
+	for i := range out.Data {
+		out.Data[i] = 0
+	}
 	for i := 0; i < a.R; i++ {
 		arow := a.Data[i*k : (i+1)*k]
 		orow := out.Data[i*c : (i+1)*c]
@@ -281,12 +423,10 @@ func seqMulAB(a, b *matrix.Dense) *matrix.Dense {
 			}
 		}
 	}
-	return out
 }
 
-func seqCongruenceDiag(v *matrix.Dense, d []float64) *matrix.Dense {
+func seqCongruenceDiagInto(out, v *matrix.Dense, d []float64) {
 	n, k := v.R, v.C
-	out := matrix.New(n, n)
 	for i := 0; i < n; i++ {
 		vi := v.Data[i*k : (i+1)*k]
 		for j := i; j < n; j++ {
@@ -299,7 +439,6 @@ func seqCongruenceDiag(v *matrix.Dense, d []float64) *matrix.Dense {
 			out.Data[j*n+i] = s
 		}
 	}
-	return out
 }
 
 func seqDotMany(out []float64, as []*matrix.Dense, scale float64, p *matrix.Dense) {

@@ -15,6 +15,7 @@ import (
 	"repro/internal/eigen"
 	"repro/internal/matrix"
 	"repro/internal/parallel"
+	"repro/internal/work"
 )
 
 // ErrNotPD is returned by Cholesky when the matrix is not (numerically)
@@ -73,6 +74,15 @@ func colGrain(flopsPerRow int) int {
 // 1e-12). Returns an error if A has a significantly negative diagonal
 // residual, which indicates the input was not PSD.
 func PivotedCholesky(a *matrix.Dense, tol float64) (q *matrix.Dense, rank int, err error) {
+	return PivotedCholeskyWS(nil, a, tol)
+}
+
+// PivotedCholeskyWS is PivotedCholesky drawing its per-pivot column
+// scratch and residual diagonal from ws, so batch factorization (one
+// pivoted Cholesky per constraint when densifying an instance) reuses
+// one set of buffers instead of allocating O(n·rank) per matrix. Only
+// the returned factor is freshly allocated.
+func PivotedCholeskyWS(ws *work.Workspace, a *matrix.Dense, tol float64) (q *matrix.Dense, rank int, err error) {
 	if !a.IsSquare() {
 		return nil, 0, fmt.Errorf("chol: matrix is %dx%d, want square", a.R, a.C)
 	}
@@ -80,7 +90,8 @@ func PivotedCholesky(a *matrix.Dense, tol float64) (q *matrix.Dense, rank int, e
 		tol = 1e-12
 	}
 	n := a.R
-	diag := make([]float64, n)
+	diag := ws.Vec(n)
+	defer ws.PutVec(diag)
 	trace := 0.0
 	for i := 0; i < n; i++ {
 		diag[i] = a.At(i, i)
@@ -91,8 +102,14 @@ func PivotedCholesky(a *matrix.Dense, tol float64) (q *matrix.Dense, rank int, e
 		// can treat Q uniformly.
 		return matrix.New(n, 1), 0, nil
 	}
-	// cols[k] is the k-th computed factor column (length n).
-	var cols [][]float64
+	// cols[k] is the k-th computed factor column (length n); all columns
+	// go back to the workspace once the factor matrix is assembled.
+	cols := make([][]float64, 0, n)
+	defer func() {
+		for _, c := range cols {
+			ws.PutVec(c)
+		}
+	}()
 	perm := make([]int, 0, n)
 	for k := 0; k < n; k++ {
 		// Select pivot.
@@ -107,7 +124,7 @@ func PivotedCholesky(a *matrix.Dense, tol float64) (q *matrix.Dense, rank int, e
 			break
 		}
 		piv := math.Sqrt(diag[p])
-		col := make([]float64, n)
+		col := ws.Vec(n)
 		// Each entry of the new factor column depends only on the already
 		// computed columns, so the sweep blocks over rows.
 		parallel.ForBlock(n, colGrain(len(cols)+1), func(lo, hi int) {

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/work"
+)
+
+// The workspace contract of this package: after the pools warm up in
+// iteration 1, a steady-state dense Decision iteration performs ZERO
+// heap allocations, and a factored-JL iteration performs at most a
+// small constant number (the fork closures of its row loops plus the
+// occasional Lanczos basis growth). These tests pin that down with
+// testing.AllocsPerRun, which runs at GOMAXPROCS=1 — exactly the
+// regime where every kernel takes its closure-free sequential path.
+
+func denseAllocRun(t *testing.T) *decisionRun {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(101, 102))
+	inst := gen.RandomDense(24, 16, 6, rng)
+	set, err := NewDenseSet(inst.A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TheoryExact disables the early certificate exits, so the run lasts
+	// the full R = O(ε⁻³log²n) budget and the measured steps are honest
+	// mid-run iterations.
+	d, err := newDecisionRun(set.WithScale(0.5), 0.25, Options{Seed: 1, TheoryExact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDenseDecisionStepZeroAlloc(t *testing.T) {
+	d := denseAllocRun(t)
+	// Warm-up: iteration 1 populates every pool (and the first dual
+	// snapshot and bucket slices take their capacity).
+	for i := 0; i < 4; i++ {
+		if err := d.step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := d.step(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if d.done {
+		t.Fatalf("run terminated during measurement after %d iterations; measured steps are not steady-state", d.t)
+	}
+	if allocs != 0 {
+		t.Errorf("steady-state dense Decision iteration allocates %.2f per run, want 0", allocs)
+	}
+}
+
+// Dense steady state must stay allocation-free through the periodic Ψ
+// rebuild (every denseRebuildPeriod updates), which reuses the oracle's
+// Ψ matrix and coefficient scratch.
+func TestDenseDecisionRebuildZeroAlloc(t *testing.T) {
+	d := denseAllocRun(t)
+	for i := 0; i < 4; i++ {
+		if err := d.step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(2*denseRebuildPeriod, func() {
+		if err := d.step(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if d.done {
+		t.Fatalf("run terminated during measurement after %d iterations", d.t)
+	}
+	if allocs != 0 {
+		t.Errorf("dense Decision iterations across a Ψ rebuild allocate %.2f per run, want 0", allocs)
+	}
+}
+
+// factoredJLAllocBudget bounds the steady-state allocations of one
+// factored-JL iteration: the row-loop and reduction closures (escaping
+// into parallel.ForBlock/SumBlocks) plus slack for occasional Lanczos
+// basis growth when a refresh converges slower than any before it.
+const factoredJLAllocBudget = 16
+
+func TestFactoredJLDecisionStepConstAlloc(t *testing.T) {
+	rng := rand.New(rand.NewPCG(201, 202))
+	inst, err := gen.RandomFactored(16, 32, 2, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := NewFactoredSet(inst.Q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := newDecisionRun(set.WithScale(0.05), 0.25, Options{Seed: 2, SketchEps: 0.4, TheoryExact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := d.step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := d.step(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if d.done {
+		t.Fatalf("run terminated during measurement after %d iterations", d.t)
+	}
+	if allocs > factoredJLAllocBudget {
+		t.Errorf("steady-state factored-JL Decision iteration allocates %.2f per run, want <= %d", allocs, factoredJLAllocBudget)
+	}
+}
+
+// A workspace shared across sequential Decision calls must serve every
+// call after the first without a single pool miss: the oracles release
+// their buffers at finish, and the next call draws the same shapes.
+func TestWorkspaceReuseAcrossDecisionCalls(t *testing.T) {
+	rng := rand.New(rand.NewPCG(301, 302))
+	inst := gen.RandomDense(12, 10, 4, rng)
+	set, err := NewDenseSet(inst.A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := work.New()
+	opts := Options{Seed: 3, MaxIter: 30, Workspace: ws}
+	if _, err := DecisionPSDP(set.WithScale(0.5), 0.25, opts); err != nil {
+		t.Fatal(err)
+	}
+	warm := ws.Misses()
+	if warm == 0 {
+		t.Fatal("first call should populate the workspace")
+	}
+	for call := 0; call < 3; call++ {
+		if _, err := DecisionPSDP(set.WithScale(0.5), 0.25, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := ws.Misses(); got != warm {
+		t.Errorf("workspace missed %d more times across repeat calls, want 0 (all buffers released and reused)", got-warm)
+	}
+}
+
+// The factored path shares one workspace across the JL run and the
+// exact final-bound sweep; repeat calls must also be miss-free.
+func TestWorkspaceReuseAcrossFactoredCalls(t *testing.T) {
+	rng := rand.New(rand.NewPCG(401, 402))
+	inst, err := gen.RandomFactored(10, 16, 2, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := NewFactoredSet(inst.Q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := work.New()
+	opts := Options{Seed: 4, MaxIter: 10, SketchEps: 0.4, Workspace: ws}
+	if _, err := DecisionPSDP(set.WithScale(0.1), 0.3, opts); err != nil {
+		t.Fatal(err)
+	}
+	warm := ws.Misses()
+	for call := 0; call < 3; call++ {
+		if _, err := DecisionPSDP(set.WithScale(0.1), 0.3, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := ws.Misses(); got != warm {
+		t.Errorf("factored workspace missed %d more times across repeat calls, want 0", got-warm)
+	}
+}

@@ -28,7 +28,7 @@ func CompareOracles(dense *DenseSet, fact *FactoredSet, sketchEps float64, seed 
 		x[i] = 4 / (float64(n) * tr)
 	}
 
-	fo := newFactoredJLOracle(fact, sketchEps, seed, st)
+	fo := newFactoredJLOracle(fact, sketchEps, seed, st, nil)
 	if err := fo.init(x); err != nil {
 		return nil, nil, err
 	}
@@ -37,7 +37,7 @@ func CompareOracles(dense *DenseSet, fact *FactoredSet, sketchEps float64, seed 
 		return nil, nil, err
 	}
 
-	do := newDenseOracle(dense, nil)
+	do := newDenseOracle(dense, nil, nil)
 	if err := do.init(x); err != nil {
 		return nil, nil, err
 	}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/matrix"
 	"repro/internal/parallel"
+	"repro/internal/work"
 )
 
 // Params are the constants of Algorithm 3.1:
@@ -37,7 +38,13 @@ func ParamsFor(n, m int, eps float64) (Params, error) {
 	logN := math.Log(float64(maxInt3(n, m, 2)))
 	k := (1 + logN) / eps
 	alpha := eps / (k * (1 + 10*eps))
-	r := int(math.Ceil(32 * logN / (eps * alpha)))
+	rf := math.Ceil(32 * logN / (eps * alpha))
+	// R = O(ε⁻³ log² N) overflows int for very small ε; clamp instead of
+	// wrapping negative (callers cap the iteration count anyway).
+	r := math.MaxInt
+	if rf < float64(math.MaxInt) {
+		r = int(rf)
+	}
 	return Params{Eps: eps, K: k, Alpha: alpha, R: r, LogN: logN}, nil
 }
 
@@ -99,6 +106,39 @@ type Options struct {
 	// bounds computed so far remain valid). The callback must not
 	// mutate its arguments.
 	OnIteration func(IterationInfo) bool
+	// Workspace, when non-nil, supplies the scratch-buffer arena for
+	// the run: every per-iteration temporary (oracle ratio vectors, Ψ
+	// accumulators, eigendecomposition storage, sketch rows, Lanczos
+	// bases) is drawn from it, so the steady-state iteration allocates
+	// nothing. Nil means the call creates a private workspace. A
+	// workspace is not safe for concurrent use; share it only across
+	// sequential calls (MaximizePacking threads one through all of its
+	// decision calls automatically).
+	Workspace *work.Workspace
+}
+
+// Validate checks the option fields for out-of-range values. The zero
+// Options is valid (every field has a documented default); Validate
+// rejects values that would silently misbehave — negative slacks,
+// sketch accuracies outside (0, 1), NaNs. DecisionPSDP calls it on
+// entry.
+func (o Options) Validate() error {
+	if o.Oracle < OracleAuto || o.Oracle > OracleFactoredExact {
+		return fmt.Errorf("core: Options.Oracle = %d unknown", o.Oracle)
+	}
+	if o.MaxIter < 0 {
+		return fmt.Errorf("core: Options.MaxIter = %d must be >= 0", o.MaxIter)
+	}
+	if math.IsNaN(o.EarlySlack) || o.EarlySlack < 0 || o.EarlySlack >= 1 {
+		return fmt.Errorf("core: Options.EarlySlack = %v out of [0, 1)", o.EarlySlack)
+	}
+	if math.IsNaN(o.SketchEps) || o.SketchEps < 0 || o.SketchEps >= 1 {
+		return fmt.Errorf("core: Options.SketchEps = %v out of [0, 1)", o.SketchEps)
+	}
+	if math.IsNaN(o.TraceCap) || o.TraceCap < 0 {
+		return fmt.Errorf("core: Options.TraceCap = %v must be >= 0", o.TraceCap)
+	}
+	return nil
 }
 
 // IterationInfo is the per-iteration telemetry passed to
@@ -186,7 +226,65 @@ type DecisionResult struct {
 // answers the ε-decision problem with a dual solution and OutcomePrimal
 // with a primal (covering) solution.
 func DecisionPSDP(set ConstraintSet, eps float64, opts Options) (*DecisionResult, error) {
+	d, err := newDecisionRun(set, eps, opts)
+	if err != nil {
+		return nil, err
+	}
+	for !d.done && d.t < d.maxIter {
+		if err := d.step(); err != nil {
+			d.orc.release()
+			return nil, err
+		}
+	}
+	return d.finish()
+}
+
+// decisionRun is the live state of one Algorithm 3.1 run, split into
+// newDecisionRun/step/finish so that (a) the steady-state iteration is
+// a plain method whose allocation behavior the regression tests can pin
+// to zero, and (b) every buffer the loop touches is created once and
+// reused — the oracle draws its own from the shared workspace.
+type decisionRun struct {
+	set  ConstraintSet
+	opts Options
+	prm  Params
+	eps  float64
+	// slack is the primal early-exit slack; threshold is 1+ε.
+	slack, threshold float64
+	maxIter          int
+	orc              expOracle
+	ws               *work.Workspace
+	n, m             int
+
+	x      []float64
+	frozen []bool
+	avg    []float64
+	b      []int
+	mults  []float64
+	ySum   *matrix.Dense
+
+	// Certificate tracking across iterations. Every density matrix P⁽ᵗ⁾
+	// is individually a trace-1 covering witness, so min_i rᵢ⁽ᵗ⁾ yields
+	// an upper bound 1/min r; likewise every iterate x⁽ᵗ⁾ scaled by
+	// λ_max(Ψ⁽ᵗ⁾) is a feasible packing vector. We keep the best of
+	// each seen anywhere in the run and re-certify the dual snapshot at
+	// exit, which makes the reported bracket far tighter than the exit-
+	// point certificates alone.
+	bestMinR      float64
+	bestDualRatio float64
+	bestDualX     []float64
+	haveDualSnap  bool
+
+	res  *DecisionResult
+	t    int
+	done bool
+}
+
+func newDecisionRun(set ConstraintSet, eps float64, opts Options) (*decisionRun, error) {
 	if err := guardEps(eps); err != nil {
+		return nil, err
+	}
+	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
 	n, m := set.N(), set.Dim()
@@ -194,7 +292,11 @@ func DecisionPSDP(set ConstraintSet, eps float64, opts Options) (*DecisionResult
 	if err != nil {
 		return nil, err
 	}
-	orc, err := buildOracle(set, opts)
+	ws := opts.Workspace
+	if ws == nil {
+		ws = work.New()
+	}
+	orc, err := buildOracle(set, opts, ws)
 	if err != nil {
 		return nil, err
 	}
@@ -207,153 +309,174 @@ func DecisionPSDP(set ConstraintSet, eps float64, opts Options) (*DecisionResult
 		slack = eps / 2
 	}
 
+	d := &decisionRun{
+		set:       set,
+		opts:      opts,
+		prm:       prm,
+		eps:       eps,
+		slack:     slack,
+		threshold: 1 + eps,
+		maxIter:   maxIter,
+		orc:       orc,
+		ws:        ws,
+		n:         n,
+		m:         m,
+		x:         make([]float64, n),
+		frozen:    make([]bool, n),
+		avg:       make([]float64, n),
+		b:         make([]int, 0, n),
+		mults:     make([]float64, 0, n),
+		bestDualX: make([]float64, 0, n),
+		res:       &DecisionResult{Params: prm, Outcome: OutcomeInconclusive},
+	}
+
 	// Initial point x⁰ᵢ = 1/(n·Tr[Aᵢ]) (paper line 1), which guarantees
 	// Ψ⁰ ≼ I (Claim 3.3). Zero-trace constraints (Aᵢ = 0) are satisfied
 	// by any x and are frozen at a nominal value.
-	x := make([]float64, n)
-	frozen := make([]bool, n)
 	for i := 0; i < n; i++ {
 		tr := set.Trace(i)
 		switch {
 		case tr <= 0:
-			x[i] = 0
-			frozen[i] = true
+			d.x[i] = 0
+			d.frozen[i] = true
 		case opts.TraceCap > 0 && tr > opts.TraceCap:
-			x[i] = 1 / (float64(n) * tr)
-			frozen[i] = true
+			d.x[i] = 1 / (float64(n) * tr)
+			d.frozen[i] = true
 		default:
-			x[i] = 1 / (float64(n) * tr)
+			d.x[i] = 1 / (float64(n) * tr)
 		}
 	}
-	if err := orc.init(x); err != nil {
+	if err := orc.init(d.x); err != nil {
 		return nil, err
 	}
+	return d, nil
+}
 
-	res := &DecisionResult{Params: prm, Outcome: OutcomeInconclusive}
-	avg := make([]float64, n)
-	var ySum *matrix.Dense
-	threshold := 1 + eps
-	var b []int
-	var mults []float64
-
-	// Certificate tracking across iterations. Every density matrix P⁽ᵗ⁾
-	// is individually a trace-1 covering witness, so min_i rᵢ⁽ᵗ⁾ yields
-	// an upper bound 1/min r; likewise every iterate x⁽ᵗ⁾ scaled by
-	// λ_max(Ψ⁽ᵗ⁾) is a feasible packing vector. We keep the best of
-	// each seen anywhere in the run and re-certify the dual snapshot at
-	// exit, which makes the reported bracket far tighter than the exit-
-	// point certificates alone.
-	bestMinR := 0.0
-	bestDualRatio := 0.0
-	var bestDualX []float64
-
-	t := 0
-	for t < maxIter {
-		if opts.Ctx != nil {
-			if err := opts.Ctx.Err(); err != nil {
-				return nil, fmt.Errorf("core: iteration %d: %w", t+1, err)
-			}
-		}
-		t++
-		r, info, err := orc.ratios()
-		if err != nil {
-			return nil, fmt.Errorf("core: iteration %d: %w", t, err)
-		}
-		if info.LambdaMax > res.MaxPsiNorm {
-			res.MaxPsiNorm = info.LambdaMax
-		}
-		matrix.VecAXPY(avg, 1, r)
-		if minR := matrix.VecMin(r); minR > bestMinR {
-			bestMinR = minR
-		}
-		if lam := math.Max(info.LambdaMax, 1); lam > 0 {
-			if ratio := matrix.VecSum(x) / lam; ratio > bestDualRatio {
-				bestDualRatio = ratio
-				bestDualX = append(bestDualX[:0], x...)
-			}
-		}
-		if opts.TrackPrimalMatrix {
-			if p := orc.probability(); p != nil {
-				if ySum == nil {
-					ySum = matrix.New(m, m)
-				}
-				matrix.AXPY(ySum, 1, p)
-			}
-		}
-
-		// B⁽ᵗ⁾ = {i : rᵢ ≤ 1+ε} (paper line 5), minus frozen indices.
-		b = b[:0]
-		mults = mults[:0]
-		for i := 0; i < n; i++ {
-			if !frozen[i] && r[i] <= threshold {
-				b = append(b, i)
-				steps := 1
-				if opts.Bucketed {
-					steps = bucketSteps(r[i], threshold, eps, prm.Alpha)
-				}
-				mults = append(mults, math.Pow(1+prm.Alpha, float64(steps)))
-			}
-		}
-		if len(b) > 0 {
-			for j, i := range b {
-				x[i] *= mults[j]
-			}
-			if err := orc.update(b, mults, x); err != nil {
-				return nil, err
-			}
-		}
-
-		if opts.OnIteration != nil {
-			cont := opts.OnIteration(IterationInfo{
-				T:         t,
-				XNorm1:    matrix.VecSum(x),
-				LambdaMax: info.LambdaMax,
-				MinRatio:  matrix.VecMin(r),
-				MaxRatio:  matrix.VecMax(r),
-				Updated:   len(b),
-			})
-			if !cont {
-				break
-			}
-		}
-
-		if matrix.VecSum(x) > prm.K {
-			res.Outcome = OutcomeDual
-			break
-		}
-		if !opts.TheoryExact {
-			// Early primal exit: the running average Y̅ = (1/t)ΣP⁽ᵗ⁾ is
-			// already a covering certificate once min_i Aᵢ•Y̅ ≥ 1−slack,
-			// and so is any single P⁽ᵗ⁾ with min_i rᵢ ≥ 1+ε (which is
-			// exactly the situation when B is empty).
-			minAvg := matrix.VecMin(avg) / float64(t)
-			if minAvg >= 1-slack {
-				res.Outcome = OutcomePrimal
-				break
-			}
-			if len(b) == 0 && bestMinR >= 1 {
-				res.Outcome = OutcomePrimal
-				break
-			}
+// step runs one MMW iteration (paper lines 3–7 plus certificate
+// bookkeeping). It sets d.done when a certificate fires or the observer
+// stops the run. After the workspace warms up in iteration 1, a dense-
+// oracle step performs zero heap allocations.
+func (d *decisionRun) step() error {
+	if d.opts.Ctx != nil {
+		if err := d.opts.Ctx.Err(); err != nil {
+			return fmt.Errorf("core: iteration %d: %w", d.t+1, err)
 		}
 	}
-	if res.Outcome == OutcomeInconclusive && opts.TheoryExact && t >= maxIter {
+	d.t++
+	r, info, err := d.orc.ratios()
+	if err != nil {
+		return fmt.Errorf("core: iteration %d: %w", d.t, err)
+	}
+	if info.LambdaMax > d.res.MaxPsiNorm {
+		d.res.MaxPsiNorm = info.LambdaMax
+	}
+	matrix.VecAXPY(d.avg, 1, r)
+	if minR := matrix.VecMin(r); minR > d.bestMinR {
+		d.bestMinR = minR
+	}
+	if lam := math.Max(info.LambdaMax, 1); lam > 0 {
+		if ratio := matrix.VecSum(d.x) / lam; ratio > d.bestDualRatio {
+			d.bestDualRatio = ratio
+			d.bestDualX = append(d.bestDualX[:0], d.x...)
+			d.haveDualSnap = true
+		}
+	}
+	if d.opts.TrackPrimalMatrix {
+		if p := d.orc.probability(); p != nil {
+			if d.ySum == nil {
+				d.ySum = matrix.New(d.m, d.m)
+			}
+			matrix.AXPY(d.ySum, 1, p)
+		}
+	}
+
+	// B⁽ᵗ⁾ = {i : rᵢ ≤ 1+ε} (paper line 5), minus frozen indices.
+	d.b = d.b[:0]
+	d.mults = d.mults[:0]
+	for i := 0; i < d.n; i++ {
+		if !d.frozen[i] && r[i] <= d.threshold {
+			d.b = append(d.b, i)
+			steps := 1
+			if d.opts.Bucketed {
+				steps = bucketSteps(r[i], d.threshold, d.eps, d.prm.Alpha)
+			}
+			d.mults = append(d.mults, math.Pow(1+d.prm.Alpha, float64(steps)))
+		}
+	}
+	if len(d.b) > 0 {
+		for j, i := range d.b {
+			d.x[i] *= d.mults[j]
+		}
+		if err := d.orc.update(d.b, d.mults, d.x); err != nil {
+			return err
+		}
+	}
+
+	if d.opts.OnIteration != nil {
+		cont := d.opts.OnIteration(IterationInfo{
+			T:         d.t,
+			XNorm1:    matrix.VecSum(d.x),
+			LambdaMax: info.LambdaMax,
+			MinRatio:  matrix.VecMin(r),
+			MaxRatio:  matrix.VecMax(r),
+			Updated:   len(d.b),
+		})
+		if !cont {
+			d.done = true
+			return nil
+		}
+	}
+
+	if matrix.VecSum(d.x) > d.prm.K {
+		d.res.Outcome = OutcomeDual
+		d.done = true
+		return nil
+	}
+	if !d.opts.TheoryExact {
+		// Early primal exit: the running average Y̅ = (1/t)ΣP⁽ᵗ⁾ is
+		// already a covering certificate once min_i Aᵢ•Y̅ ≥ 1−slack,
+		// and so is any single P⁽ᵗ⁾ with min_i rᵢ ≥ 1+ε (which is
+		// exactly the situation when B is empty).
+		minAvg := matrix.VecMin(d.avg) / float64(d.t)
+		if minAvg >= 1-d.slack {
+			d.res.Outcome = OutcomePrimal
+			d.done = true
+			return nil
+		}
+		if len(d.b) == 0 && d.bestMinR >= 1 {
+			d.res.Outcome = OutcomePrimal
+			d.done = true
+			return nil
+		}
+	}
+	return nil
+}
+
+// finish assembles the DecisionResult with its certified bounds. It
+// hands every oracle buffer back to the workspace on all exit paths,
+// so a workspace shared across sequential calls (Options.Workspace,
+// MaximizePacking) serves the next call without a pool miss even after
+// an error.
+func (d *decisionRun) finish() (*DecisionResult, error) {
+	defer d.orc.release()
+	set, opts, res := d.set, d.opts, d.res
+	if res.Outcome == OutcomeInconclusive && opts.TheoryExact && d.t >= d.maxIter {
 		// Paper semantics: exhausting R iterations is the primal branch
 		// (Lemma 3.6).
-		if matrix.VecSum(x) > prm.K {
+		if matrix.VecSum(d.x) > d.prm.K {
 			res.Outcome = OutcomeDual
 		} else {
 			res.Outcome = OutcomePrimal
 		}
 	}
 
-	res.Iterations = t
-	res.X = matrix.VecClone(x)
-	res.AvgRatios = make([]float64, n)
-	matrix.VecScale(res.AvgRatios, 1/float64(t), avg)
-	if ySum != nil {
-		matrix.Scale(ySum, 1/float64(t), ySum)
-		res.Y = ySum
+	res.Iterations = d.t
+	res.X = matrix.VecClone(d.x)
+	res.AvgRatios = make([]float64, d.n)
+	matrix.VecScale(res.AvgRatios, 1/float64(d.t), d.avg)
+	if d.ySum != nil {
+		matrix.Scale(d.ySum, 1/float64(d.t), d.ySum)
+		res.Y = d.ySum
 	}
 
 	// Certified dual bound: x/λ_max(Ψ) is feasible whenever the λ_max
@@ -362,24 +485,24 @@ func DecisionPSDP(set ConstraintSet, eps float64, opts Options) (*DecisionResult
 	// headroom makes the certificate robust. Both the final iterate and
 	// the best snapshot along the run are candidates; the snapshot's
 	// λ_max is recomputed at certificate grade before use.
-	lam, err := orc.lambdaMaxPsi()
+	lam, err := d.orc.lambdaMaxPsi()
 	if err != nil {
 		return nil, err
 	}
 	res.LambdaMaxPsi = lam
 	denom := math.Max(lam*(1+1e-9), 1)
-	res.DualX = make([]float64, n)
-	matrix.VecScale(res.DualX, 1/denom, x)
+	res.DualX = make([]float64, d.n)
+	matrix.VecScale(res.DualX, 1/denom, d.x)
 	res.Lower = matrix.VecSum(res.DualX)
-	if bestDualX != nil && bestDualRatio > res.Lower*(1+1e-12) {
-		lamSnap, err := lambdaMaxPsiOf(set, bestDualX)
+	if d.haveDualSnap && d.bestDualRatio > res.Lower*(1+1e-12) {
+		lamSnap, err := lambdaMaxPsiOf(set, d.bestDualX)
 		if err != nil {
 			return nil, err
 		}
 		dSnap := math.Max(lamSnap*(1+1e-9), 1)
-		if v := matrix.VecSum(bestDualX) / dSnap; v > res.Lower {
+		if v := matrix.VecSum(d.bestDualX) / dSnap; v > res.Lower {
 			res.Lower = v
-			matrix.VecScale(res.DualX, 1/dSnap, bestDualX)
+			matrix.VecScale(res.DualX, 1/dSnap, d.bestDualX)
 		}
 	}
 
@@ -387,7 +510,7 @@ func DecisionPSDP(set ConstraintSet, eps float64, opts Options) (*DecisionResult
 	// (a single P⁽ᵗ⁾ or the running average Y̅), any feasible x' has
 	// 1ᵀx' ≤ Tr[Y]/min_i Aᵢ•Y. On the JL path each ratio estimate
 	// carries (1±ε_s) noise; inflate accordingly.
-	minAvg := math.Max(matrix.VecMin(res.AvgRatios), bestMinR)
+	minAvg := math.Max(matrix.VecMin(res.AvgRatios), d.bestMinR)
 	if minAvg > 0 {
 		res.Upper = sketchInflation(set, opts) / minAvg
 	} else {
@@ -398,8 +521,8 @@ func DecisionPSDP(set ConstraintSet, eps float64, opts Options) (*DecisionResult
 	// a far tighter upper bound than the inflated sketch average. Cost:
 	// m ExpMV sweeps, once per decision call.
 	if fs, ok := set.(*FactoredSet); ok && usesJL(set, opts) && fs.Dim() <= exactFinalBoundDim {
-		exact := newFactoredExactOracle(fs, opts.Seed^0xbead, nil)
-		if err := exact.init(x); err == nil {
+		exact := newFactoredExactOracle(fs, opts.Seed^0xbead, nil, d.ws)
+		if err := exact.init(d.x); err == nil {
 			if rExact, _, err := exact.ratios(); err == nil {
 				if mr := matrix.VecMin(rExact); mr > 0 {
 					if ub := (1 + 1e-6) / mr; ub < res.Upper {
@@ -408,6 +531,7 @@ func DecisionPSDP(set ConstraintSet, eps float64, opts Options) (*DecisionResult
 				}
 			}
 		}
+		exact.release()
 	}
 	return res, nil
 }
@@ -477,14 +601,14 @@ func sketchInflation(set ConstraintSet, opts Options) float64 {
 	return (1 + es) / (1 - es)
 }
 
-func buildOracle(set ConstraintSet, opts Options) (expOracle, error) {
+func buildOracle(set ConstraintSet, opts Options, ws *work.Workspace) (expOracle, error) {
 	switch opts.Oracle {
 	case OracleAuto:
 		switch s := set.(type) {
 		case *DenseSet:
-			return newDenseOracle(s, opts.Stats), nil
+			return newDenseOracle(s, opts.Stats, ws), nil
 		case *FactoredSet:
-			return newFactoredJLOracle(s, opts.SketchEps, opts.Seed, opts.Stats), nil
+			return newFactoredJLOracle(s, opts.SketchEps, opts.Seed, opts.Stats, ws), nil
 		default:
 			return nil, fmt.Errorf("core: unknown constraint set type %T", set)
 		}
@@ -493,19 +617,19 @@ func buildOracle(set ConstraintSet, opts Options) (expOracle, error) {
 		if !ok {
 			return nil, errNotDense
 		}
-		return newDenseOracle(s, opts.Stats), nil
+		return newDenseOracle(s, opts.Stats, ws), nil
 	case OracleFactoredJL:
 		s, ok := set.(*FactoredSet)
 		if !ok {
 			return nil, fmt.Errorf("core: OracleFactoredJL requires a *FactoredSet, got %T", set)
 		}
-		return newFactoredJLOracle(s, opts.SketchEps, opts.Seed, opts.Stats), nil
+		return newFactoredJLOracle(s, opts.SketchEps, opts.Seed, opts.Stats, ws), nil
 	case OracleFactoredExact:
 		s, ok := set.(*FactoredSet)
 		if !ok {
 			return nil, fmt.Errorf("core: OracleFactoredExact requires a *FactoredSet, got %T", set)
 		}
-		return newFactoredExactOracle(s, opts.Seed, opts.Stats), nil
+		return newFactoredExactOracle(s, opts.Seed, opts.Stats, ws), nil
 	default:
 		return nil, fmt.Errorf("core: unknown oracle kind %d", opts.Oracle)
 	}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/matrix"
+	"repro/internal/work"
 )
 
 // Solution is the result of the optimization pipeline: a certified
@@ -88,6 +89,14 @@ func MaximizePacking(set ConstraintSet, eps float64, opts Options) (*Solution, e
 	sol.X = bestX
 	sol.Value = lo
 
+	// One workspace serves every decision call: the instances share
+	// shapes (only the scale changes), so the pools warmed by call 0
+	// make every later call allocation-free in steady state.
+	ws := opts.Workspace
+	if ws == nil {
+		ws = work.New()
+	}
+
 	// Decision calls needed: each call shrinks the bracket ratio from ρ
 	// to about √ρ·(1+O(ε)), so ~log₂ log(n·m) + log(1/ε) calls suffice;
 	// the cap below is generous and only guards against pathological
@@ -103,6 +112,7 @@ func MaximizePacking(set ConstraintSet, eps float64, opts Options) (*Solution, e
 		// the whole run stays deterministic in opts.Seed.
 		callOpts := opts
 		callOpts.Seed = opts.Seed*1315423911 + uint64(call) + 1
+		callOpts.Workspace = ws
 		dr, err := DecisionPSDP(scaled, eps/4, callOpts)
 		if err != nil {
 			return nil, fmt.Errorf("core: decision call %d (θ=%g): %w", call, theta, err)

@@ -9,6 +9,7 @@ import (
 	"repro/internal/expm"
 	"repro/internal/matrix"
 	"repro/internal/parallel"
+	"repro/internal/work"
 )
 
 // expOracle abstracts the per-iteration primitive of Algorithm 3.1:
@@ -20,6 +21,12 @@ import (
 // which the solver thresholds against 1+ε. The two implementations are
 // the exact eigendecomposition oracle (dense path) and the JL-sketched
 // Taylor oracle realizing Theorem 4.1's bigDotExp (factored path).
+//
+// Oracles own their iteration state: every buffer the per-iteration
+// path touches is drawn from the run's work.Workspace (or retained
+// across iterations), so ratios/update allocate nothing in steady
+// state. The ratio slice returned by ratios aliases oracle storage and
+// is only valid until the next ratios call.
 type expOracle interface {
 	// init installs the starting dual vector.
 	init(x []float64) error
@@ -35,6 +42,11 @@ type expOracle interface {
 	// recent ratios() call, or nil if the representation does not
 	// materialize it (factored path).
 	probability() *matrix.Dense
+	// release returns every workspace buffer the oracle holds to the
+	// pools; the oracle must not be used afterwards. The decision run
+	// calls it at finish so a workspace shared across sequential calls
+	// serves every call after the first without a single pool miss.
+	release()
 }
 
 // oracleInfo carries per-iteration spectral byproducts.
@@ -49,12 +61,21 @@ type oracleInfo struct {
 // denseOracle evaluates the primitive exactly via eigendecomposition:
 // the reference implementation of the paper's per-iteration step.
 // Ψ is maintained incrementally (update adds Σ δᵢAᵢ) with periodic
-// rebuilds to cancel floating-point drift.
+// rebuilds to cancel floating-point drift. All per-iteration storage
+// (Ψ, the density matrix, the eigendecomposition, the ratio vector) is
+// preallocated at init, so the steady-state iteration is allocation-
+// free — the property the internal/core allocation-regression tests
+// pin down.
 type denseOracle struct {
 	set *DenseSet
+	ws  *work.Workspace
 	x   []float64
 	psi *matrix.Dense
 	p   *matrix.Dense // last density matrix
+	r   []float64     // ratio buffer returned by ratios
+	// coeffs is the scaled-x scratch of the periodic Ψ rebuild.
+	coeffs []float64
+	dec    eigen.Decomposition
 	// updatesSinceRebuild triggers a fresh Ψ = Σ xᵢAᵢ rebuild.
 	updatesSinceRebuild int
 	st                  *parallel.Stats
@@ -62,8 +83,8 @@ type denseOracle struct {
 
 const denseRebuildPeriod = 256
 
-func newDenseOracle(set *DenseSet, st *parallel.Stats) *denseOracle {
-	return &denseOracle{set: set, st: st}
+func newDenseOracle(set *DenseSet, st *parallel.Stats, ws *work.Workspace) *denseOracle {
+	return &denseOracle{set: set, st: st, ws: ws}
 }
 
 func (o *denseOracle) init(x []float64) error {
@@ -71,12 +92,19 @@ func (o *denseOracle) init(x []float64) error {
 		return fmt.Errorf("core: dense oracle: x has %d entries, want %d", len(x), o.set.N())
 	}
 	o.x = x
+	m := o.set.m
+	if o.psi == nil {
+		o.psi = o.ws.Mat(m, m)
+		o.p = o.ws.Mat(m, m)
+		o.r = o.ws.Vec(o.set.N())
+		o.coeffs = o.ws.Vec(o.set.N())
+	}
 	o.rebuild()
 	return nil
 }
 
 func (o *denseOracle) rebuild() {
-	o.psi = o.set.PsiDense(o.x)
+	o.set.psiDenseInto(o.psi, o.x, o.coeffs)
 	o.updatesSinceRebuild = 0
 }
 
@@ -97,19 +125,17 @@ func (o *denseOracle) update(b []int, mults []float64, x []float64) error {
 }
 
 func (o *denseOracle) ratios() ([]float64, oracleInfo, error) {
-	p, lmax, logTr, err := expm.NormalizedExpSym(o.psi)
+	lmax, logTr, err := expm.NormalizedExpSymInto(o.ws, o.psi, &o.dec, o.p)
 	if err != nil {
 		return nil, oracleInfo{}, err
 	}
-	o.p = p
 	n := o.set.N()
 	m := o.set.m
-	r := make([]float64, n)
-	matrix.DotMany(r, o.set.A, o.set.scale, p)
+	matrix.DotMany(o.r, o.set.A, o.set.scale, o.p)
 	// Analytic cost: one m³ eigendecomposition + n·m² dot products.
 	o.st.Add(int64(9)*int64(m)*int64(m)*int64(m)+int64(2*n)*int64(m)*int64(m),
 		int64(m)*parallel.Log2(m))
-	return r, oracleInfo{LambdaMax: lmax, LogTrW: logTr}, nil
+	return o.r, oracleInfo{LambdaMax: lmax, LogTrW: logTr}, nil
 }
 
 func (o *denseOracle) lambdaMaxPsi() (float64, error) {
@@ -119,6 +145,22 @@ func (o *denseOracle) lambdaMaxPsi() (float64, error) {
 }
 
 func (o *denseOracle) probability() *matrix.Dense { return o.p }
+
+func (o *denseOracle) release() {
+	if o.psi == nil {
+		return
+	}
+	o.ws.PutMat(o.psi)
+	o.ws.PutMat(o.p)
+	o.ws.PutVec(o.r)
+	o.ws.PutVec(o.coeffs)
+	o.psi, o.p, o.r, o.coeffs = nil, nil, nil, nil
+	if o.dec.Vectors != nil {
+		o.ws.PutMat(o.dec.Vectors)
+		o.ws.PutVec(o.dec.Values)
+		o.dec = eigen.Decomposition{}
+	}
+}
 
 // errNotDense is returned when a dense-only feature is requested from a
 // factored run.

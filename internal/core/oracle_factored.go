@@ -10,7 +10,70 @@ import (
 	"repro/internal/matrix"
 	"repro/internal/parallel"
 	"repro/internal/sketch"
+	"repro/internal/work"
 )
+
+// factoredScratch is the per-run reusable state both factored oracles
+// share: reseedable randomness (one PCG reseeded per use instead of a
+// fresh generator per iteration — the streams are bitwise identical),
+// the ratio vector, the Lanczos workspace, and the Ψ-apply closures —
+// one sequential closure for Lanczos plus one per exponential row for
+// the concurrent ExpMV loop, each owning its column scratch. Closures
+// read the current dual vector through xp at call time, so update()
+// needs no rebuild.
+type factoredScratch struct {
+	pcg     *rand.PCG
+	rng     *rand.Rand
+	r       []float64   // ratio buffer returned by ratios
+	psiTmp  []float64   // Ψ·v column scratch of the Lanczos closure
+	rowTmps [][]float64 // Ψ·v column scratch per exponential row
+	lws     eigen.LanczosWS
+	applyFn func(in, out []float64)   // Ψ·v (sequential, Lanczos)
+	halfFns []func(in, out []float64) // per-row (Ψ/2)·v closures
+	mv      []expm.MVScratch          // per-row ExpMV scratch
+}
+
+func (sc *factoredScratch) ready() bool { return sc.pcg != nil }
+
+// init builds the scratch for rows concurrent exponential rows over
+// set, drawing every buffer from ws.
+func (sc *factoredScratch) init(set *FactoredSet, ws *work.Workspace, rows int, xp *[]float64) {
+	sc.pcg = &rand.PCG{}
+	sc.rng = rand.New(sc.pcg)
+	sc.r = ws.Vec(set.N())
+	sc.psiTmp = ws.Vec(set.psiScratchLen())
+	tmp := sc.psiTmp
+	sc.applyFn = func(in, out []float64) { set.applyPsiTmp(*xp, in, out, tmp) }
+	sc.halfFns = make([]func(in, out []float64), rows)
+	sc.mv = make([]expm.MVScratch, rows)
+	sc.rowTmps = make([][]float64, rows)
+	for r := range sc.halfFns {
+		rowTmp := ws.Vec(set.psiScratchLen())
+		sc.rowTmps[r] = rowTmp
+		sc.halfFns[r] = func(in, out []float64) {
+			set.applyPsiTmp(*xp, in, out, rowTmp)
+			for i := range out {
+				out[i] *= 0.5
+			}
+		}
+	}
+}
+
+// release hands every pooled buffer back to ws; the scratch reverts to
+// its unbuilt state.
+func (sc *factoredScratch) release(ws *work.Workspace) {
+	if sc.pcg == nil {
+		return
+	}
+	ws.PutVec(sc.r)
+	ws.PutVec(sc.psiTmp)
+	for _, tmp := range sc.rowTmps {
+		ws.PutVec(tmp)
+	}
+	sc.pcg, sc.rng = nil, nil
+	sc.r, sc.psiTmp, sc.rowTmps = nil, nil, nil
+	sc.applyFn, sc.halfFns, sc.mv = nil, nil, nil
+}
 
 // factoredJLOracle is the bigDotExp primitive of Theorem 4.1: with
 // Aᵢ = QᵢQᵢᵀ,
@@ -23,8 +86,15 @@ import (
 // constraint costs O(k·nnz(Qᵢ)), and Tr[exp(Ψ)] = ‖exp(Ψ/2)‖_F² is
 // estimated by ‖S‖_F². All quantities are carried in a common log-scale
 // so ‖Ψ‖₂ ~ K/ε never overflows.
+//
+// All iteration state is retained across calls: the sketch matrix is
+// refilled (not reallocated), the PCG is reseeded (not reconstructed),
+// and all scratch lives in factoredScratch. A steady-state ratios call
+// performs only a small constant number of allocations (the fork
+// closures of the row loops).
 type factoredJLOracle struct {
 	set       *FactoredSet
+	ws        *work.Workspace
 	x         []float64
 	sketchEps float64
 	rows      int
@@ -36,14 +106,20 @@ type factoredJLOracle struct {
 	lambdaEst float64
 	st        *parallel.Stats
 	tol       float64
+
+	sc   factoredScratch
+	jl   *sketch.JL
+	s    *matrix.Dense // sketch rows through exp(Ψ/2)
+	logs []float64
 }
 
-func newFactoredJLOracle(set *FactoredSet, sketchEps float64, seed uint64, st *parallel.Stats) *factoredJLOracle {
+func newFactoredJLOracle(set *FactoredSet, sketchEps float64, seed uint64, st *parallel.Stats, ws *work.Workspace) *factoredJLOracle {
 	if sketchEps <= 0 {
 		sketchEps = 0.2
 	}
 	return &factoredJLOracle{
 		set:       set,
+		ws:        ws,
 		sketchEps: sketchEps,
 		rows:      sketch.Rows(set.Dim(), sketchEps),
 		seed:      seed,
@@ -58,6 +134,11 @@ func (o *factoredJLOracle) init(x []float64) error {
 	}
 	o.x = x
 	o.lambdaEst = 0
+	if !o.sc.ready() {
+		o.sc.init(o.set, o.ws, o.rows, &o.x)
+		o.s = o.ws.Mat(o.rows, o.set.Dim())
+		o.logs = o.ws.Vec(o.rows)
+	}
 	return nil
 }
 
@@ -66,26 +147,17 @@ func (o *factoredJLOracle) update(_ []int, _ []float64, x []float64) error {
 	return nil
 }
 
-func (o *factoredJLOracle) applyPsi(in, out []float64) {
-	o.set.ApplyPsi(o.x, in, out)
-}
-
-func (o *factoredJLOracle) applyHalfPsi(in, out []float64) {
-	o.set.ApplyPsi(o.x, in, out)
-	for i := range out {
-		out[i] *= 0.5
-	}
-}
-
 // refreshLambda updates the Lanczos estimate of λ_max(Ψ). Lanczos
 // returns a lower bound; a 5% headroom makes it a safe ExpMV
 // segmentation bound (undershooting only lengthens the Taylor series a
 // little, it does not break correctness).
 func (o *factoredJLOracle) refreshLambda() error {
-	lam, err := eigen.LanczosMax(o.applyPsi, o.set.Dim(), eigen.LanczosOpts{
+	o.sc.pcg.Seed(o.seed^0xabcdef, o.iter)
+	lam, err := eigen.LanczosMax(o.sc.applyFn, o.set.Dim(), eigen.LanczosOpts{
 		MaxIter: 48,
 		Tol:     1e-6,
-		Rng:     rand.New(rand.NewPCG(o.seed^0xabcdef, o.iter)),
+		Rng:     o.sc.rng,
+		WS:      &o.sc.lws,
 	})
 	if err != nil {
 		return err
@@ -105,19 +177,28 @@ func (o *factoredJLOracle) ratios() ([]float64, oracleInfo, error) {
 	n := o.set.N()
 	normHalf := 0.55*o.lambdaEst + 0.5 // bound for ‖Ψ/2‖ with headroom
 
-	jl, err := sketch.New(o.rows, m, rand.New(rand.NewPCG(o.seed, o.iter)))
-	if err != nil {
-		return nil, oracleInfo{}, err
+	// Fresh Gaussian Π each iteration: refill the held sketch from the
+	// reseeded stream (bitwise the same values a fresh sketch would get).
+	o.sc.pcg.Seed(o.seed, o.iter)
+	if o.jl == nil {
+		jl, err := sketch.NewWS(o.ws, o.rows, m, o.sc.rng)
+		if err != nil {
+			return nil, oracleInfo{}, err
+		}
+		o.jl = jl
+	} else {
+		o.jl.Refill(o.sc.rng)
 	}
 	o.iter++
 
-	// Rows of S: sᵣ = exp(Ψ/2)·Πᵣ, each with its own log-scale.
-	s := matrix.New(o.rows, m)
-	logs := make([]float64, o.rows)
-	parallel.For(o.rows, func(r int) {
-		w, ls := expm.ExpMV(o.applyHalfPsi, jl.RowVec(r), normHalf, o.tol)
-		copy(s.Data[r*m:(r+1)*m], w)
-		logs[r] = ls
+	// Rows of S: sᵣ = exp(Ψ/2)·Πᵣ, each with its own log-scale. Grain 1:
+	// each row is a full ExpMV chain, expensive enough to fork per row.
+	s := o.s
+	logs := o.logs
+	parallel.ForBlock(o.rows, 1, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			logs[r] = expm.ExpMVInto(s.Data[r*m:(r+1)*m], o.sc.halfFns[r], o.jl.RowVec(r), normHalf, o.tol, &o.sc.mv[r])
+		}
 	})
 	// Rescale all rows to the common maximum log-scale L.
 	maxLog := rescaleRows(s, logs)
@@ -129,9 +210,11 @@ func (o *factoredJLOracle) ratios() ([]float64, oracleInfo, error) {
 	}
 
 	// rᵢ = scale·‖S·Qᵢ‖² / trEst (the e^{2L} factors cancel).
-	r := make([]float64, n)
-	parallel.For(n, func(i int) {
-		r[i] = o.set.scale * o.set.Q[i].SketchDot(s) / trEst
+	r := o.sc.r
+	parallel.ForBlock(n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			r[i] = o.set.scale * o.set.Q[i].SketchDot(s) / trEst
+		}
 	})
 
 	// Analytic cost per Theorem 4.1: k ExpMV passes + k·q sketch dots.
@@ -165,10 +248,12 @@ func rescaleRows(s *matrix.Dense, logs []float64) (maxLog float64) {
 // lambdaMaxPsi runs a certificate-grade Lanczos (tight tolerance, many
 // iterations, full reorthogonalization).
 func (o *factoredJLOracle) lambdaMaxPsi() (float64, error) {
-	lam, err := eigen.LanczosMax(o.applyPsi, o.set.Dim(), eigen.LanczosOpts{
+	o.sc.pcg.Seed(o.seed^0x5eed, 0x7ea1)
+	lam, err := eigen.LanczosMax(o.sc.applyFn, o.set.Dim(), eigen.LanczosOpts{
 		MaxIter: 256,
 		Tol:     1e-12,
-		Rng:     rand.New(rand.NewPCG(o.seed^0x5eed, 0x7ea1)),
+		Rng:     o.sc.rng,
+		WS:      &o.sc.lws,
 	})
 	if err != nil {
 		return 0, err
@@ -178,21 +263,42 @@ func (o *factoredJLOracle) lambdaMaxPsi() (float64, error) {
 
 func (o *factoredJLOracle) probability() *matrix.Dense { return nil }
 
+func (o *factoredJLOracle) release() {
+	if !o.sc.ready() {
+		return
+	}
+	o.sc.release(o.ws)
+	o.ws.PutMat(o.s)
+	o.ws.PutVec(o.logs)
+	o.s, o.logs = nil, nil
+	if o.jl != nil {
+		o.ws.PutMat(o.jl.M)
+		o.jl = nil
+	}
+}
+
 // factoredExactOracle evaluates exp(Ψ)•Aᵢ = Σ_cols ‖exp(Ψ/2)q‖² exactly
 // (to ExpMV tolerance) by applying exp(Ψ/2) to every factor column, and
 // Tr[exp(Ψ)] by applying it to every basis vector. Deterministic but
 // O((q + m²)·κ) per iteration — the cross-validation oracle for the JL
-// path on small instances.
+// path on small instances. It shares the JL oracle's buffer discipline
+// through the same factoredScratch.
 type factoredExactOracle struct {
 	set       *FactoredSet
+	ws        *work.Workspace
 	x         []float64
 	lambdaEst float64
 	seed      uint64
 	st        *parallel.Stats
+
+	sc     factoredScratch
+	cols   *matrix.Dense
+	logs   []float64
+	basisV []float64
 }
 
-func newFactoredExactOracle(set *FactoredSet, seed uint64, st *parallel.Stats) *factoredExactOracle {
-	return &factoredExactOracle{set: set, seed: seed, st: st}
+func newFactoredExactOracle(set *FactoredSet, seed uint64, st *parallel.Stats, ws *work.Workspace) *factoredExactOracle {
+	return &factoredExactOracle{set: set, seed: seed, st: st, ws: ws}
 }
 
 func (o *factoredExactOracle) init(x []float64) error {
@@ -200,6 +306,13 @@ func (o *factoredExactOracle) init(x []float64) error {
 		return fmt.Errorf("core: factored-exact oracle: x has %d entries, want %d", len(x), o.set.N())
 	}
 	o.x = x
+	if !o.sc.ready() {
+		m := o.set.Dim()
+		o.sc.init(o.set, o.ws, m, &o.x)
+		o.cols = o.ws.Mat(m, m)
+		o.logs = o.ws.Vec(m)
+		o.basisV = o.ws.Vec(m * m)
+	}
 	return nil
 }
 
@@ -208,19 +321,12 @@ func (o *factoredExactOracle) update(_ []int, _ []float64, x []float64) error {
 	return nil
 }
 
-func (o *factoredExactOracle) applyPsi(in, out []float64) { o.set.ApplyPsi(o.x, in, out) }
-
-func (o *factoredExactOracle) applyHalfPsi(in, out []float64) {
-	o.set.ApplyPsi(o.x, in, out)
-	for i := range out {
-		out[i] *= 0.5
-	}
-}
-
 func (o *factoredExactOracle) ratios() ([]float64, oracleInfo, error) {
-	lam, err := eigen.LanczosMax(o.applyPsi, o.set.Dim(), eigen.LanczosOpts{
+	o.sc.pcg.Seed(o.seed, 0xfeed)
+	lam, err := eigen.LanczosMax(o.sc.applyFn, o.set.Dim(), eigen.LanczosOpts{
 		MaxIter: 64, Tol: 1e-8,
-		Rng: rand.New(rand.NewPCG(o.seed, 0xfeed)),
+		Rng: o.sc.rng,
+		WS:  &o.sc.lws,
 	})
 	if err != nil {
 		return nil, oracleInfo{}, err
@@ -230,13 +336,17 @@ func (o *factoredExactOracle) ratios() ([]float64, oracleInfo, error) {
 	normHalf := 0.55*o.lambdaEst + 0.5
 
 	// Exponentiate the identity column by column: column j of exp(Ψ/2).
-	// Shared log-scale normalization as in the JL oracle.
-	cols := matrix.New(m, m) // row r = exp(Ψ/2)·e_r (symmetric, so rows = cols)
-	logs := make([]float64, m)
-	parallel.For(m, func(r int) {
-		w, ls := expm.ExpMV(o.applyHalfPsi, matrix.Basis(m, r), normHalf, 1e-12)
-		copy(cols.Data[r*m:(r+1)*m], w)
-		logs[r] = ls
+	// Shared log-scale normalization as in the JL oracle. Row r of cols
+	// is exp(Ψ/2)·e_r (symmetric, so rows = cols); the basis vectors are
+	// one held m×m buffer written once per call.
+	cols := o.cols
+	logs := o.logs
+	parallel.ForBlock(m, 1, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			e := o.basisV[r*m : (r+1)*m]
+			matrix.BasisInto(e, r)
+			logs[r] = expm.ExpMVInto(cols.Data[r*m:(r+1)*m], o.sc.halfFns[r], e, normHalf, 1e-12, &o.sc.mv[r])
+		}
 	})
 	maxLog := rescaleRows(cols, logs)
 	trEst := parallel.SumFloat(len(cols.Data), func(i int) float64 { return cols.Data[i] * cols.Data[i] })
@@ -244,19 +354,34 @@ func (o *factoredExactOracle) ratios() ([]float64, oracleInfo, error) {
 		return nil, oracleInfo{}, fmt.Errorf("core: factored-exact oracle: degenerate trace %v", trEst)
 	}
 	n := o.set.N()
-	r := make([]float64, n)
-	parallel.For(n, func(i int) {
-		r[i] = o.set.scale * o.set.Q[i].SketchDot(cols) / trEst
+	r := o.sc.r
+	parallel.ForBlock(n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			r[i] = o.set.scale * o.set.Q[i].SketchDot(cols) / trEst
+		}
 	})
 	o.st.Add(int64(m)*int64(2*o.set.NNZ()), parallel.Log2(m))
 	return r, oracleInfo{LambdaMax: o.lambdaEst, LogTrW: 2*maxLog + math.Log(trEst)}, nil
 }
 
 func (o *factoredExactOracle) lambdaMaxPsi() (float64, error) {
-	return eigen.LanczosMax(o.applyPsi, o.set.Dim(), eigen.LanczosOpts{
+	o.sc.pcg.Seed(o.seed^0x5eed, 0x7ea1)
+	return eigen.LanczosMax(o.sc.applyFn, o.set.Dim(), eigen.LanczosOpts{
 		MaxIter: 256, Tol: 1e-12,
-		Rng: rand.New(rand.NewPCG(o.seed^0x5eed, 0x7ea1)),
+		Rng: o.sc.rng,
+		WS:  &o.sc.lws,
 	})
 }
 
 func (o *factoredExactOracle) probability() *matrix.Dense { return nil }
+
+func (o *factoredExactOracle) release() {
+	if !o.sc.ready() {
+		return
+	}
+	o.sc.release(o.ws)
+	o.ws.PutMat(o.cols)
+	o.ws.PutVec(o.logs)
+	o.ws.PutVec(o.basisV)
+	o.cols, o.logs, o.basisV = nil, nil, nil
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+// Table-driven edge cases for the Algorithm 3.1 constants and the
+// option/accuracy guards: the solver must reject every degenerate
+// accuracy or shape loudly instead of running R = NaN iterations.
+
+func TestParamsForEdgeCases(t *testing.T) {
+	huge := 1 << 40
+	cases := []struct {
+		name    string
+		n, m    int
+		eps     float64
+		wantErr bool
+	}{
+		{"typical", 10, 10, 0.1, false},
+		{"eps tiny but valid", 10, 10, 1e-6, false},
+		{"eps just under one", 10, 10, 0.999, false},
+		{"eps zero", 10, 10, 0, true},
+		{"eps one", 10, 10, 1, true},
+		{"eps above one", 10, 10, 1.5, true},
+		{"eps negative", 10, 10, -0.1, true},
+		{"eps NaN", 10, 10, math.NaN(), true},
+		{"eps +Inf", 10, 10, math.Inf(1), true},
+		{"eps -Inf", 10, 10, math.Inf(-1), true},
+		{"n zero", 0, 10, 0.1, true},
+		{"m zero", 10, 0, 0.1, true},
+		{"n negative", -1, 10, 0.1, true},
+		{"m negative", 10, -1, 0.1, true},
+		{"n one m one", 1, 1, 0.1, false},
+		{"n huge", huge, 2, 0.1, false},
+		{"m huge", 2, huge, 0.1, false},
+		{"both huge", huge, huge, 0.5, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			prm, err := ParamsFor(tc.n, tc.m, tc.eps)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("ParamsFor(%d, %d, %v) = %+v, want error", tc.n, tc.m, tc.eps, prm)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParamsFor(%d, %d, %v): %v", tc.n, tc.m, tc.eps, err)
+			}
+			// Structural sanity on every accepted input: the paper's
+			// constants are finite, positive, and ordered.
+			if !(prm.K > 0) || math.IsInf(prm.K, 0) || math.IsNaN(prm.K) {
+				t.Errorf("K = %v not positive finite", prm.K)
+			}
+			if !(prm.Alpha > 0) || prm.Alpha >= tc.eps {
+				t.Errorf("Alpha = %v out of (0, eps)", prm.Alpha)
+			}
+			if prm.R < 1 {
+				t.Errorf("R = %d < 1", prm.R)
+			}
+			if prm.LogN < math.Log(2)*(1-1e-12) {
+				t.Errorf("LogN = %v below ln 2 (N is clamped to >= 2)", prm.LogN)
+			}
+		})
+	}
+}
+
+func TestGuardEpsTable(t *testing.T) {
+	cases := []struct {
+		eps     float64
+		wantErr bool
+	}{
+		{0.5, false},
+		{1e-12, false},
+		{math.Nextafter(1, 0), false},
+		{0, true},
+		{1, true},
+		{-1, true},
+		{math.NaN(), true},
+		{math.Inf(1), true},
+		{math.Inf(-1), true},
+	}
+	for _, tc := range cases {
+		if err := guardEps(tc.eps); (err != nil) != tc.wantErr {
+			t.Errorf("guardEps(%v) error = %v, wantErr = %v", tc.eps, err, tc.wantErr)
+		}
+	}
+}
+
+func TestOptionsValidateTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		opts    Options
+		wantErr bool
+	}{
+		{"zero value", Options{}, false},
+		{"all defaults explicit", Options{Oracle: OracleAuto, SketchEps: 0.2, EarlySlack: 0.1}, false},
+		{"negative MaxIter", Options{MaxIter: -1}, true},
+		{"negative SketchEps", Options{SketchEps: -0.1}, true},
+		{"SketchEps one", Options{SketchEps: 1}, true},
+		{"SketchEps NaN", Options{SketchEps: math.NaN()}, true},
+		{"negative EarlySlack", Options{EarlySlack: -0.5}, true},
+		{"EarlySlack one", Options{EarlySlack: 1}, true},
+		{"EarlySlack NaN", Options{EarlySlack: math.NaN()}, true},
+		{"negative TraceCap", Options{TraceCap: -2}, true},
+		{"TraceCap NaN", Options{TraceCap: math.NaN()}, true},
+		{"oracle out of range", Options{Oracle: OracleKind(99)}, true},
+		{"oracle negative", Options{Oracle: OracleKind(-1)}, true},
+		{"valid factored exact", Options{Oracle: OracleFactoredExact, SketchEps: 0.3}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.opts.Validate(); (err != nil) != tc.wantErr {
+				t.Errorf("Validate() error = %v, wantErr = %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// DecisionPSDP must reject invalid options at the door, before any
+// oracle work happens.
+func TestDecisionRejectsInvalidOptions(t *testing.T) {
+	set := smallDiagSet(t)
+	if _, err := DecisionPSDP(set, 0.2, Options{MaxIter: -5}); err == nil {
+		t.Error("DecisionPSDP accepted MaxIter = -5")
+	}
+	if _, err := DecisionPSDP(set, 0.2, Options{SketchEps: 2}); err == nil {
+		t.Error("DecisionPSDP accepted SketchEps = 2")
+	}
+	if _, err := DecisionPSDP(set, math.NaN(), Options{}); err == nil {
+		t.Error("DecisionPSDP accepted eps = NaN")
+	}
+}
+
+func smallDiagSet(t *testing.T) *DenseSet {
+	t.Helper()
+	set, err := NewDenseSet([]*matrix.Dense{
+		matrix.Diag([]float64{0.5, 0.2, 0.1}),
+		matrix.Diag([]float64{0.1, 0.4, 0.3}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}

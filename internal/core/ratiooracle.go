@@ -1,5 +1,7 @@
 package core
 
+import "repro/internal/work"
+
 // RatioOracle exposes the per-iteration primitive of Algorithm 3.1 —
 // the ratios rᵢ = exp(Ψ)•Aᵢ/Tr[exp(Ψ)] — to sibling packages that build
 // extensions on top of it (internal/mixed couples it with covering
@@ -9,9 +11,15 @@ type RatioOracle struct {
 	o expOracle
 }
 
-// NewRatioOracle builds the oracle selected by opts for the set.
+// NewRatioOracle builds the oracle selected by opts for the set. The
+// oracle draws its scratch from opts.Workspace (a private workspace is
+// created when nil).
 func NewRatioOracle(set ConstraintSet, opts Options) (*RatioOracle, error) {
-	o, err := buildOracle(set, opts)
+	ws := opts.Workspace
+	if ws == nil {
+		ws = work.New()
+	}
+	o, err := buildOracle(set, opts, ws)
 	if err != nil {
 		return nil, err
 	}

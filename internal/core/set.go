@@ -22,6 +22,7 @@ import (
 	"repro/internal/chol"
 	"repro/internal/matrix"
 	"repro/internal/sparse"
+	"repro/internal/work"
 )
 
 // ErrEmptySet indicates a constraint set with no constraints.
@@ -109,7 +110,12 @@ func (s *DenseSet) NNZ() int { return len(s.A) * s.m * s.m }
 
 // ApplyPsi computes out = (Σᵢ xᵢAᵢ)·in with the scale applied.
 func (s *DenseSet) ApplyPsi(x, in, out []float64) {
-	tmp := make([]float64, s.m)
+	s.applyPsiTmp(x, in, out, make([]float64, s.m))
+}
+
+// applyPsiTmp is ApplyPsi with caller scratch (length m), the
+// allocation-free form the workspace-threaded oracles call.
+func (s *DenseSet) applyPsiTmp(x, in, out, tmp []float64) {
 	for j := range out {
 		out[j] = 0
 	}
@@ -127,17 +133,25 @@ func (s *DenseSet) ApplyPsi(x, in, out []float64) {
 // sequential AXPY sweeps).
 func (s *DenseSet) PsiDense(x []float64) *matrix.Dense {
 	psi := matrix.New(s.m, s.m)
-	coeffs := make([]float64, len(x))
-	matrix.VecScale(coeffs, s.scale, x)
-	matrix.LinComb(psi, coeffs, s.A)
+	s.psiDenseInto(psi, x, make([]float64, len(x)))
 	return psi
 }
 
+// psiDenseInto materializes Ψ into psi using coeffs (length n) as
+// scratch: the dense oracle's periodic rebuild without allocations.
+func (s *DenseSet) psiDenseInto(psi *matrix.Dense, x, coeffs []float64) {
+	matrix.VecScale(coeffs, s.scale, x)
+	matrix.LinComb(psi, coeffs, s.A)
+}
+
 // ValidatePSD checks every constraint for positive semidefiniteness via
-// pivoted Cholesky (errors identify the offending index).
+// pivoted Cholesky (errors identify the offending index). One workspace
+// serves the whole batch, so the per-pivot column scratch is allocated
+// once, not once per constraint.
 func (s *DenseSet) ValidatePSD(tol float64) error {
+	ws := work.New()
 	for i, ai := range s.A {
-		if _, _, err := chol.PivotedCholesky(ai, tol); err != nil {
+		if _, _, err := chol.PivotedCholeskyWS(ws, ai, tol); err != nil {
 			return fmt.Errorf("core: constraint %d: %w", i, err)
 		}
 	}
@@ -150,8 +164,9 @@ func (s *DenseSet) ValidatePSD(tol float64) error {
 // factors.
 func (s *DenseSet) Factorize(tol float64) (*FactoredSet, error) {
 	qs := make([]*sparse.CSC, len(s.A))
+	ws := work.New()
 	for i, ai := range s.A {
-		q, _, err := chol.PivotedCholesky(ai, tol)
+		q, _, err := chol.PivotedCholeskyWS(ws, ai, tol)
 		if err != nil {
 			return nil, fmt.Errorf("core: factorizing constraint %d: %w", i, err)
 		}
@@ -238,15 +253,25 @@ func (s *FactoredSet) NNZ() int { return s.nnz }
 // ApplyPsi computes out = (Σᵢ xᵢ QᵢQᵢᵀ)·in (scaled) in O(q) work via the
 // flattened factor matrix.
 func (s *FactoredSet) ApplyPsi(x, in, out []float64) {
-	t := s.flat.TMulVec(in) // Qᵀin per flat column
-	for c := range t {
-		t[c] *= s.scale * x[s.col2con[c]]
+	s.applyPsiTmp(x, in, out, make([]float64, s.flat.C))
+}
+
+// applyPsiTmp is ApplyPsi with caller scratch of length psiScratchLen():
+// the per-column products Qᵀin land in tmp, so the O(q) matvec at the
+// heart of every ExpMV term allocates nothing.
+func (s *FactoredSet) applyPsiTmp(x, in, out, tmp []float64) {
+	s.flat.TMulVecInto(tmp, in) // Qᵀin per flat column
+	for c := range tmp {
+		tmp[c] *= s.scale * x[s.col2con[c]]
 	}
 	for j := range out {
 		out[j] = 0
 	}
-	s.flat.MulVecAdd(out, 1, t)
+	s.flat.MulVecAdd(out, 1, tmp)
 }
+
+// psiScratchLen is the scratch length applyPsiTmp requires.
+func (s *FactoredSet) psiScratchLen() int { return s.flat.C }
 
 // Densify materializes each constraint as a dense matrix (with the
 // current scale folded in): the bridge from the fast path back to the

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/matrix"
 	"repro/internal/parallel"
+	"repro/internal/work"
 )
 
 // Decomposition is a full symmetric eigendecomposition A = V Λ Vᵀ.
@@ -24,21 +25,42 @@ type Decomposition struct {
 // notes exact decompositions cost Ω(m^ω) work, which is why they appear
 // only in reference/verification paths).
 func SymEigen(a *matrix.Dense) (*Decomposition, error) {
-	if err := checkSym(a); err != nil {
+	dec := &Decomposition{}
+	if err := SymEigenInto(nil, a, dec); err != nil {
 		return nil, err
+	}
+	return dec, nil
+}
+
+// SymEigenInto computes the eigendecomposition of a into dec, reusing
+// dec's storage when the shapes match — the zero-allocation form the
+// dense exponential oracle calls every MMW iteration. ws (which may be
+// nil) supplies the subdiagonal scratch vector and any storage dec is
+// missing; no allocation happens once dec and the workspace are warm.
+func SymEigenInto(ws *work.Workspace, a *matrix.Dense, dec *Decomposition) error {
+	if err := checkSym(a); err != nil {
+		return err
 	}
 	n := a.R
-	work := a.Clone()
-	d := make([]float64, n)
-	e := make([]float64, n)
-	tred2(work.Data, n, d, e, true)
-	if err := tqli(d, e, n, work.Data); err != nil {
-		return nil, err
+	if dec.Vectors == nil || dec.Vectors.R != n || dec.Vectors.C != n {
+		dec.Vectors = ws.Mat(n, n)
 	}
-	sortDesc(d, work)
+	if len(dec.Values) != n {
+		dec.Values = ws.Vec(n)
+	}
+	dec.Vectors.CopyFrom(a)
+	d := dec.Values
+	e := ws.Vec(n)
+	tred2(dec.Vectors.Data, n, d, e, true)
+	err := tqli(d, e, n, dec.Vectors.Data)
+	ws.PutVec(e)
+	if err != nil {
+		return err
+	}
+	sortDesc(d, dec.Vectors)
 	st := statsOf(a)
 	st.Add(int64(9)*int64(n)*int64(n)*int64(n), int64(n)*parallel.Log2(n))
-	return &Decomposition{Values: d, Vectors: work}, nil
+	return nil
 }
 
 // SymEigenvalues computes only the eigenvalues of the symmetric matrix
@@ -99,13 +121,23 @@ func IsPSD(a *matrix.Dense, tol float64) (bool, error) {
 // symmetric congruence kernel (upper triangle computed, then mirrored).
 func (dec *Decomposition) Apply(f func(float64) float64) *matrix.Dense {
 	n := len(dec.Values)
-	fl := make([]float64, n)
+	dst := matrix.New(n, n)
+	dec.ApplyInto(nil, dst, f)
+	return dst
+}
+
+// ApplyInto evaluates f on the spectrum into dst (n-by-n), drawing the
+// f(Λ) scratch vector from ws. dst must not alias dec.Vectors.
+func (dec *Decomposition) ApplyInto(ws *work.Workspace, dst *matrix.Dense, f func(float64) float64) {
+	n := len(dec.Values)
+	fl := ws.Vec(n)
 	for j, lam := range dec.Values {
 		fl[j] = f(lam)
 	}
 	// No stats: Apply is part of composite decomposition pipelines whose
 	// analytic cost the drivers record (see the Stats convention).
-	return matrix.CongruenceDiag(dec.Vectors, fl, nil)
+	matrix.CongruenceDiagInto(dst, dec.Vectors, fl, nil)
+	ws.PutVec(fl)
 }
 
 // Reconstruct returns V Λ Vᵀ, which should reproduce the input matrix.

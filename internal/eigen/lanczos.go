@@ -18,6 +18,57 @@ type LanczosOpts struct {
 	// Rng provides the random start vector; nil means a fixed-seed PCG,
 	// keeping results deterministic.
 	Rng *rand.Rand
+	// WS, when non-nil, supplies reusable storage for the Krylov basis
+	// and all scratch vectors, making repeated calls allocation-free
+	// after the first. The same WS must not be used concurrently.
+	WS *LanczosWS
+}
+
+// LanczosWS is the reusable storage of one Lanczos run: the basis
+// vectors of the Krylov space, the tridiagonal coefficients, and the
+// CGS2 projection scratch. A zero LanczosWS is ready to use; it grows
+// to the largest (dim, maxIter) seen and is reused thereafter. The
+// factored oracles keep one per oracle so the per-iteration λ_max(Ψ)
+// refresh stops allocating.
+type LanczosWS struct {
+	v, w   []float64
+	basis  [][]float64 // backing rows, length dim each, grown on demand
+	alphas []float64
+	betas  []float64
+	coeffs []float64
+	td, te []float64 // tridiagonal eigenvalue scratch
+}
+
+// ensure sizes the workspace for a run of at most maxIter iterations in
+// dimension dim.
+func (ws *LanczosWS) ensure(dim, maxIter int) {
+	if len(ws.v) != dim {
+		ws.v = make([]float64, dim)
+		ws.w = make([]float64, dim)
+		ws.basis = ws.basis[:0] // rows have the wrong length now
+	}
+	if cap(ws.basis) < maxIter {
+		basis := make([][]float64, len(ws.basis), maxIter)
+		copy(basis, ws.basis)
+		ws.basis = basis
+	}
+	if cap(ws.alphas) < maxIter {
+		ws.alphas = make([]float64, 0, maxIter)
+		ws.betas = make([]float64, 0, maxIter)
+		ws.coeffs = make([]float64, maxIter)
+		ws.td = make([]float64, maxIter)
+		ws.te = make([]float64, maxIter)
+	}
+}
+
+// row returns basis row j, allocating it on first use.
+func (ws *LanczosWS) row(j, dim int) []float64 {
+	if j < len(ws.basis) {
+		return ws.basis[j]
+	}
+	r := make([]float64, dim)
+	ws.basis = append(ws.basis, r)
+	return r
 }
 
 // LanczosMax estimates the largest eigenvalue of the symmetric operator
@@ -48,14 +99,20 @@ func LanczosMax(apply func(in, out []float64), dim int, opts LanczosOpts) (float
 	if rng == nil {
 		rng = rand.New(rand.NewPCG(0x1a2b3c4d, 0x5e6f7081))
 	}
+	ws := opts.WS
+	if ws == nil {
+		ws = &LanczosWS{}
+	}
+	ws.ensure(dim, maxIter)
 
 	if dim == 1 {
-		out := make([]float64, 1)
-		apply([]float64{1}, out)
+		out := ws.w[:1]
+		ws.v[0] = 1
+		apply(ws.v[:1], out)
 		return out[0], nil
 	}
 
-	v := make([]float64, dim)
+	v := ws.v
 	for i := range v {
 		v[i] = rng.NormFloat64()
 	}
@@ -63,13 +120,15 @@ func LanczosMax(apply func(in, out []float64), dim int, opts LanczosOpts) (float
 		return 0, errors.New("eigen: LanczosMax: degenerate start vector")
 	}
 
-	basis := make([][]float64, 0, maxIter)
-	var alphas, betas []float64
-	w := make([]float64, dim)
+	alphas := ws.alphas[:0]
+	betas := ws.betas[:0]
+	w := ws.w
 	prev := math.Inf(-1)
 
 	for j := 0; j < maxIter; j++ {
-		basis = append(basis, matrix.VecClone(v))
+		bj := ws.row(j, dim)
+		copy(bj, v)
+		basis := ws.basis[:j+1]
 		apply(v, w)
 		alpha := matrix.VecDot(w, v)
 		alphas = append(alphas, alpha)
@@ -78,10 +137,10 @@ func LanczosMax(apply func(in, out []float64), dim int, opts LanczosOpts) (float
 		// orthonormal basis) so each sweep is one parallel pass — all
 		// projection coefficients first, then a single blocked update —
 		// instead of a sequential AXPY chain per basis vector.
-		reorthogonalize(w, basis)
-		reorthogonalize(w, basis)
+		reorthogonalize(w, basis, ws.coeffs[:j+1])
+		reorthogonalize(w, basis, ws.coeffs[:j+1])
 		beta := matrix.VecNorm2(w)
-		lam, err := topRitz(alphas, betas)
+		lam, err := topRitz(alphas, betas, ws)
 		if err != nil {
 			return 0, err
 		}
@@ -102,9 +161,9 @@ func LanczosMax(apply func(in, out []float64), dim int, opts LanczosOpts) (float
 
 // reorthogonalize removes the components of w along every basis vector
 // with one classical Gram–Schmidt sweep: coefficients are deterministic
-// block reductions, and the update is a single VecLinComb pass.
-func reorthogonalize(w []float64, basis [][]float64) {
-	coeffs := make([]float64, len(basis))
+// block reductions, and the update is a single VecLinComb pass. coeffs
+// is caller scratch of length len(basis).
+func reorthogonalize(w []float64, basis [][]float64, coeffs []float64) {
 	for u, b := range basis {
 		coeffs[u] = -matrix.VecDot(w, b)
 	}
@@ -112,14 +171,24 @@ func reorthogonalize(w []float64, basis [][]float64) {
 }
 
 // topRitz returns the largest eigenvalue of the Lanczos tridiagonal
-// matrix with diagonal alphas and subdiagonal betas.
-func topRitz(alphas, betas []float64) (float64, error) {
-	vals, err := tridiagEigenvalues(alphas, betas[:min(len(betas), len(alphas)-1)])
-	if err != nil {
+// matrix with diagonal alphas and subdiagonal betas, using ws's
+// tridiagonal scratch.
+func topRitz(alphas, betas []float64, ws *LanczosWS) (float64, error) {
+	n := len(alphas)
+	sub := betas[:min(len(betas), n-1)]
+	d := ws.td[:n]
+	e := ws.te[:n]
+	copy(d, alphas)
+	// tqli expects the subdiagonal in e[1..n-1].
+	e[0] = 0
+	for i := 1; i < n; i++ {
+		e[i] = sub[i-1]
+	}
+	if err := tqli(d, e, n, nil); err != nil {
 		return 0, err
 	}
-	top := vals[0]
-	for _, v := range vals[1:] {
+	top := d[0]
+	for _, v := range d[1:] {
 		if v > top {
 			top = v
 		}

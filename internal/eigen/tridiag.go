@@ -183,21 +183,3 @@ func tqli(d, e []float64, n int, z []float64) error {
 	}
 	return nil
 }
-
-// tridiagEigenvalues returns the eigenvalues of the symmetric
-// tridiagonal matrix with diagonal diag and subdiagonal sub
-// (len(sub) == len(diag)-1), unsorted. Inputs are not modified.
-func tridiagEigenvalues(diag, sub []float64) ([]float64, error) {
-	n := len(diag)
-	d := make([]float64, n)
-	copy(d, diag)
-	e := make([]float64, n)
-	// tqli expects the subdiagonal in e[1..n-1].
-	for i := 1; i < n; i++ {
-		e[i] = sub[i-1]
-	}
-	if err := tqli(d, e, n, nil); err != nil {
-		return nil, err
-	}
-	return d, nil
-}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/matrix"
 	"repro/internal/mmw"
 	"repro/internal/parallel"
+	"repro/internal/work"
 )
 
 // E5TaylorDegree validates Lemma 4.2: at degree k = max{e²κ, ln(2/ε)},
@@ -32,6 +33,9 @@ func E5TaylorDegree(cfg Config) (*Table, error) {
 	}
 	m := 8
 	rng := rand.New(rand.NewPCG(cfg.Seed+11, 4))
+	// One workspace across the sweep: every Horner chain reuses the same
+	// two ping-pong matrices.
+	ws := work.New()
 	for _, kappa := range kappas {
 		b := gen.RandomPSD(m, m, rng)
 		lam, err := eigen.LambdaMax(b)
@@ -40,7 +44,7 @@ func E5TaylorDegree(cfg Config) (*Table, error) {
 		}
 		matrix.Scale(b, kappa/lam, b)
 		k := expm.TaylorDegree(kappa, eps)
-		hat := expm.TaylorExpPSD(b, k)
+		hat := expm.TaylorExpPSDWS(ws, b, k)
 		exact, err := expm.ExpSym(b)
 		if err != nil {
 			return nil, err

@@ -25,6 +25,7 @@ import (
 	"repro/internal/eigen"
 	"repro/internal/matrix"
 	"repro/internal/parallel"
+	"repro/internal/work"
 )
 
 // ExpSym returns exp(a) for symmetric a via full eigendecomposition.
@@ -45,18 +46,40 @@ func ExpSym(a *matrix.Dense) (*matrix.Dense, error) {
 // with λ_max(a) and logTr = log Tr[exp(a)] = λ_max + log Tr[exp(a−λ_max I)].
 // This never overflows regardless of ‖a‖₂.
 func NormalizedExpSym(a *matrix.Dense) (p *matrix.Dense, lambdaMax, logTr float64, err error) {
-	dec, err := eigen.SymEigen(a)
+	dst := matrix.New(a.R, a.C)
+	lambdaMax, logTr, err = NormalizedExpSymInto(nil, a, &eigen.Decomposition{}, dst)
 	if err != nil {
 		return nil, 0, 0, err
 	}
-	lambdaMax = dec.Values[0]
-	shifted := dec.Apply(func(x float64) float64 { return math.Exp(x - lambdaMax) })
-	tr := shifted.Trace()
-	if tr <= 0 || math.IsNaN(tr) {
-		return nil, 0, 0, errors.New("expm: degenerate trace in NormalizedExpSym")
+	return dst, lambdaMax, logTr, nil
+}
+
+// NormalizedExpSymInto is NormalizedExpSym with caller-managed storage:
+// the probability matrix is written into dst and the eigendecomposition
+// reuses dec across calls, so the dense oracle's per-iteration
+// exponential allocates nothing once dec, dst, and the workspace are
+// warm. dst must not alias a.
+func NormalizedExpSymInto(ws *work.Workspace, a *matrix.Dense, dec *eigen.Decomposition, dst *matrix.Dense) (lambdaMax, logTr float64, err error) {
+	if err := eigen.SymEigenInto(ws, a, dec); err != nil {
+		return 0, 0, err
 	}
-	matrix.Scale(shifted, 1/tr, shifted)
-	return shifted, lambdaMax, lambdaMax + math.Log(tr), nil
+	lambdaMax = dec.Values[0]
+	// exp(Λ − λ_max I) computed inline rather than via Apply's function-
+	// valued parameter: a closure capturing lambdaMax would heap-allocate
+	// on every iteration.
+	n := len(dec.Values)
+	fl := ws.Vec(n)
+	for j, lam := range dec.Values {
+		fl[j] = math.Exp(lam - lambdaMax)
+	}
+	matrix.CongruenceDiagInto(dst, dec.Vectors, fl, nil)
+	ws.PutVec(fl)
+	tr := dst.Trace()
+	if tr <= 0 || math.IsNaN(tr) {
+		return 0, 0, errors.New("expm: degenerate trace in NormalizedExpSym")
+	}
+	matrix.Scale(dst, 1/tr, dst)
+	return lambdaMax, lambdaMax + math.Log(tr), nil
 }
 
 // TaylorDegree returns the truncation degree of Lemma 4.2:
@@ -87,6 +110,14 @@ func TaylorDegree(kappa, eps float64) int {
 // via ExpMV, but the dense form is what Lemma 4.2 is stated for and is
 // validated directly in experiment E5.
 func TaylorExpPSD(b *matrix.Dense, k int) *matrix.Dense {
+	return TaylorExpPSDWS(nil, b, k)
+}
+
+// TaylorExpPSDWS is TaylorExpPSD drawing its two Horner ping-pong
+// matrices from ws: each multiply writes into the retired iterate
+// instead of a fresh matrix, so a warm workspace makes the whole Horner
+// chain allocation-free apart from the returned matrix.
+func TaylorExpPSDWS(ws *work.Workspace, b *matrix.Dense, k int) *matrix.Dense {
 	if !b.IsSquare() {
 		panic("expm: TaylorExpPSD of non-square matrix")
 	}
@@ -97,13 +128,19 @@ func TaylorExpPSD(b *matrix.Dense, k int) *matrix.Dense {
 	// Horner: p = I + B/(k-1)·(I + B/(k-2)·(...)). Every Horner iterate
 	// is a polynomial in B, so each product B·p is symmetric and the
 	// blocked symmetric kernel (half the multiply work, exact symmetry)
-	// applies.
-	p := matrix.Identity(n)
+	// applies. p and q ping-pong: the product lands in the buffer the
+	// previous iterate vacates.
+	p := ws.Mat(n, n)
+	q := ws.Mat(n, n)
+	p.Zero()
+	matrix.AddScaledIdentity(p, 1)
 	for i := k - 1; i >= 1; i-- {
-		p = matrix.SymMulAB(b, p, nil)
+		matrix.SymMulABInto(q, b, p, nil)
+		p, q = q, p
 		matrix.Scale(p, 1/float64(i), p)
 		matrix.AddScaledIdentity(p, 1)
 	}
+	ws.PutMat(q)
 	return p
 }
 
@@ -123,6 +160,32 @@ const expMVSegNorm = 8.0
 // runs an adaptively truncated Taylor series per segment — the vector
 // form of Lemma 4.2 with scaling, using O(normUB·log(1/tol)) applies.
 func ExpMV(apply func(in, out []float64), v []float64, normUB, tol float64) (w []float64, logScale float64) {
+	dst := make([]float64, len(v))
+	logScale = ExpMVInto(dst, apply, v, normUB, tol, nil)
+	return dst, logScale
+}
+
+// MVScratch is the reusable scratch of one ExpMV evaluation (three
+// vectors: the running Taylor term, its successor, and the segment
+// accumulator). The factored oracles keep one per sketch row so the
+// concurrent per-row exponentials never share or allocate scratch.
+type MVScratch struct {
+	term, next, sum []float64
+}
+
+// ensure sizes the scratch for dimension m.
+func (s *MVScratch) ensure(m int) {
+	if len(s.term) != m {
+		s.term = make([]float64, m)
+		s.next = make([]float64, m)
+		s.sum = make([]float64, m)
+	}
+}
+
+// ExpMVInto is ExpMV writing the result vector into dst (which must
+// have the length of v and may not alias it) and drawing scratch from
+// sc; a nil sc allocates fresh scratch. It returns the log-scale.
+func ExpMVInto(dst []float64, apply func(in, out []float64), v []float64, normUB, tol float64, sc *MVScratch) (logScale float64) {
 	if tol <= 0 {
 		tol = 1e-12
 	}
@@ -130,23 +193,29 @@ func ExpMV(apply func(in, out []float64), v []float64, normUB, tol float64) (w [
 		normUB = 0
 	}
 	m := len(v)
+	if len(dst) != m {
+		panic("expm: ExpMVInto length mismatch")
+	}
+	if sc == nil {
+		sc = &MVScratch{}
+	}
+	sc.ensure(m)
 	segments := int(math.Ceil(normUB / expMVSegNorm))
 	if segments < 1 {
 		segments = 1
 	}
 	invS := 1.0 / float64(segments)
 
-	cur := matrix.VecClone(v)
+	cur := dst
+	copy(cur, v)
 	logScale = 0
 	if n := matrix.Normalize(cur); n > 0 {
 		logScale = math.Log(n)
 	} else {
-		return cur, 0 // exp(A)·0 = 0
+		return 0 // exp(A)·0 = 0
 	}
 
-	term := make([]float64, m)
-	next := make([]float64, m)
-	sum := make([]float64, m)
+	term, next, sum := sc.term, sc.next, sc.sum
 	// Terms needed per segment: the series for e^θ with θ=8 needs ~35
 	// terms to reach 1e-16 relative; cap generously.
 	maxTerms := 64
@@ -170,10 +239,10 @@ func ExpMV(apply func(in, out []float64), v []float64, normUB, tol float64) (w [
 		if n := matrix.Normalize(cur); n > 0 {
 			logScale += math.Log(n)
 		} else {
-			return cur, logScale
+			return logScale
 		}
 	}
-	return cur, logScale
+	return logScale
 }
 
 // ExpMVStats estimates the analytic work/depth of one ExpMV call with

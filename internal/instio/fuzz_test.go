@@ -1,0 +1,94 @@
+package instio
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// FuzzBuild drives the JSON instance parser with arbitrary documents.
+// Two properties are enforced: Build never panics (it must reject every
+// malformed document with an error), and every ACCEPTED document
+// round-trips — serializing the built set and rebuilding it yields a
+// set with identical shape and bitwise-identical traces. Seed corpus
+// lives in testdata/fuzz/FuzzBuild; `go test` replays it as part of
+// tier-1, `go test -fuzz=FuzzBuild ./internal/instio` explores.
+func FuzzBuild(f *testing.F) {
+	seeds := []string{
+		`{"m":2,"dense":[[[1,0],[0,1]]]}`,
+		`{"m":2,"dense":[[[1,0],[0,1]],[[0.5,0.25],[0.25,2]]]}`,
+		`{"m":3,"factored":[{"cols":2,"entries":[[0,0,1],[1,1,0.5],[2,0,-1]]}]}`,
+		`{"m":3,"factored":[{"cols":1,"entries":[]}]}`,
+		`{"m":0}`,
+		`{"m":2}`,
+		`{"m":2,"dense":[[[1,0],[0,1]]],"factored":[{"cols":1,"entries":[[0,0,1]]}]}`,
+		`{"m":2,"dense":[[[1,0]]]}`,
+		`{"m":2,"factored":[{"cols":0,"entries":[]}]}`,
+		`{"m":2,"factored":[{"cols":1,"entries":[[5,0,1]]}]}`,
+		`{"m":-3,"dense":[[[1]]]}`,
+		`not json at all`,
+		`{"m":1,"dense":[[[1e308]]]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Cap document size: giant m values would make Build allocate
+		// m-proportional structures for no additional coverage.
+		if len(data) > 1<<16 {
+			return
+		}
+		var inst Instance
+		if err := json.Unmarshal(data, &inst); err != nil {
+			return
+		}
+		if inst.M > 1<<10 || len(inst.Dense) > 64 || len(inst.Factored) > 64 {
+			return
+		}
+		for _, fac := range inst.Factored {
+			if fac.Cols > 1<<10 {
+				return
+			}
+		}
+		set, err := Build(&inst)
+		if err != nil {
+			return // rejected cleanly: fine
+		}
+		if set.N() <= 0 {
+			t.Fatalf("accepted set has %d constraints", set.N())
+		}
+		if set.Dim() != inst.M {
+			t.Fatalf("accepted set has dim %d, document says %d", set.Dim(), inst.M)
+		}
+		for i := 0; i < set.N(); i++ {
+			if tr := set.Trace(i); math.IsNaN(tr) || tr < 0 {
+				t.Fatalf("constraint %d has invalid trace %v", i, tr)
+			}
+		}
+		// Round-trip: document -> set -> document -> set must preserve
+		// shape and traces exactly.
+		var doc *Instance
+		switch s := set.(type) {
+		case *core.DenseSet:
+			doc = FromDenseSet(s)
+		case *core.FactoredSet:
+			doc = FromFactoredSet(s)
+		default:
+			t.Fatalf("unknown set type %T", set)
+		}
+		set2, err := Build(doc)
+		if err != nil {
+			t.Fatalf("round-trip rebuild failed: %v", err)
+		}
+		if set2.N() != set.N() || set2.Dim() != set.Dim() {
+			t.Fatalf("round-trip shape drift: %dx%d vs %dx%d", set2.N(), set2.Dim(), set.N(), set.Dim())
+		}
+		for i := 0; i < set.N(); i++ {
+			if a, b := set.Trace(i), set2.Trace(i); math.Float64bits(a) != math.Float64bits(b) {
+				t.Fatalf("round-trip trace drift at %d: %v vs %v", i, a, b)
+			}
+		}
+	})
+}

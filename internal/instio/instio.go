@@ -61,10 +61,15 @@ func Build(inst *Instance) (core.ConstraintSet, error) {
 			if len(rows) != inst.M {
 				return nil, fmt.Errorf("instio: dense[%d] has %d rows, want %d", i, len(rows), inst.M)
 			}
-			as[i] = matrix.FromRows(rows)
-			if as[i].C != inst.M {
-				return nil, fmt.Errorf("instio: dense[%d] is not %dx%d", i, inst.M, inst.M)
+			// Validate every row length up front: FromRows panics on
+			// ragged input, and a parser must reject, not crash (found
+			// by FuzzBuild).
+			for j, row := range rows {
+				if len(row) != inst.M {
+					return nil, fmt.Errorf("instio: dense[%d] row %d has %d entries, want %d", i, j, len(row), inst.M)
+				}
 			}
+			as[i] = matrix.FromRows(rows)
 		}
 		return core.NewDenseSet(as)
 	case len(inst.Factored) > 0:

@@ -187,12 +187,28 @@ func (m *Dense) Trace() float64 {
 
 // FrobNorm returns the Frobenius norm sqrt(Σ m[i][j]²).
 func (m *Dense) FrobNorm() float64 {
+	if parallel.OneBlock(len(m.Data), 0) {
+		var s float64
+		for _, v := range m.Data {
+			s += v * v
+		}
+		return math.Sqrt(s)
+	}
 	s := parallel.SumFloat(len(m.Data), func(i int) float64 { return m.Data[i] * m.Data[i] })
 	return math.Sqrt(s)
 }
 
 // MaxAbs returns max |m[i][j]|.
 func (m *Dense) MaxAbs() float64 {
+	if parallel.OneBlock(len(m.Data), 0) {
+		mx := math.Abs(m.Data[0])
+		for _, v := range m.Data[1:] {
+			if av := math.Abs(v); av > mx {
+				mx = av
+			}
+		}
+		return mx
+	}
 	return parallel.MaxFloat(len(m.Data), func(i int) float64 { return math.Abs(m.Data[i]) })
 }
 

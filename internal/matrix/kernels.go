@@ -11,6 +11,15 @@ import (
 // symmetric multiplies (SymMulAB). All kernels fork via
 // parallel.ForBlock with deterministic block decompositions, so results
 // are bit-for-bit identical at any GOMAXPROCS.
+//
+// Every kernel has an *Into variant writing into caller-provided
+// storage; the allocating form is a thin wrapper. Into variants first
+// zero any rows they accumulate into, so a recycled workspace matrix
+// behaves exactly like a fresh one. The hot loops live in plain
+// top-level functions (closures optimize measurably worse), and each
+// kernel branches to the sequential path before constructing its fork
+// closure so steady-state small-size calls allocate nothing (see
+// parallel.SerialBlock).
 
 // SymMulAB returns a·b for square a, b whose product is known to be
 // symmetric (e.g. commuting symmetric matrices, such as polynomials in
@@ -18,29 +27,52 @@ import (
 // the work of MulAB — and mirrored, so the result is exactly symmetric.
 // Analytic cost: work R·K·C, depth O(log K).
 func SymMulAB(a, b *Dense, st *parallel.Stats) *Dense {
+	out := New(a.R, b.C)
+	SymMulABInto(out, a, b, st)
+	return out
+}
+
+// SymMulABInto computes out = a·b as SymMulAB, into out (zeroed first).
+// out must not alias a or b.
+func SymMulABInto(out, a, b *Dense, st *parallel.Stats) {
 	if a.C != b.R || a.R != b.C || a.R != a.C {
 		panic(dimErr("SymMulAB", a, b))
 	}
+	if out.R != a.R || out.C != b.C {
+		panic(dimErr("SymMulABInto", out, a))
+	}
 	n := a.R
-	out := New(n, n)
-	parallel.ForBlock(n, rowGrain(n*n/2+1), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Data[i*n : (i+1)*n]
-			orow := out.Data[i*n : (i+1)*n]
-			for l, av := range arow {
-				if av == 0 {
-					continue
-				}
-				brow := b.Data[l*n+i : (l+1)*n]
-				for jo, bv := range brow {
-					orow[i+jo] += av * bv
-				}
-			}
-		}
-	})
+	grain := rowGrain(n*n/2 + 1)
+	if parallel.SerialBlock(n, grain) {
+		symMulRows(a.Data, b.Data, out.Data, n, 0, n)
+	} else {
+		parallel.ForBlock(n, grain, func(lo, hi int) {
+			symMulRows(a.Data, b.Data, out.Data, n, lo, hi)
+		})
+	}
 	mirrorUpper(out)
 	st.Add(int64(n)*int64(n)*int64(n), parallel.Log2(n))
-	return out
+}
+
+// symMulRows computes rows [lo, hi) of the upper triangle of a·b,
+// zeroing each output row segment before accumulating.
+func symMulRows(ad, bd, od []float64, n, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := ad[i*n : (i+1)*n]
+		orow := od[i*n : (i+1)*n]
+		for j := i; j < n; j++ {
+			orow[j] = 0
+		}
+		for l, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := bd[l*n+i : (l+1)*n]
+			for jo, bv := range brow {
+				orow[i+jo] += av * bv
+			}
+		}
+	}
 }
 
 // Gram returns q·qᵀ, the Gram matrix of the rows of q — the dense form
@@ -48,25 +80,44 @@ func SymMulAB(a, b *Dense, st *parallel.Stats) *Dense {
 // triangle is computed and mirrored. Analytic cost: work R²·C, depth
 // O(log C).
 func Gram(q *Dense, st *parallel.Stats) *Dense {
+	out := New(q.R, q.R)
+	GramInto(out, q, st)
+	return out
+}
+
+// GramInto computes out = q·qᵀ into out. out must not alias q.
+func GramInto(out, q *Dense, st *parallel.Stats) {
 	n, k := q.R, q.C
-	out := New(n, n)
-	parallel.ForBlock(n, rowGrain(n*k/2+1), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			qi := q.Data[i*k : (i+1)*k]
-			orow := out.Data[i*n : (i+1)*n]
-			for j := i; j < n; j++ {
-				qj := q.Data[j*k : (j+1)*k]
-				var s float64
-				for l, v := range qi {
-					s += v * qj[l]
-				}
-				orow[j] = s
-			}
-		}
-	})
+	if out.R != n || out.C != n {
+		panic(dimErr("GramInto", out, q))
+	}
+	grain := rowGrain(n*k/2 + 1)
+	if parallel.SerialBlock(n, grain) {
+		gramRows(q.Data, out.Data, n, k, 0, n)
+	} else {
+		parallel.ForBlock(n, grain, func(lo, hi int) {
+			gramRows(q.Data, out.Data, n, k, lo, hi)
+		})
+	}
 	mirrorUpper(out)
 	st.Add(int64(n)*int64(n)*int64(k), parallel.Log2(k))
-	return out
+}
+
+// gramRows computes rows [lo, hi) of the upper triangle of q·qᵀ. Every
+// entry is assigned (not accumulated), so dirty output storage is fine.
+func gramRows(qd, od []float64, n, k, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		qi := qd[i*k : (i+1)*k]
+		orow := od[i*n : (i+1)*n]
+		for j := i; j < n; j++ {
+			qj := qd[j*k : (j+1)*k]
+			var s float64
+			for l, v := range qi {
+				s += v * qj[l]
+			}
+			orow[j] = s
+		}
+	}
 }
 
 // CongruenceDiag returns v·diag(d)·vᵀ treating the rows of v as the
@@ -75,28 +126,48 @@ func Gram(q *Dense, st *parallel.Stats) *Dense {
 // exponential oracle. Only the upper triangle is computed and mirrored.
 // Analytic cost: work R²·C, depth O(log C).
 func CongruenceDiag(v *Dense, d []float64, st *parallel.Stats) *Dense {
+	out := New(v.R, v.R)
+	CongruenceDiagInto(out, v, d, st)
+	return out
+}
+
+// CongruenceDiagInto computes out = v·diag(d)·vᵀ into out. out must not
+// alias v.
+func CongruenceDiagInto(out, v *Dense, d []float64, st *parallel.Stats) {
 	if v.C != len(d) {
 		panic("matrix: CongruenceDiag dimension mismatch")
 	}
 	n, k := v.R, v.C
-	out := New(n, n)
-	parallel.ForBlock(n, rowGrain(n*k/2+1), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			vi := v.Data[i*k : (i+1)*k]
-			orow := out.Data[i*n : (i+1)*n]
-			for j := i; j < n; j++ {
-				vj := v.Data[j*k : (j+1)*k]
-				var s float64
-				for l, vv := range vi {
-					s += vv * d[l] * vj[l]
-				}
-				orow[j] = s
-			}
-		}
-	})
+	if out.R != n || out.C != n {
+		panic(dimErr("CongruenceDiagInto", out, v))
+	}
+	grain := rowGrain(n*k/2 + 1)
+	if parallel.SerialBlock(n, grain) {
+		congruenceRows(v.Data, d, out.Data, n, k, 0, n)
+	} else {
+		parallel.ForBlock(n, grain, func(lo, hi int) {
+			congruenceRows(v.Data, d, out.Data, n, k, lo, hi)
+		})
+	}
 	mirrorUpper(out)
 	st.Add(int64(2)*int64(n)*int64(n)*int64(k), parallel.Log2(k))
-	return out
+}
+
+// congruenceRows computes rows [lo, hi) of the upper triangle of
+// v·diag(d)·vᵀ. Every entry is assigned, so dirty output is fine.
+func congruenceRows(vd, d, od []float64, n, k, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		vi := vd[i*k : (i+1)*k]
+		orow := od[i*n : (i+1)*n]
+		for j := i; j < n; j++ {
+			vj := vd[j*k : (j+1)*k]
+			var s float64
+			for l, vv := range vi {
+				s += vv * d[l] * vj[l]
+			}
+			orow[j] = s
+		}
+	}
 }
 
 // DotMany computes out[i] = scale·(as[i] • p) for every i: the batched
@@ -116,16 +187,25 @@ func DotMany(out []float64, as []*Dense, scale float64, p *Dense) {
 			panic(dimErr("DotMany", a, p))
 		}
 	}
-	parallel.ForBlock(len(as), rowGrain(sz), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			a := as[i]
-			var s float64
-			for k, v := range a.Data {
-				s += v * p.Data[k]
-			}
-			out[i] = scale * s
-		}
+	grain := rowGrain(sz)
+	if parallel.SerialBlock(len(as), grain) {
+		dotManyRows(out, as, scale, p, 0, len(as))
+		return
+	}
+	parallel.ForBlock(len(as), grain, func(lo, hi int) {
+		dotManyRows(out, as, scale, p, lo, hi)
 	})
+}
+
+func dotManyRows(out []float64, as []*Dense, scale float64, p *Dense, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		a := as[i]
+		var s float64
+		for k, v := range a.Data {
+			s += v * p.Data[k]
+		}
+		out[i] = scale * s
+	}
 }
 
 // LinComb overwrites dst with Σᵢ coeffs[i]·mats[i], blocked over matrix
@@ -143,33 +223,50 @@ func LinComb(dst *Dense, coeffs []float64, mats []*Dense) {
 			panic(dimErr("LinComb", dst, m))
 		}
 	}
+	if parallel.SerialBlock(sz, 2048) {
+		linCombSeg(dst, coeffs, mats, 0, sz)
+		return
+	}
 	parallel.ForBlock(sz, 2048, func(lo, hi int) {
-		seg := dst.Data[lo:hi]
-		for k := range seg {
-			seg[k] = 0
-		}
-		for i, m := range mats {
-			c := coeffs[i]
-			if c == 0 {
-				continue
-			}
-			src := m.Data[lo:hi]
-			for k, v := range src {
-				seg[k] += c * v
-			}
-		}
+		linCombSeg(dst, coeffs, mats, lo, hi)
 	})
+}
+
+func linCombSeg(dst *Dense, coeffs []float64, mats []*Dense, lo, hi int) {
+	seg := dst.Data[lo:hi]
+	for k := range seg {
+		seg[k] = 0
+	}
+	for i, m := range mats {
+		c := coeffs[i]
+		if c == 0 {
+			continue
+		}
+		src := m.Data[lo:hi]
+		for k, v := range src {
+			seg[k] += c * v
+		}
+	}
 }
 
 // mirrorUpper copies the strictly upper triangle of the square matrix m
 // onto the strictly lower triangle, in parallel over rows.
 func mirrorUpper(m *Dense) {
 	n := m.R
-	parallel.ForBlock(n, rowGrain(n/2+1), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			for j := i + 1; j < n; j++ {
-				m.Data[j*n+i] = m.Data[i*n+j]
-			}
-		}
+	grain := rowGrain(n/2 + 1)
+	if parallel.SerialBlock(n, grain) {
+		mirrorRows(m.Data, n, 0, n)
+		return
+	}
+	parallel.ForBlock(n, grain, func(lo, hi int) {
+		mirrorRows(m.Data, n, lo, hi)
 	})
+}
+
+func mirrorRows(md []float64, n, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		for j := i + 1; j < n; j++ {
+			md[j*n+i] = md[i*n+j]
+		}
+	}
 }

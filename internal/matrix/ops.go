@@ -4,16 +4,29 @@ import (
 	"repro/internal/parallel"
 )
 
+// Elementwise helpers branch to a plain loop before building their fork
+// closure (see parallel.SerialBlock): small inputs and GOMAXPROCS=1
+// then allocate nothing, and the computed values are identical because
+// elementwise loops do not depend on the block decomposition.
+
 // Add computes dst = a + b. dst may alias a or b.
 func Add(dst, a, b *Dense) {
 	if a.R != b.R || a.C != b.C || dst.R != a.R || dst.C != a.C {
 		panic(dimErr("Add", a, b))
 	}
+	if parallel.SerialBlock(len(a.Data), 4096) {
+		addSeg(dst.Data, a.Data, b.Data, 0, len(a.Data))
+		return
+	}
 	parallel.ForBlock(len(a.Data), 4096, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			dst.Data[i] = a.Data[i] + b.Data[i]
-		}
+		addSeg(dst.Data, a.Data, b.Data, lo, hi)
 	})
+}
+
+func addSeg(dst, a, b []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		dst[i] = a[i] + b[i]
+	}
 }
 
 // Sub computes dst = a − b. dst may alias a or b.
@@ -21,11 +34,19 @@ func Sub(dst, a, b *Dense) {
 	if a.R != b.R || a.C != b.C || dst.R != a.R || dst.C != a.C {
 		panic(dimErr("Sub", a, b))
 	}
+	if parallel.SerialBlock(len(a.Data), 4096) {
+		subSeg(dst.Data, a.Data, b.Data, 0, len(a.Data))
+		return
+	}
 	parallel.ForBlock(len(a.Data), 4096, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			dst.Data[i] = a.Data[i] - b.Data[i]
-		}
+		subSeg(dst.Data, a.Data, b.Data, lo, hi)
 	})
+}
+
+func subSeg(dst, a, b []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		dst[i] = a[i] - b[i]
+	}
 }
 
 // Scale computes dst = s·a. dst may alias a.
@@ -33,11 +54,7 @@ func Scale(dst *Dense, s float64, a *Dense) {
 	if dst.R != a.R || dst.C != a.C {
 		panic(dimErr("Scale", dst, a))
 	}
-	parallel.ForBlock(len(a.Data), 4096, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			dst.Data[i] = s * a.Data[i]
-		}
-	})
+	VecScale(dst.Data, s, a.Data)
 }
 
 // AXPY computes dst += s·x.
@@ -45,11 +62,7 @@ func AXPY(dst *Dense, s float64, x *Dense) {
 	if dst.R != x.R || dst.C != x.C {
 		panic(dimErr("AXPY", dst, x))
 	}
-	parallel.ForBlock(len(x.Data), 4096, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			dst.Data[i] += s * x.Data[i]
-		}
-	})
+	VecAXPY(dst.Data, s, x.Data)
 }
 
 // AddScaledIdentity computes m += s·I in place. m must be square.
@@ -69,14 +82,7 @@ func Dot(a, b *Dense) float64 {
 	if a.R != b.R || a.C != b.C {
 		panic(dimErr("Dot", a, b))
 	}
-	return parallel.SumBlocks(len(a.Data), 4096, func(lo, hi int) float64 {
-		as, bs := a.Data[lo:hi], b.Data[lo:hi]
-		var s float64
-		for i, v := range as {
-			s += v * bs[i]
-		}
-		return s
-	})
+	return VecDot(a.Data, b.Data)
 }
 
 // TraceProd returns Tr[AB] = Σᵢⱼ Aᵢⱼ Bⱼᵢ for general (not necessarily
@@ -86,45 +92,71 @@ func TraceProd(a, b *Dense) float64 {
 		panic(dimErr("TraceProd", a, b))
 	}
 	n := a.R
+	if parallel.OneBlock(n, 8) {
+		return traceProdSeg(a, b, 0, n)
+	}
 	return parallel.SumBlocks(n, 8, func(lo, hi int) float64 {
-		var s float64
-		for i := lo; i < hi; i++ {
-			arow := a.Data[i*a.C : (i+1)*a.C]
-			for j, v := range arow {
-				s += v * b.Data[j*b.C+i]
-			}
-		}
-		return s
+		return traceProdSeg(a, b, lo, hi)
 	})
+}
+
+func traceProdSeg(a, b *Dense, lo, hi int) float64 {
+	var s float64
+	for i := lo; i < hi; i++ {
+		arow := a.Data[i*a.C : (i+1)*a.C]
+		for j, v := range arow {
+			s += v * b.Data[j*b.C+i]
+		}
+	}
+	return s
 }
 
 // MulAB returns the product a·b as a new matrix, computed with a
 // parallel row-blocked kernel. Analytic cost: work 2·R·K·C, depth
 // O(log K) in the fork-join model.
 func MulAB(a, b *Dense, st *parallel.Stats) *Dense {
+	out := New(a.R, b.C)
+	MulABInto(out, a, b, st)
+	return out
+}
+
+// MulABInto computes out = a·b into out (zeroed first). out must not
+// alias a or b.
+func MulABInto(out, a, b *Dense, st *parallel.Stats) {
 	if a.C != b.R {
 		panic(dimErr("MulAB", a, b))
 	}
-	out := New(a.R, b.C)
+	if out.R != a.R || out.C != b.C {
+		panic(dimErr("MulABInto", out, b))
+	}
 	k, c := a.C, b.C
 	ad, bd, od := a.Data, b.Data, out.Data
 	// The hot loop lives in a plain top-level function: loop bodies
 	// inside closures optimize measurably worse (bounds-check and
 	// register allocation quality), and this kernel is the hottest in
 	// the dense path.
-	parallel.ForBlock(a.R, rowGrain(k*c), func(lo, hi int) {
-		mulRowsAB(ad, bd, od, k, c, lo, hi)
-	})
+	grain := rowGrain(k * c)
+	if parallel.SerialBlock(a.R, grain) {
+		mulRowsAB(ad, bd, od, k, c, 0, a.R)
+	} else {
+		parallel.ForBlock(a.R, grain, func(lo, hi int) {
+			mulRowsAB(ad, bd, od, k, c, lo, hi)
+		})
+	}
 	st.Add(int64(2*a.R)*int64(k)*int64(c), parallel.Log2(k))
-	return out
 }
 
 // mulRowsAB computes rows [lo, hi) of the product: od rows accumulate
-// ad-row-scaled bd rows. Rows are processed in pairs (register
-// blocking) so every streamed b row feeds two output rows; each output
-// entry still accumulates over l in increasing order, so results are
-// bit-for-bit identical to the single-row loop.
+// ad-row-scaled bd rows, after a zeroing sweep so recycled output
+// storage behaves like a fresh matrix. Rows are processed in pairs
+// (register blocking) so every streamed b row feeds two output rows;
+// each output entry still accumulates over l in increasing order, so
+// results are bit-for-bit identical to the single-row loop.
 func mulRowsAB(ad, bd, od []float64, k, c, lo, hi int) {
+	zero := od[lo*c : hi*c]
+	for j := range zero {
+		zero[j] = 0
+	}
 	i := lo
 	for ; i+1 < hi; i += 2 {
 		a0 := ad[i*k : (i+1)*k]
@@ -176,22 +208,31 @@ func MulABT(a, b *Dense, st *parallel.Stats) *Dense {
 	}
 	out := New(a.R, b.R)
 	k := a.C
-	parallel.ForBlock(a.R, rowGrain(k*b.R), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Data[i*k : (i+1)*k]
-			orow := out.Data[i*b.R : (i+1)*b.R]
-			for j := 0; j < b.R; j++ {
-				brow := b.Data[j*k : (j+1)*k]
-				var s float64
-				for l, av := range arow {
-					s += av * brow[l]
-				}
-				orow[j] = s
-			}
-		}
-	})
+	grain := rowGrain(k * b.R)
+	if parallel.SerialBlock(a.R, grain) {
+		mulRowsABT(a.Data, b.Data, out.Data, k, b.R, 0, a.R)
+	} else {
+		parallel.ForBlock(a.R, grain, func(lo, hi int) {
+			mulRowsABT(a.Data, b.Data, out.Data, k, b.R, lo, hi)
+		})
+	}
 	st.Add(int64(2*a.R)*int64(k)*int64(b.R), parallel.Log2(k))
 	return out
+}
+
+func mulRowsABT(ad, bd, od []float64, k, bn, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := ad[i*k : (i+1)*k]
+		orow := od[i*bn : (i+1)*bn]
+		for j := 0; j < bn; j++ {
+			brow := bd[j*k : (j+1)*k]
+			var s float64
+			for l, av := range arow {
+				s += av * brow[l]
+			}
+			orow[j] = s
+		}
+	}
 }
 
 // MulATB returns aᵀ·b.
@@ -202,23 +243,32 @@ func MulATB(a, b *Dense, st *parallel.Stats) *Dense {
 	out := New(a.C, b.C)
 	// Accumulate rank-1 updates row by row of a and b; parallelize over
 	// output rows by transposing the loop structure: out[i][j] = Σ_l a[l][i] b[l][j].
-	parallel.ForBlock(a.C, rowGrain(a.R*b.C), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			orow := out.Data[i*b.C : (i+1)*b.C]
-			for l := 0; l < a.R; l++ {
-				av := a.Data[l*a.C+i]
-				if av == 0 {
-					continue
-				}
-				brow := b.Data[l*b.C : (l+1)*b.C]
-				for j, bv := range brow {
-					orow[j] += av * bv
-				}
-			}
-		}
-	})
+	grain := rowGrain(a.R * b.C)
+	if parallel.SerialBlock(a.C, grain) {
+		mulRowsATB(a, b, out, 0, a.C)
+	} else {
+		parallel.ForBlock(a.C, grain, func(lo, hi int) {
+			mulRowsATB(a, b, out, lo, hi)
+		})
+	}
 	st.Add(int64(2*a.C)*int64(a.R)*int64(b.C), parallel.Log2(a.R))
 	return out
+}
+
+func mulRowsATB(a, b, out *Dense, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		orow := out.Data[i*b.C : (i+1)*b.C]
+		for l := 0; l < a.R; l++ {
+			av := a.Data[l*a.C+i]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[l*b.C : (l+1)*b.C]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
 }
 
 // MulVec returns m·v.
@@ -236,16 +286,25 @@ func (m *Dense) MulVecTo(dst, v []float64) {
 	if m.C != len(v) || m.R != len(dst) {
 		panic("matrix: MulVecTo dimension mismatch")
 	}
-	parallel.ForBlock(m.R, rowGrain(m.C), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			row := m.Data[i*m.C : (i+1)*m.C]
-			var s float64
-			for j, rv := range row {
-				s += rv * v[j]
-			}
-			dst[i] = s
-		}
+	grain := rowGrain(m.C)
+	if parallel.SerialBlock(m.R, grain) {
+		mulVecRows(m.Data, dst, v, m.C, 0, m.R)
+		return
+	}
+	parallel.ForBlock(m.R, grain, func(lo, hi int) {
+		mulVecRows(m.Data, dst, v, m.C, lo, hi)
 	})
+}
+
+func mulVecRows(md, dst, v []float64, c, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		row := md[i*c : (i+1)*c]
+		var s float64
+		for j, rv := range row {
+			s += rv * v[j]
+		}
+		dst[i] = s
+	}
 }
 
 // QuadForm returns vᵀ·m·v for square m.
@@ -253,18 +312,25 @@ func (m *Dense) QuadForm(v []float64) float64 {
 	if !m.IsSquare() || m.C != len(v) {
 		panic("matrix: QuadForm dimension mismatch")
 	}
+	if parallel.OneBlock(m.R, 8) {
+		return quadFormSeg(m, v, 0, m.R)
+	}
 	return parallel.SumBlocks(m.R, 8, func(lo, hi int) float64 {
-		var s float64
-		for i := lo; i < hi; i++ {
-			row := m.Data[i*m.C : (i+1)*m.C]
-			var ri float64
-			for j, rv := range row {
-				ri += rv * v[j]
-			}
-			s += v[i] * ri
-		}
-		return s
+		return quadFormSeg(m, v, lo, hi)
 	})
+}
+
+func quadFormSeg(m *Dense, v []float64, lo, hi int) float64 {
+	var s float64
+	for i := lo; i < hi; i++ {
+		row := m.Data[i*m.C : (i+1)*m.C]
+		var ri float64
+		for j, rv := range row {
+			ri += rv * v[j]
+		}
+		s += v[i] * ri
+	}
+	return s
 }
 
 // rowGrain picks a per-row parallel grain so that each forked block does

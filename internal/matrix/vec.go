@@ -8,7 +8,10 @@ import (
 
 // Vector helpers. Vectors are plain []float64; these functions implement
 // the handful of BLAS-1 style operations the solver needs, with the same
-// deterministic parallel reductions as the matrix kernels.
+// deterministic parallel reductions as the matrix kernels. Like the
+// matrix kernels, each branches to a plain loop before building a fork
+// closure: reductions only take the shortcut when the deterministic
+// block tree has a single block, so results stay bit-for-bit identical.
 
 // VecClone returns a copy of v.
 func VecClone(v []float64) []float64 {
@@ -33,8 +36,22 @@ func Basis(n, i int) []float64 {
 	return v
 }
 
+// BasisInto overwrites v with the i-th standard basis vector.
+func BasisInto(v []float64, i int) {
+	for j := range v {
+		v[j] = 0
+	}
+	v[i] = 1
+}
+
 // VecAdd computes dst = a + b elementwise.
 func VecAdd(dst, a, b []float64) {
+	if parallel.SerialBlock(len(dst), 4096) {
+		for i := range dst {
+			dst[i] = a[i] + b[i]
+		}
+		return
+	}
 	parallel.ForBlock(len(dst), 4096, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			dst[i] = a[i] + b[i]
@@ -44,6 +61,12 @@ func VecAdd(dst, a, b []float64) {
 
 // VecScale computes dst = s·a.
 func VecScale(dst []float64, s float64, a []float64) {
+	if parallel.SerialBlock(len(dst), 4096) {
+		for i := range dst {
+			dst[i] = s * a[i]
+		}
+		return
+	}
 	parallel.ForBlock(len(dst), 4096, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			dst[i] = s * a[i]
@@ -53,6 +76,12 @@ func VecScale(dst []float64, s float64, a []float64) {
 
 // VecAXPY computes dst += s·x.
 func VecAXPY(dst []float64, s float64, x []float64) {
+	if parallel.SerialBlock(len(dst), 4096) {
+		for i := range dst {
+			dst[i] += s * x[i]
+		}
+		return
+	}
 	parallel.ForBlock(len(dst), 4096, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			dst[i] += s * x[i]
@@ -75,17 +104,26 @@ func VecLinComb(dst []float64, coeffs []float64, vs [][]float64) {
 			panic("matrix: VecLinComb vector length mismatch")
 		}
 	}
-	parallel.ForBlock(n, 2048/(len(vs)+1)+1, func(lo, hi int) {
-		for u, v := range vs {
-			c := coeffs[u]
-			if c == 0 {
-				continue
-			}
-			for i := lo; i < hi; i++ {
-				dst[i] += c * v[i]
-			}
-		}
+	grain := 2048/(len(vs)+1) + 1
+	if parallel.SerialBlock(n, grain) {
+		vecLinCombSeg(dst, coeffs, vs, 0, n)
+		return
+	}
+	parallel.ForBlock(n, grain, func(lo, hi int) {
+		vecLinCombSeg(dst, coeffs, vs, lo, hi)
 	})
+}
+
+func vecLinCombSeg(dst, coeffs []float64, vs [][]float64, lo, hi int) {
+	for u, v := range vs {
+		c := coeffs[u]
+		if c == 0 {
+			continue
+		}
+		for i := lo; i < hi; i++ {
+			dst[i] += c * v[i]
+		}
+	}
 }
 
 // VecDot returns Σ aᵢbᵢ with a deterministic block reduction.
@@ -93,26 +131,40 @@ func VecDot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic("matrix: VecDot length mismatch")
 	}
+	if parallel.OneBlock(len(a), 4096) {
+		return dotSeg(a, b, 0, len(a))
+	}
 	return parallel.SumBlocks(len(a), 4096, func(lo, hi int) float64 {
-		// Reslicing lets the compiler elide per-element bounds checks.
-		as, bs := a[lo:hi], b[lo:hi]
-		var s float64
-		for i, v := range as {
-			s += v * bs[i]
-		}
-		return s
+		return dotSeg(a, b, lo, hi)
 	})
+}
+
+func dotSeg(a, b []float64, lo, hi int) float64 {
+	// Reslicing lets the compiler elide per-element bounds checks.
+	as, bs := a[lo:hi], b[lo:hi]
+	var s float64
+	for i, v := range as {
+		s += v * bs[i]
+	}
+	return s
 }
 
 // VecSum returns Σ aᵢ.
 func VecSum(a []float64) float64 {
+	if parallel.OneBlock(len(a), 4096) {
+		return sumSeg(a, 0, len(a))
+	}
 	return parallel.SumBlocks(len(a), 4096, func(lo, hi int) float64 {
-		var s float64
-		for _, v := range a[lo:hi] {
-			s += v
-		}
-		return s
+		return sumSeg(a, lo, hi)
 	})
+}
+
+func sumSeg(a []float64, lo, hi int) float64 {
+	var s float64
+	for _, v := range a[lo:hi] {
+		s += v
+	}
+	return s
 }
 
 // VecNorm2 returns the Euclidean norm.
@@ -122,19 +174,35 @@ func VecNorm2(a []float64) float64 {
 
 // VecNorm1 returns Σ |aᵢ|.
 func VecNorm1(a []float64) float64 {
+	if parallel.OneBlock(len(a), 4096) {
+		return norm1Seg(a, 0, len(a))
+	}
 	return parallel.SumBlocks(len(a), 4096, func(lo, hi int) float64 {
-		var s float64
-		for _, v := range a[lo:hi] {
-			s += math.Abs(v)
-		}
-		return s
+		return norm1Seg(a, lo, hi)
 	})
+}
+
+func norm1Seg(a []float64, lo, hi int) float64 {
+	var s float64
+	for _, v := range a[lo:hi] {
+		s += math.Abs(v)
+	}
+	return s
 }
 
 // VecMax returns the maximum entry; it panics on empty input.
 func VecMax(a []float64) float64 {
 	if len(a) == 0 {
 		panic("matrix: VecMax of empty vector")
+	}
+	if parallel.OneBlock(len(a), 0) {
+		m := a[0]
+		for _, v := range a[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		return m
 	}
 	return parallel.MaxFloat(len(a), func(i int) float64 { return a[i] })
 }
@@ -143,6 +211,15 @@ func VecMax(a []float64) float64 {
 func VecMin(a []float64) float64 {
 	if len(a) == 0 {
 		panic("matrix: VecMin of empty vector")
+	}
+	if parallel.OneBlock(len(a), 0) {
+		m := a[0]
+		for _, v := range a[1:] {
+			if v < m {
+				m = v
+			}
+		}
+		return m
 	}
 	return -parallel.MaxFloat(len(a), func(i int) float64 { return -a[i] })
 }

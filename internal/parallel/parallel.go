@@ -25,6 +25,35 @@ func Workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// SerialBlock reports whether ForBlock(n, grain, body) would execute
+// body in a single sequential call. Hot kernels test this BEFORE
+// constructing their loop closure: a closure passed to ForBlock escapes
+// to the heap (it may flow into a goroutine), so the steady-state
+// zero-allocation paths branch to a plain loop first and only build the
+// closure when forking is actually possible. The plain loop computes
+// exactly what the single body(0, n) call would, so results are
+// bit-for-bit unchanged.
+func SerialBlock(n, grain int) bool {
+	if grain <= 0 {
+		grain = minGrain
+	}
+	return n <= grain || Workers() == 1
+}
+
+// OneBlock reports whether a deterministic block reduction of size n at
+// this grain collapses to a single block, in which case the sequential
+// sum over [0, n) is bit-identical to the block tree and reduction
+// kernels may skip closure construction entirely (see SerialBlock).
+// Unlike SerialBlock it must not depend on Workers(): with more than
+// one block the combine order matters and callers have to go through
+// the fixed block tree even at GOMAXPROCS=1.
+func OneBlock(n, grain int) bool {
+	if grain <= 0 {
+		grain = minGrain
+	}
+	return n <= grain
+}
+
 // For runs body(i) for every i in [0, n), potentially in parallel.
 // body must be safe to call concurrently for distinct i.
 func For(n int, body func(i int)) {

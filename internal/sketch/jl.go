@@ -10,6 +10,7 @@ import (
 	"math/rand/v2"
 
 	"repro/internal/matrix"
+	"repro/internal/work"
 )
 
 // JL is a Gaussian Johnson–Lindenstrauss sketch.
@@ -49,12 +50,36 @@ func New(k, m int, rng *rand.Rand) (*JL, error) {
 	if rng == nil {
 		return nil, fmt.Errorf("sketch: New: rng must not be nil")
 	}
-	p := matrix.New(k, m)
-	inv := 1 / math.Sqrt(float64(k))
-	for i := range p.Data {
-		p.Data[i] = rng.NormFloat64() * inv
+	j := &JL{M: matrix.New(k, m)}
+	j.Refill(rng)
+	return j, nil
+}
+
+// NewWS is New drawing the projection storage from ws (nil ws behaves
+// like New). Return the matrix with ws.PutMat(j.M) when the sketch is
+// retired so sequential solver calls recycle one allocation.
+func NewWS(ws *work.Workspace, k, m int, rng *rand.Rand) (*JL, error) {
+	if k <= 0 || m <= 0 {
+		return nil, fmt.Errorf("sketch: New(%d, %d): dimensions must be positive", k, m)
 	}
-	return &JL{M: p}, nil
+	if rng == nil {
+		return nil, fmt.Errorf("sketch: New: rng must not be nil")
+	}
+	j := &JL{M: ws.Mat(k, m)}
+	j.Refill(rng)
+	return j, nil
+}
+
+// Refill redraws every entry of the projection from rng, in place: a
+// fresh sketch without a fresh allocation. The MMW inner loop needs an
+// independent Π every iteration (Theorem 4.1's bigDotExp), so the
+// factored oracle keeps one JL and refills it — the values are
+// identical to constructing a new sketch from the same rng state.
+func (j *JL) Refill(rng *rand.Rand) {
+	inv := 1 / math.Sqrt(float64(j.M.R))
+	for i := range j.M.Data {
+		j.M.Data[i] = rng.NormFloat64() * inv
+	}
 }
 
 // K returns the number of sketch rows.

@@ -99,24 +99,39 @@ func (m *CSC) NNZ() int { return len(m.Val) }
 
 // TMulVec returns Qᵀ·v (length C). Work O(nnz), depth O(log).
 func (m *CSC) TMulVec(v []float64) []float64 {
-	if len(v) != m.R {
+	out := make([]float64, m.C)
+	m.TMulVecInto(out, v)
+	return out
+}
+
+// TMulVecInto computes out = Qᵀ·v into the caller's buffer (length C),
+// the zero-allocation form used by the workspace-threaded Ψ·v paths.
+func (m *CSC) TMulVecInto(out, v []float64) {
+	if len(v) != m.R || len(out) != m.C {
 		panic("sparse: CSC.TMulVec dimension mismatch")
 	}
-	out := make([]float64, m.C)
 	avg := 1
 	if m.C > 0 {
 		avg = len(m.Val)/m.C + 1
 	}
-	parallel.ForBlock(m.C, 4096/avg+1, func(lo, hi int) {
-		for j := lo; j < hi; j++ {
-			var s float64
-			for k := m.ColPtr[j]; k < m.ColPtr[j+1]; k++ {
-				s += m.Val[k] * v[m.Row[k]]
-			}
-			out[j] = s
-		}
+	grain := 4096/avg + 1
+	if parallel.SerialBlock(m.C, grain) {
+		tMulVecCols(m, out, v, 0, m.C)
+		return
+	}
+	parallel.ForBlock(m.C, grain, func(lo, hi int) {
+		tMulVecCols(m, out, v, lo, hi)
 	})
-	return out
+}
+
+func tMulVecCols(m *CSC, out, v []float64, lo, hi int) {
+	for j := lo; j < hi; j++ {
+		var s float64
+		for k := m.ColPtr[j]; k < m.ColPtr[j+1]; k++ {
+			s += m.Val[k] * v[m.Row[k]]
+		}
+		out[j] = s
+	}
 }
 
 // MulVecAdd accumulates dst += s·Q·u where u has length C.
@@ -177,22 +192,29 @@ func (m *CSC) SketchDot(s *matrix.Dense) float64 {
 	if s.C != m.R {
 		panic("sparse: CSC.SketchDot dimension mismatch")
 	}
-	k := s.R
+	if parallel.OneBlock(m.C, 4) {
+		return sketchDotCols(m, s, 0, m.C)
+	}
 	return parallel.SumBlocks(m.C, 4, func(lo, hi int) float64 {
-		var total float64
-		for j := lo; j < hi; j++ {
-			// |S·qⱼ|² for the sparse column qⱼ.
-			for r := 0; r < k; r++ {
-				row := s.Data[r*s.C : (r+1)*s.C]
-				var dot float64
-				for p := m.ColPtr[j]; p < m.ColPtr[j+1]; p++ {
-					dot += row[m.Row[p]] * m.Val[p]
-				}
-				total += dot * dot
-			}
-		}
-		return total
+		return sketchDotCols(m, s, lo, hi)
 	})
+}
+
+func sketchDotCols(m *CSC, s *matrix.Dense, lo, hi int) float64 {
+	k := s.R
+	var total float64
+	for j := lo; j < hi; j++ {
+		// |S·qⱼ|² for the sparse column qⱼ.
+		for r := 0; r < k; r++ {
+			row := s.Data[r*s.C : (r+1)*s.C]
+			var dot float64
+			for p := m.ColPtr[j]; p < m.ColPtr[j+1]; p++ {
+				dot += row[m.Row[p]] * m.Val[p]
+			}
+			total += dot * dot
+		}
+	}
+	return total
 }
 
 // ToDense converts to dense.

@@ -1,0 +1,92 @@
+package sparse
+
+import (
+	"testing"
+)
+
+// FuzzNewCSC drives triplet assembly with arbitrary (r, c, payload)
+// inputs. The payload encodes triplets as 3-byte records with small
+// signed coordinates (so out-of-range entries occur often) and small
+// INTEGER values (so duplicate summation is exact in floating point and
+// the dense cross-check below compares bitwise). Properties: NewCSC
+// rejects exactly the inputs containing an out-of-range entry, and
+// every accepted matrix satisfies the CSC structural invariants and
+// agrees entry-for-entry with a naive dense accumulation.
+func FuzzNewCSC(f *testing.F) {
+	f.Add(3, 3, []byte{0, 0, 1, 1, 1, 2, 2, 2, 3})
+	f.Add(2, 2, []byte{0, 0, 5, 0, 0, 251}) // duplicate entry, negative value
+	f.Add(1, 1, []byte{0, 0, 0})            // explicit zero is dropped
+	f.Add(4, 2, []byte{255, 0, 1})          // negative row: must be rejected
+	f.Add(2, 4, []byte{0, 9, 1})            // column out of range: rejected
+	f.Add(0, 3, []byte{})                   // non-positive dimension: rejected
+	f.Add(5, 5, []byte{})                   // empty matrix is fine
+	f.Fuzz(func(t *testing.T, r, c int, data []byte) {
+		if r > 64 || c > 64 || len(data) > 3*256 {
+			return // bound the work, not the behavior space
+		}
+		trips := make([]Triplet, 0, len(data)/3)
+		outOfRange := false
+		for i := 0; i+2 < len(data); i += 3 {
+			tr := Triplet{
+				Row: int(int8(data[i])),
+				Col: int(int8(data[i+1])),
+				Val: float64(int8(data[i+2])),
+			}
+			if tr.Row < 0 || tr.Row >= r || tr.Col < 0 || tr.Col >= c {
+				outOfRange = true
+			}
+			trips = append(trips, tr)
+		}
+		m, err := NewCSC(r, c, trips)
+		if r <= 0 || c <= 0 || outOfRange {
+			if err == nil {
+				t.Fatalf("NewCSC(%d, %d) accepted invalid input (outOfRange=%v)", r, c, outOfRange)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("NewCSC(%d, %d) rejected valid triplets: %v", r, c, err)
+		}
+
+		// Structural invariants.
+		if len(m.ColPtr) != c+1 || m.ColPtr[0] != 0 {
+			t.Fatalf("ColPtr malformed: len %d, first %d", len(m.ColPtr), m.ColPtr[0])
+		}
+		if m.ColPtr[c] != len(m.Val) || len(m.Row) != len(m.Val) {
+			t.Fatalf("nnz mismatch: ColPtr[c]=%d, %d rows, %d vals", m.ColPtr[c], len(m.Row), len(m.Val))
+		}
+		if m.NNZ() != len(m.Val) {
+			t.Fatalf("NNZ() = %d, want %d", m.NNZ(), len(m.Val))
+		}
+		for j := 0; j < c; j++ {
+			if m.ColPtr[j] > m.ColPtr[j+1] {
+				t.Fatalf("ColPtr not monotone at column %d", j)
+			}
+			for k := m.ColPtr[j]; k < m.ColPtr[j+1]; k++ {
+				if m.Row[k] < 0 || m.Row[k] >= r {
+					t.Fatalf("stored row %d out of range", m.Row[k])
+				}
+				if k > m.ColPtr[j] && m.Row[k] <= m.Row[k-1] {
+					t.Fatalf("rows not strictly increasing in column %d", j)
+				}
+				if m.Val[k] == 0 {
+					t.Fatalf("explicit zero stored at column %d", j)
+				}
+			}
+		}
+
+		// Dense cross-check: integer values sum exactly in any order.
+		want := make([]float64, r*c)
+		for _, tr := range trips {
+			want[tr.Row*c+tr.Col] += tr.Val
+		}
+		got := m.ToDense()
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				if got.At(i, j) != want[i*c+j] {
+					t.Fatalf("entry (%d, %d) = %v, want %v", i, j, got.At(i, j), want[i*c+j])
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,114 @@
+package work
+
+import "testing"
+
+func TestVecReuse(t *testing.T) {
+	ws := New()
+	v := ws.Vec(16)
+	if len(v) != 16 {
+		t.Fatalf("Vec(16) has length %d", len(v))
+	}
+	v[0] = 42
+	ws.PutVec(v)
+	w := ws.Vec(16)
+	if &w[0] != &v[0] {
+		t.Fatal("Vec(16) after PutVec did not reuse the buffer")
+	}
+	if ws.Misses() != 1 {
+		t.Fatalf("misses = %d, want 1", ws.Misses())
+	}
+	// A different size misses again.
+	_ = ws.Vec(17)
+	if ws.Misses() != 2 {
+		t.Fatalf("misses = %d, want 2", ws.Misses())
+	}
+}
+
+func TestMatReuse(t *testing.T) {
+	ws := New()
+	m := ws.Mat(4, 8)
+	if m.R != 4 || m.C != 8 {
+		t.Fatalf("Mat(4, 8) is %dx%d", m.R, m.C)
+	}
+	ws.PutMat(m)
+	m2 := ws.Mat(4, 8)
+	if m2 != m {
+		t.Fatal("Mat(4, 8) after PutMat did not reuse the matrix")
+	}
+	// Transposed shape is a distinct pool key.
+	m3 := ws.Mat(8, 4)
+	if m3 == m2 {
+		t.Fatal("Mat(8, 4) must not alias the 4x8 pool")
+	}
+}
+
+func TestIntsReuse(t *testing.T) {
+	ws := New()
+	v := ws.Ints(5)
+	ws.PutInts(v)
+	w := ws.Ints(5)
+	if &w[0] != &v[0] {
+		t.Fatal("Ints(5) after PutInts did not reuse the buffer")
+	}
+}
+
+func TestZeroValueWorkspace(t *testing.T) {
+	// The zero value must be usable directly — the type is publicly
+	// re-exported, so `var ws psdp.Workspace` has to work.
+	var ws Workspace
+	v := ws.Vec(8)
+	ws.PutVec(v) // must not panic on the nil map
+	if w := ws.Vec(8); &w[0] != &v[0] {
+		t.Fatal("zero-value workspace did not reuse the buffer")
+	}
+	ws.PutMat(ws.Mat(2, 2))
+	ws.PutInts(ws.Ints(3))
+}
+
+func TestNilWorkspace(t *testing.T) {
+	var ws *Workspace
+	if v := ws.Vec(8); len(v) != 8 {
+		t.Fatalf("nil workspace Vec(8) has length %d", len(v))
+	}
+	if m := ws.Mat(3, 3); m.R != 3 || m.C != 3 {
+		t.Fatal("nil workspace Mat(3, 3) wrong shape")
+	}
+	if v := ws.Ints(4); len(v) != 4 {
+		t.Fatal("nil workspace Ints(4) wrong length")
+	}
+	// Puts on nil are no-ops.
+	ws.PutVec(make([]float64, 8))
+	ws.PutMat(nil)
+	ws.PutInts(nil)
+	if ws.Misses() != 0 {
+		t.Fatal("nil workspace reports misses")
+	}
+}
+
+func TestZeroAllocSteadyState(t *testing.T) {
+	ws := New()
+	step := func() {
+		v := ws.Vec(64)
+		m := ws.Mat(8, 8)
+		ws.PutVec(v)
+		ws.PutMat(m)
+	}
+	step() // warm up the pools
+	if n := testing.AllocsPerRun(100, step); n != 0 {
+		t.Fatalf("steady-state Vec/Mat cycle allocates %.1f per run, want 0", n)
+	}
+}
+
+func TestEdgeSizes(t *testing.T) {
+	ws := New()
+	if v := ws.Vec(0); v != nil {
+		t.Fatal("Vec(0) must be nil")
+	}
+	if v := ws.Vec(-3); v != nil {
+		t.Fatal("Vec(-3) must be nil")
+	}
+	ws.PutVec(nil) // must not panic or pollute pools
+	if v := ws.Vec(1); len(v) != 1 {
+		t.Fatal("Vec(1) wrong length")
+	}
+}

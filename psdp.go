@@ -41,6 +41,7 @@ import (
 	"repro/internal/matrix"
 	"repro/internal/mixed"
 	"repro/internal/sparse"
+	"repro/internal/work"
 )
 
 // Re-exported types. The implementation lives in internal/core; these
@@ -78,7 +79,16 @@ type (
 	PrimalCertificate = core.PrimalCertificate
 	// OracleKind selects the per-iteration exponential primitive.
 	OracleKind = core.OracleKind
+	// Workspace is the solver's scratch-buffer arena. Set
+	// Options.Workspace to reuse one across sequential solver calls so
+	// every call after the first runs allocation-free in steady state;
+	// leave it nil and each call manages a private workspace. A
+	// Workspace is not safe for concurrent use.
+	Workspace = work.Workspace
 )
+
+// NewWorkspace returns an empty solver workspace (see Workspace).
+func NewWorkspace() *Workspace { return work.New() }
 
 // Outcome and oracle constants.
 const (
