@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race race-smoke vet ci fuzz bench experiments
+.PHONY: build test race race-smoke vet ci fuzz bench experiments serve load smoke-serve
 
 ## build: compile every package and command
 build:
@@ -36,6 +36,21 @@ fuzz:
 ## bench: refresh the committed kernel perf baseline BENCH_psdp.json
 bench:
 	$(GO) run ./cmd/psdpbench -kernels -bench-out BENCH_psdp.json
+
+## serve: run the solve daemon on :8723 (see README "Serving")
+serve:
+	$(GO) run ./cmd/psdpd
+
+## load: drive a running daemon with the closed-loop load generator and
+## record sustained req/s, latency percentiles, and cache-hit rate into
+## BENCH_psdp.json under the "serve" key
+load:
+	$(GO) run ./cmd/psdpload -url http://127.0.0.1:8723 -concurrency 64 -duration 5s
+
+## smoke-serve: the CI serving gate — boot psdpd, run a short 64-way
+## psdpload, fail on any non-2xx/non-429 response
+smoke-serve:
+	sh scripts/serve_smoke.sh
 
 ## experiments: regenerate the paper experiment tables (E1–E16)
 experiments:

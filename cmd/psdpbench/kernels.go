@@ -62,6 +62,9 @@ type benchReport struct {
 	Sizes     []int            `json:"sizes"`
 	Kernels   []kernelResult   `json:"kernels"`
 	Decision  []decisionResult `json:"decision"`
+	// Serve is the serving-layer baseline owned by cmd/psdpload; a
+	// kernel rerun carries the existing section over untouched.
+	Serve json.RawMessage `json:"serve,omitempty"`
 }
 
 // allocsPerOp measures heap allocations and bytes per invocation of op,
@@ -229,6 +232,13 @@ func runKernelBench(path string, sizes []int, seed uint64) error {
 		}
 	}
 	rep.Decision = runDecisionBench()
+	// Preserve the psdpload section across kernel reruns.
+	if data, err := os.ReadFile(path); err == nil {
+		var old benchReport
+		if json.Unmarshal(data, &old) == nil {
+			rep.Serve = old.Serve
+		}
+	}
 	out, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
 		return err

@@ -1,0 +1,83 @@
+// Command psdpd is the solve daemon: it serves the packing-SDP solver
+// over HTTP/JSON (see internal/serve for the API) with a sharded worker
+// pool of pinned workspaces, a bounded admission queue with 429
+// backpressure, and a content-addressed result cache.
+//
+// Usage:
+//
+//	psdpd [-addr :8723] [-workers N] [-shards S] [-queue 64]
+//	      [-cache 1024] [-timeout 30s] [-max-timeout 5m]
+//
+// Endpoints: POST /v1/decision, /v1/maximize, /v1/solve, /v1/batch;
+// GET /healthz, /statsz. SIGINT/SIGTERM drain in-flight solves before
+// exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8723", "listen address (host:port; port 0 picks a free port)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "solver workers, each with a pinned workspace")
+	shards := flag.Int("shards", 0, "worker-pool shards (0 = min(workers, 8))")
+	queue := flag.Int("queue", 64, "admission queue depth per shard")
+	cacheEntries := flag.Int("cache", 1024, "result cache entries (negative disables)")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-request solve deadline")
+	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "cap on request-supplied deadlines")
+	maxBody := flag.Int64("max-body", 32<<20, "request body size limit in bytes")
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		Workers:        *workers,
+		Shards:         *shards,
+		QueueDepth:     *queue,
+		CacheEntries:   *cacheEntries,
+		MaxBodyBytes:   *maxBody,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+	})
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "psdpd: %v\n", err)
+		os.Exit(1)
+	}
+	httpSrv := &http.Server{Handler: srv}
+	log.Printf("psdpd: listening on http://%s (workers=%d queue=%d cache=%d timeout=%s)",
+		ln.Addr(), *workers, *queue, *cacheEntries, *timeout)
+
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "psdpd: %v\n", err)
+			os.Exit(1)
+		}
+	case s := <-sig:
+		log.Printf("psdpd: %v, draining", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("psdpd: shutdown: %v", err)
+		}
+	}
+}

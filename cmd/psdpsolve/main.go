@@ -5,9 +5,14 @@
 // Usage:
 //
 //	psdpsolve -in instance.json [-eps 0.1] [-seed 1] [-decision]
+//	psdpgen ... | psdpsolve -in -        # "-" reads the instance from stdin
 //
 // With -decision, a single ε-decision call (Algorithm 3.1) is run
 // instead of the full optimizer.
+//
+// Exit codes distinguish failure stages for scripting: 0 success,
+// 2 usage error, 3 instance parse/validation failure, 4 solve or
+// verification failure.
 package main
 
 import (
@@ -17,7 +22,14 @@ import (
 	"os"
 
 	psdp "repro"
+	"repro/internal/core"
 	"repro/internal/instio"
+)
+
+const (
+	exitUsage = 2
+	exitParse = 3
+	exitSolve = 4
 )
 
 type output struct {
@@ -35,19 +47,19 @@ type output struct {
 }
 
 func main() {
-	in := flag.String("in", "", "instance JSON file (required)")
+	in := flag.String("in", "", "instance JSON file, or - for stdin (required)")
 	eps := flag.Float64("eps", 0.1, "target relative accuracy in (0,1)")
 	seed := flag.Uint64("seed", 1, "seed for sketches/Lanczos")
 	decision := flag.Bool("decision", false, "run a single decision call instead of optimizing")
 	flag.Parse()
 
 	if *in == "" {
-		fmt.Fprintln(os.Stderr, "psdpsolve: -in is required")
-		os.Exit(2)
+		fmt.Fprintln(os.Stderr, "psdpsolve: -in is required (path or - for stdin)")
+		os.Exit(exitUsage)
 	}
-	set, err := instio.Load(*in)
+	set, err := loadSet(*in)
 	if err != nil {
-		fatal(err)
+		fatal(exitParse, err)
 	}
 
 	var out output
@@ -56,7 +68,7 @@ func main() {
 	if *decision {
 		dr, err := psdp.Decision(set, *eps, opts)
 		if err != nil {
-			fatal(err)
+			fatal(exitSolve, err)
 		}
 		out.Kind = "decision"
 		out.Lower, out.Upper = dr.Lower, dr.Upper
@@ -67,7 +79,7 @@ func main() {
 	} else {
 		sol, err := psdp.Maximize(set, *eps, opts)
 		if err != nil {
-			fatal(err)
+			fatal(exitSolve, err)
 		}
 		out.Kind = "maximize"
 		out.Lower, out.Upper = sol.Lower, sol.Upper
@@ -77,7 +89,7 @@ func main() {
 	}
 	cert, err := psdp.VerifyDual(set, out.X, 1e-8)
 	if err != nil {
-		fatal(err)
+		fatal(exitSolve, err)
 	}
 	out.LambdaMax = cert.LambdaMax
 	out.Feasible = cert.Feasible
@@ -85,11 +97,21 @@ func main() {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {
-		fatal(err)
+		fatal(exitSolve, err)
 	}
 }
 
-func fatal(err error) {
+// loadSet reads the instance from a file, or from stdin when path is
+// "-" (the streaming instio.Decode path — no temp files needed in
+// pipelines).
+func loadSet(path string) (core.ConstraintSet, error) {
+	if path == "-" {
+		return instio.Decode(os.Stdin)
+	}
+	return instio.Load(path)
+}
+
+func fatal(code int, err error) {
 	fmt.Fprintf(os.Stderr, "psdpsolve: %v\n", err)
-	os.Exit(1)
+	os.Exit(code)
 }

@@ -287,6 +287,13 @@ func newDecisionRun(set ConstraintSet, eps float64, opts Options) (*decisionRun,
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
+	// A request cancelled while queued must not pay for oracle setup
+	// (the eigendecomposition / sketch of Ψ⁰ dominates small runs).
+	if opts.Ctx != nil {
+		if err := opts.Ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: before iteration 1: %w", err)
+		}
+	}
 	n, m := set.N(), set.Dim()
 	prm, err := ParamsFor(n, m, eps)
 	if err != nil {

@@ -105,6 +105,14 @@ func MaximizePacking(set ConstraintSet, eps float64, opts Options) (*Solution, e
 
 	stalls := 0
 	for call := 0; call < maxCalls && hi > (1+eps)*lo; call++ {
+		// Cancellation checkpoint between decision calls: the bracket
+		// narrowed so far stays certified, but a cancelled caller wants
+		// its worker (and workspace) back, not a tighter bound.
+		if opts.Ctx != nil {
+			if err := opts.Ctx.Err(); err != nil {
+				return nil, fmt.Errorf("core: decision call %d: %w", call, err)
+			}
+		}
 		theta := math.Sqrt(lo * hi)
 		scaled := set.WithScale(theta)
 		// Derive a fresh seed per call so randomized oracles (JL

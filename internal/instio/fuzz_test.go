@@ -30,6 +30,12 @@ func FuzzBuild(f *testing.F) {
 		`{"m":-3,"dense":[[[1]]]}`,
 		`not json at all`,
 		`{"m":1,"dense":[[[1e308]]]}`,
+		// Finite entries whose trace overflows to +Inf: must be rejected
+		// at Build time, not passed on to poison the solver's initial
+		// point 1/(n·Tr[Aᵢ]).
+		`{"m":2,"dense":[[[1e308,0],[0,1e308]]]}`,
+		`{"m":1,"factored":[{"cols":1,"entries":[[0,0,1e308],[0,0,1e308]]}]}`,
+		`{"m":2,"factored":[{"cols":2,"entries":[[0,0,1e200],[1,1,1e200]]}]}`,
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s))
@@ -63,7 +69,7 @@ func FuzzBuild(f *testing.F) {
 			t.Fatalf("accepted set has dim %d, document says %d", set.Dim(), inst.M)
 		}
 		for i := 0; i < set.N(); i++ {
-			if tr := set.Trace(i); math.IsNaN(tr) || tr < 0 {
+			if tr := set.Trace(i); math.IsNaN(tr) || math.IsInf(tr, 0) || tr < 0 {
 				t.Fatalf("constraint %d has invalid trace %v", i, tr)
 			}
 		}

@@ -14,6 +14,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"math"
 	"os"
 
 	"repro/internal/core"
@@ -36,15 +38,53 @@ type Factor struct {
 
 // Load reads an instance file and builds the constraint set.
 func Load(path string) (core.ConstraintSet, error) {
-	data, err := os.ReadFile(path)
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	var inst Instance
-	if err := json.Unmarshal(data, &inst); err != nil {
+	defer f.Close()
+	inst, err := decodeDocument(f)
+	if err != nil {
 		return nil, fmt.Errorf("instio: parsing %s: %w", path, err)
 	}
-	return Build(&inst)
+	return Build(inst)
+}
+
+// Decode reads one instance document from r and builds the constraint
+// set. It is the streaming form of Load: servers and pipes hand their
+// request bodies straight to the parser without touching the
+// filesystem.
+func Decode(r io.Reader) (core.ConstraintSet, error) {
+	inst, err := DecodeDocument(r)
+	if err != nil {
+		return nil, err
+	}
+	return Build(inst)
+}
+
+// DecodeDocument parses an instance document from r without building
+// the constraint set.
+func DecodeDocument(r io.Reader) (*Instance, error) {
+	inst, err := decodeDocument(r)
+	if err != nil {
+		return nil, fmt.Errorf("instio: parsing instance: %w", err)
+	}
+	return inst, nil
+}
+
+func decodeDocument(r io.Reader) (*Instance, error) {
+	dec := json.NewDecoder(r)
+	var inst Instance
+	if err := dec.Decode(&inst); err != nil {
+		return nil, err
+	}
+	// One document per stream: trailing bytes mean a truncated or
+	// concatenated file, and solving the wrong instance silently is the
+	// worst possible outcome for a parser.
+	if _, err := dec.Token(); err != io.EOF {
+		return nil, errors.New("trailing data after instance document")
+	}
+	return &inst, nil
 }
 
 // Build converts a parsed document into a constraint set.
@@ -71,7 +111,14 @@ func Build(inst *Instance) (core.ConstraintSet, error) {
 			}
 			as[i] = matrix.FromRows(rows)
 		}
-		return core.NewDenseSet(as)
+		set, err := core.NewDenseSet(as)
+		if err != nil {
+			return nil, err
+		}
+		if err := checkFiniteTraces(set); err != nil {
+			return nil, err
+		}
+		return set, nil
 	case len(inst.Factored) > 0:
 		qs := make([]*sparse.CSC, len(inst.Factored))
 		for i, f := range inst.Factored {
@@ -80,6 +127,13 @@ func Build(inst *Instance) (core.ConstraintSet, error) {
 			}
 			trips := make([]sparse.Triplet, len(f.Entries))
 			for k, e := range f.Entries {
+				// A single NaN/Inf factor entry poisons every ratio the
+				// solver computes without tripping any later validation
+				// (NewFactoredSet only shapes-checks); a parser must
+				// reject it here with a pointed error.
+				if !isFinite(e[2]) {
+					return nil, fmt.Errorf("instio: factored[%d] entry %d has non-finite value %v", i, k, e[2])
+				}
 				trips[k] = sparse.Triplet{Row: int(e[0]), Col: int(e[1]), Val: e[2]}
 			}
 			q, err := sparse.NewCSC(inst.M, f.Cols, trips)
@@ -88,10 +142,35 @@ func Build(inst *Instance) (core.ConstraintSet, error) {
 			}
 			qs[i] = q
 		}
-		return core.NewFactoredSet(qs)
+		set, err := core.NewFactoredSet(qs)
+		if err != nil {
+			return nil, err
+		}
+		if err := checkFiniteTraces(set); err != nil {
+			return nil, err
+		}
+		return set, nil
 	default:
 		return nil, errors.New("instio: instance has no constraints")
 	}
+}
+
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// checkFiniteTraces rejects instances whose per-constraint traces
+// overflow to Inf even though every individual entry is finite (e.g. a
+// factor column of 1e308s whose Gram trace squares past MaxFloat64):
+// the solver's initial point 1/(n·Tr[Aᵢ]) and trace caps both divide by
+// these, so an infinite trace silently zeroes a coordinate.
+func checkFiniteTraces(set core.ConstraintSet) error {
+	for i := 0; i < set.N(); i++ {
+		if tr := set.Trace(i); !isFinite(tr) {
+			return fmt.Errorf("instio: constraint %d has non-finite trace %v", i, tr)
+		}
+	}
+	return nil
 }
 
 // FromDenseSet converts a dense set to the document form.
@@ -122,11 +201,26 @@ func FromFactoredSet(set *core.FactoredSet) *Instance {
 	return inst
 }
 
-// Save writes an instance document to path.
-func Save(path string, inst *Instance) error {
+// Encode writes the document to w as indented JSON with a trailing
+// newline (the exact bytes Save puts in a file).
+func Encode(w io.Writer, inst *Instance) error {
 	data, err := json.MarshalIndent(inst, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// Save writes an instance document to path.
+func Save(path string, inst *Instance) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Encode(f, inst); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

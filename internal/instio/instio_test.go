@@ -1,6 +1,8 @@
 package instio
 
 import (
+	"bytes"
+	"math"
 	"os"
 	"path/filepath"
 	"testing"
@@ -98,5 +100,86 @@ func TestLoadMissingAndMalformed(t *testing.T) {
 	}
 	if _, err := Load(path); err == nil {
 		t.Fatal("malformed JSON accepted")
+	}
+}
+
+func TestDecodeEncodeStream(t *testing.T) {
+	set, err := core.NewDenseSet([]*matrix.Dense{
+		matrix.Diag([]float64{1, 0.25}),
+		matrix.FromRows([][]float64{{2, 1}, {1, 2}}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := FromDenseSet(set)
+	var buf bytes.Buffer
+	if err := Encode(&buf, doc); err != nil {
+		t.Fatal(err)
+	}
+	// Encode must produce the exact bytes Save writes, so wire payloads
+	// and on-disk instances are interchangeable.
+	path := filepath.Join(t.TempDir(), "inst.json")
+	if err := Save(path, doc); err != nil {
+		t.Fatal(err)
+	}
+	onDisk, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), onDisk) {
+		t.Fatal("Encode and Save produced different bytes")
+	}
+	decoded, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, ok := decoded.(*core.DenseSet)
+	if !ok {
+		t.Fatalf("decoded type %T, want *core.DenseSet", decoded)
+	}
+	for i := range set.A {
+		if !matrix.ApproxEqual(ds.A[i], set.A[i], 0) {
+			t.Fatalf("constraint %d altered through Encode/Decode", i)
+		}
+	}
+	if _, err := Decode(bytes.NewReader([]byte("{not json"))); err == nil {
+		t.Fatal("malformed stream accepted")
+	}
+	// Trailing data means a truncated or concatenated document; solving
+	// the first instance silently would be wrong.
+	concat := append(append([]byte(nil), buf.Bytes()...), []byte(`{"m":1,"dense":[[[1]]]}`)...)
+	if _, err := Decode(bytes.NewReader(concat)); err == nil {
+		t.Fatal("concatenated documents accepted")
+	}
+	if _, err := Decode(bytes.NewReader(append(append([]byte(nil), buf.Bytes()...), "garbage"...))); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}
+
+func TestBuildRejectsNonFinite(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := []struct {
+		name string
+		inst *Instance
+	}{
+		{"factored-nan", &Instance{M: 2, Factored: []Factor{{Cols: 1, Entries: [][3]float64{{0, 0, nan}}}}}},
+		{"factored-posinf", &Instance{M: 2, Factored: []Factor{{Cols: 1, Entries: [][3]float64{{0, 0, inf}}}}}},
+		{"factored-neginf", &Instance{M: 2, Factored: []Factor{{Cols: 1, Entries: [][3]float64{{1, 0, -inf}}}}}},
+		// Finite entries, infinite Gram trace (1e308² overflows).
+		{"factored-trace-overflow", &Instance{M: 1, Factored: []Factor{{Cols: 1, Entries: [][3]float64{{0, 0, 1e308}}}}}},
+		// Finite dense entries, infinite trace.
+		{"dense-trace-overflow", &Instance{M: 2, Dense: [][][]float64{{{1e308, 0}, {0, 1e308}}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Build(tc.inst); err == nil {
+				t.Fatal("non-finite instance accepted")
+			}
+		})
+	}
+	// Large but representable values must still be accepted.
+	ok := &Instance{M: 1, Dense: [][][]float64{{{1e300}}}}
+	if _, err := Build(ok); err != nil {
+		t.Fatalf("finite instance rejected: %v", err)
 	}
 }

@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cache is the content-addressed result cache: marshaled 2xx response
+// bodies keyed by the request digest, with LRU eviction at a fixed
+// entry cap. Hits return the exact bytes of the original response, so a
+// cached answer is bitwise identical to the solve that produced it —
+// the serving-layer analogue of the golden-corpus guarantee.
+type cache struct {
+	mu  sync.Mutex
+	max int
+	ll  *list.List // front = most recently used
+	m   map[digest]*list.Element
+
+	hits, misses int64
+}
+
+type cacheEntry struct {
+	key  digest
+	body []byte
+}
+
+// newCache returns a cache holding at most max entries; max <= 0
+// disables caching (every Get misses, Put drops).
+func newCache(max int) *cache {
+	return &cache{max: max, ll: list.New(), m: make(map[digest]*list.Element)}
+}
+
+// Get returns the cached body for key, or nil. Callers must not mutate
+// the returned slice.
+func (c *cache) Get(key digest) []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).body
+	}
+	c.misses++
+	return nil
+}
+
+// Put stores body under key, evicting the least recently used entry
+// when over capacity. The cache takes ownership of body.
+func (c *cache) Put(key digest, body []byte) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		el.Value.(*cacheEntry).body = body
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+	for c.ll.Len() > c.max {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.m, el.Value.(*cacheEntry).key)
+	}
+}
+
+// Len reports the number of cached entries.
+func (c *cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Counters returns (hits, misses) so far.
+func (c *cache) Counters() (int64, int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

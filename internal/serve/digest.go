@@ -1,0 +1,197 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+	"repro/internal/sparse"
+)
+
+// digest is the content address of a request: SHA-256 over the
+// canonicalized instance plus every solve-relevant option. Two requests
+// share a digest exactly when the solver is guaranteed to produce
+// bitwise-identical results for them, which is what makes the digest
+// safe as both the cache key and the singleflight key.
+type digest [sha256.Size]byte
+
+func (d digest) String() string { return hex.EncodeToString(d[:]) }
+
+// shardKey folds the digest to the uint64 used for shard routing.
+func (d digest) shardKey() uint64 { return binary.LittleEndian.Uint64(d[:8]) }
+
+// hasher wraps a hash.Hash with fixed-width little-endian writers. All
+// floats are hashed as their IEEE 754 bit patterns: the canonical form
+// distinguishes exactly the inputs the solver distinguishes (including
+// -0 vs +0 and every NaN payload the parser lets through, i.e. none).
+type hasher struct {
+	h   hash.Hash
+	buf [1 << 10]byte
+	n   int
+}
+
+func newHasher() *hasher { return &hasher{h: sha256.New()} }
+
+func (z *hasher) flush() {
+	if z.n > 0 {
+		z.h.Write(z.buf[:z.n])
+		z.n = 0
+	}
+}
+
+func (z *hasher) u64(v uint64) {
+	if z.n+8 > len(z.buf) {
+		z.flush()
+	}
+	binary.LittleEndian.PutUint64(z.buf[z.n:], v)
+	z.n += 8
+}
+
+func (z *hasher) i64(v int) { z.u64(uint64(int64(v))) }
+
+func (z *hasher) f64(v float64) { z.u64(math.Float64bits(v)) }
+
+func (z *hasher) f64s(v []float64) {
+	z.i64(len(v))
+	for _, x := range v {
+		z.f64(x)
+	}
+}
+
+func (z *hasher) ints(v []int) {
+	z.i64(len(v))
+	for _, x := range v {
+		z.i64(x)
+	}
+}
+
+func (z *hasher) bool(b bool) {
+	if b {
+		z.u64(1)
+	} else {
+		z.u64(0)
+	}
+}
+
+func (z *hasher) str(s string) {
+	z.i64(len(s))
+	z.flush()
+	z.h.Write([]byte(s))
+}
+
+func (z *hasher) sum() digest {
+	z.flush()
+	var d digest
+	copy(d[:], z.h.Sum(nil))
+	return d
+}
+
+// digestVersion is bumped whenever the canonical encoding or the
+// solver's numerics change incompatibly, so stale cache entries from an
+// older build can never be mistaken for current results.
+const digestVersion = "psdpd-v1"
+
+// requestDigest canonicalizes one solve request. kind is the endpoint
+// ("decision", "maximize", "solve"); exactly one of set or prog is
+// non-nil.
+func requestDigest(kind string, req *Request, set core.ConstraintSet, prog *core.Program) (digest, error) {
+	opts, err := req.coreOptions()
+	if err != nil {
+		return digest{}, err
+	}
+	z := newHasher()
+	z.str(digestVersion)
+	z.str(kind)
+	z.f64(req.Eps)
+	z.u64(req.Seed)
+	z.i64(int(canonicalOracle(opts.Oracle, set)))
+	z.i64(req.MaxIter)
+	z.bool(req.Bucketed)
+	z.bool(req.TheoryExact)
+	z.f64(req.SketchEps)
+	z.f64(req.scaleOrOne())
+	switch {
+	case set != nil:
+		if err := hashSet(z, set); err != nil {
+			return digest{}, err
+		}
+	case prog != nil:
+		hashProgram(z, prog)
+	default:
+		return digest{}, fmt.Errorf("serve: nothing to digest")
+	}
+	return z.sum(), nil
+}
+
+// canonicalOracle resolves OracleAuto to the concrete oracle the
+// solver would pick for the set, so "oracle omitted", "auto", and the
+// explicit name of the auto choice all share one content address
+// (they provably produce identical bytes). A nil set is the program
+// path, whose normalization always yields a dense instance.
+func canonicalOracle(kind core.OracleKind, set core.ConstraintSet) core.OracleKind {
+	if kind != core.OracleAuto {
+		return kind
+	}
+	if _, ok := set.(*core.FactoredSet); ok {
+		return core.OracleFactoredJL
+	}
+	return core.OracleDenseExact
+}
+
+// hashSet canonicalizes a constraint set. Dense sets hash their entries
+// row-major; factored sets hash the CSC arrays, which NewCSC already
+// canonicalizes (column-sorted, duplicates summed, explicit zeros
+// dropped), so triplet order in the wire document does not perturb the
+// digest.
+func hashSet(z *hasher, set core.ConstraintSet) error {
+	switch s := set.(type) {
+	case *core.DenseSet:
+		z.str("dense")
+		z.i64(s.N())
+		z.i64(s.Dim())
+		z.f64(s.Scale())
+		for _, a := range s.A {
+			hashDense(z, a)
+		}
+	case *core.FactoredSet:
+		z.str("factored")
+		z.i64(s.N())
+		z.i64(s.Dim())
+		z.f64(s.Scale())
+		for _, q := range s.Q {
+			hashCSC(z, q)
+		}
+	default:
+		return fmt.Errorf("serve: cannot digest constraint set type %T", set)
+	}
+	return nil
+}
+
+func hashDense(z *hasher, a *matrix.Dense) {
+	z.i64(a.R)
+	z.i64(a.C)
+	z.f64s(a.Data)
+}
+
+func hashCSC(z *hasher, q *sparse.CSC) {
+	z.i64(q.R)
+	z.i64(q.C)
+	z.ints(q.ColPtr)
+	z.ints(q.Row)
+	z.f64s(q.Val)
+}
+
+func hashProgram(z *hasher, p *core.Program) {
+	z.str("program")
+	hashDense(z, p.C)
+	z.i64(len(p.A))
+	for _, a := range p.A {
+		hashDense(z, a)
+	}
+	z.f64s(p.B)
+}

@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/instio"
+	"repro/internal/sparse"
+)
+
+func digestOf(t *testing.T, kind string, req *Request) digest {
+	t.Helper()
+	set, err := instio.Build(req.Instance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc := req.scaleOrOne(); sc != 1 {
+		set = set.WithScale(sc)
+	}
+	d, err := requestDigest(kind, req, set, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDigestIdentity(t *testing.T) {
+	inst := &instio.Instance{M: 2, Dense: [][][]float64{{{1, 0.5}, {0.5, 2}}}}
+	base := Request{Instance: inst, Eps: 0.25, Seed: 5}
+	d0 := digestOf(t, "decision", &base)
+
+	if d1 := digestOf(t, "decision", &base); d1 != d0 {
+		t.Fatal("identical requests produced different digests")
+	}
+
+	perturbations := []struct {
+		name string
+		req  Request
+		kind string
+	}{
+		{"eps", Request{Instance: inst, Eps: 0.26, Seed: 5}, "decision"},
+		{"seed", Request{Instance: inst, Eps: 0.25, Seed: 6}, "decision"},
+		{"scale", Request{Instance: inst, Eps: 0.25, Seed: 5, Scale: 0.5}, "decision"},
+		{"bucketed", Request{Instance: inst, Eps: 0.25, Seed: 5, Bucketed: true}, "decision"},
+		{"maxIter", Request{Instance: inst, Eps: 0.25, Seed: 5, MaxIter: 7}, "decision"},
+		{"kind", Request{Instance: inst, Eps: 0.25, Seed: 5}, "maximize"},
+		{"entry", Request{Instance: &instio.Instance{M: 2, Dense: [][][]float64{{{1, 0.5}, {0.5, 2.0000000000000004}}}}, Eps: 0.25, Seed: 5}, "decision"},
+	}
+	for _, p := range perturbations {
+		if d := digestOf(t, p.kind, &p.req); d == d0 {
+			t.Errorf("%s perturbation did not change the digest", p.name)
+		}
+	}
+}
+
+// Spellings of the same solver configuration must share one content
+// address: "", "auto", and the explicit name of the auto choice all
+// resolve to the same oracle — while genuinely different oracles split.
+func TestDigestCanonicalizesOracle(t *testing.T) {
+	dense := &instio.Instance{M: 2, Dense: [][][]float64{{{1, 0.5}, {0.5, 2}}}}
+	dDefault := digestOf(t, "decision", &Request{Instance: dense, Eps: 0.25, Seed: 5})
+	dAuto := digestOf(t, "decision", &Request{Instance: dense, Eps: 0.25, Seed: 5, Oracle: "auto"})
+	dExplicit := digestOf(t, "decision", &Request{Instance: dense, Eps: 0.25, Seed: 5, Oracle: "dense"})
+	if dDefault != dAuto || dDefault != dExplicit {
+		t.Fatal("equivalent oracle spellings split the cache identity")
+	}
+
+	fact := &instio.Instance{M: 3, Factored: []instio.Factor{{Cols: 2, Entries: [][3]float64{{0, 0, 1}, {1, 1, 0.5}}}}}
+	fAuto := digestOf(t, "decision", &Request{Instance: fact, Eps: 0.3, Seed: 1})
+	fJL := digestOf(t, "decision", &Request{Instance: fact, Eps: 0.3, Seed: 1, Oracle: "jl"})
+	fExact := digestOf(t, "decision", &Request{Instance: fact, Eps: 0.3, Seed: 1, Oracle: "exact"})
+	if fAuto != fJL {
+		t.Fatal("auto on a factored set must hash as the JL oracle")
+	}
+	if fExact == fJL {
+		t.Fatal("distinct factored oracles collided")
+	}
+}
+
+// TimeoutMs changes when a result arrives, never what it is, so it must
+// NOT split the cache identity.
+func TestDigestIgnoresTimeout(t *testing.T) {
+	inst := &instio.Instance{M: 2, Dense: [][][]float64{{{1, 0}, {0, 1}}}}
+	a := Request{Instance: inst, Eps: 0.25, Seed: 5}
+	b := Request{Instance: inst, Eps: 0.25, Seed: 5, TimeoutMs: 1234}
+	if digestOf(t, "decision", &a) != digestOf(t, "decision", &b) {
+		t.Fatal("timeout leaked into the digest")
+	}
+}
+
+// Triplet order in a factored wire document is presentation, not
+// content: NewCSC canonicalizes (sorts, sums duplicates, drops zeros),
+// so shuffled entries must hash identically.
+func TestDigestCanonicalizesTripletOrder(t *testing.T) {
+	entries := [][3]float64{{0, 0, 1}, {1, 1, 0.5}, {2, 0, -1}, {1, 0, 0.25}}
+	shuffled := [][3]float64{{1, 0, 0.25}, {2, 0, -1}, {0, 0, 1}, {1, 1, 0.5}}
+	a := Request{Instance: &instio.Instance{M: 3, Factored: []instio.Factor{{Cols: 2, Entries: entries}}}, Eps: 0.3, Seed: 1}
+	b := Request{Instance: &instio.Instance{M: 3, Factored: []instio.Factor{{Cols: 2, Entries: shuffled}}}, Eps: 0.3, Seed: 1}
+	if digestOf(t, "decision", &a) != digestOf(t, "decision", &b) {
+		t.Fatal("triplet order perturbed the digest")
+	}
+}
+
+// Structurally different encodings that the solver distinguishes must
+// not collide: a dense identity and its factored form are different
+// instances to the oracle layer.
+func TestDigestSeparatesRepresentations(t *testing.T) {
+	dense := Request{Instance: &instio.Instance{M: 2, Dense: [][][]float64{{{1, 0}, {0, 1}}}}, Eps: 0.25, Seed: 5}
+	factored := Request{Instance: &instio.Instance{M: 2, Factored: []instio.Factor{
+		{Cols: 2, Entries: [][3]float64{{0, 0, 1}, {1, 1, 1}}},
+	}}, Eps: 0.25, Seed: 5}
+	if digestOf(t, "decision", &dense) == digestOf(t, "decision", &factored) {
+		t.Fatal("dense and factored representations collided")
+	}
+}
+
+// The raw CSC hasher must distinguish matrices that differ only in
+// shape metadata (trailing empty columns have equal Row/Val but
+// different ColPtr).
+func TestDigestCSCShape(t *testing.T) {
+	trips := []sparse.Triplet{{Row: 0, Col: 0, Val: 1}}
+	q1, err := sparse.NewCSC(2, 1, trips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := sparse.NewCSC(2, 2, trips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z1, z2 := newHasher(), newHasher()
+	hashCSC(z1, q1)
+	hashCSC(z2, q2)
+	if z1.sum() == z2.sum() {
+		t.Fatal("CSCs of different column counts collided")
+	}
+}
+
+func TestCacheLRU(t *testing.T) {
+	c := newCache(2)
+	var k1, k2, k3 digest
+	k1[0], k2[0], k3[0] = 1, 2, 3
+	c.Put(k1, []byte("a"))
+	c.Put(k2, []byte("b"))
+	if c.Get(k1) == nil {
+		t.Fatal("k1 evicted early")
+	}
+	c.Put(k3, []byte("c")) // evicts k2 (least recently used)
+	if c.Get(k2) != nil {
+		t.Fatal("k2 should have been evicted")
+	}
+	if c.Get(k1) == nil || c.Get(k3) == nil {
+		t.Fatal("survivors missing")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len %d, want 2", c.Len())
+	}
+}

@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/work"
+)
+
+// ErrQueueFull is returned by Pool.Do when the target shard's admission
+// queue is at capacity. The HTTP layer maps it to 429 + Retry-After —
+// backpressure, not failure.
+var ErrQueueFull = errors.New("serve: admission queue full")
+
+// ErrPoolClosed is returned by Pool.Do after Close.
+var ErrPoolClosed = errors.New("serve: pool closed")
+
+// poolFn is one unit of work executed on a worker: it receives the
+// request context (checked between solver iterations) and the worker's
+// pinned workspace, and returns the marshal-ready result.
+type poolFn func(ctx context.Context, ws *work.Workspace) (any, error)
+
+type jobResult struct {
+	v   any
+	err error
+}
+
+type job struct {
+	ctx context.Context
+	fn  poolFn
+	res chan jobResult // buffered(1): the worker never blocks on delivery
+}
+
+// shard is one independent slice of the pool: a bounded queue feeding a
+// fixed set of workers. Requests are routed to shards by content digest,
+// so repeats of an instance shape land on workers whose workspace pools
+// are already warm for exactly those buffer sizes.
+type shard struct {
+	jobs chan *job
+}
+
+// Pool is a sharded worker pool. Each worker goroutine owns one
+// *work.Workspace for its entire lifetime — the steady-state-reuse
+// discipline that makes the solver's inner loop allocation-free carries
+// over to the server: after a worker has seen an instance shape once,
+// every later solve of that shape draws all scratch from its pinned
+// pools and misses nothing.
+type Pool struct {
+	shards []*shard
+	wg     sync.WaitGroup
+	// mu serializes admission against Close: senders hold it shared, so
+	// no job can race onto a channel that Close is about to close.
+	mu     sync.RWMutex
+	closed atomic.Bool
+
+	// executed counts jobs whose fn actually ran; skipped counts jobs
+	// drained with an already-dead context (no workspace touched).
+	executed atomic.Int64
+	skipped  atomic.Int64
+	// misses[w] mirrors worker w's workspace miss counter after each
+	// job, so tests and /statsz can watch for pool-miss growth (e.g.
+	// after a cancellation storm) without racing on the workspace.
+	misses []atomic.Int64
+}
+
+// NewPool starts a pool with the given number of shards and workers.
+// Workers are distributed round-robin over shards (every shard gets at
+// least one); each shard's admission queue holds queueDepth jobs beyond
+// the ones being executed.
+func NewPool(shards, workers, queueDepth int) *Pool {
+	if shards < 1 {
+		shards = 1
+	}
+	if workers < shards {
+		workers = shards
+	}
+	if queueDepth < 1 {
+		queueDepth = 1
+	}
+	p := &Pool{
+		shards: make([]*shard, shards),
+		misses: make([]atomic.Int64, workers),
+	}
+	for i := range p.shards {
+		p.shards[i] = &shard{jobs: make(chan *job, queueDepth)}
+	}
+	for w := 0; w < workers; w++ {
+		sh := p.shards[w%shards]
+		p.wg.Add(1)
+		go p.worker(w, sh)
+	}
+	return p
+}
+
+func (p *Pool) worker(id int, sh *shard) {
+	defer p.wg.Done()
+	ws := work.New() // pinned: lives exactly as long as this worker
+	for j := range sh.jobs {
+		if err := j.ctx.Err(); err != nil {
+			// Cancelled while queued: answer without touching the
+			// workspace, so storms of dead requests cost nothing.
+			p.skipped.Add(1)
+			j.res <- jobResult{err: err}
+			continue
+		}
+		v, err := j.fn(j.ctx, ws)
+		p.executed.Add(1)
+		p.misses[id].Store(int64(ws.Misses()))
+		j.res <- jobResult{v: v, err: err}
+	}
+}
+
+// Do routes fn to the shard selected by key, waits for the result, and
+// returns it. It never blocks on admission: a full shard queue returns
+// ErrQueueFull immediately. If ctx ends while the job is queued or
+// running, Do returns the context error; the worker still observes the
+// cancelled context, abandons the solve at the next iteration
+// checkpoint, and releases every drawn buffer back to its pinned
+// workspace before taking the next job.
+func (p *Pool) Do(ctx context.Context, key uint64, fn poolFn) (any, error) {
+	j := &job{ctx: ctx, fn: fn, res: make(chan jobResult, 1)}
+	sh := p.shards[key%uint64(len(p.shards))]
+	p.mu.RLock()
+	if p.closed.Load() {
+		p.mu.RUnlock()
+		return nil, ErrPoolClosed
+	}
+	select {
+	case sh.jobs <- j:
+		p.mu.RUnlock()
+	default:
+		p.mu.RUnlock()
+		return nil, ErrQueueFull
+	}
+	select {
+	case r := <-j.res:
+		return r.v, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Misses sums the workspace miss counters across all workers as of each
+// worker's last completed job.
+func (p *Pool) Misses() int64 {
+	var total int64
+	for i := range p.misses {
+		total += p.misses[i].Load()
+	}
+	return total
+}
+
+// Executed reports how many jobs ran (excluding queue-cancelled skips).
+func (p *Pool) Executed() int64 { return p.executed.Load() }
+
+// Skipped reports jobs drained with an already-cancelled context.
+func (p *Pool) Skipped() int64 { return p.skipped.Load() }
+
+// QueueDepth reports the total number of queued (not yet picked up)
+// jobs across shards.
+func (p *Pool) QueueDepth() int {
+	depth := 0
+	for _, sh := range p.shards {
+		depth += len(sh.jobs)
+	}
+	return depth
+}
+
+// Close stops admission, waits for queued jobs to drain, and stops the
+// workers. Do after Close returns ErrPoolClosed.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed.Swap(true) {
+		p.mu.Unlock()
+		return
+	}
+	for _, sh := range p.shards {
+		close(sh.jobs)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

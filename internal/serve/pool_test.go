@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/work"
+)
+
+// A worker's pinned workspace must serve repeated same-shape jobs
+// without pool misses: the first job warms it, every later job draws
+// the same buffer sizes from the free lists.
+func TestWorkerWorkspacePinned(t *testing.T) {
+	p := NewPool(1, 1, 8)
+	defer p.Close()
+	job := func(ctx context.Context, ws *work.Workspace) (any, error) {
+		v := ws.Vec(512)
+		m := ws.Mat(32, 32)
+		ws.PutMat(m)
+		ws.PutVec(v)
+		return nil, nil
+	}
+	if _, err := p.Do(context.Background(), 0, job); err != nil {
+		t.Fatal(err)
+	}
+	warm := p.Misses()
+	if warm == 0 {
+		t.Fatal("first job should warm the workspace")
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := p.Do(context.Background(), 0, job); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := p.Misses(); got != warm {
+		t.Fatalf("workspace missed %d more times across repeat jobs, want 0", got-warm)
+	}
+}
+
+// Same shard key, same worker, same workspace: digest routing is what
+// lets repeated instances find their warm buffers.
+func TestShardRoutingIsSticky(t *testing.T) {
+	p := NewPool(4, 4, 8)
+	defer p.Close()
+	seen := make(map[*work.Workspace]bool)
+	var mu sync.Mutex
+	for i := 0; i < 16; i++ {
+		if _, err := p.Do(context.Background(), 42, func(ctx context.Context, ws *work.Workspace) (any, error) {
+			mu.Lock()
+			seen[ws] = true
+			mu.Unlock()
+			return nil, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One worker per shard here, so a single key must always land on
+	// the same workspace.
+	if len(seen) != 1 {
+		t.Fatalf("key routed to %d workspaces, want 1", len(seen))
+	}
+}
+
+// Admission is non-blocking: a full queue answers ErrQueueFull, never
+// waits.
+func TestPoolQueueFull(t *testing.T) {
+	p := NewPool(1, 1, 1)
+	defer p.Close()
+	gate := make(chan struct{})
+	var started sync.WaitGroup
+	started.Add(1)
+	blocker := func(ctx context.Context, ws *work.Workspace) (any, error) {
+		started.Done()
+		<-gate
+		return nil, nil
+	}
+	res := make(chan error, 2)
+	go func() {
+		_, err := p.Do(context.Background(), 0, blocker)
+		res <- err
+	}()
+	started.Wait() // worker now blocked inside job 1
+	go func() {
+		_, err := p.Do(context.Background(), 0, func(ctx context.Context, ws *work.Workspace) (any, error) {
+			return nil, nil
+		})
+		res <- err
+	}()
+	waitFor(t, func() bool { return p.QueueDepth() == 1 })
+	if _, err := p.Do(context.Background(), 0, func(ctx context.Context, ws *work.Workspace) (any, error) {
+		return nil, nil
+	}); err != ErrQueueFull {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	close(gate)
+	for i := 0; i < 2; i++ {
+		if err := <-res; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// The pool machinery itself must stay cheap: a handful of allocations
+// per job (job struct, result channel, closure), nothing proportional
+// to instance size — AllocsPerRun-style guard on the worker path.
+func TestPoolDoAllocBudget(t *testing.T) {
+	p := NewPool(1, 1, 8)
+	defer p.Close()
+	fn := func(ctx context.Context, ws *work.Workspace) (any, error) { return nil, nil }
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := p.Do(ctx, 0, fn); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 8
+	if allocs > budget {
+		t.Errorf("pool.Do allocates %.1f per job, want <= %d", allocs, budget)
+	}
+}
+
+func TestPoolClosed(t *testing.T) {
+	p := NewPool(1, 1, 1)
+	p.Close()
+	if _, err := p.Do(context.Background(), 0, func(ctx context.Context, ws *work.Workspace) (any, error) {
+		return nil, nil
+	}); err != ErrPoolClosed {
+		t.Fatalf("err = %v, want ErrPoolClosed", err)
+	}
+	p.Close() // idempotent
+}

@@ -1,0 +1,26 @@
+// Package serve turns the library solver into a long-lived concurrent
+// solve service (the cmd/psdpd daemon): an HTTP/JSON API over the
+// instio wire format, backed by three cooperating layers.
+//
+// Admission: every request is routed by content digest to one shard of
+// a worker pool, through a bounded queue. A full queue answers 429 +
+// Retry-After immediately — the service sheds load at the door instead
+// of stacking latency. Per-request deadlines (server default, request
+// override, server cap) cancel queued and mid-solve work alike via
+// context checkpoints between solver iterations.
+//
+// Workers: each worker goroutine owns one work.Workspace for its whole
+// lifetime. The zero-allocation steady state the solver guarantees for
+// sequential reuse (see internal/work) therefore holds across requests:
+// once a worker has solved one instance of a given shape, subsequent
+// solves of that shape draw every buffer from warm pools. Digest-based
+// shard routing makes such repeats land on the same workers on purpose.
+//
+// Reuse: results are cached content-addressed — SHA-256 of the
+// canonicalized instance plus every solve-relevant option (eps, seed,
+// oracle, scale, …). Determinism makes this sound: the solver is
+// bitwise reproducible at any GOMAXPROCS, so equal digests mean equal
+// bytes, and a cache hit is indistinguishable from a fresh solve.
+// Identical requests already in flight are deduplicated (singleflight):
+// followers wait for the leader's solve and share its response.
+package serve

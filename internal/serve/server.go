@@ -1,0 +1,557 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/instio"
+	"repro/internal/work"
+)
+
+// Config sizes the server. The zero value is usable: every field has a
+// production-lean default filled in by New.
+type Config struct {
+	// Workers is the total number of solver workers (default GOMAXPROCS).
+	Workers int
+	// Shards is the number of independent queue+worker groups requests
+	// are routed over by content digest (default min(Workers, 8)).
+	Shards int
+	// QueueDepth bounds each shard's admission queue; a full queue
+	// answers 429 + Retry-After (default 64).
+	QueueDepth int
+	// CacheEntries caps the content-addressed result cache; 0 means the
+	// default (1024), negative disables caching.
+	CacheEntries int
+	// MaxBodyBytes bounds request bodies (default 32 MiB).
+	MaxBodyBytes int64
+	// DefaultTimeout is the per-request solve deadline when the request
+	// carries none (default 30s); MaxTimeout caps request-supplied
+	// deadlines (default 5m).
+	DefaultTimeout, MaxTimeout time.Duration
+	// MaxBatch caps /v1/batch items (default 256).
+	MaxBatch int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Shards <= 0 {
+		c.Shards = min(c.Workers, 8)
+	}
+	if c.Shards > c.Workers {
+		c.Shards = c.Workers
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 1024
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	return c
+}
+
+// flight is one in-progress solve shared by every concurrent request
+// with the same digest (singleflight): the first arrival leads and
+// solves; followers wait on done and reuse the leader's bytes.
+type flight struct {
+	done   chan struct{}
+	status int
+	cache  string
+	body   []byte
+}
+
+type counters struct {
+	requests    atomic.Int64
+	solves      atomic.Int64
+	dedupShared atomic.Int64
+	rejected    atomic.Int64
+	cancelled   atomic.Int64
+	errors      atomic.Int64
+	inFlight    atomic.Int64
+}
+
+// Server is the psdpd HTTP solve service: wire handlers in front of a
+// sharded worker pool with pinned workspaces, a bounded admission queue
+// with backpressure, and a content-addressed result cache with
+// singleflight deduplication.
+//
+// Endpoints:
+//
+//	POST /v1/decision  — one ε-decision call (Algorithm 3.1)
+//	POST /v1/maximize  — the full packing optimizer (Lemma 2.2)
+//	POST /v1/solve     — a general positive SDP (Appendix A pipeline)
+//	POST /v1/batch     — many of the above in one request
+//	GET  /healthz      — liveness
+//	GET  /statsz       — counters (requests, cache, queue, pool)
+type Server struct {
+	cfg   Config
+	pool  *Pool
+	cache *cache
+	mux   *http.ServeMux
+	stats counters
+	start time.Time
+
+	fmu     sync.Mutex
+	flights map[digest]*flight
+
+	// testHookBeforeSolve, when non-nil, runs on the worker goroutine
+	// immediately before each solve. Tests use it to hold solves open
+	// deterministically (dedup, queue-overflow).
+	testHookBeforeSolve func()
+}
+
+// New starts a Server (its worker pool begins running immediately).
+// Callers must Close it to stop the workers.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		pool:    NewPool(cfg.Shards, cfg.Workers, cfg.QueueDepth),
+		cache:   newCache(cfg.CacheEntries),
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
+		flights: make(map[digest]*flight),
+	}
+	s.mux.HandleFunc("POST /v1/decision", s.handleKind("decision"))
+	s.mux.HandleFunc("POST /v1/maximize", s.handleKind("maximize"))
+	s.mux.HandleFunc("POST /v1/solve", s.handleKind("solve"))
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close stops the worker pool after draining queued jobs. The caller is
+// responsible for stopping the HTTP listener first.
+func (s *Server) Close() { s.pool.Close() }
+
+// Stats snapshots the service counters.
+func (s *Server) Stats() StatsResponse {
+	hits, _ := s.cache.Counters()
+	return StatsResponse{
+		Requests:      s.stats.requests.Load(),
+		Solves:        s.stats.solves.Load(),
+		CacheHits:     hits,
+		CacheEntries:  s.cache.Len(),
+		DedupShared:   s.stats.dedupShared.Load(),
+		Rejected:      s.stats.rejected.Load(),
+		Cancelled:     s.stats.cancelled.Load(),
+		Errors:        s.stats.errors.Load(),
+		InFlight:      s.stats.inFlight.Load(),
+		QueueDepth:    s.pool.QueueDepth(),
+		PoolExecuted:  s.pool.Executed(),
+		PoolSkipped:   s.pool.Skipped(),
+		PoolMisses:    s.pool.Misses(),
+		UptimeSeconds: int64(time.Since(s.start).Seconds()),
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleKind(kind string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.stats.requests.Add(1)
+		var req Request
+		if err := s.decodeBody(w, r, &req); err != nil {
+			s.writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		status, cacheState, body := s.solveOne(r.Context(), kind, &req)
+		s.writeResult(w, status, cacheState, body)
+	}
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.stats.requests.Add(1)
+	var batch BatchRequest
+	if err := s.decodeBody(w, r, &batch); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(batch.Requests) == 0 {
+		s.writeError(w, http.StatusBadRequest, errors.New("serve: batch has no requests"))
+		return
+	}
+	if len(batch.Requests) > s.cfg.MaxBatch {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Errorf("serve: batch has %d requests, max %d", len(batch.Requests), s.cfg.MaxBatch))
+		return
+	}
+	out := BatchResponse{Responses: make([]BatchItemResult, len(batch.Requests))}
+	var wg sync.WaitGroup
+	for i := range batch.Requests {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := &batch.Requests[i]
+			kind := req.Kind
+			if kind == "" {
+				kind = "decision"
+			}
+			status, cacheState, body := s.solveOne(r.Context(), kind, req)
+			item := BatchItemResult{Status: status, Cache: cacheState}
+			if status == http.StatusOK {
+				item.Response = body
+			} else {
+				var er ErrorResponse
+				if json.Unmarshal(body, &er) == nil {
+					item.Error = er.Error
+				}
+			}
+			out.Responses[i] = item
+		}(i)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, &out)
+}
+
+// solveOne runs one request end to end: validate and build, digest,
+// cache lookup, singleflight join-or-lead, pool admission, solve. It
+// returns the HTTP status, the cache disposition ("hit", "miss",
+// "shared", or "" for pre-digest failures), and the marshaled body.
+func (s *Server) solveOne(clientCtx context.Context, kind string, req *Request) (int, string, []byte) {
+	s.stats.inFlight.Add(1)
+	defer s.stats.inFlight.Add(-1)
+
+	fn, d, err := s.prepare(kind, req)
+	if err != nil {
+		return http.StatusBadRequest, "", marshalError(err)
+	}
+
+	// Followers share only success. A leader's failure can be specific
+	// to that leader — its tighter timeoutMs fired, its admission lost a
+	// queue race — so a follower whose flight fails retries the loop:
+	// it finds the cache filled, leads its own solve (under its own
+	// deadline), or at worst inherits a second failure and reports it.
+	const maxAttempts = 3
+	var status int
+	var cacheState string
+	var body []byte
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if cached := s.cache.Get(d); cached != nil {
+			return http.StatusOK, "hit", cached
+		}
+
+		s.fmu.Lock()
+		if f, ok := s.flights[d]; ok {
+			s.fmu.Unlock()
+			s.stats.dedupShared.Add(1)
+			select {
+			case <-f.done:
+				status, cacheState, body = f.status, "shared", f.body
+				if status == http.StatusOK {
+					return status, cacheState, body
+				}
+				continue // leader-specific failure: retry as our own leader
+			case <-clientCtx.Done():
+				s.stats.cancelled.Add(1)
+				return http.StatusServiceUnavailable, "shared", marshalError(clientCtx.Err())
+			}
+		}
+		f := &flight{done: make(chan struct{})}
+		s.flights[d] = f
+		s.fmu.Unlock()
+
+		f.status, f.cache, f.body = s.execute(req, d, fn)
+		s.fmu.Lock()
+		delete(s.flights, d)
+		s.fmu.Unlock()
+		close(f.done)
+		return f.status, f.cache, f.body
+	}
+	return status, cacheState, body
+}
+
+// execute is the singleflight leader's path: admission, solve, cache
+// fill. The solve context is detached from any single client connection
+// — followers and the cache outlive the leader's socket — and bounded
+// by the per-request deadline, which is the cancellation mechanism:
+// when it fires mid-solve, the decision stepper aborts at its next
+// iteration checkpoint and the worker's workspace gets every buffer
+// back before the next job.
+func (s *Server) execute(req *Request, d digest, fn poolFn) (int, string, []byte) {
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMs > 0 {
+		timeout = min(time.Duration(req.TimeoutMs)*time.Millisecond, s.cfg.MaxTimeout)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+
+	v, err := s.pool.Do(ctx, d.shardKey(), fn)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		s.stats.rejected.Add(1)
+		return http.StatusTooManyRequests, "miss", marshalError(err)
+	case errors.Is(err, ErrPoolClosed):
+		return http.StatusServiceUnavailable, "miss", marshalError(err)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.stats.cancelled.Add(1)
+		return http.StatusGatewayTimeout, "miss", marshalError(err)
+	case errors.Is(err, context.Canceled):
+		s.stats.cancelled.Add(1)
+		return http.StatusServiceUnavailable, "miss", marshalError(err)
+	case err != nil:
+		s.stats.errors.Add(1)
+		return http.StatusInternalServerError, "miss", marshalError(err)
+	}
+	body, merr := json.Marshal(v)
+	if merr != nil {
+		s.stats.errors.Add(1)
+		return http.StatusInternalServerError, "miss", marshalError(merr)
+	}
+	s.cache.Put(d, body)
+	return http.StatusOK, "miss", body
+}
+
+// prepare validates the request, builds the instance, and returns the
+// solve closure plus the content digest. Everything that can fail from
+// bad client input fails here, before any queue slot is taken.
+func (s *Server) prepare(kind string, req *Request) (poolFn, digest, error) {
+	if math.IsNaN(req.Eps) || req.Eps <= 0 || req.Eps >= 1 {
+		return nil, digest{}, fmt.Errorf("serve: eps = %v out of (0, 1)", req.Eps)
+	}
+	opts, err := req.coreOptions()
+	if err != nil {
+		return nil, digest{}, err
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, digest{}, err
+	}
+
+	switch kind {
+	case "decision", "maximize":
+		if req.Instance == nil {
+			return nil, digest{}, fmt.Errorf("serve: %s request needs an instance", kind)
+		}
+		if req.Program != nil {
+			return nil, digest{}, fmt.Errorf("serve: %s request cannot carry a program", kind)
+		}
+		set, err := instio.Build(req.Instance)
+		if err != nil {
+			return nil, digest{}, err
+		}
+		if scale := req.scaleOrOne(); scale != 1 {
+			if math.IsNaN(scale) || math.IsInf(scale, 0) || scale <= 0 {
+				return nil, digest{}, fmt.Errorf("serve: scale = %v must be positive and finite", req.Scale)
+			}
+			set = set.WithScale(scale)
+			// Build checked traces before scaling; a huge scale can push
+			// them to +Inf here, which would silently zero coordinates in
+			// the solver's initial point — and then be cached as a 200.
+			for i := 0; i < set.N(); i++ {
+				if tr := set.Trace(i); math.IsNaN(tr) || math.IsInf(tr, 0) {
+					return nil, digest{}, fmt.Errorf("serve: scale %v overflows constraint %d trace to %v", scale, i, tr)
+				}
+			}
+		}
+		if err := oracleMatchesSet(opts.Oracle, set); err != nil {
+			return nil, digest{}, err
+		}
+		d, err := requestDigest(kind, req, set, nil)
+		if err != nil {
+			return nil, digest{}, err
+		}
+		eps := req.Eps
+		if kind == "decision" {
+			return s.solveClosure(func(ctx context.Context, ws *work.Workspace) (any, error) {
+				o := opts
+				o.Ctx, o.Workspace = ctx, ws
+				dr, err := core.DecisionPSDP(set, eps, o)
+				if err != nil {
+					return nil, err
+				}
+				return decisionResponse(eps, dr), nil
+			}), d, nil
+		}
+		return s.solveClosure(func(ctx context.Context, ws *work.Workspace) (any, error) {
+			o := opts
+			o.Ctx, o.Workspace = ctx, ws
+			sol, err := core.MaximizePacking(set, eps, o)
+			if err != nil {
+				return nil, err
+			}
+			return maximizeResponse(eps, sol), nil
+		}), d, nil
+
+	case "solve":
+		if req.Program == nil {
+			return nil, digest{}, errors.New("serve: solve request needs a program")
+		}
+		if req.Instance != nil {
+			return nil, digest{}, errors.New("serve: solve request cannot carry an instance")
+		}
+		prog, err := req.Program.build()
+		if err != nil {
+			return nil, digest{}, err
+		}
+		d, err := requestDigest(kind, req, nil, prog)
+		if err != nil {
+			return nil, digest{}, err
+		}
+		eps := req.Eps
+		return s.solveClosure(func(ctx context.Context, ws *work.Workspace) (any, error) {
+			o := opts
+			o.Ctx, o.Workspace = ctx, ws
+			cs, err := core.SolveCovering(prog, eps, o)
+			if err != nil {
+				return nil, err
+			}
+			return solveResponse(eps, cs), nil
+		}), d, nil
+
+	default:
+		return nil, digest{}, fmt.Errorf("serve: unknown request kind %q", kind)
+	}
+}
+
+// solveClosure wraps a solve with the counters and the test hook.
+func (s *Server) solveClosure(fn poolFn) poolFn {
+	return func(ctx context.Context, ws *work.Workspace) (any, error) {
+		if s.testHookBeforeSolve != nil {
+			s.testHookBeforeSolve()
+		}
+		s.stats.solves.Add(1)
+		return fn(ctx, ws)
+	}
+}
+
+// oracleMatchesSet front-loads the oracle/representation mismatch the
+// solver would otherwise report from inside the pool, so it costs no
+// queue slot and maps to 400 rather than 500.
+func oracleMatchesSet(kind core.OracleKind, set core.ConstraintSet) error {
+	_, isDense := set.(*core.DenseSet)
+	switch kind {
+	case core.OracleDenseExact:
+		if !isDense {
+			return errors.New("serve: oracle \"dense\" requires a dense instance")
+		}
+	case core.OracleFactoredJL, core.OracleFactoredExact:
+		if isDense {
+			return errors.New("serve: factored oracles require a factored instance")
+		}
+	}
+	return nil
+}
+
+func decisionResponse(eps float64, dr *core.DecisionResult) *DecisionResponse {
+	gap := math.Inf(1)
+	if dr.Lower > 0 {
+		gap = dr.Upper/dr.Lower - 1
+	}
+	return &DecisionResponse{
+		Kind:         "decision",
+		Eps:          eps,
+		Outcome:      dr.Outcome.String(),
+		Iterations:   dr.Iterations,
+		Lower:        Num(dr.Lower),
+		Upper:        Num(dr.Upper),
+		RelativeGap:  Num(gap),
+		X:            dr.DualX,
+		LambdaMaxPsi: Num(dr.LambdaMaxPsi),
+		MaxPsiNorm:   Num(dr.MaxPsiNorm),
+	}
+}
+
+func maximizeResponse(eps float64, sol *core.Solution) *MaximizeResponse {
+	return &MaximizeResponse{
+		Kind:            "maximize",
+		Eps:             eps,
+		Value:           Num(sol.Value),
+		Lower:           Num(sol.Lower),
+		Upper:           Num(sol.Upper),
+		RelativeGap:     Num(sol.Gap()),
+		X:               sol.X,
+		DecisionCalls:   sol.DecisionCalls,
+		TotalIterations: sol.TotalIterations,
+	}
+}
+
+func solveResponse(eps float64, cs *core.CoveringSolution) *SolveResponse {
+	return &SolveResponse{
+		Kind:            "solve",
+		Eps:             eps,
+		Lower:           Num(cs.Lower),
+		Upper:           Num(cs.Upper),
+		DualX:           cs.DualX,
+		Objective:       Num(cs.Objective),
+		DecisionCalls:   cs.DecisionCalls,
+		TotalIterations: cs.TotalIterations,
+	}
+}
+
+// decodeBody strictly parses a JSON request body into dst.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("serve: parsing request: %w", err)
+	}
+	return nil
+}
+
+func (s *Server) writeResult(w http.ResponseWriter, status int, cacheState string, body []byte) {
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	if cacheState != "" {
+		h.Set("X-Psdpd-Cache", cacheState)
+	}
+	if status == http.StatusTooManyRequests {
+		h.Set("Retry-After", "1")
+	}
+	w.WriteHeader(status)
+	w.Write(body)
+	w.Write([]byte("\n"))
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	s.writeResult(w, status, "", marshalError(err))
+}
+
+func marshalError(err error) []byte {
+	body, merr := json.Marshal(&ErrorResponse{Error: err.Error()})
+	if merr != nil {
+		return []byte(`{"error":"internal error"}`)
+	}
+	return body
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}

@@ -1,0 +1,36 @@
+#!/bin/sh
+# serve_smoke.sh — boot psdpd, drive it with a short 64-way psdpload
+# run, and fail on any response that is neither 2xx nor 429 (psdpload
+# exits nonzero in that case). This is the CI gate for the serving
+# layer; it does not touch the committed BENCH_psdp.json.
+set -eu
+cd "$(dirname "$0")/.."
+
+PORT="${PSDPD_PORT:-18723}"
+BIN="$(mktemp -d)"
+PID=""
+cleanup() {
+    [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+    rm -rf "$BIN"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$BIN/psdpd" ./cmd/psdpd
+go build -o "$BIN/psdpload" ./cmd/psdpload
+
+"$BIN/psdpd" -addr "127.0.0.1:$PORT" -queue 128 &
+PID=$!
+
+# psdpload polls /healthz itself (-wait) before opening the floodgates;
+# 64 closed-loop clients over 8 distinct requests exercises admission,
+# dedup, and the cache in every combination.
+"$BIN/psdpload" \
+    -url "http://127.0.0.1:$PORT" \
+    -concurrency 64 -duration 3s -wait 15s \
+    -n 6 -m 8 -instances 4 -seeds 2 -eps 0.25 \
+    -bench-out ""
+
+kill "$PID"
+wait "$PID" 2>/dev/null || true
+PID=""
+echo "serve smoke: OK"
