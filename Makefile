@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race race-smoke vet ci fuzz bench experiments serve load smoke-serve
+.PHONY: build test race race-smoke vet lint ci fuzz bench experiments serve load smoke-serve
 
 ## build: compile every package and command
 build:
@@ -25,8 +25,24 @@ race-smoke:
 vet:
 	$(GO) vet ./...
 
-## ci: what .github/workflows/ci.yml runs — vet, tier-1, race smoke
-ci: vet test race-smoke
+## lint: formatting gate (gofmt -l must be empty) plus staticcheck when
+## installed (CI installs it; locally `go install
+## honnef.co/go/tools/cmd/staticcheck@latest` to match)
+lint:
+	@unformatted="$$(gofmt -l .)"; \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt: the following files need formatting:"; \
+		echo "$$unformatted"; \
+		exit 1; \
+	fi
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
+
+## ci: what .github/workflows/ci.yml runs — vet, lint, tier-1, race smoke
+ci: vet lint test race-smoke
 
 ## fuzz: explore each fuzz target briefly (seeds replay in `make test`)
 fuzz:

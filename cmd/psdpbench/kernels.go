@@ -10,7 +10,9 @@ import (
 
 	psdp "repro"
 	"repro/internal/gen"
+	"repro/internal/graph"
 	"repro/internal/matrix"
+	"repro/internal/sparse"
 )
 
 // Kernel benchmark mode (-kernels): times each dense hot-path kernel at
@@ -180,6 +182,57 @@ func kernelTable() []benchKernel {
 	}
 }
 
+// sparseKernelTable times the general-sparse symmetric kernels at two
+// nnz densities (~4 and ~16 stored entries per row): the n-vertex
+// symmetric matvec (SymMV), the stacked multi-matrix accumulation
+// Ψ(x)·v (AccumulateScaled, 8 constraints), and the batched
+// per-constraint quadratic forms (QuadForms). Sequential references are
+// plain loops over the same canonical entry order.
+func sparseKernelTable() []benchKernel {
+	var ks []benchKernel
+	for _, deg := range []int{4, 16} {
+		deg := deg
+		ks = append(ks,
+			benchKernel{name: fmt.Sprintf("SymMV-d%d", deg), build: func(n int, rng *rand.Rand) (func(), func()) {
+				a := randSymCSC(n, deg, rng)
+				v := randVec(n, rng)
+				dst := make([]float64, n)
+				ref := make([]float64, n)
+				return func() { a.SymMulVecInto(dst, v); sinkV = dst },
+					func() { seqSymMV(ref, a, v); sinkV = ref }
+			}},
+			benchKernel{name: fmt.Sprintf("AccumulateScaled-d%d", deg), build: func(n int, rng *rand.Rand) (func(), func()) {
+				const nc = 8
+				as := make([]*sparse.CSC, nc)
+				for i := range as {
+					as[i] = randSymCSC(n, deg/2+1, rng)
+				}
+				st, err := sparse.NewStack(as)
+				if err != nil {
+					panic(err)
+				}
+				x := randVec(nc, rng)
+				v := randVec(n, rng)
+				dst := make([]float64, n)
+				ref := make([]float64, n)
+				return func() { st.AccumulateScaled(dst, x, v); sinkV = dst },
+					func() { seqAccumulateScaled(ref, st, x, v); sinkV = ref }
+			}},
+			benchKernel{name: fmt.Sprintf("QuadForms-d%d", deg), build: func(n int, rng *rand.Rand) (func(), func()) {
+				const nc = 16
+				as := make([]*sparse.CSC, nc)
+				for i := range as {
+					as[i] = randSymCSC(n, deg/2+1, rng)
+				}
+				v := randVec(n, rng)
+				out := make([]float64, nc)
+				return func() { sparse.QuadForms(out, as, 1.5, v); sinkV = out },
+					func() { seqQuadForms(out, as, 1.5, v); sinkV = out }
+			}})
+	}
+	return ks
+}
+
 // runKernelBench measures every kernel at every size and writes the
 // JSON report to path.
 func runKernelBench(path string, sizes []int, seed uint64) error {
@@ -204,7 +257,7 @@ func runKernelBench(path string, sizes []int, seed uint64) error {
 		NumCPU:    runtime.NumCPU(),
 		Sizes:     sizes,
 	}
-	for _, k := range kernelTable() {
+	for _, k := range append(kernelTable(), sparseKernelTable()...) {
 		for _, n := range sizes {
 			rng := rand.New(rand.NewPCG(seed, uint64(n)))
 			par, seq := k.build(n, rng)
@@ -301,6 +354,33 @@ func runDecisionBench() []decisionResult {
 			}
 		}
 		out = append(out, measureDecision("factored-jl", set.N(), set.Dim(), iters, op))
+	}
+
+	// General sparse through the deterministic exact operator oracle:
+	// an Erdős–Rényi edge-Laplacian packing workload. Steady-state
+	// iterations allocate nothing (the sparse zero-alloc contract); the
+	// reported allocs/call are per-call setup and result assembly.
+	{
+		rng := rand.New(rand.NewPCG(83, 84))
+		g := graph.ErdosRenyi(64, 4.0/64, rng)
+		inst, err := gen.SparseEdgePacking(g)
+		if err != nil {
+			panic(err)
+		}
+		set, err := psdp.NewSparseSet(inst.A)
+		if err != nil {
+			panic(err)
+		}
+		scaled := set.WithScale(0.1)
+		ws := psdp.NewWorkspace()
+		const iters = 40
+		opts := psdp.Options{Seed: 3, Oracle: psdp.OracleFactoredExact, TheoryExact: true, MaxIter: iters, Workspace: ws}
+		op := func() {
+			if _, err := psdp.Decision(scaled, 0.25, opts); err != nil {
+				panic(err)
+			}
+		}
+		out = append(out, measureDecision("sparse-exact", set.N(), set.Dim(), iters, op))
 	}
 	return out
 }
@@ -493,6 +573,64 @@ func seqDot(a, b []float64) float64 {
 		s += a[i] * b[i]
 	}
 	return s
+}
+
+func seqSymMV(out []float64, a *sparse.CSC, v []float64) {
+	for j := 0; j < a.C; j++ {
+		var s float64
+		for k := a.ColPtr[j]; k < a.ColPtr[j+1]; k++ {
+			s += a.Val[k] * v[a.Row[k]]
+		}
+		out[j] = s
+	}
+}
+
+func seqAccumulateScaled(out []float64, st *sparse.Stack, x, v []float64) {
+	for r := 0; r < st.M; r++ {
+		var s float64
+		for p := st.RowPtr[r]; p < st.RowPtr[r+1]; p++ {
+			s += st.Val[p] * x[st.Con[p]] * v[st.Col[p]]
+		}
+		out[r] = s
+	}
+}
+
+func seqQuadForms(out []float64, as []*sparse.CSC, scale float64, v []float64) {
+	for i, a := range as {
+		var total float64
+		for j := 0; j < a.C; j++ {
+			var dot float64
+			for k := a.ColPtr[j]; k < a.ColPtr[j+1]; k++ {
+				dot += a.Val[k] * v[a.Row[k]]
+			}
+			total += dot * v[j]
+		}
+		out[i] = scale * total
+	}
+}
+
+// randSymCSC builds a random symmetric n×n CSC with ~2·deg off-diagonal
+// entries per row plus a positive diagonal.
+func randSymCSC(n, deg int, rng *rand.Rand) *sparse.CSC {
+	var trips []sparse.Triplet
+	for i := 0; i < n; i++ {
+		trips = append(trips, sparse.Triplet{Row: i, Col: i, Val: 1 + rng.Float64()})
+		for d := 0; d < deg; d++ {
+			j := rng.IntN(n)
+			if j == i {
+				continue
+			}
+			v := rng.NormFloat64()
+			trips = append(trips,
+				sparse.Triplet{Row: i, Col: j, Val: v},
+				sparse.Triplet{Row: j, Col: i, Val: v})
+		}
+	}
+	a, err := sparse.NewCSC(n, n, trips)
+	if err != nil {
+		panic(err)
+	}
+	return a
 }
 
 func randMat(r, c int, rng *rand.Rand) *matrix.Dense {

@@ -4,7 +4,9 @@
 // Usage:
 //
 //	psdpgen -family random -n 8 -m 16 -out inst.json
-//	psdpgen -family graph  -m 32 -out inst.json        # edge-Laplacian packing
+//	psdpgen -family graph  -m 32 -out inst.json        # edge-Laplacian packing (factored)
+//	psdpgen -family sparse -m 32 -out inst.json        # edge-Laplacian packing (general sparse)
+//	psdpgen -family sparse-grouped -n 8 -m 32 -out inst.json  # n grouped-Laplacian sparse constraints
 //	psdpgen -family beamforming -n 12 -m 16 -out inst.json
 //	psdpgen -family ellipse -out inst.json             # the Figure 1 instance
 package main
@@ -22,7 +24,7 @@ import (
 )
 
 func main() {
-	family := flag.String("family", "random", "random | graph | beamforming | ellipse | diagonal")
+	family := flag.String("family", "random", "random | graph | sparse | sparse-grouped | beamforming | ellipse | diagonal")
 	n := flag.Int("n", 8, "number of constraints (users/edges where applicable)")
 	m := flag.Int("m", 16, "matrix dimension (vertices/antennas where applicable)")
 	seed := flag.Uint64("seed", 1, "generator seed")
@@ -62,6 +64,32 @@ func main() {
 			fatal(err)
 		}
 		doc = instio.FromFactoredSet(set)
+	case "sparse":
+		g := graph.ErdosRenyi(*m, 4.0/float64(*m), rng)
+		inst, err := gen.SparseEdgePacking(g)
+		if err != nil {
+			fatal(err)
+		}
+		set, err := core.NewSparseSet(inst.A)
+		if err != nil {
+			fatal(err)
+		}
+		doc = instio.FromSparseSet(set)
+	case "sparse-grouped":
+		g := graph.ErdosRenyi(*m, 6.0/float64(*m), rng)
+		groups := *n
+		if groups > g.M() {
+			groups = g.M()
+		}
+		inst, err := gen.SparseGroupedLaplacians(g, groups, rng)
+		if err != nil {
+			fatal(err)
+		}
+		set, err := core.NewSparseSet(inst.A)
+		if err != nil {
+			fatal(err)
+		}
+		doc = instio.FromSparseSet(set)
 	case "beamforming":
 		inst, err := gen.Beamforming(*n, *m, rng)
 		if err != nil {

@@ -14,6 +14,7 @@ import (
 
 	psdp "repro"
 	"repro/internal/gen"
+	"repro/internal/graph"
 )
 
 // runTrace captures the full per-iteration telemetry of a run.
@@ -147,6 +148,88 @@ func TestDecisionFactoredJLDeterministicAcrossGOMAXPROCS(t *testing.T) {
 
 	sameTrace(t, "factored trace", tr1, tr8)
 	sameDecision(t, "factored decision", dr1, dr8)
+}
+
+// sparseCycleSet builds the edge-Laplacian packing instance of a cycle
+// in the general-sparse representation.
+func sparseCycleSet(t *testing.T, n int) *psdp.SparseSet {
+	t.Helper()
+	g := graph.Cycle(n)
+	inst, err := gen.SparseEdgePacking(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := psdp.NewSparseSet(inst.A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+func TestDecisionSparseJLDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	set := sparseCycleSet(t, 16)
+	scaled := set.WithScale(0.2)
+	run := func() (*psdp.DecisionResult, runTrace) {
+		var tr runTrace
+		opts := traceOpts(17, &tr)
+		opts.SketchEps = 0.4
+		opts.MaxIter = 60
+		dr, err := psdp.Decision(scaled, 0.25, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dr, tr
+	}
+	var dr1, dr8 *psdp.DecisionResult
+	var tr1, tr8 runTrace
+	atGOMAXPROCS(1, func() { dr1, tr1 = run() })
+	atGOMAXPROCS(8, func() { dr8, tr8 = run() })
+
+	sameTrace(t, "sparse-jl trace", tr1, tr8)
+	sameDecision(t, "sparse-jl decision", dr1, dr8)
+}
+
+func TestDecisionSparseExactDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	set := sparseCycleSet(t, 12)
+	scaled := set.WithScale(0.25)
+	run := func() (*psdp.DecisionResult, runTrace) {
+		var tr runTrace
+		opts := traceOpts(19, &tr)
+		opts.Oracle = psdp.OracleFactoredExact
+		opts.MaxIter = 80
+		dr, err := psdp.Decision(scaled, 0.25, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dr, tr
+	}
+	var dr1, dr8 *psdp.DecisionResult
+	var tr1, tr8 runTrace
+	atGOMAXPROCS(1, func() { dr1, tr1 = run() })
+	atGOMAXPROCS(8, func() { dr8, tr8 = run() })
+
+	sameTrace(t, "sparse-exact trace", tr1, tr8)
+	sameDecision(t, "sparse-exact decision", dr1, dr8)
+}
+
+func TestMaximizeSparseDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	set := sparseCycleSet(t, 10)
+	run := func() *psdp.Solution {
+		sol, err := psdp.Maximize(set, 0.25, psdp.Options{Seed: 29, SketchEps: 0.4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sol
+	}
+	var s1, s8 *psdp.Solution
+	atGOMAXPROCS(1, func() { s1 = run() })
+	atGOMAXPROCS(8, func() { s8 = run() })
+
+	if !sameBits(s1.Lower, s8.Lower) || !sameBits(s1.Upper, s8.Upper) {
+		t.Fatalf("sparse Maximize bounds differ: [%v, %v] vs [%v, %v]",
+			s1.Lower, s1.Upper, s8.Lower, s8.Upper)
+	}
+	sameVec(t, "sparse Maximize.X", s1.X, s8.X)
 }
 
 func TestMaximizeDeterministicAcrossGOMAXPROCS(t *testing.T) {

@@ -1,0 +1,95 @@
+// Sparsegraph is the general-sparse representation walkthrough: the
+// same edge-Laplacian packing SDP as examples/graphpacking, but with
+// each constraint held as an explicit symmetric sparse matrix
+//
+//	Aₑ = bₑbₑᵀ,  bₑ = e_u − e_v  (four stored nonzeros),
+//
+// instead of a factor. This is the natural encoding when constraints
+// arrive as matrices — graph Laplacians, stiffness matrices, local
+// Hamiltonians — and no QᵢQᵢᵀ factorization is on hand: a SparseSet
+// runs through exactly the same operator-oracle pipeline as a
+// FactoredSet (Theorem 4.1's sketched bigDotExp, or the deterministic
+// exact oracle), at cost proportional to the stored nonzeros rather
+// than the O(n·m²) a densified instance would pay.
+//
+//	go run ./examples/sparsegraph
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	psdp "repro"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func main() {
+	// An Erdős–Rényi graph with expected degree 4: |E| constraints of
+	// dimension |V|, total nnz = 4·|E| ≪ |V|².
+	rng := rand.New(rand.NewPCG(2012, 1201))
+	g := graph.ErdosRenyi(128, 4.0/128, rng)
+	inst, err := gen.SparseEdgePacking(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	set, err := psdp.NewSparseSet(inst.A)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dense := set.Dim() * set.Dim() * set.N()
+	fmt.Printf("G(%d, 4/%d): %d edges, nnz = %d (densified: %d entries, %.0fx more)\n",
+		g.N, g.N, g.M(), set.NNZ(), dense, float64(dense)/float64(set.NNZ()))
+
+	// The optimizer picks the sketched operator oracle automatically for
+	// sparse sets, exactly as for factored ones.
+	sol, err := psdp.Maximize(set, 0.2, psdp.Options{Seed: 7, SketchEps: 0.4, MaxIter: 600, Bucketed: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("edge packing value: certified in [%.4f, %.4f] (gap %.3f)\n",
+		sol.Lower, sol.Upper, sol.Gap())
+	fmt.Printf("decision calls %d, total iterations %d\n",
+		sol.DecisionCalls, sol.TotalIterations)
+
+	// Certificates never depend on the representation: the witness
+	// re-verifies through an independent Lanczos on the sparse operator.
+	cert, err := psdp.VerifyDual(set, sol.X, 1e-8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Lanczos verification: λ_max(Σ xₑAₑ) = %.6f ≤ 1: %v\n",
+		cert.LambdaMax, cert.Feasible)
+
+	// Cross-representation check on a small instance: the factored view
+	// of the same graph solves to the same certified value.
+	small := graph.Cycle(12)
+	fInst, err := gen.GraphEdgePacking(small)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fset, err := psdp.NewFactoredSet(fInst.Q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sInst, err := gen.SparseEdgePacking(small)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sset, err := psdp.NewSparseSet(sInst.A)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := psdp.Options{Seed: 3, Oracle: psdp.OracleFactoredExact, MaxIter: 200}
+	fr, err := psdp.Decision(fset.WithScale(0.25), 0.2, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sr, err := psdp.Decision(sset.WithScale(0.25), 0.2, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cycle-12 exact oracle, factored vs sparse: lower %.6f vs %.6f, outcome %v vs %v\n",
+		fr.Lower, sr.Lower, fr.Outcome, sr.Outcome)
+}

@@ -227,6 +227,54 @@ func goldenCases() []goldenCase {
 			}
 			return maximizeRecord("factored-cycle-maximize", sol)
 		}},
+		{name: "sparse-grid-jl-decision", run: func(t *testing.T) goldenRecord {
+			rng := rand.New(rand.NewPCG(71, 72))
+			inst, err := gen.SparseGroupedLaplacians(graph.Grid(4, 4), 6, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			set, err := psdp.NewSparseSet(inst.A)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dr, err := psdp.Decision(set.WithScale(0.15), 0.25, psdp.Options{Seed: 27, SketchEps: 0.4, MaxIter: 80})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return decisionRecord("sparse-grid-jl-decision", dr)
+		}},
+		{name: "sparse-er-exact-decision", run: func(t *testing.T) goldenRecord {
+			rng := rand.New(rand.NewPCG(81, 82))
+			g := graph.ErdosRenyi(14, 0.35, rng)
+			inst, err := gen.SparseEdgePacking(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			set, err := psdp.NewSparseSet(inst.A)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dr, err := psdp.Decision(set.WithScale(0.2), 0.25, psdp.Options{Seed: 31, Oracle: psdp.OracleFactoredExact, MaxIter: 100})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return decisionRecord("sparse-er-exact-decision", dr)
+		}},
+		{name: "sparse-cycle-maximize", run: func(t *testing.T) goldenRecord {
+			inst, err := gen.SparseEdgePacking(graph.Cycle(9))
+			if err != nil {
+				t.Fatal(err)
+			}
+			set, err := psdp.NewSparseSet(inst.A)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sol, err := psdp.Maximize(set, 0.25, psdp.Options{Seed: 37, SketchEps: 0.4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return maximizeRecord("sparse-cycle-maximize", sol)
+		}},
 		{name: "mixed-diag-solve", run: func(t *testing.T) goldenRecord {
 			pack, err := psdp.NewDenseSet([]*psdp.Dense{
 				psdp.Diag([]float64{0.5, 0.2, 0.1}),

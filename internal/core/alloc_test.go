@@ -1,10 +1,12 @@
 package core
 
 import (
+	"fmt"
 	"math/rand/v2"
 	"testing"
 
 	"repro/internal/gen"
+	"repro/internal/sparse"
 	"repro/internal/work"
 )
 
@@ -117,6 +119,53 @@ func TestFactoredJLDecisionStepConstAlloc(t *testing.T) {
 	}
 }
 
+// The sparse exact-oracle path matches the dense budget: after warm-up,
+// a steady-state Decision iteration on a SparseSet through the
+// deterministic operator oracle performs ZERO heap allocations — the
+// serial guards skip every fork closure at GOMAXPROCS=1, the stacked
+// Ψ·v and batched quadratic forms run in caller scratch, and the
+// Lanczos basis is prewarmed to its full refresh depth.
+func TestSparseExactDecisionStepZeroAlloc(t *testing.T) {
+	// Two sizes on purpose: m=24 keeps every reduction in one block,
+	// m=48 (m² = 2304 > the 1024 block grain) forces the multi-block
+	// trees — the regime where an unguarded SumBlocks closure would
+	// allocate every iteration even at GOMAXPROCS=1.
+	for _, m := range []int{24, 48} {
+		t.Run(fmt.Sprintf("m%d", m), func(t *testing.T) {
+			rng := rand.New(rand.NewPCG(501, 502))
+			n := 16
+			cs := make([]*sparse.CSC, n)
+			for i := range cs {
+				cs[i] = randSparseSymPSD(m, 2, rng)
+			}
+			set, err := NewSparseSet(cs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := newDecisionRun(set.WithScale(0.02), 0.25, Options{Seed: 6, Oracle: OracleFactoredExact, TheoryExact: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 6; i++ {
+				if err := d.step(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			allocs := testing.AllocsPerRun(100, func() {
+				if err := d.step(); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if d.done {
+				t.Fatalf("run terminated during measurement after %d iterations; measured steps are not steady-state", d.t)
+			}
+			if allocs != 0 {
+				t.Errorf("steady-state sparse exact-oracle Decision iteration allocates %.2f per run, want 0", allocs)
+			}
+		})
+	}
+}
+
 // A workspace shared across sequential Decision calls must serve every
 // call after the first without a single pool miss: the oracles release
 // their buffers at finish, and the next call draws the same shapes.
@@ -143,6 +192,36 @@ func TestWorkspaceReuseAcrossDecisionCalls(t *testing.T) {
 	}
 	if got := ws.Misses(); got != warm {
 		t.Errorf("workspace missed %d more times across repeat calls, want 0 (all buffers released and reused)", got-warm)
+	}
+}
+
+// The sparse path shares the same workspace discipline: repeat
+// Decision calls on a shared workspace (JL oracle plus the exact
+// final-bound sweep) must never miss the pools after warm-up.
+func TestWorkspaceReuseAcrossSparseCalls(t *testing.T) {
+	rng := rand.New(rand.NewPCG(601, 602))
+	m, n := 18, 10
+	cs := make([]*sparse.CSC, n)
+	for i := range cs {
+		cs[i] = randSparseSymPSD(m, 2, rng)
+	}
+	set, err := NewSparseSet(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := work.New()
+	opts := Options{Seed: 8, MaxIter: 10, SketchEps: 0.4, Workspace: ws}
+	if _, err := DecisionPSDP(set.WithScale(0.05), 0.3, opts); err != nil {
+		t.Fatal(err)
+	}
+	warm := ws.Misses()
+	for call := 0; call < 3; call++ {
+		if _, err := DecisionPSDP(set.WithScale(0.05), 0.3, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := ws.Misses(); got != warm {
+		t.Errorf("sparse workspace missed %d more times across repeat calls, want 0", got-warm)
 	}
 }
 

@@ -527,8 +527,8 @@ func (d *decisionRun) finish() (*DecisionResult, error) {
 	// density matrix (exp(Ψ/2) applied column-exactly) usually certifies
 	// a far tighter upper bound than the inflated sketch average. Cost:
 	// m ExpMV sweeps, once per decision call.
-	if fs, ok := set.(*FactoredSet); ok && usesJL(set, opts) && fs.Dim() <= exactFinalBoundDim {
-		exact := newFactoredExactOracle(fs, opts.Seed^0xbead, nil, d.ws)
+	if op, ok := set.(PsiOperator); ok && usesJL(set, opts) && op.Dim() <= exactFinalBoundDim {
+		exact := newOpExactOracle(op, opts.Seed^0xbead, nil, d.ws)
 		if err := exact.init(d.x); err == nil {
 			if rExact, _, err := exact.ratios(); err == nil {
 				if mr := matrix.VecMin(rExact); mr > 0 {
@@ -573,13 +573,15 @@ func bucketSteps(r, threshold, eps, alpha float64) int {
 	return k
 }
 
-// usesJL reports whether the run used the sketched factored oracle.
+// usesJL reports whether the run used the sketched operator oracle
+// (OracleAuto resolves to it for every PsiOperator representation,
+// mirroring buildOracle; DenseSet does not implement the interface).
 func usesJL(set ConstraintSet, opts Options) bool {
 	if opts.Oracle == OracleFactoredJL {
 		return true
 	}
 	if opts.Oracle == OracleAuto {
-		_, ok := set.(*FactoredSet)
+		_, ok := set.(PsiOperator)
 		return ok
 	}
 	return false
@@ -589,13 +591,7 @@ func usesJL(set ConstraintSet, opts Options) bool {
 // weak-duality upper bound to cover JL estimation noise: (1+εₛ)/(1−εₛ)
 // on the sketched path, 1 elsewhere.
 func sketchInflation(set ConstraintSet, opts Options) float64 {
-	kind := opts.Oracle
-	if kind == OracleAuto {
-		if _, ok := set.(*FactoredSet); ok {
-			kind = OracleFactoredJL
-		}
-	}
-	if kind != OracleFactoredJL {
+	if !usesJL(set, opts) {
 		return 1
 	}
 	es := opts.SketchEps
@@ -608,14 +604,27 @@ func sketchInflation(set ConstraintSet, opts Options) float64 {
 	return (1 + es) / (1 - es)
 }
 
+// operatorFor returns the PsiOperator view of a set, which is what the
+// operator oracles (JL and exact) accept. DenseSet does not implement
+// the interface (its auto path is the eigendecomposition oracle and it
+// would silently lose its exactness guarantees behind a sketched
+// oracle), so the assertion alone rejects it.
+func operatorFor(set ConstraintSet, kind string) (PsiOperator, error) {
+	op, ok := set.(PsiOperator)
+	if !ok {
+		return nil, fmt.Errorf("core: %s requires a factored or sparse constraint set, got %T", kind, set)
+	}
+	return op, nil
+}
+
 func buildOracle(set ConstraintSet, opts Options, ws *work.Workspace) (expOracle, error) {
 	switch opts.Oracle {
 	case OracleAuto:
 		switch s := set.(type) {
 		case *DenseSet:
 			return newDenseOracle(s, opts.Stats, ws), nil
-		case *FactoredSet:
-			return newFactoredJLOracle(s, opts.SketchEps, opts.Seed, opts.Stats, ws), nil
+		case PsiOperator:
+			return newOpJLOracle(s, opts.SketchEps, opts.Seed, opts.Stats, ws), nil
 		default:
 			return nil, fmt.Errorf("core: unknown constraint set type %T", set)
 		}
@@ -626,17 +635,17 @@ func buildOracle(set ConstraintSet, opts Options, ws *work.Workspace) (expOracle
 		}
 		return newDenseOracle(s, opts.Stats, ws), nil
 	case OracleFactoredJL:
-		s, ok := set.(*FactoredSet)
-		if !ok {
-			return nil, fmt.Errorf("core: OracleFactoredJL requires a *FactoredSet, got %T", set)
+		op, err := operatorFor(set, "OracleFactoredJL")
+		if err != nil {
+			return nil, err
 		}
-		return newFactoredJLOracle(s, opts.SketchEps, opts.Seed, opts.Stats, ws), nil
+		return newOpJLOracle(op, opts.SketchEps, opts.Seed, opts.Stats, ws), nil
 	case OracleFactoredExact:
-		s, ok := set.(*FactoredSet)
-		if !ok {
-			return nil, fmt.Errorf("core: OracleFactoredExact requires a *FactoredSet, got %T", set)
+		op, err := operatorFor(set, "OracleFactoredExact")
+		if err != nil {
+			return nil, err
 		}
-		return newFactoredExactOracle(s, opts.Seed, opts.Stats, ws), nil
+		return newOpExactOracle(op, opts.Seed, opts.Stats, ws), nil
 	default:
 		return nil, fmt.Errorf("core: unknown oracle kind %d", opts.Oracle)
 	}

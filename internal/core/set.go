@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/chol"
 	"repro/internal/matrix"
+	"repro/internal/parallel"
 	"repro/internal/sparse"
 	"repro/internal/work"
 )
@@ -45,8 +46,36 @@ type ConstraintSet interface {
 	WithScale(s float64) ConstraintSet
 	// ApplyPsi computes out = (Σᵢ xᵢAᵢ)·in (scaled).
 	ApplyPsi(x, in, out []float64)
-	// NNZ returns the representation size (dense: n·m², factored: q).
+	// NNZ returns the representation size (dense: n·m², factored and
+	// sparse: total stored nonzeros q).
 	NNZ() int
+}
+
+// PsiOperator extends ConstraintSet with the allocation-free operator
+// primitives the exponential oracles are assembled from. Any
+// representation implementing it gets the full oracle pipeline for
+// free — the sketched bigDotExp of Theorem 4.1 (opJLOracle) and the
+// deterministic column-exact oracle (opExactOracle) are written against
+// this interface alone, so factored and general-sparse constraints
+// share one decision/optimize/verify code path (and a future
+// representation only has to implement these primitives). DenseSet
+// deliberately does NOT implement it: the dense path's contract is the
+// exact eigendecomposition oracle, and keeping it off the interface
+// lets the type system reject a dense set wherever a sketched oracle
+// is requested.
+type PsiOperator interface {
+	ConstraintSet
+	// PsiScratchLen is the scratch length ApplyPsiScratch requires.
+	PsiScratchLen() int
+	// ApplyPsiScratch is ApplyPsi with caller scratch of length
+	// PsiScratchLen(): the zero-allocation Ψ·v the ExpMV and Lanczos
+	// closures are built on.
+	ApplyPsiScratch(x, in, out, tmp []float64)
+	// ExpDots writes r[i] = Scale()·Σ_rows s_rᵀ·Aᵢ·s_r for the dense
+	// row-block matrix s — the unnormalized bigDotExp numerators
+	// Aᵢ • SᵀS (S = rows of s through exp(Ψ/2)). Each r[i] must be a
+	// deterministic block reduction; r must not alias s.
+	ExpDots(r []float64, s *matrix.Dense)
 }
 
 // DenseSet holds constraints as dense symmetric PSD matrices.
@@ -272,6 +301,32 @@ func (s *FactoredSet) applyPsiTmp(x, in, out, tmp []float64) {
 
 // psiScratchLen is the scratch length applyPsiTmp requires.
 func (s *FactoredSet) psiScratchLen() int { return s.flat.C }
+
+// PsiScratchLen is the scratch length ApplyPsiScratch requires.
+func (s *FactoredSet) PsiScratchLen() int { return s.psiScratchLen() }
+
+// ApplyPsiScratch is ApplyPsi with caller scratch: the zero-allocation
+// Ψ·v of the operator oracles.
+func (s *FactoredSet) ApplyPsiScratch(x, in, out, tmp []float64) {
+	s.applyPsiTmp(x, in, out, tmp)
+}
+
+// ExpDots implements PsiOperator: with Aᵢ = QᵢQᵢᵀ,
+// Σ_rows s_rᵀ·Aᵢ·s_r = ‖S·Qᵢ‖_F², each constraint one O(k·nnz(Qᵢ))
+// sketch dot (Theorem 4.1's per-constraint cost).
+func (s *FactoredSet) ExpDots(r []float64, sk *matrix.Dense) {
+	if parallel.SerialBlock(len(s.Q), 1) {
+		for i := range s.Q {
+			r[i] = s.scale * s.Q[i].SketchDot(sk)
+		}
+		return
+	}
+	parallel.ForBlock(len(s.Q), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			r[i] = s.scale * s.Q[i].SketchDot(sk)
+		}
+	})
+}
 
 // Densify materializes each constraint as a dense matrix (with the
 // current scale folded in): the bridge from the fast path back to the

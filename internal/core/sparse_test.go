@@ -1,0 +1,305 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/matrix"
+	"repro/internal/sparse"
+)
+
+// sparseFromDenseMats converts dense symmetric matrices to the sparse
+// representation entry for entry.
+func sparseFromDenseMats(t *testing.T, as []*matrix.Dense) *SparseSet {
+	t.Helper()
+	cs := make([]*sparse.CSC, len(as))
+	for i, a := range as {
+		cs[i] = sparse.CSCFromDense(a, 0)
+	}
+	set, err := NewSparseSet(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+// randSparseSymPSD builds a random sparse symmetric diagonally-dominant
+// (hence PSD) m×m matrix with ~deg off-diagonal pairs per row.
+func randSparseSymPSD(m, deg int, rng *rand.Rand) *sparse.CSC {
+	var trips []sparse.Triplet
+	diag := make([]float64, m)
+	for i := 0; i < m; i++ {
+		for d := 0; d < deg; d++ {
+			j := rng.IntN(m)
+			if j == i {
+				continue
+			}
+			v := rng.NormFloat64()
+			trips = append(trips,
+				sparse.Triplet{Row: i, Col: j, Val: v},
+				sparse.Triplet{Row: j, Col: i, Val: v})
+			diag[i] += math.Abs(v)
+			diag[j] += math.Abs(v)
+		}
+	}
+	for i := 0; i < m; i++ {
+		trips = append(trips, sparse.Triplet{Row: i, Col: i, Val: diag[i] + 0.5 + rng.Float64()})
+	}
+	a, err := sparse.NewCSC(m, m, trips)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+func TestNewSparseSetValidation(t *testing.T) {
+	if _, err := NewSparseSet(nil); err != ErrEmptySet {
+		t.Fatalf("empty set: got %v, want ErrEmptySet", err)
+	}
+	asym, _ := sparse.NewCSC(2, 2, []sparse.Triplet{{Row: 0, Col: 1, Val: 1}})
+	if _, err := NewSparseSet([]*sparse.CSC{asym}); err == nil || !strings.Contains(err.Error(), "not symmetric") {
+		t.Fatalf("asymmetric constraint: got %v", err)
+	}
+	rect, _ := sparse.NewCSC(2, 3, []sparse.Triplet{{Row: 0, Col: 0, Val: 1}})
+	if _, err := NewSparseSet([]*sparse.CSC{rect}); err == nil {
+		t.Fatal("rectangular constraint accepted")
+	}
+	a, _ := sparse.NewCSC(2, 2, []sparse.Triplet{{Row: 0, Col: 0, Val: 1}})
+	b, _ := sparse.NewCSC(3, 3, []sparse.Triplet{{Row: 0, Col: 0, Val: 1}})
+	if _, err := NewSparseSet([]*sparse.CSC{a, b}); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	neg, _ := sparse.NewCSC(2, 2, []sparse.Triplet{{Row: 0, Col: 0, Val: -1}})
+	if _, err := NewSparseSet([]*sparse.CSC{neg}); err == nil || !strings.Contains(err.Error(), "negative trace") {
+		t.Fatalf("negative trace: got %v", err)
+	}
+}
+
+func TestSparseSetAccessors(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	m := 9
+	cs := []*sparse.CSC{randSparseSymPSD(m, 2, rng), randSparseSymPSD(m, 3, rng)}
+	set, err := NewSparseSet(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.N() != 2 || set.Dim() != m {
+		t.Fatalf("shape %dx%d", set.N(), set.Dim())
+	}
+	if set.NNZ() != cs[0].NNZ()+cs[1].NNZ() {
+		t.Fatalf("NNZ = %d", set.NNZ())
+	}
+	for i, c := range cs {
+		if got, want := set.Trace(i), c.DiagSum(); got != want {
+			t.Fatalf("Trace(%d) = %v, want %v", i, got, want)
+		}
+	}
+	scaled := set.WithScale(2.5)
+	if got := scaled.Trace(0); math.Float64bits(got) != math.Float64bits(2.5*cs[0].DiagSum()) {
+		t.Fatalf("scaled trace %v", got)
+	}
+	// ApplyPsi matches the densified reference.
+	x := []float64{0.3, 1.7}
+	v := make([]float64, m)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	out := make([]float64, m)
+	scaled.ApplyPsi(x, v, out)
+	dset, err := set.Densify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, m)
+	dset.WithScale(2.5).ApplyPsi(x, v, want)
+	for j := range want {
+		if math.Abs(out[j]-want[j]) > 1e-10*math.Max(1, math.Abs(want[j])) {
+			t.Fatalf("ApplyPsi[%d] = %v, dense %v", j, out[j], want[j])
+		}
+	}
+}
+
+// The same instance encoded densely and sparsely must yield the same
+// Decision outcome, and the certified brackets must agree to oracle
+// accuracy (the oracles differ — eigendecomposition vs ExpMV — so the
+// comparison is tolerance-based, not bitwise).
+func TestSparseDenseDecisionEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 13))
+	m, n := 14, 8
+	cs := make([]*sparse.CSC, n)
+	for i := range cs {
+		cs[i] = randSparseSymPSD(m, 2, rng)
+	}
+	sset, err := NewSparseSet(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dset, err := sset.Densify()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const scale, eps = 0.08, 0.25
+	sr, err := DecisionPSDP(sset.WithScale(scale), eps, Options{Seed: 5, Oracle: OracleFactoredExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr, err := DecisionPSDP(dset.WithScale(scale), eps, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Outcome != dr.Outcome {
+		t.Fatalf("outcomes differ: sparse %v, dense %v", sr.Outcome, dr.Outcome)
+	}
+	// Both brackets certify the same optimum: they must overlap, and the
+	// endpoints agree to a modest relative tolerance.
+	if sr.Lower > dr.Upper*(1+1e-6) || dr.Lower > sr.Upper*(1+1e-6) {
+		t.Fatalf("brackets disjoint: sparse [%v, %v], dense [%v, %v]", sr.Lower, sr.Upper, dr.Lower, dr.Upper)
+	}
+	if rel := math.Abs(sr.Lower-dr.Lower) / math.Max(1e-300, dr.Lower); rel > 0.02 {
+		t.Fatalf("lower bounds diverge: sparse %v, dense %v (rel %v)", sr.Lower, dr.Lower, rel)
+	}
+	// The sparse witness must verify against the DENSE set too.
+	cert, err := VerifyDual(dset.WithScale(scale), sr.DualX, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cert.Feasible {
+		t.Fatalf("sparse witness infeasible on dense set: λ_max = %v", cert.LambdaMax)
+	}
+}
+
+// Factored vs sparse: expanding each QᵢQᵢᵀ into an explicit sparse
+// symmetric matrix must solve to the same outcome and near-identical
+// exact-oracle bounds (both run the deterministic operator oracle; the
+// operands differ only by the Gram expansion rounding).
+func TestSparseFactoredDecisionEquivalence(t *testing.T) {
+	inst := graph.Cycle(10)
+	qs, err := inst.EdgeFactors()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset, err := NewFactoredSet(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := make([]*sparse.CSC, len(qs))
+	for i, q := range qs {
+		cs[i] = sparse.CSCFromDense(q.GramDense(), 0)
+	}
+	sset, err := NewSparseSet(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < fset.N(); i++ {
+		if math.Float64bits(fset.Trace(i)) != math.Float64bits(sset.Trace(i)) {
+			t.Fatalf("trace %d differs: %v vs %v", i, fset.Trace(i), sset.Trace(i))
+		}
+	}
+
+	const scale, eps = 0.2, 0.25
+	opts := Options{Seed: 9, Oracle: OracleFactoredExact, MaxIter: 150}
+	fr, err := DecisionPSDP(fset.WithScale(scale), eps, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := DecisionPSDP(sset.WithScale(scale), eps, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Outcome != sr.Outcome {
+		t.Fatalf("outcomes differ: factored %v, sparse %v", fr.Outcome, sr.Outcome)
+	}
+	if rel := math.Abs(fr.Lower-sr.Lower) / math.Max(1e-300, fr.Lower); rel > 1e-6 {
+		t.Fatalf("lower bounds diverge: %v vs %v", fr.Lower, sr.Lower)
+	}
+	if rel := relOrInf(fr.Upper, sr.Upper); rel > 1e-6 {
+		t.Fatalf("upper bounds diverge: %v vs %v", fr.Upper, sr.Upper)
+	}
+}
+
+func relOrInf(a, b float64) float64 {
+	if math.IsInf(a, 1) && math.IsInf(b, 1) {
+		return 0
+	}
+	return math.Abs(a-b) / math.Max(1e-300, math.Abs(a))
+}
+
+// The JL oracle must run on sparse sets (OracleAuto path) and produce a
+// valid certified bracket.
+func TestSparseJLDecision(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 23))
+	m, n := 20, 10
+	cs := make([]*sparse.CSC, n)
+	for i := range cs {
+		cs[i] = randSparseSymPSD(m, 2, rng)
+	}
+	set, err := NewSparseSet(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr, err := DecisionPSDP(set.WithScale(0.05), 0.3, Options{Seed: 3, SketchEps: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(dr.Lower > 0) || !(dr.Upper >= dr.Lower) {
+		t.Fatalf("invalid bracket [%v, %v]", dr.Lower, dr.Upper)
+	}
+	// Witness verifies independently.
+	cert, err := VerifyDual(set.WithScale(0.05), dr.DualX, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cert.Feasible {
+		t.Fatalf("JL sparse witness infeasible: λ_max = %v", cert.LambdaMax)
+	}
+}
+
+// Maximize must accept the sparse representation end to end.
+func TestSparseMaximize(t *testing.T) {
+	g := graph.Cycle(8)
+	cs := make([]*sparse.CSC, g.M())
+	for k := range g.Edges {
+		q, err := g.EdgeFactor(k, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs[k] = sparse.CSCFromDense(q.GramDense(), 0)
+	}
+	set, err := NewSparseSet(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := MaximizePacking(set, 0.25, Options{Seed: 7, SketchEps: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(sol.Lower > 0) || sol.Upper < sol.Lower {
+		t.Fatalf("invalid bracket [%v, %v]", sol.Lower, sol.Upper)
+	}
+	cert, err := VerifyDual(set, sol.X, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cert.Feasible {
+		t.Fatalf("Maximize witness infeasible: λ_max = %v", cert.LambdaMax)
+	}
+}
+
+// An explicitly dense set must still be rejected by the operator-oracle
+// kinds (the dense auto path is the exact eigendecomposition oracle).
+func TestOperatorOracleRejectsDense(t *testing.T) {
+	set, err := NewDenseSet([]*matrix.Dense{matrix.Identity(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecisionPSDP(set, 0.3, Options{Oracle: OracleFactoredJL}); err == nil {
+		t.Fatal("OracleFactoredJL accepted a dense set")
+	}
+	if _, err := DecisionPSDP(set, 0.3, Options{Oracle: OracleFactoredExact}); err == nil {
+		t.Fatal("OracleFactoredExact accepted a dense set")
+	}
+}

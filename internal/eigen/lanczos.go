@@ -6,6 +6,7 @@ import (
 	"math/rand/v2"
 
 	"repro/internal/matrix"
+	"repro/internal/work"
 )
 
 // LanczosOpts configures LanczosMax.
@@ -59,6 +60,36 @@ func (ws *LanczosWS) ensure(dim, maxIter int) {
 		ws.td = make([]float64, maxIter)
 		ws.te = make([]float64, maxIter)
 	}
+}
+
+// Prewarm sizes the workspace for (dim, maxIter) and installs every
+// basis row up front, drawn from pool, so later runs never allocate no
+// matter how deep their Krylov spaces grow — the guarantee the
+// zero-allocation oracle paths need (lazy row growth would otherwise
+// allocate whenever a refresh converges slower than any before it).
+// Hand the rows back with ReleaseBasis when the owning run retires; a
+// nil pool degrades to plain allocation.
+func (ws *LanczosWS) Prewarm(pool *work.Workspace, dim, maxIter int) {
+	if dim <= 0 {
+		return
+	}
+	if maxIter > dim {
+		maxIter = dim
+	}
+	ws.ensure(dim, maxIter)
+	for len(ws.basis) < maxIter {
+		ws.basis = append(ws.basis, pool.Vec(dim))
+	}
+}
+
+// ReleaseBasis returns every basis row to pool and empties the basis
+// (rows grown lazily past the prewarm depth are pooled too). The
+// workspace must not be mid-run.
+func (ws *LanczosWS) ReleaseBasis(pool *work.Workspace) {
+	for _, r := range ws.basis {
+		pool.PutVec(r)
+	}
+	ws.basis = ws.basis[:0]
 }
 
 // row returns basis row j, allocating it on first use.

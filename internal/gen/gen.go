@@ -241,6 +241,59 @@ func GraphEdgePacking(g *graph.Graph) (*Factored, error) {
 	return &Factored{Q: qs, OPT: math.NaN(), Name: fmt.Sprintf("edge-packing(n=%d,m=%d)", g.N, g.M())}, nil
 }
 
+// Sparse is a generated general-sparse instance (each constraint a
+// symmetric sparse matrix); OPT is NaN when unknown.
+type Sparse struct {
+	A    []*sparse.CSC
+	OPT  float64
+	Name string
+}
+
+// SparseEdgePacking builds the edge-Laplacian packing instance of a
+// graph in the general-sparse representation: Aₑ = bₑbₑᵀ stored as an
+// explicit symmetric matrix with four nonzeros. Identical mathematics
+// to GraphEdgePacking (the factored form), so the two make a natural
+// cross-representation equivalence pair; total nnz is 4·|E| versus the
+// factored 2·|E|.
+func SparseEdgePacking(g *graph.Graph) (*Sparse, error) {
+	if g.M() == 0 {
+		return nil, fmt.Errorf("gen: SparseEdgePacking: graph has no edges")
+	}
+	as := make([]*sparse.CSC, g.M())
+	for k := range g.Edges {
+		a, err := g.EdgeLaplacian(k, 1)
+		if err != nil {
+			return nil, err
+		}
+		as[k] = a
+	}
+	return &Sparse{A: as, OPT: math.NaN(), Name: fmt.Sprintf("sparse-edge-packing(n=%d,m=%d)", g.N, g.M())}, nil
+}
+
+// SparseGroupedLaplacians partitions the edges of a graph into `groups`
+// random groups and makes each group's subgraph Laplacian one sparse
+// constraint: n = groups constraints of ~4|E|/groups nonzeros each —
+// the knob workload for nnz-density scaling of the sparse kernels.
+func SparseGroupedLaplacians(g *graph.Graph, groups int, rng *rand.Rand) (*Sparse, error) {
+	if groups <= 0 || groups > g.M() {
+		return nil, fmt.Errorf("gen: SparseGroupedLaplacians: groups=%d out of [1, %d]", groups, g.M())
+	}
+	perm := rng.Perm(g.M())
+	buckets := make([][]int, groups)
+	for i, k := range perm {
+		buckets[i%groups] = append(buckets[i%groups], k)
+	}
+	as := make([]*sparse.CSC, groups)
+	for i, idx := range buckets {
+		a, err := g.SubgraphLaplacian(idx)
+		if err != nil {
+			return nil, err
+		}
+		as[i] = a
+	}
+	return &Sparse{A: as, OPT: math.NaN(), Name: fmt.Sprintf("sparse-grouped-laplacian(n=%d,m=%d,groups=%d)", g.N, g.M(), groups)}, nil
+}
+
 // RandomFactored generates n factored constraints, each with cols
 // columns of nnzPerCol random nonzeros — the knob workload for the
 // work-vs-q scaling experiments (E6, E7).

@@ -205,3 +205,61 @@ func TestRandomFactoredShape(t *testing.T) {
 		t.Fatal("nnzPerCol > m accepted")
 	}
 }
+
+func TestSparseEdgePackingMatchesLaplacian(t *testing.T) {
+	g := graph.Cycle(6)
+	inst, err := SparseEdgePacking(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.A) != g.M() {
+		t.Fatalf("got %d constraints, want %d", len(inst.A), g.M())
+	}
+	// Σₑ Aₑ must equal the full graph Laplacian.
+	sum := matrix.New(g.N, g.N)
+	for _, a := range inst.A {
+		if a.NNZ() != 4 {
+			t.Fatalf("edge Laplacian has %d nnz, want 4", a.NNZ())
+		}
+		d := a.ToDense()
+		for k, v := range d.Data {
+			sum.Data[k] += v
+		}
+	}
+	if !matrix.ApproxEqual(sum, g.Laplacian(), 1e-12) {
+		t.Fatal("edge Laplacians do not sum to the graph Laplacian")
+	}
+}
+
+func TestSparseGroupedLaplacians(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	g := graph.Grid(4, 5)
+	inst, err := SparseGroupedLaplacians(g, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.A) != 5 {
+		t.Fatalf("got %d groups, want 5", len(inst.A))
+	}
+	// Every edge lands in exactly one group: the constraints sum to the
+	// full Laplacian.
+	sum := matrix.New(g.N, g.N)
+	for _, a := range inst.A {
+		if a.R != g.N || a.C != g.N {
+			t.Fatalf("constraint is %dx%d, want %dx%d", a.R, a.C, g.N, g.N)
+		}
+		d := a.ToDense()
+		for k, v := range d.Data {
+			sum.Data[k] += v
+		}
+	}
+	if !matrix.ApproxEqual(sum, g.Laplacian(), 1e-12) {
+		t.Fatal("grouped Laplacians do not sum to the graph Laplacian")
+	}
+	if _, err := SparseGroupedLaplacians(g, 0, rng); err == nil {
+		t.Fatal("groups=0 accepted")
+	}
+	if _, err := SparseGroupedLaplacians(g, g.M()+1, rng); err == nil {
+		t.Fatal("groups > |E| accepted")
+	}
+}

@@ -123,6 +123,46 @@ func (g *Graph) EdgeFactor(k int, w float64) (*sparse.CSC, error) {
 	})
 }
 
+// EdgeLaplacian returns the sparse symmetric edge Laplacian
+// L_e = w·b_e·b_eᵀ for edge index k: four stored entries
+// (w at (u,u) and (v,v), −w at (u,v) and (v,u)) — the general-sparse
+// counterpart of EdgeFactor for solvers consuming symmetric matrices
+// directly instead of factors.
+func (g *Graph) EdgeLaplacian(k int, w float64) (*sparse.CSC, error) {
+	if k < 0 || k >= len(g.Edges) {
+		return nil, fmt.Errorf("graph: edge index %d out of range", k)
+	}
+	if w <= 0 {
+		return nil, fmt.Errorf("graph: edge weight %v must be positive", w)
+	}
+	e := g.Edges[k]
+	return sparse.NewCSC(g.N, g.N, []sparse.Triplet{
+		{Row: e[0], Col: e[0], Val: w},
+		{Row: e[1], Col: e[1], Val: w},
+		{Row: e[0], Col: e[1], Val: -w},
+		{Row: e[1], Col: e[0], Val: -w},
+	})
+}
+
+// SubgraphLaplacian returns the sparse Laplacian of the subgraph formed
+// by the given edge indices (unit weights): Σ_k L_{e_k} assembled in
+// one triplet pass, duplicates summed by NewCSC.
+func (g *Graph) SubgraphLaplacian(edgeIdx []int) (*sparse.CSC, error) {
+	trips := make([]sparse.Triplet, 0, 4*len(edgeIdx))
+	for _, k := range edgeIdx {
+		if k < 0 || k >= len(g.Edges) {
+			return nil, fmt.Errorf("graph: edge index %d out of range", k)
+		}
+		e := g.Edges[k]
+		trips = append(trips,
+			sparse.Triplet{Row: e[0], Col: e[0], Val: 1},
+			sparse.Triplet{Row: e[1], Col: e[1], Val: 1},
+			sparse.Triplet{Row: e[0], Col: e[1], Val: -1},
+			sparse.Triplet{Row: e[1], Col: e[0], Val: -1})
+	}
+	return sparse.NewCSC(g.N, g.N, trips)
+}
+
 // EdgeFactors returns all edge factors with unit weights.
 func (g *Graph) EdgeFactors() ([]*sparse.CSC, error) {
 	qs := make([]*sparse.CSC, len(g.Edges))

@@ -36,6 +36,29 @@ func FuzzBuild(f *testing.F) {
 		`{"m":2,"dense":[[[1e308,0],[0,1e308]]]}`,
 		`{"m":1,"factored":[{"cols":1,"entries":[[0,0,1e308],[0,0,1e308]]}]}`,
 		`{"m":2,"factored":[{"cols":2,"entries":[[0,0,1e200],[1,1,1e200]]}]}`,
+		// Sparse kind: a valid symmetric constraint…
+		`{"m":3,"sparse":[{"entries":[[0,0,2],[0,1,-1],[1,0,-1],[1,1,2]]}]}`,
+		// …duplicates summing into a symmetric matrix (must be accepted:
+		// NewCSC canonicalizes before the symmetry check)…
+		`{"m":2,"sparse":[{"entries":[[0,1,0.5],[0,1,0.5],[1,0,1],[0,0,1],[1,1,1]]}]}`,
+		// …and the rejection cases: one-sided (asymmetric) input,
+		// mismatched mirrors, out-of-range indices, non-finite values,
+		// negative trace, mixing kinds, and trace overflow.
+		`{"m":2,"sparse":[{"entries":[[0,1,1]]}]}`,
+		`{"m":2,"sparse":[{"entries":[[0,1,1],[1,0,2]]}]}`,
+		`{"m":2,"sparse":[{"entries":[[5,0,1]]}]}`,
+		`{"m":2,"sparse":[{"entries":[[-1,0,1]]}]}`,
+		`{"m":2,"sparse":[{"entries":[[0,0,1e999]]}]}`,
+		`{"m":1,"sparse":[{"entries":[[0,0,-2]]}]}`,
+		`{"m":2,"sparse":[{"entries":[]}]}`,
+		`{"m":2,"dense":[[[1,0],[0,1]]],"sparse":[{"entries":[[0,0,1]]}]}`,
+		`{"m":2,"factored":[{"cols":1,"entries":[[0,0,1]]}],"sparse":[{"entries":[[0,0,1]]}]}`,
+		`{"m":2,"sparse":[{"entries":[[0,0,1e308],[1,1,1e308]]}]}`,
+		// Fractional indices must be rejected, not truncated onto a
+		// different entry (0.9 → 0 would silently change the matrix).
+		`{"m":2,"sparse":[{"entries":[[0.9,0,1],[0,0.9,1]]}]}`,
+		`{"m":2,"factored":[{"cols":1,"entries":[[0.5,0,1]]}]}`,
+		`{"m":2,"sparse":[{"entries":[[1e40,0,1]]}]}`,
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s))
@@ -50,11 +73,16 @@ func FuzzBuild(f *testing.F) {
 		if err := json.Unmarshal(data, &inst); err != nil {
 			return
 		}
-		if inst.M > 1<<10 || len(inst.Dense) > 64 || len(inst.Factored) > 64 {
+		if inst.M > 1<<10 || len(inst.Dense) > 64 || len(inst.Factored) > 64 || len(inst.Sparse) > 64 {
 			return
 		}
 		for _, fac := range inst.Factored {
 			if fac.Cols > 1<<10 {
+				return
+			}
+		}
+		for _, sm := range inst.Sparse {
+			if len(sm.Entries) > 1<<12 {
 				return
 			}
 		}
@@ -81,6 +109,8 @@ func FuzzBuild(f *testing.F) {
 			doc = FromDenseSet(s)
 		case *core.FactoredSet:
 			doc = FromFactoredSet(s)
+		case *core.SparseSet:
+			doc = FromSparseSet(s)
 		default:
 			t.Fatalf("unknown set type %T", set)
 		}

@@ -1,13 +1,22 @@
 // Package instio reads and writes packing SDP instances as JSON, the
 // interchange format of cmd/psdpsolve and cmd/psdpgen.
 //
-// Format (one of "dense" or "factored" must be present):
+// Format (exactly one of "dense", "factored", or "sparse" must be
+// present):
 //
 //	{
 //	  "m": 3,
 //	  "dense":    [ [[1,0,0],[0,1,0],[0,0,1]], ... ],
-//	  "factored": [ {"cols": 2, "entries": [[row, col, value], ...]}, ... ]
+//	  "factored": [ {"cols": 2, "entries": [[row, col, value], ...]}, ... ],
+//	  "sparse":   [ {"entries": [[row, col, value], ...]}, ... ]
 //	}
+//
+// A sparse constraint lists the triplets of one symmetric m-by-m
+// matrix Aᵢ directly (both mirror entries, or either half — NewCSC
+// sums duplicates and Build rejects any document whose assembled
+// matrix is not symmetric). Triplet order never matters: NewCSC
+// canonicalizes, so two documents listing the same entries in any
+// order build identical sets (and identical serve digests).
 package instio
 
 import (
@@ -25,14 +34,21 @@ import (
 
 // Instance is the JSON document shape.
 type Instance struct {
-	M        int           `json:"m"`
-	Dense    [][][]float64 `json:"dense,omitempty"`
-	Factored []Factor      `json:"factored,omitempty"`
+	M        int            `json:"m"`
+	Dense    [][][]float64  `json:"dense,omitempty"`
+	Factored []Factor       `json:"factored,omitempty"`
+	Sparse   []SparseMatrix `json:"sparse,omitempty"`
 }
 
 // Factor is one factored constraint Q (m rows, Cols columns).
 type Factor struct {
 	Cols    int          `json:"cols"`
+	Entries [][3]float64 `json:"entries"`
+}
+
+// SparseMatrix is one general sparse symmetric constraint Aᵢ (m-by-m,
+// dimensions implied by the document's m field).
+type SparseMatrix struct {
 	Entries [][3]float64 `json:"entries"`
 }
 
@@ -92,9 +108,15 @@ func Build(inst *Instance) (core.ConstraintSet, error) {
 	if inst.M <= 0 {
 		return nil, errors.New("instio: field m must be positive")
 	}
+	kinds := 0
+	for _, present := range []bool{len(inst.Dense) > 0, len(inst.Factored) > 0, len(inst.Sparse) > 0} {
+		if present {
+			kinds++
+		}
+	}
 	switch {
-	case len(inst.Dense) > 0 && len(inst.Factored) > 0:
-		return nil, errors.New("instio: specify dense or factored, not both")
+	case kinds > 1:
+		return nil, errors.New("instio: specify exactly one of dense, factored, or sparse")
 	case len(inst.Dense) > 0:
 		as := make([]*matrix.Dense, len(inst.Dense))
 		for i, rows := range inst.Dense {
@@ -134,7 +156,15 @@ func Build(inst *Instance) (core.ConstraintSet, error) {
 				if !isFinite(e[2]) {
 					return nil, fmt.Errorf("instio: factored[%d] entry %d has non-finite value %v", i, k, e[2])
 				}
-				trips[k] = sparse.Triplet{Row: int(e[0]), Col: int(e[1]), Val: e[2]}
+				row, err := tripIndex(e[0])
+				if err != nil {
+					return nil, fmt.Errorf("instio: factored[%d] entry %d: row %w", i, k, err)
+				}
+				col, err := tripIndex(e[1])
+				if err != nil {
+					return nil, fmt.Errorf("instio: factored[%d] entry %d: col %w", i, k, err)
+				}
+				trips[k] = sparse.Triplet{Row: row, Col: col, Val: e[2]}
 			}
 			q, err := sparse.NewCSC(inst.M, f.Cols, trips)
 			if err != nil {
@@ -150,6 +180,43 @@ func Build(inst *Instance) (core.ConstraintSet, error) {
 			return nil, err
 		}
 		return set, nil
+	case len(inst.Sparse) > 0:
+		cs := make([]*sparse.CSC, len(inst.Sparse))
+		for i, sm := range inst.Sparse {
+			trips := make([]sparse.Triplet, len(sm.Entries))
+			for k, e := range sm.Entries {
+				// Same rule as the factored kind: one NaN/Inf entry
+				// poisons every ratio downstream, so the parser rejects
+				// it with a pointed error.
+				if !isFinite(e[2]) {
+					return nil, fmt.Errorf("instio: sparse[%d] entry %d has non-finite value %v", i, k, e[2])
+				}
+				row, err := tripIndex(e[0])
+				if err != nil {
+					return nil, fmt.Errorf("instio: sparse[%d] entry %d: row %w", i, k, err)
+				}
+				col, err := tripIndex(e[1])
+				if err != nil {
+					return nil, fmt.Errorf("instio: sparse[%d] entry %d: col %w", i, k, err)
+				}
+				trips[k] = sparse.Triplet{Row: row, Col: col, Val: e[2]}
+			}
+			a, err := sparse.NewCSC(inst.M, inst.M, trips)
+			if err != nil {
+				return nil, fmt.Errorf("instio: sparse[%d]: %w", i, err)
+			}
+			cs[i] = a
+		}
+		// NewSparseSet rejects asymmetric input, so a document listing
+		// only one triangle (or mismatched mirror values) fails here.
+		set, err := core.NewSparseSet(cs)
+		if err != nil {
+			return nil, err
+		}
+		if err := checkFiniteTraces(set); err != nil {
+			return nil, err
+		}
+		return set, nil
 	default:
 		return nil, errors.New("instio: instance has no constraints")
 	}
@@ -157,6 +224,20 @@ func Build(inst *Instance) (core.ConstraintSet, error) {
 
 func isFinite(v float64) bool {
 	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// tripIndex converts a JSON-carried index to int, rejecting fractional
+// values instead of silently truncating them: [0.9, 0, 1] would
+// otherwise collapse onto entry (0, 0) and the solver would certify an
+// answer for a matrix the document never described. The 1<<31 cap
+// keeps the float→int conversion well-defined; anything that large is
+// out of range for every real document and NewCSC would reject the
+// converted index anyway.
+func tripIndex(v float64) (int, error) {
+	if v != math.Trunc(v) || math.Abs(v) > 1<<31 {
+		return 0, fmt.Errorf("index %v is not a valid integer", v)
+	}
+	return int(v), nil
 }
 
 // checkFiniteTraces rejects instances whose per-constraint traces
@@ -197,6 +278,23 @@ func FromFactoredSet(set *core.FactoredSet) *Instance {
 			}
 		}
 		inst.Factored = append(inst.Factored, f)
+	}
+	return inst
+}
+
+// FromSparseSet converts a sparse set to the document form. Entries
+// are emitted in the canonical CSC order (column-major, rows sorted),
+// so encoding is deterministic.
+func FromSparseSet(set *core.SparseSet) *Instance {
+	inst := &Instance{M: set.Dim()}
+	for _, a := range set.A {
+		sm := SparseMatrix{}
+		for j := 0; j < a.C; j++ {
+			for k := a.ColPtr[j]; k < a.ColPtr[j+1]; k++ {
+				sm.Entries = append(sm.Entries, [3]float64{float64(a.Row[k]), float64(j), a.Val[k]})
+			}
+		}
+		inst.Sparse = append(inst.Sparse, sm)
 	}
 	return inst
 }

@@ -73,6 +73,128 @@ func TestFactoredRoundTrip(t *testing.T) {
 	}
 }
 
+func TestSparseRoundTrip(t *testing.T) {
+	a1, err := sparse.NewCSC(3, 3, []sparse.Triplet{
+		{Row: 0, Col: 0, Val: 2}, {Row: 0, Col: 1, Val: -1},
+		{Row: 1, Col: 0, Val: -1}, {Row: 1, Col: 1, Val: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := sparse.NewCSC(3, 3, []sparse.Triplet{{Row: 2, Col: 2, Val: 0.75}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := core.NewSparseSet([]*sparse.CSC{a1, a2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := FromSparseSet(set)
+	path := filepath.Join(t.TempDir(), "inst.json")
+	if err := Save(path, doc); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, ok := loaded.(*core.SparseSet)
+	if !ok {
+		t.Fatalf("loaded type %T, want *core.SparseSet", loaded)
+	}
+	if ss.N() != 2 || ss.Dim() != 3 || ss.NNZ() != set.NNZ() {
+		t.Fatalf("shape wrong: n=%d m=%d nnz=%d", ss.N(), ss.Dim(), ss.NNZ())
+	}
+	for i := range set.A {
+		if !matrix.ApproxEqual(ss.A[i].ToDense(), set.A[i].ToDense(), 0) {
+			t.Fatalf("sparse constraint %d altered in round trip", i)
+		}
+	}
+	// Encode/Decode over a stream must restore the exact bit patterns.
+	var buf bytes.Buffer
+	if err := Encode(&buf, doc); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss2 := decoded.(*core.SparseSet)
+	for i := 0; i < set.N(); i++ {
+		if math.Float64bits(ss2.Trace(i)) != math.Float64bits(set.Trace(i)) {
+			t.Fatalf("trace %d drifted through Encode/Decode", i)
+		}
+	}
+}
+
+// Triplet order in a sparse document must be irrelevant: NewCSC
+// canonicalizes, so shuffled and duplicate-split entry lists build
+// bitwise-identical sets.
+func TestSparseTripletOrderIrrelevant(t *testing.T) {
+	orig := &Instance{M: 2, Sparse: []SparseMatrix{{Entries: [][3]float64{
+		{0, 0, 1}, {0, 1, 0.5}, {1, 0, 0.5}, {1, 1, 2},
+	}}}}
+	shuffled := &Instance{M: 2, Sparse: []SparseMatrix{{Entries: [][3]float64{
+		{1, 1, 2}, {1, 0, 0.5}, {0, 1, 0.25}, {0, 0, 1}, {0, 1, 0.25},
+	}}}}
+	s1, err := Build(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Build(shuffled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1 := s1.(*core.SparseSet).A[0]
+	a2 := s2.(*core.SparseSet).A[0]
+	if len(a1.Val) != len(a2.Val) {
+		t.Fatalf("nnz differ: %d vs %d", len(a1.Val), len(a2.Val))
+	}
+	for k := range a1.Val {
+		if a1.Row[k] != a2.Row[k] || math.Float64bits(a1.Val[k]) != math.Float64bits(a2.Val[k]) {
+			t.Fatalf("canonical entry %d differs", k)
+		}
+	}
+}
+
+func TestSparseBuildRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		inst *Instance
+	}{
+		{"asymmetric-one-sided", &Instance{M: 2, Sparse: []SparseMatrix{{Entries: [][3]float64{{0, 1, 1}}}}}},
+		{"asymmetric-mismatch", &Instance{M: 2, Sparse: []SparseMatrix{{Entries: [][3]float64{{0, 1, 1}, {1, 0, 2}}}}}},
+		{"row-out-of-range", &Instance{M: 2, Sparse: []SparseMatrix{{Entries: [][3]float64{{5, 0, 1}}}}}},
+		{"col-out-of-range", &Instance{M: 2, Sparse: []SparseMatrix{{Entries: [][3]float64{{0, -1, 1}}}}}},
+		{"fractional-row", &Instance{M: 2, Sparse: []SparseMatrix{{Entries: [][3]float64{{0.9, 0, 1}, {0, 0.9, 1}}}}}},
+		{"fractional-col", &Instance{M: 2, Sparse: []SparseMatrix{{Entries: [][3]float64{{0, 0.5, 1}}}}}},
+		{"huge-index", &Instance{M: 2, Sparse: []SparseMatrix{{Entries: [][3]float64{{1e40, 0, 1}}}}}},
+		{"nan-value", &Instance{M: 2, Sparse: []SparseMatrix{{Entries: [][3]float64{{0, 0, math.NaN()}}}}}},
+		{"inf-value", &Instance{M: 2, Sparse: []SparseMatrix{{Entries: [][3]float64{{0, 0, math.Inf(1)}}}}}},
+		{"negative-trace", &Instance{M: 1, Sparse: []SparseMatrix{{Entries: [][3]float64{{0, 0, -1}}}}}},
+		{"mixed-with-dense", &Instance{M: 2,
+			Dense:  [][][]float64{{{1, 0}, {0, 1}}},
+			Sparse: []SparseMatrix{{Entries: [][3]float64{{0, 0, 1}}}}}},
+		{"mixed-with-factored", &Instance{M: 2,
+			Factored: []Factor{{Cols: 1, Entries: [][3]float64{{0, 0, 1}}}},
+			Sparse:   []SparseMatrix{{Entries: [][3]float64{{0, 0, 1}}}}}},
+		{"trace-overflow", &Instance{M: 2, Sparse: []SparseMatrix{{Entries: [][3]float64{{0, 0, 1e308}, {1, 1, 1e308}}}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Build(tc.inst); err == nil {
+				t.Fatal("invalid sparse instance accepted")
+			}
+		})
+	}
+	// An empty-entry constraint is the zero matrix: shape-valid, and the
+	// solver freezes it at trace 0 — Build accepts it.
+	zero := &Instance{M: 2, Sparse: []SparseMatrix{{Entries: nil}}}
+	if _, err := Build(zero); err != nil {
+		t.Fatalf("zero sparse constraint rejected: %v", err)
+	}
+}
+
 func TestBuildValidation(t *testing.T) {
 	cases := []*Instance{
 		{M: 0},

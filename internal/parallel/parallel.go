@@ -122,6 +122,15 @@ func Do(fs ...func()) {
 	wg.Wait()
 }
 
+// BlockCount reports the deterministic number of reduction blocks
+// SumBlocks would use for a problem of size n at the given grain.
+// Zero-allocation reduction kernels replicate the block tree with a
+// plain loop when forking is impossible: summing block b over
+// [b·n/blocks, (b+1)·n/blocks) sequentially and combining partials in
+// block order is bit-identical to the forked reduction, without the
+// heap-escaping closure a SumBlocks call would construct.
+func BlockCount(n, grain int) int { return blockCount(n, grain) }
+
 // blockCount returns the deterministic number of reduction blocks for a
 // problem of size n with the given grain. It depends only on n and
 // grain, never on GOMAXPROCS, so reduction trees are reproducible.

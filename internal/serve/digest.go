@@ -137,17 +137,18 @@ func canonicalOracle(kind core.OracleKind, set core.ConstraintSet) core.OracleKi
 	if kind != core.OracleAuto {
 		return kind
 	}
-	if _, ok := set.(*core.FactoredSet); ok {
+	switch set.(type) {
+	case *core.FactoredSet, *core.SparseSet:
 		return core.OracleFactoredJL
 	}
 	return core.OracleDenseExact
 }
 
 // hashSet canonicalizes a constraint set. Dense sets hash their entries
-// row-major; factored sets hash the CSC arrays, which NewCSC already
-// canonicalizes (column-sorted, duplicates summed, explicit zeros
-// dropped), so triplet order in the wire document does not perturb the
-// digest.
+// row-major; factored and sparse sets hash the CSC arrays, which NewCSC
+// already canonicalizes (column-sorted, duplicates summed, explicit
+// zeros dropped), so triplet order in the wire document does not
+// perturb the digest.
 func hashSet(z *hasher, set core.ConstraintSet) error {
 	switch s := set.(type) {
 	case *core.DenseSet:
@@ -165,6 +166,14 @@ func hashSet(z *hasher, set core.ConstraintSet) error {
 		z.f64(s.Scale())
 		for _, q := range s.Q {
 			hashCSC(z, q)
+		}
+	case *core.SparseSet:
+		z.str("sparse")
+		z.i64(s.N())
+		z.i64(s.Dim())
+		z.f64(s.Scale())
+		for _, a := range s.A {
+			hashCSC(z, a)
 		}
 	default:
 		return fmt.Errorf("serve: cannot digest constraint set type %T", set)

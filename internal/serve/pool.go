@@ -152,6 +152,20 @@ func (p *Pool) Misses() int64 {
 	return total
 }
 
+// ShardMisses reports the workspace miss counters aggregated per shard
+// (workers are assigned to shards round-robin, worker w → shard
+// w mod shards). Digest routing keeps repeats of an instance shape on
+// one shard, so a healthy steady state shows every shard's counter
+// flat across repeated same-shape requests — the signal /statsz
+// exposes and the server tests assert.
+func (p *Pool) ShardMisses() []int64 {
+	out := make([]int64, len(p.shards))
+	for w := range p.misses {
+		out[w%len(p.shards)] += p.misses[w].Load()
+	}
+	return out
+}
+
 // Executed reports how many jobs ran (excluding queue-cancelled skips).
 func (p *Pool) Executed() int64 { return p.executed.Load() }
 

@@ -90,6 +90,26 @@ type counters struct {
 	cancelled   atomic.Int64
 	errors      atomic.Int64
 	inFlight    atomic.Int64
+	// Per-representation counts of successfully prepared requests, so
+	// operators can see which constraint encodings a deployment actually
+	// receives (and correlate pool-miss growth with representation mix).
+	reqDense    atomic.Int64
+	reqFactored atomic.Int64
+	reqSparse   atomic.Int64
+	reqProgram  atomic.Int64
+}
+
+// countRepresentation bumps the per-representation request counter for
+// a successfully built constraint set.
+func (s *Server) countRepresentation(set core.ConstraintSet) {
+	switch set.(type) {
+	case *core.DenseSet:
+		s.stats.reqDense.Add(1)
+	case *core.FactoredSet:
+		s.stats.reqFactored.Add(1)
+	case *core.SparseSet:
+		s.stats.reqSparse.Add(1)
+	}
 }
 
 // Server is the psdpd HTTP solve service: wire handlers in front of a
@@ -156,20 +176,25 @@ func (s *Server) Close() { s.pool.Close() }
 func (s *Server) Stats() StatsResponse {
 	hits, _ := s.cache.Counters()
 	return StatsResponse{
-		Requests:      s.stats.requests.Load(),
-		Solves:        s.stats.solves.Load(),
-		CacheHits:     hits,
-		CacheEntries:  s.cache.Len(),
-		DedupShared:   s.stats.dedupShared.Load(),
-		Rejected:      s.stats.rejected.Load(),
-		Cancelled:     s.stats.cancelled.Load(),
-		Errors:        s.stats.errors.Load(),
-		InFlight:      s.stats.inFlight.Load(),
-		QueueDepth:    s.pool.QueueDepth(),
-		PoolExecuted:  s.pool.Executed(),
-		PoolSkipped:   s.pool.Skipped(),
-		PoolMisses:    s.pool.Misses(),
-		UptimeSeconds: int64(time.Since(s.start).Seconds()),
+		Requests:         s.stats.requests.Load(),
+		Solves:           s.stats.solves.Load(),
+		CacheHits:        hits,
+		CacheEntries:     s.cache.Len(),
+		DedupShared:      s.stats.dedupShared.Load(),
+		Rejected:         s.stats.rejected.Load(),
+		Cancelled:        s.stats.cancelled.Load(),
+		Errors:           s.stats.errors.Load(),
+		InFlight:         s.stats.inFlight.Load(),
+		QueueDepth:       s.pool.QueueDepth(),
+		PoolExecuted:     s.pool.Executed(),
+		PoolSkipped:      s.pool.Skipped(),
+		PoolMisses:       s.pool.Misses(),
+		ShardPoolMisses:  s.pool.ShardMisses(),
+		RequestsDense:    s.stats.reqDense.Load(),
+		RequestsFactored: s.stats.reqFactored.Load(),
+		RequestsSparse:   s.stats.reqSparse.Load(),
+		RequestsProgram:  s.stats.reqProgram.Load(),
+		UptimeSeconds:    int64(time.Since(s.start).Seconds()),
 	}
 }
 
@@ -384,6 +409,7 @@ func (s *Server) prepare(kind string, req *Request) (poolFn, digest, error) {
 		if err != nil {
 			return nil, digest{}, err
 		}
+		s.countRepresentation(set)
 		eps := req.Eps
 		if kind == "decision" {
 			return s.solveClosure(func(ctx context.Context, ws *work.Workspace) (any, error) {
@@ -421,6 +447,7 @@ func (s *Server) prepare(kind string, req *Request) (poolFn, digest, error) {
 		if err != nil {
 			return nil, digest{}, err
 		}
+		s.stats.reqProgram.Add(1)
 		eps := req.Eps
 		return s.solveClosure(func(ctx context.Context, ws *work.Workspace) (any, error) {
 			o := opts
@@ -460,7 +487,7 @@ func oracleMatchesSet(kind core.OracleKind, set core.ConstraintSet) error {
 		}
 	case core.OracleFactoredJL, core.OracleFactoredExact:
 		if isDense {
-			return errors.New("serve: factored oracles require a factored instance")
+			return errors.New("serve: oracles \"jl\" and \"exact\" require a factored or sparse instance")
 		}
 	}
 	return nil

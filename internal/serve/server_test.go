@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/gen"
+	"repro/internal/graph"
 	"repro/internal/instio"
 	"repro/internal/work"
 )
@@ -87,6 +88,26 @@ func factoredInstance(t *testing.T, n, m int, seed uint64) *instio.Instance {
 	return instio.FromFactoredSet(set)
 }
 
+// sparseInstance builds a grouped-Laplacian general-sparse instance
+// document (n constraints over an m-vertex random graph).
+func sparseInstance(t *testing.T, n, m int, seed uint64) *instio.Instance {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, seed+1))
+	g := graph.ErdosRenyi(m, 6.0/float64(m), rng)
+	if g.M() < n {
+		t.Fatalf("graph too sparse: %d edges < %d groups", g.M(), n)
+	}
+	inst, err := gen.SparseGroupedLaplacians(g, n, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := core.NewSparseSet(inst.A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return instio.FromSparseSet(set)
+}
+
 func sameBits(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
 
 func sameVecBits(t *testing.T, name string, a, b []float64) {
@@ -116,6 +137,8 @@ func TestDecisionMatchesLibraryBitwise(t *testing.T) {
 		{"dense-bucketed", Request{Instance: doc, Eps: 0.25, Seed: 9, Scale: 0.4, Bucketed: true}},
 		{"factored-jl", Request{Instance: fdoc, Eps: 0.3, Seed: 7, Scale: 0.1, SketchEps: 0.4}},
 		{"factored-exact", Request{Instance: fdoc, Eps: 0.3, Seed: 7, Scale: 0.1, Oracle: "exact", MaxIter: 60}},
+		{"sparse-jl", Request{Instance: sparseInstance(t, 6, 18, 41), Eps: 0.3, Seed: 13, Scale: 0.05, SketchEps: 0.4, MaxIter: 40}},
+		{"sparse-exact", Request{Instance: sparseInstance(t, 6, 18, 41), Eps: 0.3, Seed: 13, Scale: 0.05, Oracle: "exact", MaxIter: 40}},
 	}
 	for _, procs := range []int{1, 8} {
 		for _, tc := range cases {
@@ -641,5 +664,100 @@ func waitFor(t *testing.T, cond func() bool) {
 			t.Fatal("condition not reached in 10s")
 		}
 		time.Sleep(time.Millisecond)
+	}
+}
+
+// Per-shard workspace pools must stay warm across repeated sparse
+// requests of the same SHAPE: with one worker on one shard, the first
+// solve grows the pinned workspace and every later same-shape request
+// (different values, so the cache never answers) draws every buffer
+// from warm pools — the per-shard miss counter in /statsz stays flat.
+// The per-representation counters must account every prepared request.
+func TestStatszSparseShardMissesFlat(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, Shards: 1})
+
+	solveOne := func(seed uint64) {
+		doc := sparseInstance(t, 5, 16, seed)
+		req := Request{Instance: doc, Eps: 0.3, Seed: 1, Scale: 0.05, MaxIter: 8, SketchEps: 0.5}
+		resp, body := postJSON(t, ts.URL+"/v1/decision", &req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		if h := resp.Header.Get("X-Psdpd-Cache"); h != "miss" {
+			t.Fatalf("cache disposition %q, want miss (distinct instances must not collide)", h)
+		}
+	}
+
+	solveOne(101) // warm-up: pools grow here
+	st := s.Stats()
+	if len(st.ShardPoolMisses) != 1 {
+		t.Fatalf("ShardPoolMisses has %d entries, want 1", len(st.ShardPoolMisses))
+	}
+	warm := st.ShardPoolMisses[0]
+	if warm == 0 {
+		t.Fatal("first sparse solve should populate the worker's workspace")
+	}
+
+	const repeats = 4
+	for i := uint64(0); i < repeats; i++ {
+		solveOne(201 + i) // same shape (5 groups over the same graph family), fresh values
+	}
+	st = s.Stats()
+	if got := st.ShardPoolMisses[0]; got != warm {
+		t.Errorf("shard 0 missed %d more times across %d same-shape sparse requests, want 0", got-warm, repeats)
+	}
+	if st.PoolMisses != warm {
+		t.Errorf("total pool misses %d, want %d", st.PoolMisses, warm)
+	}
+	if st.RequestsSparse != repeats+1 {
+		t.Errorf("RequestsSparse = %d, want %d", st.RequestsSparse, repeats+1)
+	}
+	if st.RequestsDense != 0 || st.RequestsFactored != 0 || st.RequestsProgram != 0 {
+		t.Errorf("unexpected non-sparse representation counts: dense=%d factored=%d program=%d",
+			st.RequestsDense, st.RequestsFactored, st.RequestsProgram)
+	}
+}
+
+// The dense oracle must reject a sparse instance at the door (400, no
+// queue slot), and the operator oracles must accept it.
+func TestSparseOracleValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	doc := sparseInstance(t, 4, 12, 61)
+	resp, body := postJSON(t, ts.URL+"/v1/decision",
+		&Request{Instance: doc, Eps: 0.3, Seed: 1, Oracle: "dense"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("dense oracle on sparse instance: status %d: %s", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/decision",
+		&Request{Instance: doc, Eps: 0.3, Seed: 1, Oracle: "exact", Scale: 0.1, MaxIter: 8})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("exact oracle on sparse instance: status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// Sparse digests canonicalize triplet order: the same constraint
+// listed in different entry orders (with duplicate splits) is ONE cache
+// entry — the second request is a hit returning the first's bytes.
+func TestSparseDigestTripletOrderIrrelevant(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	a := Request{Eps: 0.3, Seed: 2, MaxIter: 6, Instance: &instio.Instance{M: 2, Sparse: []instio.SparseMatrix{
+		{Entries: [][3]float64{{0, 0, 1}, {0, 1, 0.5}, {1, 0, 0.5}, {1, 1, 2}}},
+	}}}
+	b := Request{Eps: 0.3, Seed: 2, MaxIter: 6, Instance: &instio.Instance{M: 2, Sparse: []instio.SparseMatrix{
+		{Entries: [][3]float64{{1, 1, 2}, {1, 0, 0.25}, {0, 1, 0.5}, {0, 0, 1}, {1, 0, 0.25}}},
+	}}}
+	resp1, body1 := postJSON(t, ts.URL+"/v1/decision", &a)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp1.StatusCode, body1)
+	}
+	resp2, body2 := postJSON(t, ts.URL+"/v1/decision", &b)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp2.StatusCode, body2)
+	}
+	if h := resp2.Header.Get("X-Psdpd-Cache"); h != "hit" {
+		t.Fatalf("reordered triplets missed the cache (disposition %q)", h)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatal("cache hit returned different bytes")
 	}
 }

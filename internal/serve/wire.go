@@ -237,18 +237,27 @@ type BatchResponse struct {
 
 // StatsResponse is the /statsz document.
 type StatsResponse struct {
-	Requests      int64 `json:"requests"`
-	Solves        int64 `json:"solves"`
-	CacheHits     int64 `json:"cacheHits"`
-	CacheEntries  int   `json:"cacheEntries"`
-	DedupShared   int64 `json:"dedupShared"`
-	Rejected      int64 `json:"rejected"`
-	Cancelled     int64 `json:"cancelled"`
-	Errors        int64 `json:"errors"`
-	InFlight      int64 `json:"inFlight"`
-	QueueDepth    int   `json:"queueDepth"`
-	PoolExecuted  int64 `json:"poolExecuted"`
-	PoolSkipped   int64 `json:"poolSkipped"`
-	PoolMisses    int64 `json:"poolMisses"`
-	UptimeSeconds int64 `json:"uptimeSeconds"`
+	Requests     int64 `json:"requests"`
+	Solves       int64 `json:"solves"`
+	CacheHits    int64 `json:"cacheHits"`
+	CacheEntries int   `json:"cacheEntries"`
+	DedupShared  int64 `json:"dedupShared"`
+	Rejected     int64 `json:"rejected"`
+	Cancelled    int64 `json:"cancelled"`
+	Errors       int64 `json:"errors"`
+	InFlight     int64 `json:"inFlight"`
+	QueueDepth   int   `json:"queueDepth"`
+	PoolExecuted int64 `json:"poolExecuted"`
+	PoolSkipped  int64 `json:"poolSkipped"`
+	PoolMisses   int64 `json:"poolMisses"`
+	// ShardPoolMisses is PoolMisses broken out per shard (digest routing
+	// pins instance shapes to shards, so a flat per-shard counter means
+	// warm workspaces are being reused, never re-grown).
+	ShardPoolMisses []int64 `json:"shardPoolMisses"`
+	// Per-representation counts of successfully prepared solve requests.
+	RequestsDense    int64 `json:"requestsDense"`
+	RequestsFactored int64 `json:"requestsFactored"`
+	RequestsSparse   int64 `json:"requestsSparse"`
+	RequestsProgram  int64 `json:"requestsProgram"`
+	UptimeSeconds    int64 `json:"uptimeSeconds"`
 }

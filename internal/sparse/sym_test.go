@@ -1,0 +1,273 @@
+package sparse
+
+import (
+	"math"
+	"math/rand/v2"
+	"runtime"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+// randSymCSC builds a random symmetric m×m CSC with roughly density·m²
+// stored entries (mirrored pairs plus a positive diagonal).
+func randSymCSC(m int, density float64, rng *rand.Rand) *CSC {
+	var trips []Triplet
+	for i := 0; i < m; i++ {
+		trips = append(trips, Triplet{Row: i, Col: i, Val: 1 + rng.Float64()})
+		for j := i + 1; j < m; j++ {
+			if rng.Float64() < density {
+				v := rng.NormFloat64()
+				trips = append(trips, Triplet{Row: i, Col: j, Val: v}, Triplet{Row: j, Col: i, Val: v})
+			}
+		}
+	}
+	a, err := NewCSC(m, m, trips)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+func randVecT(n int, rng *rand.Rand) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func TestIsSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	a := randSymCSC(12, 0.3, rng)
+	if !a.IsSymmetric(0) {
+		t.Fatal("symmetric matrix reported asymmetric")
+	}
+	b, err := NewCSC(3, 3, []Triplet{{Row: 0, Col: 1, Val: 1}, {Row: 1, Col: 0, Val: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.IsSymmetric(0.5) {
+		t.Fatal("asymmetric matrix (gap 1) passed tol 0.5")
+	}
+	if !b.IsSymmetric(1.5) {
+		t.Fatal("asymmetric matrix (gap 1) failed tol 1.5")
+	}
+	// One-sided entry: the mirror is an implicit zero.
+	c, err := NewCSC(3, 3, []Triplet{{Row: 2, Col: 0, Val: 0.25}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.IsSymmetric(0.1) {
+		t.Fatal("one-sided entry passed symmetry check")
+	}
+	rect, err := NewCSC(2, 3, []Triplet{{Row: 0, Col: 0, Val: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rect.IsSymmetric(1) {
+		t.Fatal("rectangular matrix cannot be symmetric")
+	}
+}
+
+func TestDiagSumAndMaxAbs(t *testing.T) {
+	a, err := NewCSC(3, 3, []Triplet{
+		{Row: 0, Col: 0, Val: 2}, {Row: 1, Col: 1, Val: -0.5},
+		{Row: 2, Col: 0, Val: -7}, {Row: 0, Col: 2, Val: -7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.DiagSum(); got != 1.5 {
+		t.Fatalf("DiagSum = %v, want 1.5", got)
+	}
+	if got := a.MaxAbs(); got != 7 {
+		t.Fatalf("MaxAbs = %v, want 7", got)
+	}
+	if a.HasNonFinite() {
+		t.Fatal("finite matrix reported non-finite")
+	}
+	b, _ := NewCSC(1, 1, []Triplet{{Row: 0, Col: 0, Val: math.Inf(1)}})
+	if !b.HasNonFinite() {
+		t.Fatal("Inf entry not reported")
+	}
+}
+
+func TestSymMulVecMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for _, m := range []int{1, 5, 17, 40} {
+		a := randSymCSC(m, 0.35, rng)
+		v := randVecT(m, rng)
+		got := make([]float64, m)
+		a.SymMulVecInto(got, v)
+		want := a.ToDense().MulVec(v)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-12*math.Max(1, math.Abs(want[i])) {
+				t.Fatalf("m=%d: SymMulVec[%d] = %v, dense %v", m, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestQuadMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	for _, m := range []int{1, 4, 23} {
+		a := randSymCSC(m, 0.4, rng)
+		v := randVecT(m, rng)
+		av := a.ToDense().MulVec(v)
+		want := matrix.VecDot(v, av)
+		if got := a.Quad(v); math.Abs(got-want) > 1e-10*math.Max(1, math.Abs(want)) {
+			t.Fatalf("m=%d: Quad = %v, dense %v", m, got, want)
+		}
+	}
+}
+
+func TestQuadRowsMatchesRowSum(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	m, k := 15, 6
+	a := randSymCSC(m, 0.3, rng)
+	s := matrix.New(k, m)
+	for i := range s.Data {
+		s.Data[i] = rng.NormFloat64()
+	}
+	var want float64
+	for r := 0; r < k; r++ {
+		want += a.Quad(s.Row(r))
+	}
+	if got := a.QuadRows(s); math.Abs(got-want) > 1e-10*math.Max(1, math.Abs(want)) {
+		t.Fatalf("QuadRows = %v, row-sum %v", got, want)
+	}
+}
+
+func TestQuadFormsBatch(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	m := 12
+	as := make([]*CSC, 7)
+	for i := range as {
+		as[i] = randSymCSC(m, 0.3, rng)
+	}
+	v := randVecT(m, rng)
+	out := make([]float64, len(as))
+	QuadForms(out, as, 1.5, v)
+	for i, a := range as {
+		want := 1.5 * a.Quad(v)
+		if math.Float64bits(out[i]) != math.Float64bits(want) {
+			t.Fatalf("QuadForms[%d] = %v, want %v (bitwise)", i, out[i], want)
+		}
+	}
+}
+
+func TestStackAccumulateScaledMatchesSum(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	m, n := 18, 5
+	as := make([]*CSC, n)
+	for i := range as {
+		as[i] = randSymCSC(m, 0.25, rng)
+	}
+	st, err := NewStack(as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNNZ := 0
+	for _, a := range as {
+		wantNNZ += a.NNZ()
+	}
+	if st.NNZ() != wantNNZ {
+		t.Fatalf("Stack.NNZ = %d, want %d", st.NNZ(), wantNNZ)
+	}
+	x := randVecT(n, rng)
+	v := randVecT(m, rng)
+	got := make([]float64, m)
+	st.AccumulateScaled(got, x, v)
+	want := make([]float64, m)
+	tmp := make([]float64, m)
+	for i, a := range as {
+		a.SymMulVecInto(tmp, v)
+		for j := range want {
+			want[j] += x[i] * tmp[j]
+		}
+	}
+	for j := range want {
+		if math.Abs(got[j]-want[j]) > 1e-10*math.Max(1, math.Abs(want[j])) {
+			t.Fatalf("AccumulateScaled[%d] = %v, want %v", j, got[j], want[j])
+		}
+	}
+}
+
+func TestStackRejectsShapeMismatch(t *testing.T) {
+	a, _ := NewCSC(2, 2, []Triplet{{Row: 0, Col: 0, Val: 1}})
+	b, _ := NewCSC(3, 3, []Triplet{{Row: 0, Col: 0, Val: 1}})
+	if _, err := NewStack([]*CSC{a, b}); err == nil {
+		t.Fatal("mismatched dimensions accepted")
+	}
+	if _, err := NewStack(nil); err == nil {
+		t.Fatal("empty stack accepted")
+	}
+	rect, _ := NewCSC(2, 3, []Triplet{{Row: 0, Col: 0, Val: 1}})
+	if _, err := NewStack([]*CSC{rect}); err == nil {
+		t.Fatal("rectangular matrix accepted")
+	}
+}
+
+// The sparse kernels must be bitwise deterministic across GOMAXPROCS:
+// fixed block trees, sequential accumulation within blocks.
+func TestSymKernelsDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 14))
+	m, n := 64, 9
+	as := make([]*CSC, n)
+	for i := range as {
+		as[i] = randSymCSC(m, 0.2, rng)
+	}
+	st, err := NewStack(as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randVecT(n, rng)
+	v := randVecT(m, rng)
+	s := matrix.New(7, m)
+	for i := range s.Data {
+		s.Data[i] = rng.NormFloat64()
+	}
+
+	type snapshot struct {
+		mv, acc, qf []float64
+		quad, qrows float64
+	}
+	run := func() snapshot {
+		var out snapshot
+		out.mv = make([]float64, m)
+		as[0].SymMulVecInto(out.mv, v)
+		out.acc = make([]float64, m)
+		st.AccumulateScaled(out.acc, x, v)
+		out.qf = make([]float64, n)
+		QuadForms(out.qf, as, 0.75, v)
+		out.quad = as[1].Quad(v)
+		out.qrows = as[2].QuadRows(s)
+		return out
+	}
+	orig := runtime.GOMAXPROCS(1)
+	s1 := run()
+	runtime.GOMAXPROCS(8)
+	s8 := run()
+	runtime.GOMAXPROCS(orig)
+
+	bits := math.Float64bits
+	for i := range s1.mv {
+		if bits(s1.mv[i]) != bits(s8.mv[i]) {
+			t.Fatalf("SymMulVec[%d] differs across GOMAXPROCS", i)
+		}
+	}
+	for i := range s1.acc {
+		if bits(s1.acc[i]) != bits(s8.acc[i]) {
+			t.Fatalf("AccumulateScaled[%d] differs across GOMAXPROCS", i)
+		}
+	}
+	for i := range s1.qf {
+		if bits(s1.qf[i]) != bits(s8.qf[i]) {
+			t.Fatalf("QuadForms[%d] differs across GOMAXPROCS", i)
+		}
+	}
+	if bits(s1.quad) != bits(s8.quad) || bits(s1.qrows) != bits(s8.qrows) {
+		t.Fatal("Quad/QuadRows differ across GOMAXPROCS")
+	}
+}

@@ -22,9 +22,11 @@
 //
 // # Entry points
 //
-//   - NewDenseSet / NewFactoredSet wrap packing constraints; factored
-//     sets (Aᵢ = QᵢQᵢᵀ with sparse Qᵢ) enable the nearly-linear-work
-//     sketched oracle of the paper's Theorem 4.1.
+//   - NewDenseSet / NewFactoredSet / NewSparseSet wrap packing
+//     constraints; factored sets (Aᵢ = QᵢQᵢᵀ with sparse Qᵢ) and
+//     general sparse sets (symmetric sparse Aᵢ, e.g. graph Laplacians)
+//     enable the nearly-linear-work sketched oracle of the paper's
+//     Theorem 4.1 through one shared operator pipeline (PsiOperator).
 //   - Decision runs one ε-decision call (Algorithm 3.1).
 //   - Maximize runs the full optimizer (binary search of Lemma 2.2).
 //   - Solve handles a general positive SDP end to end (Appendix A
@@ -53,12 +55,21 @@ type (
 	Triplet = sparse.Triplet
 	// CSC is a compressed sparse column matrix, the factor format.
 	CSC = sparse.CSC
-	// ConstraintSet is a packing constraint collection (dense or factored).
+	// ConstraintSet is a packing constraint collection (dense, factored,
+	// or sparse).
 	ConstraintSet = core.ConstraintSet
+	// PsiOperator is the representation-agnostic operator view a
+	// constraint set exposes to the oracle pipeline: an O(nnz) Ψ(x)·v
+	// and batched quadratic forms. FactoredSet and SparseSet implement
+	// it and share one oracle code path.
+	PsiOperator = core.PsiOperator
 	// DenseSet holds constraints as dense PSD matrices.
 	DenseSet = core.DenseSet
 	// FactoredSet holds constraints as Aᵢ = QᵢQᵢᵀ.
 	FactoredSet = core.FactoredSet
+	// SparseSet holds constraints as general symmetric sparse matrices
+	// (the natural form for graph/Laplacian SDPs).
+	SparseSet = core.SparseSet
 	// Options configure the solver (oracle choice, seeds, limits).
 	Options = core.Options
 	// Params are Algorithm 3.1's constants (K, α, R).
@@ -124,6 +135,12 @@ func NewDenseSet(a []*Dense) (*DenseSet, error) { return core.NewDenseSet(a) }
 
 // NewFactoredSet wraps factored constraints Aᵢ = QᵢQᵢᵀ.
 func NewFactoredSet(q []*CSC) (*FactoredSet, error) { return core.NewFactoredSet(q) }
+
+// NewSparseSet wraps general symmetric sparse constraints. Symmetry is
+// validated; the set runs through the same operator oracles as
+// factored constraints (Theorem 4.1's sketched bigDotExp and the
+// deterministic exact oracle) at O(nnz)-proportional cost.
+func NewSparseSet(a []*CSC) (*SparseSet, error) { return core.NewSparseSet(a) }
 
 // ParamsFor computes Algorithm 3.1's constants for an instance shape.
 func ParamsFor(n, m int, eps float64) (Params, error) { return core.ParamsFor(n, m, eps) }

@@ -15,6 +15,7 @@ import (
 	psdp "repro"
 	"repro/internal/chol"
 	"repro/internal/gen"
+	"repro/internal/graph"
 	"repro/internal/matrix"
 	"repro/internal/parallel"
 )
@@ -94,6 +95,23 @@ func TestRaceSmokeDecision(t *testing.T) {
 		t.Fatal(err)
 	}
 	if _, err := psdp.Decision(fset.WithScale(4), 0.3, psdp.Options{Seed: 2, MaxIter: 25, SketchEps: 0.4}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sparse representation: the stacked Ψ·v accumulation, per-row ExpMV
+	// fan-out, and batched quadratic forms all under forced forking.
+	sinst, err := gen.SparseEdgePacking(graph.Cycle(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sset, err := psdp.NewSparseSet(sinst.A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := psdp.Decision(sset.WithScale(0.2), 0.3, psdp.Options{Seed: 3, MaxIter: 25, SketchEps: 0.4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := psdp.Decision(sset.WithScale(0.2), 0.3, psdp.Options{Seed: 3, MaxIter: 25, Oracle: psdp.OracleFactoredExact}); err != nil {
 		t.Fatal(err)
 	}
 }

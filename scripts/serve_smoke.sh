@@ -1,8 +1,11 @@
 #!/bin/sh
 # serve_smoke.sh — boot psdpd, drive it with a short 64-way psdpload
 # run, and fail on any response that is neither 2xx nor 429 (psdpload
-# exits nonzero in that case). This is the CI gate for the serving
-# layer; it does not touch the committed BENCH_psdp.json.
+# exits nonzero in that case). A generated general-sparse instance is
+# then solved through both the psdpsolve CLI and a direct POST to
+# /v1/decision, gating the sparse wire format end to end. This is the
+# CI gate for the serving layer; it does not touch the committed
+# BENCH_psdp.json.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -17,6 +20,8 @@ trap cleanup EXIT INT TERM
 
 go build -o "$BIN/psdpd" ./cmd/psdpd
 go build -o "$BIN/psdpload" ./cmd/psdpload
+go build -o "$BIN/psdpgen" ./cmd/psdpgen
+go build -o "$BIN/psdpsolve" ./cmd/psdpsolve
 
 "$BIN/psdpd" -addr "127.0.0.1:$PORT" -queue 128 &
 PID=$!
@@ -29,6 +34,27 @@ PID=$!
     -concurrency 64 -duration 3s -wait 15s \
     -n 6 -m 8 -instances 4 -seeds 2 -eps 0.25 \
     -bench-out ""
+
+# Sparse representation gate: generate an edge-Laplacian sparse
+# instance, solve it with the CLI, then POST the same document through
+# /v1/decision and require a 200 with a decision body.
+"$BIN/psdpgen" -family sparse -m 24 -seed 7 -out "$BIN/sparse.json"
+"$BIN/psdpsolve" -in "$BIN/sparse.json" -eps 0.3 -decision > "$BIN/sparse_cli.json"
+grep -q '"outcome"' "$BIN/sparse_cli.json"
+
+printf '{"instance":%s,"eps":0.3,"seed":5,"scale":0.2,"maxIter":60}' \
+    "$(cat "$BIN/sparse.json")" > "$BIN/sparse_req.json"
+code="$(curl -s -o "$BIN/sparse_resp.json" -w '%{http_code}' \
+    -H 'Content-Type: application/json' \
+    --data-binary @"$BIN/sparse_req.json" \
+    "http://127.0.0.1:$PORT/v1/decision")"
+if [ "$code" != "200" ]; then
+    echo "sparse /v1/decision POST failed: HTTP $code"
+    cat "$BIN/sparse_resp.json"
+    exit 1
+fi
+grep -q '"outcome"' "$BIN/sparse_resp.json"
+echo "serve smoke: sparse decision OK"
 
 kill "$PID"
 wait "$PID" 2>/dev/null || true
