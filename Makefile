@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race race-smoke vet lint ci fuzz bench experiments serve load smoke-serve
+.PHONY: build test race race-smoke vet lint ci fuzz bench bench-delta experiments serve load smoke-serve
 
 ## build: compile every package and command
 build:
@@ -52,6 +52,13 @@ fuzz:
 ## bench: refresh the committed kernel perf baseline BENCH_psdp.json
 bench:
 	$(GO) run ./cmd/psdpbench -kernels -bench-out BENCH_psdp.json
+
+## bench-delta: regenerate the incremental-serving baseline — boot
+## psdpd, run the drifting-instance workload, record warm-vs-cold
+## iterations and latency percentiles under "serve.delta" in
+## BENCH_psdp.json (fails unless warm uses strictly fewer iterations)
+bench-delta:
+	sh scripts/bench_delta.sh
 
 ## serve: run the solve daemon on :8723 (see README "Serving")
 serve:

@@ -67,6 +67,9 @@ type benchReport struct {
 	// Serve is the serving-layer baseline owned by cmd/psdpload; a
 	// kernel rerun carries the existing section over untouched.
 	Serve json.RawMessage `json:"serve,omitempty"`
+	// ServeDelta is the incremental-solving (warm vs cold) baseline
+	// owned by cmd/psdpload -mode drift; preserved the same way.
+	ServeDelta json.RawMessage `json:"serve.delta,omitempty"`
 }
 
 // allocsPerOp measures heap allocations and bytes per invocation of op,
@@ -285,11 +288,12 @@ func runKernelBench(path string, sizes []int, seed uint64) error {
 		}
 	}
 	rep.Decision = runDecisionBench()
-	// Preserve the psdpload section across kernel reruns.
+	// Preserve the psdpload sections across kernel reruns.
 	if data, err := os.ReadFile(path); err == nil {
 		var old benchReport
 		if json.Unmarshal(data, &old) == nil {
 			rep.Serve = old.Serve
+			rep.ServeDelta = old.ServeDelta
 		}
 	}
 	out, err := json.MarshalIndent(&rep, "", "  ")

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// A kernel rerun must carry the psdpload-owned sections ("serve" and
+// "serve.delta") over untouched: they are separate baselines refreshed
+// by separate commands against a live daemon.
+func TestBenchReportPreservesServeSections(t *testing.T) {
+	src := []byte(`{"go_version":"x","serve":{"rps":42},"serve.delta":{"iter_ratio":0.45}}`)
+	var old benchReport
+	if err := json.Unmarshal(src, &old); err != nil {
+		t.Fatal(err)
+	}
+	if string(old.Serve) != `{"rps":42}` {
+		t.Fatalf("serve section not carried: %q", old.Serve)
+	}
+	if string(old.ServeDelta) != `{"iter_ratio":0.45}` {
+		t.Fatalf("serve.delta section not carried: %q", old.ServeDelta)
+	}
+	rep := benchReport{GoVersion: "y", Serve: old.Serve, ServeDelta: old.ServeDelta}
+	out, err := json.Marshal(&rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var round map[string]json.RawMessage
+	if err := json.Unmarshal(out, &round); err != nil {
+		t.Fatal(err)
+	}
+	if string(round["serve"]) != `{"rps":42}` || string(round["serve.delta"]) != `{"iter_ratio":0.45}` {
+		t.Fatalf("round-trip lost a section: %s", out)
+	}
+}

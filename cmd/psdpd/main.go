@@ -6,10 +6,11 @@
 // Usage:
 //
 //	psdpd [-addr :8723] [-workers N] [-shards S] [-queue 64]
-//	      [-cache 1024] [-timeout 30s] [-max-timeout 5m]
+//	      [-cache 1024] [-revisions 128] [-timeout 30s] [-max-timeout 5m]
 //
-// Endpoints: POST /v1/decision, /v1/maximize, /v1/solve, /v1/batch;
-// GET /healthz, /statsz. SIGINT/SIGTERM drain in-flight solves before
+// Endpoints: POST /v1/decision, /v1/maximize, /v1/solve, /v1/batch,
+// /v1/delta (incremental solving over the revision store); GET
+// /healthz, /statsz. SIGINT/SIGTERM drain in-flight solves before
 // exit.
 package main
 
@@ -36,19 +37,21 @@ func main() {
 	shards := flag.Int("shards", 0, "worker-pool shards (0 = min(workers, 8))")
 	queue := flag.Int("queue", 64, "admission queue depth per shard")
 	cacheEntries := flag.Int("cache", 1024, "result cache entries (negative disables)")
+	revisions := flag.Int("revisions", 128, "warm-start revision store entries (negative disables /v1/delta)")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request solve deadline")
 	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "cap on request-supplied deadlines")
 	maxBody := flag.Int64("max-body", 32<<20, "request body size limit in bytes")
 	flag.Parse()
 
 	srv := serve.New(serve.Config{
-		Workers:        *workers,
-		Shards:         *shards,
-		QueueDepth:     *queue,
-		CacheEntries:   *cacheEntries,
-		MaxBodyBytes:   *maxBody,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
+		Workers:         *workers,
+		Shards:          *shards,
+		QueueDepth:      *queue,
+		CacheEntries:    *cacheEntries,
+		RevisionEntries: *revisions,
+		MaxBodyBytes:    *maxBody,
+		DefaultTimeout:  *timeout,
+		MaxTimeout:      *maxTimeout,
 	})
 	defer srv.Close()
 

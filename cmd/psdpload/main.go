@@ -60,7 +60,12 @@ type loadReport struct {
 
 func main() {
 	url := flag.String("url", "http://127.0.0.1:8723", "psdpd base URL")
-	endpoint := flag.String("endpoint", "decision", "decision | maximize")
+	mode := flag.String("mode", "steady", "steady (closed-loop load) | drift (incremental warm-vs-cold benchmark)")
+	endpoint := flag.String("endpoint", "decision", "decision | maximize (steady mode)")
+	revisions := flag.Int("revisions", 16, "drift mode: number of chained revisions")
+	drift := flag.Float64("drift", 0.05, "drift mode: per-constraint scale drift bound")
+	driftFrac := flag.Float64("drift-frac", 0.5, "drift mode: fraction of constraints drifted per revision")
+	scale := flag.Float64("scale", 0.2, "drift mode: request scale")
 	concurrency := flag.Int("concurrency", 64, "concurrent in-flight requests")
 	duration := flag.Duration("duration", 5*time.Second, "test duration")
 	n := flag.Int("n", 8, "constraints per generated instance")
@@ -77,9 +82,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "psdpload: unknown endpoint %q\n", *endpoint)
 		os.Exit(2)
 	}
+	if *mode != "steady" && *mode != "drift" {
+		fmt.Fprintf(os.Stderr, "psdpload: unknown mode %q (want steady or drift)\n", *mode)
+		os.Exit(2)
+	}
 	if err := waitHealthy(*url, *wait); err != nil {
 		fmt.Fprintf(os.Stderr, "psdpload: %v\n", err)
 		os.Exit(1)
+	}
+	if *mode == "drift" {
+		os.Exit(runDrift(*url, *n, *m, *revisions, *drift, *driftFrac, *eps, *genSeed, *scale, *benchOut))
 	}
 
 	bodies := buildBodies(*endpoint, *n, *m, *instances, *seeds, *eps, *genSeed)
@@ -142,7 +154,7 @@ func main() {
 	out, _ := json.MarshalIndent(&rep, "", "  ")
 	fmt.Println(string(out))
 	if *benchOut != "" {
-		if err := mergeBench(*benchOut, &rep); err != nil {
+		if err := mergeBench(*benchOut, "serve", &rep); err != nil {
 			fmt.Fprintf(os.Stderr, "psdpload: writing %s: %v\n", *benchOut, err)
 			os.Exit(1)
 		}
@@ -199,6 +211,21 @@ func post(client *http.Client, target string, body []byte) (int, string, error) 
 	return resp.StatusCode, resp.Header.Get("X-Psdpd-Cache"), nil
 }
 
+// postRaw POSTs and returns the status, response headers, and body —
+// the drift mode needs the X-Psdpd-Digest header and the decision body.
+func postRaw(client *http.Client, target string, body []byte) (int, http.Header, []byte, error) {
+	resp, err := client.Post(target, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, resp.Header, nil, err
+	}
+	return resp.StatusCode, resp.Header, bytes.TrimRight(out, "\n"), nil
+}
+
 func waitHealthy(url string, wait time.Duration) error {
 	client := &http.Client{Timeout: time.Second}
 	deadline := time.Now().Add(wait)
@@ -217,16 +244,20 @@ func waitHealthy(url string, wait time.Duration) error {
 	}
 }
 
+// pctMs returns the p-quantile of the ascending-sorted latencies in
+// milliseconds — the single percentile definition both the steady and
+// drift reports use.
+func pctMs(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return float64(sorted[int(p*float64(len(sorted)-1))]) / float64(time.Millisecond)
+}
+
 func summarize(endpoint string, concurrency int, duration time.Duration, lats []time.Duration,
 	requests, hits, shared, rejected, errs int64) loadReport {
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-	pct := func(p float64) float64 {
-		if len(lats) == 0 {
-			return 0
-		}
-		idx := int(p * float64(len(lats)-1))
-		return float64(lats[idx]) / float64(time.Millisecond)
-	}
+	pct := func(p float64) float64 { return pctMs(lats, p) }
 	rep := loadReport{
 		Endpoint:    endpoint,
 		Concurrency: concurrency,
@@ -248,10 +279,11 @@ func summarize(endpoint string, concurrency int, duration time.Duration, lats []
 	return rep
 }
 
-// mergeBench inserts the report under the "serve" key of the bench
-// baseline, preserving every other key (the kernel and decision tables
-// psdpbench owns).
-func mergeBench(path string, rep *loadReport) error {
+// mergeBench inserts the report under key ("serve" for the steady
+// load, "serve.delta" for the drift benchmark) of the bench baseline,
+// preserving every other key (the kernel and decision tables psdpbench
+// owns).
+func mergeBench(path, key string, rep any) error {
 	doc := map[string]json.RawMessage{}
 	if data, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(data, &doc); err != nil {
@@ -264,7 +296,7 @@ func mergeBench(path string, rep *loadReport) error {
 	if err != nil {
 		return err
 	}
-	doc["serve"] = enc
+	doc[key] = enc
 	out, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -106,6 +107,27 @@ type Options struct {
 	// bounds computed so far remain valid). The callback must not
 	// mutate its arguments.
 	OnIteration func(IterationInfo) bool
+	// WarmStart, when non-nil, seeds the run's initial iterate from a
+	// previous run's final DecisionState instead of the paper's cold
+	// start x⁰ᵢ = 1/(n·Tr[Aᵢ]) — the incremental-solving hook for
+	// drifting instances. The state passes through a feasibility guard
+	// (clamp to the cold-start floor, rescale under the dual exit and
+	// the starting potential envelope; see applyWarmStart) and the run
+	// silently falls back to the cold start when the guard cannot
+	// re-establish the paper's starting invariants;
+	// DecisionResult.WarmStarted reports which happened. All exit
+	// certificates are recomputed on the current instance either way.
+	WarmStart *DecisionState
+	// CaptureState, when true, fills DecisionResult.Final with the
+	// run's end-of-run DecisionState (deep copies), making the result
+	// resumable and warm-start-able. Off by default: the snapshot costs
+	// three O(n) copies at finish.
+	CaptureState bool
+	// continueFrom restores the full run state including certificate
+	// bookkeeping — the ResumeDecisionPSDP path, only valid on the
+	// instance that generated the state (unexported: the public surface
+	// is the Resume function, whose doc carries that contract).
+	continueFrom *DecisionState
 	// Workspace, when non-nil, supplies the scratch-buffer arena for
 	// the run: every per-iteration temporary (oracle ratio vectors, Ψ
 	// accumulators, eigendecomposition storage, sketch rows, Lanczos
@@ -212,6 +234,13 @@ type DecisionResult struct {
 	// MaxPsiNorm is the largest λ_max(Ψ) observed during the run;
 	// Lemma 3.2 asserts it stays ≤ (1+10ε)K.
 	MaxPsiNorm float64
+	// WarmStarted reports whether the run actually started from
+	// Options.WarmStart (false when the feasibility guard fell back to
+	// the cold start, or when no warm state was supplied).
+	WarmStarted bool
+	// Final is the resumable end-of-run state (Options.CaptureState
+	// only).
+	Final *DecisionState
 	// Params echoes the constants used.
 	Params Params
 }
@@ -352,6 +381,19 @@ func newDecisionRun(set ConstraintSet, eps float64, opts Options) (*decisionRun,
 		default:
 			d.x[i] = 1 / (float64(n) * tr)
 		}
+	}
+	switch {
+	case opts.continueFrom != nil:
+		if opts.WarmStart != nil {
+			orc.release()
+			return nil, errors.New("core: cannot combine WarmStart with resume")
+		}
+		if err := d.restore(opts.continueFrom); err != nil {
+			orc.release()
+			return nil, err
+		}
+	case opts.WarmStart != nil:
+		d.applyWarmStart(opts.WarmStart)
 	}
 	if err := orc.init(d.x); err != nil {
 		return nil, err
@@ -539,6 +581,9 @@ func (d *decisionRun) finish() (*DecisionResult, error) {
 			}
 		}
 		exact.release()
+	}
+	if opts.CaptureState {
+		res.Final = d.snapshot()
 	}
 	return res, nil
 }

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/matrix"
@@ -321,4 +322,41 @@ func RandomFactored(n, m, cols, nnzPerCol int, rng *rand.Rand) (*Factored, error
 		qs[i] = q
 	}
 	return &Factored{Q: qs, OPT: math.NaN(), Name: fmt.Sprintf("random-factored(n=%d,m=%d,c=%d,z=%d)", n, m, cols, nnzPerCol)}, nil
+}
+
+// DriftScales is the drifting-instance workload driver: a deterministic
+// per-constraint scale perturbation for incremental (warm-started)
+// serving benchmarks. A fraction frac of the n constraints — at least
+// one — is selected without replacement and each gets a multiplier
+// drawn uniformly from [1−drift, 1+drift]; the rest are untouched.
+// Positive multipliers preserve symmetry and positive semidefiniteness,
+// so any drifted revision of a valid packing instance is again valid —
+// which is why drift is clamped into [0, 0.99]: a bound ≥ 1 could draw
+// zero or negative multipliers and silently flip a constraint off the
+// PSD cone.
+func DriftScales(n int, frac, drift float64, rng *rand.Rand) (idx []int, by []float64) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if drift < 0 {
+		drift = 0
+	}
+	if drift > 0.99 {
+		drift = 0.99
+	}
+	k := int(math.Round(frac * float64(n)))
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	perm := rng.Perm(n)[:k]
+	// Deterministic output order: ascending constraint index.
+	sort.Ints(perm)
+	by = make([]float64, k)
+	for i := range by {
+		by[i] = 1 + drift*(2*rng.Float64()-1)
+	}
+	return perm, by
 }

@@ -263,3 +263,44 @@ func TestSparseGroupedLaplacians(t *testing.T) {
 		t.Fatal("groups > |E| accepted")
 	}
 }
+
+func TestDriftScales(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	idx, by := DriftScales(10, 0.5, 0.05, rng)
+	if len(idx) != 5 || len(by) != 5 {
+		t.Fatalf("selected %d/%d, want 5/5", len(idx), len(by))
+	}
+	for i := range idx {
+		if i > 0 && idx[i] <= idx[i-1] {
+			t.Fatalf("indices not strictly ascending: %v", idx)
+		}
+		if idx[i] < 0 || idx[i] >= 10 {
+			t.Fatalf("index %d out of range", idx[i])
+		}
+		if by[i] < 0.95 || by[i] > 1.05 {
+			t.Fatalf("multiplier %v outside [0.95, 1.05]", by[i])
+		}
+	}
+	// Deterministic under the same rng seed.
+	idx2, by2 := DriftScales(10, 0.5, 0.05, rand.New(rand.NewPCG(1, 2)))
+	for i := range idx {
+		if idx[i] != idx2[i] || by[i] != by2[i] {
+			t.Fatal("DriftScales is not deterministic")
+		}
+	}
+	// At least one constraint always drifts, even at frac 0.
+	idx3, _ := DriftScales(4, 0, 0.05, rng)
+	if len(idx3) != 1 {
+		t.Fatalf("frac 0 selected %d, want 1", len(idx3))
+	}
+	// Drift is clamped so multipliers stay strictly positive (PSD is
+	// preserved) even for a nonsensical bound.
+	for i := 0; i < 50; i++ {
+		_, by4 := DriftScales(8, 1, 5.0, rng)
+		for _, b := range by4 {
+			if b <= 0 {
+				t.Fatalf("drift clamp failed: multiplier %v", b)
+			}
+		}
+	}
+}

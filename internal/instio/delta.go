@@ -1,0 +1,151 @@
+package instio
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/sparse"
+)
+
+// ApplyDelta materializes a delta document against its base instance,
+// returning an ordinary sparse Instance. base is the materialized
+// (non-delta) sparse document the delta's Base digest names — the
+// caller (typically a serving layer's revision store) is responsible
+// for having resolved the digest to the right document. doc is the
+// incoming delta document: an Instance whose Delta field is set and
+// which carries no constraints of its own.
+//
+// Every resulting constraint is canonicalized exactly like the sparse
+// wire kind — triplets sorted, duplicates summed in value order, exact
+// zeros dropped — so the materialized document's content digest depends
+// only on the mathematical result, never on how the delta spelled it:
+// an Edit that cancels an entry produces a document identical to one
+// that never contained it, and an identity delta (no edits) reproduces
+// the base's canonical form.
+//
+// The result is not otherwise validated (symmetry, finite traces):
+// callers build it with Build, which applies the same checks as for a
+// directly-posted sparse document.
+func ApplyDelta(base, doc *Instance) (*Instance, error) {
+	if base == nil || doc == nil || doc.Delta == nil {
+		return nil, errors.New("instio: ApplyDelta needs a base instance and a delta document")
+	}
+	if base.Delta != nil {
+		return nil, errors.New("instio: delta base must be a materialized instance, not another delta")
+	}
+	if base.M <= 0 {
+		return nil, errors.New("instio: delta base field m must be positive")
+	}
+	if len(base.Sparse) == 0 {
+		return nil, errors.New("instio: delta requires a sparse base instance")
+	}
+	if doc.M != 0 && doc.M != base.M {
+		return nil, fmt.Errorf("instio: delta m = %d does not match base m = %d", doc.M, base.M)
+	}
+	if len(doc.Dense)+len(doc.Factored)+len(doc.Sparse) > 0 {
+		return nil, errors.New("instio: a delta document cannot also carry dense/factored/sparse constraints")
+	}
+	d := doc.Delta
+
+	n := len(base.Sparse)
+	removed := make([]bool, n)
+	for _, i := range d.Remove {
+		if i < 0 || i >= n {
+			return nil, fmt.Errorf("instio: delta remove index %d out of range [0, %d)", i, n)
+		}
+		removed[i] = true // duplicates dedupe
+	}
+
+	// Edits append difference triplets; copy-on-write so the base
+	// document is never mutated.
+	ents := make([][][3]float64, n)
+	for i := range ents {
+		ents[i] = base.Sparse[i].Entries
+	}
+	for ei, e := range d.Edit {
+		if e.I < 0 || e.I >= n {
+			return nil, fmt.Errorf("instio: delta edit[%d] index %d out of range [0, %d)", ei, e.I, n)
+		}
+		if removed[e.I] {
+			return nil, fmt.Errorf("instio: delta edit[%d] targets removed constraint %d", ei, e.I)
+		}
+		merged := make([][3]float64, 0, len(ents[e.I])+len(e.Entries))
+		merged = append(append(merged, ents[e.I]...), e.Entries...)
+		ents[e.I] = merged
+	}
+
+	mult := make([]float64, n)
+	for i := range mult {
+		mult[i] = 1
+	}
+	for si, sc := range d.Scale {
+		if sc.I < 0 || sc.I >= n {
+			return nil, fmt.Errorf("instio: delta scale[%d] index %d out of range [0, %d)", si, sc.I, n)
+		}
+		if removed[sc.I] {
+			return nil, fmt.Errorf("instio: delta scale[%d] targets removed constraint %d", si, sc.I)
+		}
+		if !isFinite(sc.By) || sc.By == 0 {
+			return nil, fmt.Errorf("instio: delta scale[%d] by %v must be finite and nonzero (use remove to drop a constraint)", si, sc.By)
+		}
+		mult[sc.I] *= sc.By // repeated scales of one index compose
+	}
+
+	out := &Instance{M: base.M}
+	for i := range ents {
+		if removed[i] {
+			continue
+		}
+		sm, err := canonicalSparse(base.M, ents[i], mult[i], fmt.Sprintf("delta constraint %d", i))
+		if err != nil {
+			return nil, err
+		}
+		out.Sparse = append(out.Sparse, sm)
+	}
+	for j, add := range d.Add {
+		sm, err := canonicalSparse(base.M, add.Entries, 1, fmt.Sprintf("delta add[%d]", j))
+		if err != nil {
+			return nil, err
+		}
+		out.Sparse = append(out.Sparse, sm)
+	}
+	if len(out.Sparse) == 0 {
+		return nil, errors.New("instio: delta removes every constraint")
+	}
+	return out, nil
+}
+
+// canonicalSparse converts raw wire entries (scaled by mult) into the
+// canonical sparse document form: through NewCSC and back, so the
+// emitted triplets are column-major, row-sorted, duplicate-free, and
+// free of exact zeros — byte-identical output for mathematically
+// identical input.
+func canonicalSparse(m int, entries [][3]float64, mult float64, what string) (SparseMatrix, error) {
+	trips := make([]sparse.Triplet, len(entries))
+	for k, e := range entries {
+		v := e[2] * mult
+		if !isFinite(v) {
+			return SparseMatrix{}, fmt.Errorf("instio: %s entry %d has non-finite value %v", what, k, v)
+		}
+		row, err := tripIndex(e[0])
+		if err != nil {
+			return SparseMatrix{}, fmt.Errorf("instio: %s entry %d: row %w", what, k, err)
+		}
+		col, err := tripIndex(e[1])
+		if err != nil {
+			return SparseMatrix{}, fmt.Errorf("instio: %s entry %d: col %w", what, k, err)
+		}
+		trips[k] = sparse.Triplet{Row: row, Col: col, Val: v}
+	}
+	a, err := sparse.NewCSC(m, m, trips)
+	if err != nil {
+		return SparseMatrix{}, fmt.Errorf("instio: %s: %w", what, err)
+	}
+	sm := SparseMatrix{}
+	for j := 0; j < a.C; j++ {
+		for k := a.ColPtr[j]; k < a.ColPtr[j+1]; k++ {
+			sm.Entries = append(sm.Entries, [3]float64{float64(a.Row[k]), float64(j), a.Val[k]})
+		}
+	}
+	return sm, nil
+}

@@ -1,0 +1,144 @@
+package instio
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// deltaBase is a 3-constraint symmetric sparse document the delta
+// tests revise.
+func deltaBase() *Instance {
+	return &Instance{M: 3, Sparse: []SparseMatrix{
+		{Entries: [][3]float64{{0, 0, 1}, {1, 1, 2}}},
+		{Entries: [][3]float64{{0, 1, 0.5}, {1, 0, 0.5}, {2, 2, 1}}},
+		{Entries: [][3]float64{{2, 2, 4}}},
+	}}
+}
+
+func buildSparse(t *testing.T, inst *Instance) *core.SparseSet {
+	t.Helper()
+	set, err := Build(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set.(*core.SparseSet)
+}
+
+func TestBuildRejectsUnmaterializedDelta(t *testing.T) {
+	_, err := Build(&Instance{M: 3, Delta: &Delta{Base: "abc"}})
+	if err == nil || !strings.Contains(err.Error(), "ApplyDelta") {
+		t.Fatalf("Build accepted a raw delta document: %v", err)
+	}
+}
+
+func TestApplyDeltaIdentityIsCanonicalBase(t *testing.T) {
+	// The base lists triplets in a non-canonical order; the identity
+	// delta must materialize to the canonical form that builds the
+	// identical constraint set.
+	base := &Instance{M: 2, Sparse: []SparseMatrix{
+		{Entries: [][3]float64{{1, 1, 2}, {0, 0, 1}, {1, 0, 0.25}, {0, 1, 0.25}}},
+	}}
+	mat, err := ApplyDelta(base, &Instance{Delta: &Delta{Base: "x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := buildSparse(t, base), buildSparse(t, mat)
+	if len(a.A) != len(b.A) {
+		t.Fatal("identity delta changed the constraint count")
+	}
+	for i := range a.A {
+		if a.A[i].NNZ() != b.A[i].NNZ() {
+			t.Fatalf("constraint %d nnz changed", i)
+		}
+		for k := range a.A[i].Val {
+			if a.A[i].Val[k] != b.A[i].Val[k] || a.A[i].Row[k] != b.A[i].Row[k] {
+				t.Fatalf("constraint %d entry %d changed", i, k)
+			}
+		}
+	}
+	// Materialized form is canonical: re-materializing is a fixed point.
+	again, err := ApplyDelta(mat, &Instance{Delta: &Delta{Base: "x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Sparse[0].Entries) != len(mat.Sparse[0].Entries) {
+		t.Fatal("materialization is not idempotent")
+	}
+}
+
+func TestApplyDeltaEditScaleRemoveAdd(t *testing.T) {
+	base := deltaBase()
+	doc := &Instance{Delta: &Delta{
+		Base: "x",
+		// Cancel constraint 1's off-diagonal pair exactly, and bump its
+		// diagonal.
+		Edit: []DeltaEdit{{I: 1, Entries: [][3]float64{
+			{0, 1, -0.5}, {1, 0, -0.5}, {2, 2, 1},
+		}}},
+		Scale:  []DeltaScale{{I: 0, By: 2}},
+		Remove: []int{2, 2}, // duplicate removes dedupe
+		Add:    []SparseMatrix{{Entries: [][3]float64{{0, 0, 3}}}},
+	}}
+	mat, err := ApplyDelta(base, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mat.Sparse) != 3 { // 0 (scaled), 1 (edited), added
+		t.Fatalf("got %d constraints, want 3", len(mat.Sparse))
+	}
+	set := buildSparse(t, mat)
+	// Constraint 0 scaled by 2: trace 2·(1+2) = 6.
+	if got := set.Trace(0); got != 6 {
+		t.Errorf("scaled trace = %v, want 6", got)
+	}
+	// Constraint 1: off-diagonals cancelled to exact zero (must be
+	// dropped, not stored), diagonal 1+1 = 2.
+	if nnz := set.A[1].NNZ(); nnz != 1 {
+		t.Errorf("cancelled entries survived: nnz = %d, want 1 (vals %v)", nnz, set.A[1].Val)
+	}
+	if got := set.Trace(1); got != 2 {
+		t.Errorf("edited trace = %v, want 2", got)
+	}
+	// Added constraint appended last.
+	if got := set.Trace(2); got != 3 {
+		t.Errorf("added trace = %v, want 3", got)
+	}
+}
+
+func TestApplyDeltaValidation(t *testing.T) {
+	base := deltaBase()
+	cases := []struct {
+		name string
+		base *Instance
+		doc  *Instance
+		want string
+	}{
+		{"nil-delta", base, &Instance{}, "ApplyDelta needs"},
+		{"delta-base", &Instance{M: 3, Delta: &Delta{}}, &Instance{Delta: &Delta{}}, "materialized instance"},
+		{"dense-base", &Instance{M: 2, Dense: [][][]float64{{{1, 0}, {0, 1}}}}, &Instance{Delta: &Delta{}}, "sparse base"},
+		{"m-mismatch", base, &Instance{M: 4, Delta: &Delta{}}, "does not match base"},
+		{"carries-constraints", base, &Instance{Delta: &Delta{}, Sparse: []SparseMatrix{{}}}, "cannot also carry"},
+		{"remove-oob", base, &Instance{Delta: &Delta{Remove: []int{3}}}, "out of range"},
+		{"edit-oob", base, &Instance{Delta: &Delta{Edit: []DeltaEdit{{I: -1}}}}, "out of range"},
+		{"edit-removed", base, &Instance{Delta: &Delta{Remove: []int{1}, Edit: []DeltaEdit{{I: 1}}}}, "removed constraint"},
+		{"scale-removed", base, &Instance{Delta: &Delta{Remove: []int{0}, Scale: []DeltaScale{{I: 0, By: 2}}}}, "removed constraint"},
+		{"scale-zero", base, &Instance{Delta: &Delta{Scale: []DeltaScale{{I: 0, By: 0}}}}, "finite and nonzero"},
+		{"scale-nan", base, &Instance{Delta: &Delta{Scale: []DeltaScale{{I: 0, By: nan()}}}}, "finite and nonzero"},
+		{"edit-nonfinite", base, &Instance{Delta: &Delta{Edit: []DeltaEdit{{I: 0, Entries: [][3]float64{{0, 0, inf()}}}}}}, "non-finite"},
+		{"edit-frac-index", base, &Instance{Delta: &Delta{Edit: []DeltaEdit{{I: 0, Entries: [][3]float64{{0.5, 0, 1}}}}}}, "not a valid integer"},
+		{"add-oob-entry", base, &Instance{Delta: &Delta{Add: []SparseMatrix{{Entries: [][3]float64{{9, 9, 1}}}}}}, "out of range"},
+		{"remove-all", base, &Instance{Delta: &Delta{Remove: []int{0, 1, 2}}}, "removes every"},
+	}
+	for _, tc := range cases {
+		_, err := ApplyDelta(tc.base, tc.doc)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func nan() float64 { var z float64; return z / z }
+
+func inf() float64 { var z float64; return 1 / z }

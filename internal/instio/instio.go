@@ -38,6 +38,50 @@ type Instance struct {
 	Dense    [][][]float64  `json:"dense,omitempty"`
 	Factored []Factor       `json:"factored,omitempty"`
 	Sparse   []SparseMatrix `json:"sparse,omitempty"`
+	Delta    *Delta         `json:"delta,omitempty"`
+}
+
+// Delta is the incremental document kind: a revision of a sparse base
+// instance, identified by the base's content digest, expressed as
+// constraint-level edits. It cannot be built directly — ApplyDelta
+// materializes base+delta into an ordinary sparse Instance, with every
+// resulting constraint canonicalized exactly like the sparse kind
+// (NewCSC: sorted, duplicates summed in value order, exact zeros
+// dropped), so an edit that cancels an entry leaves no trace in the
+// materialized document or its digest.
+//
+// Edits apply in a fixed order: Edit (triplets summed into existing
+// constraints), then Scale, then Remove, then Add appended. Edit and
+// Scale indices refer to base constraint positions and may not name a
+// removed constraint twice or at all, respectively; Remove indices are
+// deduplicated. The delta's M, when nonzero, must match the base.
+type Delta struct {
+	// Base is the hex content digest of the revision this delta applies
+	// to (as returned by the serving layer for the base solve).
+	Base string `json:"base"`
+	// Edit sums extra triplets into existing constraints — additions,
+	// in-place value changes (list the difference), or removals of
+	// single entries (list the negation; the exact-zero sum is dropped
+	// by canonicalization).
+	Edit []DeltaEdit `json:"edit,omitempty"`
+	// Scale multiplies every entry of existing constraints.
+	Scale []DeltaScale `json:"scale,omitempty"`
+	// Remove drops base constraints by index.
+	Remove []int `json:"remove,omitempty"`
+	// Add appends new sparse constraints after the edits.
+	Add []SparseMatrix `json:"add,omitempty"`
+}
+
+// DeltaEdit sums Entries into base constraint I.
+type DeltaEdit struct {
+	I       int          `json:"i"`
+	Entries [][3]float64 `json:"entries"`
+}
+
+// DeltaScale multiplies every entry of base constraint I by By.
+type DeltaScale struct {
+	I  int     `json:"i"`
+	By float64 `json:"by"`
 }
 
 // Factor is one factored constraint Q (m rows, Cols columns).
@@ -103,8 +147,14 @@ func decodeDocument(r io.Reader) (*Instance, error) {
 	return &inst, nil
 }
 
-// Build converts a parsed document into a constraint set.
+// Build converts a parsed document into a constraint set. Delta
+// documents cannot be built directly — they reference a base revision
+// only the holder of the base document can resolve; materialize with
+// ApplyDelta first.
 func Build(inst *Instance) (core.ConstraintSet, error) {
+	if inst.Delta != nil {
+		return nil, errors.New("instio: delta documents must be materialized against their base with ApplyDelta before building")
+	}
 	if inst.M <= 0 {
 		return nil, errors.New("instio: field m must be positive")
 	}

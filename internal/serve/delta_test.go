@@ -1,0 +1,472 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/instio"
+)
+
+// postForDigest POSTs a request and returns the response, body, and the
+// X-Psdpd-Digest header.
+func postForDigest(t *testing.T, url string, req any) (*http.Response, []byte, string) {
+	t.Helper()
+	resp, body := postJSON(t, url, req)
+	return resp, body, resp.Header.Get("X-Psdpd-Digest")
+}
+
+// An identity delta must return the base solve's exact bytes: the
+// materialized instance canonicalizes onto the base's plain content
+// address, which the cache still holds.
+func TestDeltaIdentityReturnsBaseBitwise(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, Shards: 1})
+	doc := sparseInstance(t, 6, 14, 91)
+	base := Request{Instance: doc, Eps: 0.25, Seed: 5, Scale: 0.2}
+	resp, baseBody, baseDigest := postForDigest(t, ts.URL+"/v1/decision", &base)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("base solve: status %d: %s", resp.StatusCode, baseBody)
+	}
+	if baseDigest == "" {
+		t.Fatal("base solve returned no X-Psdpd-Digest header")
+	}
+
+	idDelta := Request{
+		Instance: &instio.Instance{Delta: &instio.Delta{Base: baseDigest}},
+		Eps:      0.25, Seed: 5, Scale: 0.2,
+	}
+	dresp, dbody, ddigest := postForDigest(t, ts.URL+"/v1/delta", &idDelta)
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("identity delta: status %d: %s", dresp.StatusCode, dbody)
+	}
+	if got := dresp.Header.Get("X-Psdpd-Cache"); got != "hit" {
+		t.Fatalf("identity delta cache state %q, want hit", got)
+	}
+	if !bytes.Equal(dbody, baseBody) {
+		t.Fatalf("identity delta bytes differ from base:\n%s\nvs\n%s", dbody, baseBody)
+	}
+	if ddigest != baseDigest {
+		t.Fatalf("identity delta digest %s, want base %s", ddigest, baseDigest)
+	}
+	if got := dresp.Header.Get("X-Psdpd-Base"); got != baseDigest {
+		t.Fatalf("X-Psdpd-Base %q, want %q", got, baseDigest)
+	}
+}
+
+// A genuine delta warm-starts from the base revision's final state and
+// must use strictly fewer iterations than a cold solve of the same
+// materialized instance — while warm bytes live under their own
+// lineage address and never pollute the cold content address.
+func TestDeltaWarmStartFewerIterations(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2, Shards: 1})
+	doc := sparseInstance(t, 6, 14, 92)
+	base := Request{Instance: doc, Eps: 0.25, Seed: 5, Scale: 0.2}
+	resp, baseBody, baseDigest := postForDigest(t, ts.URL+"/v1/decision", &base)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("base solve: status %d: %s", resp.StatusCode, baseBody)
+	}
+
+	// ≤5% drift: scale three constraints.
+	deltaDoc := &instio.Instance{Delta: &instio.Delta{
+		Base: baseDigest,
+		Scale: []instio.DeltaScale{
+			{I: 0, By: 1.04}, {I: 2, By: 0.97}, {I: 4, By: 1.02},
+		},
+	}}
+	dreq := Request{Instance: deltaDoc, Eps: 0.25, Seed: 5, Scale: 0.2}
+	dresp, dbody, ddigest := postForDigest(t, ts.URL+"/v1/delta", &dreq)
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("delta solve: status %d: %s", dresp.StatusCode, dbody)
+	}
+	if got := dresp.Header.Get("X-Psdpd-Cache"); got != "miss" {
+		t.Fatalf("first delta solve cache state %q, want miss", got)
+	}
+	var warm DecisionResponse
+	if err := json.Unmarshal(dbody, &warm); err != nil {
+		t.Fatal(err)
+	}
+
+	// A repeat of the same delta hits the warm lineage address.
+	rresp, rbody := postJSON(t, ts.URL+"/v1/delta", &dreq)
+	if rresp.StatusCode != http.StatusOK || rresp.Header.Get("X-Psdpd-Cache") != "hit" {
+		t.Fatalf("repeat delta: status %d cache %q", rresp.StatusCode, rresp.Header.Get("X-Psdpd-Cache"))
+	}
+	if !bytes.Equal(rbody, dbody) {
+		t.Fatal("repeat delta bytes differ")
+	}
+
+	// Cold-solve the same materialized content through /v1/decision: a
+	// separate content address, so this must MISS (warm bytes stayed in
+	// their lineage address space) and solve from the cold start.
+	mat, err := instio.ApplyDelta(doc, deltaDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	creq := Request{Instance: mat, Eps: 0.25, Seed: 5, Scale: 0.2}
+	cresp, cbody, cdigest := postForDigest(t, ts.URL+"/v1/decision", &creq)
+	if cresp.StatusCode != http.StatusOK {
+		t.Fatalf("cold solve: status %d: %s", cresp.StatusCode, cbody)
+	}
+	if got := cresp.Header.Get("X-Psdpd-Cache"); got != "miss" {
+		t.Fatalf("cold solve of delta content was a cache %q: warm bytes leaked into the plain address", got)
+	}
+	if cdigest == ddigest {
+		t.Fatal("warm and cold solves share a content address")
+	}
+	var cold DecisionResponse
+	if err := json.Unmarshal(cbody, &cold); err != nil {
+		t.Fatal(err)
+	}
+	if warm.Outcome != cold.Outcome {
+		t.Fatalf("warm decided %q, cold %q", warm.Outcome, cold.Outcome)
+	}
+	if warm.Iterations >= cold.Iterations {
+		t.Fatalf("warm used %d iterations, cold %d (want strictly fewer)", warm.Iterations, cold.Iterations)
+	}
+
+	st := s.Stats()
+	if st.DeltaRequests != 2 {
+		t.Fatalf("deltaRequests = %d, want 2", st.DeltaRequests)
+	}
+	if st.WarmStarts != 1 || st.ColdFallbacks != 0 {
+		t.Fatalf("warmStarts = %d coldFallbacks = %d, want 1/0", st.WarmStarts, st.ColdFallbacks)
+	}
+	if st.Revisions < 2 {
+		t.Fatalf("revisions = %d, want >= 2 (base + delta)", st.Revisions)
+	}
+	if len(st.DeltaLineage) != 1 {
+		t.Fatalf("lineage has %d entries, want 1", len(st.DeltaLineage))
+	}
+	lin := st.DeltaLineage[0]
+	if lin.Base != baseDigest || lin.Derived != ddigest || !lin.WarmStarted || lin.Iterations != warm.Iterations {
+		t.Fatalf("lineage record %+v inconsistent (base %s derived %s iters %d)", lin, baseDigest, ddigest, warm.Iterations)
+	}
+}
+
+// Deltas can chain: a second revision may name the first delta's
+// response digest as its base.
+func TestDeltaChainsAcrossRevisions(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2, Shards: 1})
+	doc := sparseInstance(t, 6, 14, 93)
+	base := Request{Instance: doc, Eps: 0.25, Seed: 5, Scale: 0.2}
+	resp, body, d0 := postForDigest(t, ts.URL+"/v1/decision", &base)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("base: %d %s", resp.StatusCode, body)
+	}
+	r1 := Request{Instance: &instio.Instance{Delta: &instio.Delta{Base: d0, Scale: []instio.DeltaScale{{I: 1, By: 1.03}}}}, Eps: 0.25, Seed: 5, Scale: 0.2}
+	resp1, body1, d1 := postForDigest(t, ts.URL+"/v1/delta", &r1)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("delta 1: %d %s", resp1.StatusCode, body1)
+	}
+	r2 := Request{Instance: &instio.Instance{Delta: &instio.Delta{Base: d1, Scale: []instio.DeltaScale{{I: 3, By: 0.98}}}}, Eps: 0.25, Seed: 5, Scale: 0.2}
+	resp2, body2, d2 := postForDigest(t, ts.URL+"/v1/delta", &r2)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("delta 2: %d %s", resp2.StatusCode, body2)
+	}
+	if d2 == d1 || d1 == d0 {
+		t.Fatal("chained revisions share digests")
+	}
+	st := s.Stats()
+	if st.WarmStarts != 2 {
+		t.Fatalf("warmStarts = %d, want 2", st.WarmStarts)
+	}
+	if len(st.DeltaLineage) != 2 || st.DeltaLineage[0].Base != d1 || st.DeltaLineage[1].Base != d0 {
+		t.Fatalf("lineage chain wrong: %+v", st.DeltaLineage)
+	}
+}
+
+// A base evicted from the revision store but still cached must become
+// warm-startable again by re-POSTing it, exactly as the 404 message
+// instructs: the cache hit falls through to a fresh (byte-identical)
+// solve that repopulates the revision store.
+func TestCacheHitRepopulatesEvictedRevision(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, RevisionEntries: 1})
+	docA := sparseInstance(t, 4, 12, 97)
+	docB := sparseInstance(t, 4, 12, 98)
+	reqA := Request{Instance: docA, Eps: 0.25, Seed: 5, Scale: 0.2}
+	respA, bodyA, digestA := postForDigest(t, ts.URL+"/v1/decision", &reqA)
+	if respA.StatusCode != http.StatusOK {
+		t.Fatalf("solve A: %d %s", respA.StatusCode, bodyA)
+	}
+	// Solve B evicts A's revision (store capacity 1); A stays cached.
+	reqB := Request{Instance: docB, Eps: 0.25, Seed: 5, Scale: 0.2}
+	if respB, bodyB := postJSON(t, ts.URL+"/v1/decision", &reqB); respB.StatusCode != http.StatusOK {
+		t.Fatalf("solve B: %d %s", respB.StatusCode, bodyB)
+	}
+	delta := Request{Instance: &instio.Instance{Delta: &instio.Delta{Base: digestA, Scale: []instio.DeltaScale{{I: 0, By: 1.02}}}}, Eps: 0.25, Seed: 5, Scale: 0.2}
+	if resp, _ := postJSON(t, ts.URL+"/v1/delta", &delta); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("delta against evicted base: status %d, want 404", resp.StatusCode)
+	}
+	// Re-POST the base: byte-identical response, re-solved (not a
+	// short-circuit hit) so the revision exists again.
+	resp2, body2, digest2 := postForDigest(t, ts.URL+"/v1/decision", &reqA)
+	if resp2.StatusCode != http.StatusOK || digest2 != digestA {
+		t.Fatalf("re-POST: %d digest %s (want %s)", resp2.StatusCode, digest2, digestA)
+	}
+	if !bytes.Equal(body2, bodyA) {
+		t.Fatal("re-solve of cached content is not byte-identical")
+	}
+	// With the revision live again, an identical request is a plain
+	// cache hit (no re-solve).
+	resp3, _ := postJSON(t, ts.URL+"/v1/decision", &reqA)
+	if got := resp3.Header.Get("X-Psdpd-Cache"); got != "hit" {
+		t.Fatalf("request with live revision was a cache %q, want hit", got)
+	}
+	// And the delta that 404'd now warm-starts.
+	if resp4, body4 := postJSON(t, ts.URL+"/v1/delta", &delta); resp4.StatusCode != http.StatusOK {
+		t.Fatalf("delta after repopulation: %d %s", resp4.StatusCode, body4)
+	}
+	if got := s.Stats().WarmStarts; got != 1 {
+		t.Fatalf("warmStarts = %d, want 1", got)
+	}
+}
+
+// An identity delta whose base bytes were evicted from the result
+// cache (while the revision survived) must regenerate the base
+// response cold under the base's own content address — bitwise the
+// original bytes, never a warm solve under a lineage digest.
+func TestIdentityDeltaRegeneratesEvictedCacheEntry(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, CacheEntries: 1, RevisionEntries: 8})
+	docA := sparseInstance(t, 4, 12, 101)
+	docB := sparseInstance(t, 4, 12, 102)
+	reqA := Request{Instance: docA, Eps: 0.25, Seed: 5, Scale: 0.2}
+	respA, bodyA, digestA := postForDigest(t, ts.URL+"/v1/decision", &reqA)
+	if respA.StatusCode != http.StatusOK {
+		t.Fatalf("solve A: %d %s", respA.StatusCode, bodyA)
+	}
+	// Solve B evicts A's bytes from the 1-entry cache; A's revision
+	// survives in the 8-entry store.
+	reqB := Request{Instance: docB, Eps: 0.25, Seed: 5, Scale: 0.2}
+	if respB, bodyB := postJSON(t, ts.URL+"/v1/decision", &reqB); respB.StatusCode != http.StatusOK {
+		t.Fatalf("solve B: %d %s", respB.StatusCode, bodyB)
+	}
+	id := Request{Instance: &instio.Instance{Delta: &instio.Delta{Base: digestA}}, Eps: 0.25, Seed: 5, Scale: 0.2}
+	resp, body, digest := postForDigest(t, ts.URL+"/v1/delta", &id)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("identity delta: %d %s", resp.StatusCode, body)
+	}
+	if digest != digestA {
+		t.Fatalf("identity delta answered under %s, want the base address %s", digest, digestA)
+	}
+	if got := resp.Header.Get("X-Psdpd-Cache"); got != "miss" {
+		t.Fatalf("identity delta after eviction was a cache %q, want miss (cold regeneration)", got)
+	}
+	if !bytes.Equal(body, bodyA) {
+		t.Fatal("regenerated identity-delta bytes differ from the original base solve")
+	}
+}
+
+// deltaRequests counts admitted delta solves only: a delta that
+// resolves its base but fails validation must leave it flat.
+func TestDeltaRequestsCountsAdmittedOnly(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	doc := sparseInstance(t, 4, 12, 99)
+	base := Request{Instance: doc, Eps: 0.25, Seed: 5, Scale: 0.2}
+	resp, body, digest := postForDigest(t, ts.URL+"/v1/decision", &base)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("base: %d %s", resp.StatusCode, body)
+	}
+	badEps := Request{Instance: &instio.Instance{Delta: &instio.Delta{Base: digest}}, Eps: 5, Seed: 5}
+	if r, _ := postJSON(t, ts.URL+"/v1/delta", &badEps); r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad-eps delta: status %d, want 400", r.StatusCode)
+	}
+	if got := s.Stats().DeltaRequests; got != 0 {
+		t.Fatalf("deltaRequests = %d after a rejected delta, want 0", got)
+	}
+	good := Request{Instance: &instio.Instance{Delta: &instio.Delta{Base: digest, Scale: []instio.DeltaScale{{I: 0, By: 1.01}}}}, Eps: 0.25, Seed: 5, Scale: 0.2}
+	if r, b := postJSON(t, ts.URL+"/v1/delta", &good); r.StatusCode != http.StatusOK {
+		t.Fatalf("good delta: %d %s", r.StatusCode, b)
+	}
+	if got := s.Stats().DeltaRequests; got != 1 {
+		t.Fatalf("deltaRequests = %d, want 1", got)
+	}
+}
+
+func TestDeltaUnknownBase404(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	req := Request{Instance: &instio.Instance{Delta: &instio.Delta{
+		Base: "0000000000000000000000000000000000000000000000000000000000000000",
+	}}, Eps: 0.25, Seed: 1}
+	resp, body := postJSON(t, ts.URL+"/v1/delta", &req)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d (%s), want 404", resp.StatusCode, body)
+	}
+	if got := s.Stats().DeltaBaseMisses; got != 1 {
+		t.Fatalf("deltaBaseMisses = %d, want 1", got)
+	}
+	if got := s.Stats().Admitted; got != 0 {
+		t.Fatalf("a 404 delta counted as admitted (%d)", got)
+	}
+}
+
+func TestDeltaValidationErrors(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	doc := sparseInstance(t, 4, 12, 94)
+	base := Request{Instance: doc, Eps: 0.25, Seed: 5, Scale: 0.2}
+	resp, body, baseDigest := postForDigest(t, ts.URL+"/v1/decision", &base)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("base: %d %s", resp.StatusCode, body)
+	}
+	admitted := s.Stats().Admitted
+
+	cases := []struct {
+		name string
+		req  Request
+	}{
+		{"no-delta", Request{Instance: doc, Eps: 0.25, Seed: 1}},
+		{"bad-digest", Request{Instance: &instio.Instance{Delta: &instio.Delta{Base: "zz"}}, Eps: 0.25, Seed: 1}},
+		{"bad-edit-index", Request{Instance: &instio.Instance{Delta: &instio.Delta{
+			Base: baseDigest, Edit: []instio.DeltaEdit{{I: 99}},
+		}}, Eps: 0.25, Seed: 1}},
+		{"zero-scale", Request{Instance: &instio.Instance{Delta: &instio.Delta{
+			Base: baseDigest, Scale: []instio.DeltaScale{{I: 0, By: 0}},
+		}}, Eps: 0.25, Seed: 1}},
+		{"bad-eps", Request{Instance: &instio.Instance{Delta: &instio.Delta{Base: baseDigest}}, Eps: 2, Seed: 1}},
+	}
+	for _, tc := range cases {
+		resp, body := postJSON(t, ts.URL+"/v1/delta", &tc.req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%s), want 400", tc.name, resp.StatusCode, body)
+		}
+	}
+	if got := s.Stats().Admitted; got != admitted {
+		t.Fatalf("rejected deltas moved the admitted counter: %d -> %d", admitted, got)
+	}
+	if got := s.Stats().RequestsSparse; got != 1 {
+		t.Fatalf("rejected deltas moved requestsSparse to %d, want 1 (base only)", got)
+	}
+}
+
+// Satellite regression: per-representation counters count ADMITTED
+// requests only. A storm of malformed and rejected payloads must leave
+// every per-representation counter — and the admitted counter — flat.
+func TestRejectedRequestsLeaveAdmissionCountersFlat(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	denseDoc := denseInstance(t, 4, 6, 95)
+
+	bad := []struct {
+		name     string
+		endpoint string
+		req      Request
+	}{
+		{"bad-eps", "/v1/decision", Request{Instance: denseDoc, Eps: 7, Seed: 1}},
+		{"no-instance", "/v1/decision", Request{Eps: 0.25, Seed: 1}},
+		{"unknown-oracle", "/v1/decision", Request{Instance: denseDoc, Eps: 0.25, Seed: 1, Oracle: "quantum"}},
+		{"oracle-mismatch", "/v1/decision", Request{Instance: denseDoc, Eps: 0.25, Seed: 1, Oracle: "jl"}},
+		{"bad-scale", "/v1/decision", Request{Instance: denseDoc, Eps: 0.25, Seed: 1, Scale: -1}},
+		{"asymmetric-sparse", "/v1/decision", Request{Instance: &instio.Instance{M: 2, Sparse: []instio.SparseMatrix{
+			{Entries: [][3]float64{{0, 1, 1}}}, // one triangle only
+		}}, Eps: 0.25, Seed: 1}},
+		{"ragged-dense", "/v1/decision", Request{Instance: &instio.Instance{M: 2, Dense: [][][]float64{{{1, 0}, {0}}}}, Eps: 0.25, Seed: 1}},
+		{"maximize-no-instance", "/v1/maximize", Request{Eps: 0.25, Seed: 1}},
+		{"solve-no-program", "/v1/solve", Request{Instance: denseDoc, Eps: 0.25, Seed: 1}},
+	}
+	for _, tc := range bad {
+		resp, body := postJSON(t, ts.URL+tc.endpoint, &tc.req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d (%s), want 400", tc.name, resp.StatusCode, body)
+		}
+	}
+	// Malformed JSON never reaches prepare at all.
+	resp, err := http.Post(ts.URL+"/v1/decision", "application/json", bytes.NewReader([]byte("{not json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: status %d, want 400", resp.StatusCode)
+	}
+
+	st := s.Stats()
+	if st.Requests != int64(len(bad))+1 {
+		t.Fatalf("requests = %d, want %d", st.Requests, len(bad)+1)
+	}
+	if st.Admitted != 0 {
+		t.Fatalf("admitted = %d after pure rejections, want 0", st.Admitted)
+	}
+	if st.RequestsDense != 0 || st.RequestsFactored != 0 || st.RequestsSparse != 0 || st.RequestsProgram != 0 {
+		t.Fatalf("per-representation counters moved on rejected payloads: dense=%d factored=%d sparse=%d program=%d",
+			st.RequestsDense, st.RequestsFactored, st.RequestsSparse, st.RequestsProgram)
+	}
+
+	// One valid request moves exactly its representation counter.
+	good := Request{Instance: denseDoc, Eps: 0.25, Seed: 1}
+	gresp, gbody := postJSON(t, ts.URL+"/v1/decision", &good)
+	if gresp.StatusCode != http.StatusOK {
+		t.Fatalf("valid request: status %d: %s", gresp.StatusCode, gbody)
+	}
+	st = s.Stats()
+	if st.Admitted != 1 || st.RequestsDense != 1 {
+		t.Fatalf("admitted=%d requestsDense=%d after one valid request, want 1/1", st.Admitted, st.RequestsDense)
+	}
+}
+
+// Satellite regression: a request whose deadline expires while queued
+// in the shard admission queue must be answered 504 and never handed a
+// workspace — under an expiry storm the pool-miss counters stay flat
+// and no solve begins.
+func TestQueuedDeadlineExpiryStorm(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, Shards: 1, QueueDepth: 32})
+	var entered atomic.Int32
+	gate := make(chan struct{})
+	s.testHookBeforeSolve = func() {
+		if entered.Add(1) == 1 {
+			<-gate // only the first solve is held
+		}
+	}
+	doc := denseInstance(t, 6, 8, 96)
+
+	// Request 1 occupies the single worker, blocked in the hook.
+	holdCh := make(chan int, 1)
+	go func() {
+		resp, _, err := tryPostJSON(ts.URL+"/v1/decision", &Request{Instance: doc, Eps: 0.25, Seed: 1})
+		if err != nil {
+			holdCh <- -1
+			return
+		}
+		holdCh <- resp.StatusCode
+	}()
+	waitFor(t, func() bool { return entered.Load() == 1 })
+
+	// Storm: distinct-digest requests with tiny deadlines queue behind
+	// the held worker and expire in the queue.
+	const storm = 8
+	for seed := uint64(10); seed < 10+storm; seed++ {
+		req := Request{Instance: doc, Eps: 0.25, Seed: seed, TimeoutMs: 25}
+		resp, body := postJSON(t, ts.URL+"/v1/decision", &req)
+		if resp.StatusCode != http.StatusGatewayTimeout {
+			t.Fatalf("expired-in-queue request: status %d (%s), want 504", resp.StatusCode, body)
+		}
+	}
+	if got := s.Stats().Cancelled; got != storm {
+		t.Fatalf("cancelled = %d, want %d", got, storm)
+	}
+
+	// Release the worker; it finishes solve 1 and drains the corpses
+	// without touching its workspace.
+	close(gate)
+	if status := <-holdCh; status != http.StatusOK {
+		t.Fatalf("held request finished with %d", status)
+	}
+	waitFor(t, func() bool { return s.pool.Executed()+s.pool.Skipped() >= 1+storm })
+	if got := s.pool.Executed(); got != 1 {
+		t.Fatalf("executed = %d, want 1 (expired requests must not begin solving)", got)
+	}
+	if got := s.pool.Skipped(); got != storm {
+		t.Fatalf("skipped = %d, want %d", got, storm)
+	}
+	missesAfterStorm := s.pool.Misses()
+
+	// A fresh same-shape solve runs entirely from the warm pools: the
+	// storm left the workspace untouched.
+	req := Request{Instance: doc, Eps: 0.25, Seed: 99}
+	resp, body := postJSON(t, ts.URL+"/v1/decision", &req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-storm solve: status %d: %s", resp.StatusCode, body)
+	}
+	if got := s.pool.Misses(); got != missesAfterStorm {
+		t.Fatalf("post-storm solve missed the pools %d more times; the storm corrupted the workspace", got-missesAfterStorm)
+	}
+}

@@ -128,6 +128,35 @@ func requestDigest(kind string, req *Request, set core.ConstraintSet, prog *core
 	return z.sum(), nil
 }
 
+// warmDigest derives the content address of a warm-started delta
+// solve: the plain digest of the materialized request combined with
+// the base revision key the warm state came from. Warm-started results
+// are certified but NOT bitwise identical to what a cold solve of the
+// same request would produce, so they must live in their own address
+// space — a later cold request for the plain digest must never be
+// served warm bytes from the cache, and vice versa. The base key pins
+// the whole warm lineage: solves are deterministic, so one (plain
+// content, base lineage) pair names exactly one byte sequence.
+func warmDigest(plain, base digest) digest {
+	z := newHasher()
+	z.str("psdpd-warm-v1")
+	z.str(string(plain[:]))
+	z.str(string(base[:]))
+	return z.sum()
+}
+
+// parseDigest decodes the hex digest form clients echo back (the
+// X-Psdpd-Digest response header / delta base field).
+func parseDigest(s string) (digest, error) {
+	var d digest
+	raw, err := hex.DecodeString(s)
+	if err != nil || len(raw) != len(d) {
+		return digest{}, fmt.Errorf("serve: %q is not a %d-byte hex digest", s, len(d))
+	}
+	copy(d[:], raw)
+	return d, nil
+}
+
 // canonicalOracle resolves OracleAuto to the concrete oracle the
 // solver would pick for the set, so "oracle omitted", "auto", and the
 // explicit name of the auto choice all share one content address

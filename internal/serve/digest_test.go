@@ -100,6 +100,49 @@ func TestDigestCanonicalizesTripletOrder(t *testing.T) {
 	}
 }
 
+// Explicit-zero triplets must not survive canonicalization: two
+// mathematically identical sparse instances — one listing zeros, one
+// not — must produce the same digest, or every cache and
+// revision-store lookup between them misses. Covers standalone zero
+// entries and duplicate pairs cancelling to exact zero, on both the
+// sparse and (audit) factored kinds.
+func TestDigestDropsExplicitZeroTriplets(t *testing.T) {
+	withZeros := [][3]float64{
+		{0, 0, 1}, {0, 1, 0}, {1, 0, 0}, // explicit zero mirror pair
+		{1, 1, 2}, {1, 1, 3}, {1, 1, -3}, // duplicates cancelling to zero
+	}
+	plain := [][3]float64{{0, 0, 1}, {1, 1, 2}}
+	a := Request{Instance: &instio.Instance{M: 2, Sparse: []instio.SparseMatrix{{Entries: withZeros}}}, Eps: 0.25, Seed: 5}
+	b := Request{Instance: &instio.Instance{M: 2, Sparse: []instio.SparseMatrix{{Entries: plain}}}, Eps: 0.25, Seed: 5}
+	if digestOf(t, "decision", &a) != digestOf(t, "decision", &b) {
+		t.Fatal("explicit zeros split the digests of identical sparse instances")
+	}
+
+	fz := [][3]float64{{0, 0, 1}, {1, 0, 0}, {1, 1, 0.5}}
+	fp := [][3]float64{{0, 0, 1}, {1, 1, 0.5}}
+	fa := Request{Instance: &instio.Instance{M: 2, Factored: []instio.Factor{{Cols: 2, Entries: fz}}}, Eps: 0.25, Seed: 5}
+	fb := Request{Instance: &instio.Instance{M: 2, Factored: []instio.Factor{{Cols: 2, Entries: fp}}}, Eps: 0.25, Seed: 5}
+	if digestOf(t, "decision", &fa) != digestOf(t, "decision", &fb) {
+		t.Fatal("explicit zeros split the digests of identical factored instances")
+	}
+}
+
+// Duplicate triplets are summed in canonical value order, so two
+// listings of the same entry multiset digest identically even under
+// catastrophic cancellation, where left-to-right document-order sums
+// disagree ({1e17, 1, -1e17}: one order keeps a spurious 1, the other
+// cancels to an exact zero that canonicalization then drops).
+func TestDigestCanonicalizesDuplicateSummationOrder(t *testing.T) {
+	const big = 1e17
+	orderA := [][3]float64{{0, 0, 4}, {0, 1, big}, {0, 1, 1}, {0, 1, -big}, {1, 0, big}, {1, 0, 1}, {1, 0, -big}, {1, 1, 3}}
+	orderB := [][3]float64{{0, 0, 4}, {0, 1, big}, {0, 1, -big}, {0, 1, 1}, {1, 0, big}, {1, 0, -big}, {1, 0, 1}, {1, 1, 3}}
+	a := Request{Instance: &instio.Instance{M: 2, Sparse: []instio.SparseMatrix{{Entries: orderA}}}, Eps: 0.25, Seed: 5}
+	b := Request{Instance: &instio.Instance{M: 2, Sparse: []instio.SparseMatrix{{Entries: orderB}}}, Eps: 0.25, Seed: 5}
+	if digestOf(t, "decision", &a) != digestOf(t, "decision", &b) {
+		t.Fatal("duplicate listing order split the digests of identical sparse instances")
+	}
+}
+
 // Structurally different encodings that the solver distinguishes must
 // not collide: a dense identity and its factored form are different
 // instances to the oracle layer.

@@ -120,6 +120,13 @@ func (p *Pool) worker(id int, sh *shard) {
 // checkpoint, and releases every drawn buffer back to its pinned
 // workspace before taking the next job.
 func (p *Pool) Do(ctx context.Context, key uint64, fn poolFn) (any, error) {
+	// A request that is already dead takes no queue slot: under an
+	// expiry storm the queue must stay available for live work instead
+	// of filling with corpses a worker then has to drain one by one.
+	if err := ctx.Err(); err != nil {
+		p.skipped.Add(1)
+		return nil, err
+	}
 	j := &job{ctx: ctx, fn: fn, res: make(chan jobResult, 1)}
 	sh := p.shards[key%uint64(len(p.shards))]
 	p.mu.RLock()

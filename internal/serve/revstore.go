@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/instio"
+)
+
+// revision is one warm-startable solve the service remembers: the
+// materialized instance document (what a delta's edits apply to) and
+// the final solver state (what the next solve warm-starts from). The
+// revision store is the solver-mathematics counterpart of the result
+// cache — the cache shortcuts byte-identical requests, the revision
+// store shortcuts *near*-identical ones by resuming the MMW dynamics
+// near their fixed point instead of from the paper's cold start.
+type revision struct {
+	inst  *instio.Instance
+	state *core.DecisionState
+}
+
+// revStore is a bounded LRU of revisions keyed by the digest the
+// client was handed for the generating solve (X-Psdpd-Digest). Both
+// the documents and the states are treated as immutable after Put:
+// concurrent delta requests read the same revision.
+type revStore struct {
+	mu  sync.Mutex
+	max int
+	ll  *list.List // front = most recently used
+	m   map[digest]*list.Element
+}
+
+type revEntry struct {
+	key digest
+	rev *revision
+}
+
+// newRevStore returns a store holding at most max revisions; max <= 0
+// disables it (every Get misses, Put drops).
+func newRevStore(max int) *revStore {
+	return &revStore{max: max, ll: list.New(), m: make(map[digest]*list.Element)}
+}
+
+// Get returns the revision for key, or nil. The returned revision is
+// shared — callers must not mutate it.
+func (r *revStore) Get(key digest) *revision {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if el, ok := r.m[key]; ok {
+		r.ll.MoveToFront(el)
+		return el.Value.(*revEntry).rev
+	}
+	return nil
+}
+
+// Put stores rev under key, evicting the least recently used revision
+// when over capacity.
+func (r *revStore) Put(key digest, rev *revision) {
+	if r.max <= 0 || rev == nil || rev.state == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if el, ok := r.m[key]; ok {
+		el.Value.(*revEntry).rev = rev
+		r.ll.MoveToFront(el)
+		return
+	}
+	r.m[key] = r.ll.PushFront(&revEntry{key: key, rev: rev})
+	for r.ll.Len() > r.max {
+		el := r.ll.Back()
+		r.ll.Remove(el)
+		delete(r.m, el.Value.(*revEntry).key)
+	}
+}
+
+// Len reports the number of stored revisions.
+func (r *revStore) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ll.Len()
+}
+
+// LineageEntry records one delta solve for /statsz: which revision it
+// derived from, the digest it produced, whether the warm start was
+// actually taken (false = the feasibility guard fell back to a cold
+// start), and how many iterations the solve used.
+type LineageEntry struct {
+	Base        string `json:"base"`
+	Derived     string `json:"derived"`
+	WarmStarted bool   `json:"warmStarted"`
+	Iterations  int    `json:"iterations"`
+}
+
+// lineageLog keeps the most recent delta lineage records, newest
+// first in snapshots.
+type lineageLog struct {
+	mu      sync.Mutex
+	max     int
+	entries []LineageEntry
+}
+
+func newLineageLog(max int) *lineageLog {
+	if max < 1 {
+		max = 1
+	}
+	return &lineageLog{max: max}
+}
+
+func (l *lineageLog) Add(e LineageEntry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.entries = append(l.entries, e)
+	if len(l.entries) > l.max {
+		l.entries = append(l.entries[:0], l.entries[len(l.entries)-l.max:]...)
+	}
+}
+
+// Snapshot returns the recorded entries newest first.
+func (l *lineageLog) Snapshot() []LineageEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]LineageEntry, len(l.entries))
+	for i := range out {
+		out[i] = l.entries[len(l.entries)-1-i]
+	}
+	return out
+}

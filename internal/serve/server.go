@@ -39,6 +39,11 @@ type Config struct {
 	DefaultTimeout, MaxTimeout time.Duration
 	// MaxBatch caps /v1/batch items (default 256).
 	MaxBatch int
+	// RevisionEntries caps the warm-start revision store (final solver
+	// states + materialized instances, keyed by response digest); 0
+	// means the default (128), negative disables incremental solving
+	// (/v1/delta answers 404 for every base).
+	RevisionEntries int
 }
 
 func (c Config) withDefaults() Config {
@@ -69,6 +74,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 256
 	}
+	if c.RevisionEntries == 0 {
+		c.RevisionEntries = 128
+	}
 	return c
 }
 
@@ -84,32 +92,67 @@ type flight struct {
 
 type counters struct {
 	requests    atomic.Int64
+	admitted    atomic.Int64
 	solves      atomic.Int64
 	dedupShared atomic.Int64
 	rejected    atomic.Int64
 	cancelled   atomic.Int64
 	errors      atomic.Int64
 	inFlight    atomic.Int64
-	// Per-representation counts of successfully prepared requests, so
-	// operators can see which constraint encodings a deployment actually
-	// receives (and correlate pool-miss growth with representation mix).
+	// Per-representation counts of ADMITTED requests — bumped at the
+	// single point where a request has passed every validation gate and
+	// enters the solve pipeline, so operators can see which constraint
+	// encodings a deployment actually serves (and correlate pool-miss
+	// growth with representation mix). Malformed or rejected payloads
+	// must never inflate these: a 400 is not workload.
 	reqDense    atomic.Int64
 	reqFactored atomic.Int64
 	reqSparse   atomic.Int64
 	reqProgram  atomic.Int64
+	// Incremental-solving counters: delta requests that materialized
+	// and entered the pipeline, 404s for unknown/evicted bases, and the
+	// warm-vs-cold split of how delta solves actually started.
+	deltaRequests     atomic.Int64
+	deltaBaseMisses   atomic.Int64
+	warmStarts        atomic.Int64
+	warmColdFallbacks atomic.Int64
 }
 
-// countRepresentation bumps the per-representation request counter for
-// a successfully built constraint set.
-func (s *Server) countRepresentation(set core.ConstraintSet) {
+// countRepresentation bumps the per-representation admission counter.
+// Call it exactly once per admitted request, never before validation
+// has fully passed.
+func (s *Server) countRepresentation(rep string) {
+	switch rep {
+	case repDense:
+		s.stats.reqDense.Add(1)
+	case repFactored:
+		s.stats.reqFactored.Add(1)
+	case repSparse:
+		s.stats.reqSparse.Add(1)
+	case repProgram:
+		s.stats.reqProgram.Add(1)
+	}
+}
+
+const (
+	repDense    = "dense"
+	repFactored = "factored"
+	repSparse   = "sparse"
+	repProgram  = "program"
+)
+
+// representationOf labels a built constraint set for the admission
+// counters.
+func representationOf(set core.ConstraintSet) string {
 	switch set.(type) {
 	case *core.DenseSet:
-		s.stats.reqDense.Add(1)
+		return repDense
 	case *core.FactoredSet:
-		s.stats.reqFactored.Add(1)
+		return repFactored
 	case *core.SparseSet:
-		s.stats.reqSparse.Add(1)
+		return repSparse
 	}
+	return ""
 }
 
 // Server is the psdpd HTTP solve service: wire handlers in front of a
@@ -126,12 +169,14 @@ func (s *Server) countRepresentation(set core.ConstraintSet) {
 //	GET  /healthz      — liveness
 //	GET  /statsz       — counters (requests, cache, queue, pool)
 type Server struct {
-	cfg   Config
-	pool  *Pool
-	cache *cache
-	mux   *http.ServeMux
-	stats counters
-	start time.Time
+	cfg     Config
+	pool    *Pool
+	cache   *cache
+	revs    *revStore
+	lineage *lineageLog
+	mux     *http.ServeMux
+	stats   counters
+	start   time.Time
 
 	fmu     sync.Mutex
 	flights map[digest]*flight
@@ -150,6 +195,8 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		pool:    NewPool(cfg.Shards, cfg.Workers, cfg.QueueDepth),
 		cache:   newCache(cfg.CacheEntries),
+		revs:    newRevStore(cfg.RevisionEntries),
+		lineage: newLineageLog(32),
 		mux:     http.NewServeMux(),
 		start:   time.Now(),
 		flights: make(map[digest]*flight),
@@ -157,6 +204,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/decision", s.handleKind("decision"))
 	s.mux.HandleFunc("POST /v1/maximize", s.handleKind("maximize"))
 	s.mux.HandleFunc("POST /v1/solve", s.handleKind("solve"))
+	s.mux.HandleFunc("POST /v1/delta", s.handleDelta)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
@@ -177,6 +225,7 @@ func (s *Server) Stats() StatsResponse {
 	hits, _ := s.cache.Counters()
 	return StatsResponse{
 		Requests:         s.stats.requests.Load(),
+		Admitted:         s.stats.admitted.Load(),
 		Solves:           s.stats.solves.Load(),
 		CacheHits:        hits,
 		CacheEntries:     s.cache.Len(),
@@ -194,6 +243,12 @@ func (s *Server) Stats() StatsResponse {
 		RequestsFactored: s.stats.reqFactored.Load(),
 		RequestsSparse:   s.stats.reqSparse.Load(),
 		RequestsProgram:  s.stats.reqProgram.Load(),
+		DeltaRequests:    s.stats.deltaRequests.Load(),
+		DeltaBaseMisses:  s.stats.deltaBaseMisses.Load(),
+		WarmStarts:       s.stats.warmStarts.Load(),
+		ColdFallbacks:    s.stats.warmColdFallbacks.Load(),
+		Revisions:        s.revs.Len(),
+		DeltaLineage:     s.lineage.Snapshot(),
 		UptimeSeconds:    int64(time.Since(s.start).Seconds()),
 	}
 }
@@ -214,9 +269,63 @@ func (s *Server) handleKind(kind string) http.HandlerFunc {
 			s.writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		status, cacheState, body := s.solveOne(r.Context(), kind, &req)
-		s.writeResult(w, status, cacheState, body)
+		res := s.solveOne(r.Context(), kind, &req, nil)
+		if res.haveDigest {
+			w.Header().Set("X-Psdpd-Digest", res.digest.String())
+		}
+		s.writeResult(w, res.status, res.cache, res.body)
 	}
+}
+
+// handleDelta is the incremental-solving endpoint: it resolves the
+// delta's base digest in the revision store, materializes base+delta
+// (canonicalized like a directly-posted sparse document), and runs it
+// through the ordinary decision pipeline with the base's final solver
+// state as the warm start. Identity deltas land on the base's plain
+// content address and return the base's exact bytes from the cache;
+// genuine revisions solve under a warm lineage address so warm bytes
+// never pollute the cold content address space.
+func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
+	s.stats.requests.Add(1)
+	var req Request
+	if err := s.decodeBody(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Instance == nil || req.Instance.Delta == nil {
+		s.writeError(w, http.StatusBadRequest, errors.New("serve: delta request needs an instance carrying a delta document"))
+		return
+	}
+	if req.Program != nil {
+		s.writeError(w, http.StatusBadRequest, errors.New("serve: delta request cannot carry a program"))
+		return
+	}
+	dd := req.Instance.Delta
+	baseKey, err := parseDigest(dd.Base)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	rev := s.revs.Get(baseKey)
+	if rev == nil {
+		s.stats.deltaBaseMisses.Add(1)
+		s.writeError(w, http.StatusNotFound,
+			fmt.Errorf("serve: unknown base revision %s (solve the base via /v1/decision first; it may have been evicted)", dd.Base))
+		return
+	}
+	mat, err := instio.ApplyDelta(rev.inst, req.Instance)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	dreq := req
+	dreq.Instance = mat
+	res := s.solveOne(r.Context(), "decision", &dreq, &warmLink{baseKey: baseKey, baseHex: dd.Base, state: rev.state})
+	if res.haveDigest {
+		w.Header().Set("X-Psdpd-Digest", res.digest.String())
+	}
+	w.Header().Set("X-Psdpd-Base", dd.Base)
+	s.writeResult(w, res.status, res.cache, res.body)
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -246,13 +355,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			if kind == "" {
 				kind = "decision"
 			}
-			status, cacheState, body := s.solveOne(r.Context(), kind, req)
-			item := BatchItemResult{Status: status, Cache: cacheState}
-			if status == http.StatusOK {
-				item.Response = body
+			res := s.solveOne(r.Context(), kind, req, nil)
+			item := BatchItemResult{Status: res.status, Cache: res.cache}
+			if res.status == http.StatusOK {
+				item.Response = res.body
 			} else {
 				var er ErrorResponse
-				if json.Unmarshal(body, &er) == nil {
+				if json.Unmarshal(res.body, &er) == nil {
 					item.Error = er.Error
 				}
 			}
@@ -263,17 +372,47 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, &out)
 }
 
+// warmLink carries the incremental-solving context of a delta request
+// into the solve pipeline: the revision key the client named, its hex
+// form for lineage records, and the stored final state the decision
+// closure warm-starts from.
+type warmLink struct {
+	baseKey digest
+	baseHex string
+	state   *core.DecisionState
+}
+
+// solveResult is solveOne's outcome: HTTP status, cache disposition
+// ("hit", "miss", "shared", or "" for pre-digest failures), the
+// marshaled body, and the content address the response lives under
+// (haveDigest false for pre-digest failures).
+type solveResult struct {
+	status     int
+	cache      string
+	body       []byte
+	digest     digest
+	haveDigest bool
+}
+
 // solveOne runs one request end to end: validate and build, digest,
-// cache lookup, singleflight join-or-lead, pool admission, solve. It
-// returns the HTTP status, the cache disposition ("hit", "miss",
-// "shared", or "" for pre-digest failures), and the marshaled body.
-func (s *Server) solveOne(clientCtx context.Context, kind string, req *Request) (int, string, []byte) {
+// cache lookup, singleflight join-or-lead, pool admission, solve.
+// warm is non-nil on the /v1/delta path only.
+func (s *Server) solveOne(clientCtx context.Context, kind string, req *Request, warm *warmLink) solveResult {
 	s.stats.inFlight.Add(1)
 	defer s.stats.inFlight.Add(-1)
 
-	fn, d, err := s.prepare(kind, req)
+	p, err := s.prepare(kind, req, warm)
 	if err != nil {
-		return http.StatusBadRequest, "", marshalError(err)
+		return solveResult{status: http.StatusBadRequest, body: marshalError(err)}
+	}
+	// The request is now admitted: every validation gate has passed and
+	// it enters the solve pipeline. This is the single point where the
+	// admission, per-representation, and delta counters move —
+	// rejections above never touch them.
+	s.stats.admitted.Add(1)
+	s.countRepresentation(p.rep)
+	if p.isDelta {
+		s.stats.deltaRequests.Add(1)
 	}
 
 	// Followers share only success. A leader's failure can be specific
@@ -282,42 +421,49 @@ func (s *Server) solveOne(clientCtx context.Context, kind string, req *Request) 
 	// it finds the cache filled, leads its own solve (under its own
 	// deadline), or at worst inherits a second failure and reports it.
 	const maxAttempts = 3
-	var status int
-	var cacheState string
-	var body []byte
+	out := solveResult{digest: p.d, haveDigest: true}
 	for attempt := 0; attempt < maxAttempts; attempt++ {
-		if cached := s.cache.Get(d); cached != nil {
-			return http.StatusOK, "hit", cached
+		if cached := s.cache.Get(p.d); cached != nil {
+			// A decision hit whose revision was evicted falls through to
+			// a fresh (deterministic, byte-identical) solve purely to
+			// repopulate the revision store; everything else returns the
+			// cached bytes outright.
+			if !p.wantRevision || s.revs.Get(p.d) != nil {
+				out.status, out.cache, out.body = http.StatusOK, "hit", cached
+				return out
+			}
 		}
 
 		s.fmu.Lock()
-		if f, ok := s.flights[d]; ok {
+		if f, ok := s.flights[p.d]; ok {
 			s.fmu.Unlock()
 			s.stats.dedupShared.Add(1)
 			select {
 			case <-f.done:
-				status, cacheState, body = f.status, "shared", f.body
-				if status == http.StatusOK {
-					return status, cacheState, body
+				out.status, out.cache, out.body = f.status, "shared", f.body
+				if out.status == http.StatusOK {
+					return out
 				}
 				continue // leader-specific failure: retry as our own leader
 			case <-clientCtx.Done():
 				s.stats.cancelled.Add(1)
-				return http.StatusServiceUnavailable, "shared", marshalError(clientCtx.Err())
+				out.status, out.cache, out.body = http.StatusServiceUnavailable, "shared", marshalError(clientCtx.Err())
+				return out
 			}
 		}
 		f := &flight{done: make(chan struct{})}
-		s.flights[d] = f
+		s.flights[p.d] = f
 		s.fmu.Unlock()
 
-		f.status, f.cache, f.body = s.execute(req, d, fn)
+		f.status, f.cache, f.body = s.execute(req, p.d, p.fn)
 		s.fmu.Lock()
-		delete(s.flights, d)
+		delete(s.flights, p.d)
 		s.fmu.Unlock()
 		close(f.done)
-		return f.status, f.cache, f.body
+		out.status, out.cache, out.body = f.status, f.cache, f.body
+		return out
 	}
-	return status, cacheState, body
+	return out
 }
 
 // execute is the singleflight leader's path: admission, solve, cache
@@ -361,36 +507,63 @@ func (s *Server) execute(req *Request, d digest, fn poolFn) (int, string, []byte
 	return http.StatusOK, "miss", body
 }
 
+// prepared is the outcome of request validation: the solve closure,
+// the content address the result lives under (on the delta path this
+// is the warm lineage address; plain holds the content-only address),
+// and the representation label for the admission counters.
+type prepared struct {
+	fn    poolFn
+	d     digest
+	plain digest
+	rep   string
+	// wantRevision marks solves that should leave a warm-startable
+	// revision behind (sparse decision solves with the store enabled —
+	// only sparse instances can be delta bases, so recording dense or
+	// factored solves would just pay snapshot copies to evict usable
+	// bases): a cache hit whose revision was evicted re-solves instead
+	// of short-circuiting, so the store is repopulated and /v1/delta's
+	// "re-POST the base" instruction actually works.
+	wantRevision bool
+	// isDelta marks requests that arrived through /v1/delta (for the
+	// admission counter), independent of whether they still carry a
+	// warm link after identity-delta demotion.
+	isDelta bool
+}
+
 // prepare validates the request, builds the instance, and returns the
 // solve closure plus the content digest. Everything that can fail from
-// bad client input fails here, before any queue slot is taken.
-func (s *Server) prepare(kind string, req *Request) (poolFn, digest, error) {
+// bad client input fails here, before any queue slot is taken and
+// before any admission counter moves.
+func (s *Server) prepare(kind string, req *Request, warm *warmLink) (prepared, error) {
 	if math.IsNaN(req.Eps) || req.Eps <= 0 || req.Eps >= 1 {
-		return nil, digest{}, fmt.Errorf("serve: eps = %v out of (0, 1)", req.Eps)
+		return prepared{}, fmt.Errorf("serve: eps = %v out of (0, 1)", req.Eps)
 	}
 	opts, err := req.coreOptions()
 	if err != nil {
-		return nil, digest{}, err
+		return prepared{}, err
 	}
 	if err := opts.Validate(); err != nil {
-		return nil, digest{}, err
+		return prepared{}, err
+	}
+	if warm != nil && kind != "decision" {
+		return prepared{}, fmt.Errorf("serve: warm start applies to decision solves only, not %q", kind)
 	}
 
 	switch kind {
 	case "decision", "maximize":
 		if req.Instance == nil {
-			return nil, digest{}, fmt.Errorf("serve: %s request needs an instance", kind)
+			return prepared{}, fmt.Errorf("serve: %s request needs an instance", kind)
 		}
 		if req.Program != nil {
-			return nil, digest{}, fmt.Errorf("serve: %s request cannot carry a program", kind)
+			return prepared{}, fmt.Errorf("serve: %s request cannot carry a program", kind)
 		}
 		set, err := instio.Build(req.Instance)
 		if err != nil {
-			return nil, digest{}, err
+			return prepared{}, err
 		}
 		if scale := req.scaleOrOne(); scale != 1 {
 			if math.IsNaN(scale) || math.IsInf(scale, 0) || scale <= 0 {
-				return nil, digest{}, fmt.Errorf("serve: scale = %v must be positive and finite", req.Scale)
+				return prepared{}, fmt.Errorf("serve: scale = %v must be positive and finite", req.Scale)
 			}
 			set = set.WithScale(scale)
 			// Build checked traces before scaling; a huge scale can push
@@ -398,31 +571,62 @@ func (s *Server) prepare(kind string, req *Request) (poolFn, digest, error) {
 			// the solver's initial point — and then be cached as a 200.
 			for i := 0; i < set.N(); i++ {
 				if tr := set.Trace(i); math.IsNaN(tr) || math.IsInf(tr, 0) {
-					return nil, digest{}, fmt.Errorf("serve: scale %v overflows constraint %d trace to %v", scale, i, tr)
+					return prepared{}, fmt.Errorf("serve: scale %v overflows constraint %d trace to %v", scale, i, tr)
 				}
 			}
 		}
 		if err := oracleMatchesSet(opts.Oracle, set); err != nil {
-			return nil, digest{}, err
+			return prepared{}, err
 		}
 		d, err := requestDigest(kind, req, set, nil)
 		if err != nil {
-			return nil, digest{}, err
+			return prepared{}, err
 		}
-		s.countRepresentation(set)
+		p := prepared{d: d, plain: d, rep: representationOf(set)}
 		eps := req.Eps
 		if kind == "decision" {
-			return s.solveClosure(func(ctx context.Context, ws *work.Workspace) (any, error) {
+			p.wantRevision = s.cfg.RevisionEntries > 0 && p.rep == repSparse
+			if warm != nil {
+				p.isDelta = true
+				if d == warm.baseKey {
+					// Identity delta: the materialized content IS the base
+					// content, so the canonical answer is the base solve
+					// itself. Demote to a plain re-solve of the base —
+					// normally a cache hit returning the base bytes
+					// bitwise; a cold regeneration of those exact bytes
+					// (refreshing the revision) when the cache evicted
+					// them. Either way the response lands on the base's
+					// content address, never a warm lineage address.
+					warm = nil
+				} else {
+					// Warm-started bytes are certified but not bitwise
+					// what a cold solve would produce, so they live under
+					// a lineage address, never the plain content address.
+					p.d = warmDigest(d, warm.baseKey)
+				}
+			}
+			key, inst, record := p.d, req.Instance, p.wantRevision
+			p.fn = s.solveClosure(func(ctx context.Context, ws *work.Workspace) (any, error) {
 				o := opts
 				o.Ctx, o.Workspace = ctx, ws
+				// The snapshot costs three O(n) copies at finish; skip it
+				// when the revision store is disabled and would drop it.
+				o.CaptureState = record
+				if warm != nil {
+					o.WarmStart = warm.state
+				}
 				dr, err := core.DecisionPSDP(set, eps, o)
 				if err != nil {
 					return nil, err
 				}
+				if record {
+					s.recordRevision(key, inst, dr, warm)
+				}
 				return decisionResponse(eps, dr), nil
-			}), d, nil
+			})
+			return p, nil
 		}
-		return s.solveClosure(func(ctx context.Context, ws *work.Workspace) (any, error) {
+		p.fn = s.solveClosure(func(ctx context.Context, ws *work.Workspace) (any, error) {
 			o := opts
 			o.Ctx, o.Workspace = ctx, ws
 			sol, err := core.MaximizePacking(set, eps, o)
@@ -430,26 +634,27 @@ func (s *Server) prepare(kind string, req *Request) (poolFn, digest, error) {
 				return nil, err
 			}
 			return maximizeResponse(eps, sol), nil
-		}), d, nil
+		})
+		return p, nil
 
 	case "solve":
 		if req.Program == nil {
-			return nil, digest{}, errors.New("serve: solve request needs a program")
+			return prepared{}, errors.New("serve: solve request needs a program")
 		}
 		if req.Instance != nil {
-			return nil, digest{}, errors.New("serve: solve request cannot carry an instance")
+			return prepared{}, errors.New("serve: solve request cannot carry an instance")
 		}
 		prog, err := req.Program.build()
 		if err != nil {
-			return nil, digest{}, err
+			return prepared{}, err
 		}
 		d, err := requestDigest(kind, req, nil, prog)
 		if err != nil {
-			return nil, digest{}, err
+			return prepared{}, err
 		}
-		s.stats.reqProgram.Add(1)
 		eps := req.Eps
-		return s.solveClosure(func(ctx context.Context, ws *work.Workspace) (any, error) {
+		p := prepared{d: d, plain: d, rep: repProgram}
+		p.fn = s.solveClosure(func(ctx context.Context, ws *work.Workspace) (any, error) {
 			o := opts
 			o.Ctx, o.Workspace = ctx, ws
 			cs, err := core.SolveCovering(prog, eps, o)
@@ -457,11 +662,33 @@ func (s *Server) prepare(kind string, req *Request) (poolFn, digest, error) {
 				return nil, err
 			}
 			return solveResponse(eps, cs), nil
-		}), d, nil
+		})
+		return p, nil
 
 	default:
-		return nil, digest{}, fmt.Errorf("serve: unknown request kind %q", kind)
+		return prepared{}, fmt.Errorf("serve: unknown request kind %q", kind)
 	}
+}
+
+// recordRevision stores the finished decision solve in the revision
+// store (making it a warm-startable base for future deltas) and, on
+// the delta path, records the lineage and the warm-vs-cold split.
+func (s *Server) recordRevision(key digest, inst *instio.Instance, dr *core.DecisionResult, warm *warmLink) {
+	s.revs.Put(key, &revision{inst: inst, state: dr.Final})
+	if warm == nil {
+		return
+	}
+	if dr.WarmStarted {
+		s.stats.warmStarts.Add(1)
+	} else {
+		s.stats.warmColdFallbacks.Add(1)
+	}
+	s.lineage.Add(LineageEntry{
+		Base:        warm.baseHex,
+		Derived:     key.String(),
+		WarmStarted: dr.WarmStarted,
+		Iterations:  dr.Iterations,
+	})
 }
 
 // solveClosure wraps a solve with the counters and the test hook.

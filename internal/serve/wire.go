@@ -237,7 +237,13 @@ type BatchResponse struct {
 
 // StatsResponse is the /statsz document.
 type StatsResponse struct {
-	Requests     int64 `json:"requests"`
+	Requests int64 `json:"requests"`
+	// Admitted counts solve attempts that passed every validation gate
+	// and entered the pipeline — one per single-shot request, one per
+	// /v1/batch item (a batch bumps Requests once but Admitted once per
+	// valid item). Malformed/rejected payloads never move it, nor the
+	// per-representation counters below.
+	Admitted     int64 `json:"admitted"`
 	Solves       int64 `json:"solves"`
 	CacheHits    int64 `json:"cacheHits"`
 	CacheEntries int   `json:"cacheEntries"`
@@ -254,10 +260,20 @@ type StatsResponse struct {
 	// pins instance shapes to shards, so a flat per-shard counter means
 	// warm workspaces are being reused, never re-grown).
 	ShardPoolMisses []int64 `json:"shardPoolMisses"`
-	// Per-representation counts of successfully prepared solve requests.
+	// Per-representation counts of admitted solve requests.
 	RequestsDense    int64 `json:"requestsDense"`
 	RequestsFactored int64 `json:"requestsFactored"`
 	RequestsSparse   int64 `json:"requestsSparse"`
 	RequestsProgram  int64 `json:"requestsProgram"`
-	UptimeSeconds    int64 `json:"uptimeSeconds"`
+	// Incremental solving (/v1/delta): admitted delta requests, 404s on
+	// unknown/evicted bases, how many delta solves actually warm-started
+	// versus fell back to a cold start, the revision-store population,
+	// and the most recent lineage records (newest first).
+	DeltaRequests   int64          `json:"deltaRequests"`
+	DeltaBaseMisses int64          `json:"deltaBaseMisses"`
+	WarmStarts      int64          `json:"warmStarts"`
+	ColdFallbacks   int64          `json:"coldFallbacks"`
+	Revisions       int            `json:"revisions"`
+	DeltaLineage    []LineageEntry `json:"deltaLineage,omitempty"`
+	UptimeSeconds   int64          `json:"uptimeSeconds"`
 }

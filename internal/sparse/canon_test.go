@@ -1,0 +1,92 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+)
+
+func cscBitwiseEqual(a, b *CSC) bool {
+	if a.R != b.R || a.C != b.C || len(a.Val) != len(b.Val) {
+		return false
+	}
+	for i := range a.ColPtr {
+		if a.ColPtr[i] != b.ColPtr[i] {
+			return false
+		}
+	}
+	for i := range a.Val {
+		if a.Row[i] != b.Row[i] || math.Float64bits(a.Val[i]) != math.Float64bits(b.Val[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Explicit zeros — standalone zero triplets and duplicate groups that
+// cancel to exactly zero — are presentation, not content: they must not
+// survive canonicalization, or mathematically identical instances get
+// different content digests downstream (cache/revision-store misses).
+func TestNewCSCDropsExplicitZeros(t *testing.T) {
+	with, err := NewCSC(3, 3, []Triplet{
+		{Row: 0, Col: 0, Val: 1},
+		{Row: 1, Col: 1, Val: 0},  // standalone explicit zero
+		{Row: 2, Col: 2, Val: 5},  // cancelling pair:
+		{Row: 2, Col: 2, Val: -5}, //   sums to exact zero
+		{Row: 0, Col: 2, Val: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := NewCSC(3, 3, []Triplet{
+		{Row: 0, Col: 0, Val: 1},
+		{Row: 0, Col: 2, Val: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cscBitwiseEqual(with, without) {
+		t.Fatalf("explicit zeros survived canonicalization: nnz %d vs %d", with.NNZ(), without.NNZ())
+	}
+}
+
+// Duplicate triplets must be summed in a canonical value order, not
+// document order: float addition is not associative, so {1e17, 1,
+// -1e17} summed left-to-right yields 0 in one listing order and 1 in
+// another — the first is dropped as an exact zero, the second kept.
+// Before the value-bits tiebreak in NewCSC's sort, the two listings of
+// the same multiset below produced structurally different matrices
+// (and therefore different serve digests).
+func TestNewCSCDuplicateSummationOrderCanonical(t *testing.T) {
+	const big = 1e17
+	orderA := []Triplet{
+		{Row: 0, Col: 1, Val: big},
+		{Row: 0, Col: 1, Val: 1},
+		{Row: 0, Col: 1, Val: -big}, // A: big+1 = big (1 absorbed), -big → 0, dropped
+		{Row: 1, Col: 1, Val: 3},
+	}
+	orderB := []Triplet{
+		{Row: 0, Col: 1, Val: big},
+		{Row: 0, Col: 1, Val: -big}, // B: big-big = 0, +1 → 1, kept
+		{Row: 0, Col: 1, Val: 1},
+		{Row: 1, Col: 1, Val: 3},
+	}
+	a, err := NewCSC(2, 2, orderA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewCSC(2, 2, orderB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cscBitwiseEqual(a, b) {
+		t.Fatalf("duplicate summation depends on document order: nnz %d (Val %v) vs %d (Val %v)",
+			a.NNZ(), a.Val, b.NNZ(), b.Val)
+	}
+	// And the canonical sum itself must be permutation-independent for
+	// an ordinary mixed-sign group too.
+	g1, _ := NewCSC(1, 1, []Triplet{{0, 0, 0.1}, {0, 0, 0.7}, {0, 0, -0.3}})
+	g2, _ := NewCSC(1, 1, []Triplet{{0, 0, -0.3}, {0, 0, 0.1}, {0, 0, 0.7}})
+	if !cscBitwiseEqual(g1, g2) {
+		t.Fatalf("mixed-sign duplicate group not canonical: %v vs %v", g1.Val, g2.Val)
+	}
+}

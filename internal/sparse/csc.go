@@ -2,6 +2,7 @@ package sparse
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/matrix"
@@ -19,7 +20,17 @@ type CSC struct {
 	Val    []float64
 }
 
-// NewCSC builds a CSC matrix from triplets; duplicates are summed.
+// NewCSC builds a CSC matrix from triplets; duplicates are summed and
+// entries whose sum is exactly zero are dropped. The result is a
+// canonical form: any two triplet lists describing the same multiset of
+// (row, col, value) entries — in any order — build bitwise-identical
+// matrices. Duplicates are therefore summed in a fixed value order
+// (ascending IEEE 754 bit pattern), not document order: float addition
+// is not associative, so summing {1e17, 1, -1e17} in two different
+// document orders would otherwise yield different stored values — or
+// leave a should-be-cancelled entry alive in one ordering and dropped
+// as an exact zero in the other — and split the content digests of
+// mathematically identical instances.
 func NewCSC(r, c int, trips []Triplet) (*CSC, error) {
 	if r <= 0 || c <= 0 {
 		return nil, fmt.Errorf("sparse: NewCSC(%d, %d): dimensions must be positive", r, c)
@@ -35,7 +46,10 @@ func NewCSC(r, c int, trips []Triplet) (*CSC, error) {
 		if sorted[i].Col != sorted[j].Col {
 			return sorted[i].Col < sorted[j].Col
 		}
-		return sorted[i].Row < sorted[j].Row
+		if sorted[i].Row != sorted[j].Row {
+			return sorted[i].Row < sorted[j].Row
+		}
+		return math.Float64bits(sorted[i].Val) < math.Float64bits(sorted[j].Val)
 	})
 	m := &CSC{R: r, C: c, ColPtr: make([]int, c+1)}
 	for k := 0; k < len(sorted); {

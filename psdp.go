@@ -76,6 +76,11 @@ type (
 	Params = core.Params
 	// DecisionResult reports one ε-decision call with certified bounds.
 	DecisionResult = core.DecisionResult
+	// DecisionState is a resumable snapshot of a decision run
+	// (Options.CaptureState fills DecisionResult.Final): pass it to
+	// Resume to continue on the same instance, or to Options.WarmStart
+	// to warm-start a solve of a perturbed instance.
+	DecisionState = core.DecisionState
 	// Solution is the optimizer result with a certified bracket.
 	Solution = core.Solution
 	// Outcome labels the decision branch (dual/primal/inconclusive).
@@ -151,6 +156,16 @@ func ParamsFor(n, m int, eps float64) (Params, error) { return core.ParamsFor(n,
 // always-valid certified bounds on the packing optimum.
 func Decision(set ConstraintSet, eps float64, opts Options) (*DecisionResult, error) {
 	return core.DecisionPSDP(set, eps, opts)
+}
+
+// Resume continues a decision run from a snapshot taken on the SAME
+// instance: the iterate, step index, and certificate bookkeeping all
+// carry over, so an interrupted or iteration-capped run picks up where
+// it stopped. For a perturbed instance, set Options.WarmStart instead —
+// it transfers only the iterate, behind a feasibility guard that falls
+// back to a cold start when the drift is too large.
+func Resume(set ConstraintSet, eps float64, st *DecisionState, opts Options) (*DecisionResult, error) {
+	return core.ResumeDecisionPSDP(set, eps, st, opts)
 }
 
 // Maximize approximates max{1ᵀx : Σ xᵢAᵢ ≼ I, x ≥ 0} to relative

@@ -1,0 +1,35 @@
+#!/bin/sh
+# bench_delta.sh — regenerate the incremental-serving baseline: boot
+# psdpd, run the drifting-instance workload (psdpload -mode drift),
+# and merge the warm-vs-cold report into BENCH_psdp.json under the
+# "serve.delta" key. Fails if warm-started solves do not use strictly
+# fewer iterations than cold starts (psdpload exits nonzero).
+set -eu
+cd "$(dirname "$0")/.."
+
+PORT="${PSDPD_PORT:-18727}"
+OUT="${BENCH_OUT:-BENCH_psdp.json}"
+BIN="$(mktemp -d)"
+PID=""
+cleanup() {
+    [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+    rm -rf "$BIN"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$BIN/psdpd" ./cmd/psdpd
+go build -o "$BIN/psdpload" ./cmd/psdpload
+
+"$BIN/psdpd" -addr "127.0.0.1:$PORT" &
+PID=$!
+
+"$BIN/psdpload" \
+    -url "http://127.0.0.1:$PORT" \
+    -mode drift -wait 15s \
+    -n 6 -m 14 -revisions 16 -drift 0.05 -drift-frac 0.5 -eps 0.25 \
+    -bench-out "$OUT"
+
+kill "$PID"
+wait "$PID" 2>/dev/null || true
+PID=""
+echo "bench-delta: OK (baseline written to $OUT)"

@@ -56,6 +56,43 @@ fi
 grep -q '"outcome"' "$BIN/sparse_resp.json"
 echo "serve smoke: sparse decision OK"
 
+# Incremental-solving gate: POST a base sparse instance through
+# /v1/decision, capture its revision digest, POST a drifted delta
+# through /v1/delta, and require /statsz to show the warm start took.
+printf '{"instance":%s,"eps":0.3,"seed":9,"scale":0.2}' \
+    "$(cat "$BIN/sparse.json")" > "$BIN/delta_base_req.json"
+curl -s -D "$BIN/delta_base_hdrs" -o "$BIN/delta_base_resp.json" \
+    -H 'Content-Type: application/json' \
+    --data-binary @"$BIN/delta_base_req.json" \
+    "http://127.0.0.1:$PORT/v1/decision" > /dev/null
+DIGEST="$(tr -d '\r' < "$BIN/delta_base_hdrs" | awk -F': ' 'tolower($1)=="x-psdpd-digest" {print $2}')"
+if [ -z "$DIGEST" ]; then
+    echo "base solve returned no X-Psdpd-Digest header"
+    cat "$BIN/delta_base_hdrs"
+    exit 1
+fi
+
+printf '{"instance":{"delta":{"base":"%s","scale":[{"i":0,"by":1.03},{"i":1,"by":0.98}]}},"eps":0.3,"seed":9,"scale":0.2}' \
+    "$DIGEST" > "$BIN/delta_req.json"
+code="$(curl -s -o "$BIN/delta_resp.json" -w '%{http_code}' \
+    -H 'Content-Type: application/json' \
+    --data-binary @"$BIN/delta_req.json" \
+    "http://127.0.0.1:$PORT/v1/delta")"
+if [ "$code" != "200" ]; then
+    echo "delta POST failed: HTTP $code"
+    cat "$BIN/delta_resp.json"
+    exit 1
+fi
+grep -q '"outcome"' "$BIN/delta_resp.json"
+
+curl -s "http://127.0.0.1:$PORT/statsz" > "$BIN/statsz.json"
+if ! grep -q '"warmStarts":[1-9]' "$BIN/statsz.json"; then
+    echo "delta solve did not warm-start (statsz below)"
+    cat "$BIN/statsz.json"
+    exit 1
+fi
+echo "serve smoke: delta warm-start OK"
+
 kill "$PID"
 wait "$PID" 2>/dev/null || true
 PID=""

@@ -1,0 +1,205 @@
+// Warm-vs-cold equivalence suite: warm-started solves of perturbed
+// golden-family instances must (a) answer the ε-decision identically to
+// a cold solve of the same perturbed instance, (b) do so in strictly
+// fewer iterations (the point of warm starting: Allen-Zhu–Lee–Orecchia
+// and Jain–Yao both emphasize that iteration count dominates at small
+// ε), (c) produce witnesses that pass the independent verifiers, and
+// (d) stay bitwise deterministic across GOMAXPROCS — the warm path adds
+// a certificate-grade λ_max evaluation and a rescale, both of which
+// must be as reproducible as the solver itself.
+package psdp_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	psdp "repro"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// perturbDense returns per-constraint scaled copies A'ᵢ = fᵢ·Aᵢ with
+// deterministic fᵢ ∈ [1−drift, 1+drift] — the same per-constraint
+// scale drift the serve delta workload applies.
+func perturbDense(as []*psdp.Dense, drift float64, seed uint64) []*psdp.Dense {
+	rng := rand.New(rand.NewPCG(seed, 0xd21f7))
+	out := make([]*psdp.Dense, len(as))
+	for i, a := range as {
+		f := 1 + drift*(2*rng.Float64()-1)
+		c := psdp.NewMatrix(a.R, a.C)
+		for k := range a.Data {
+			c.Data[k] = a.Data[k] * f
+		}
+		out[i] = c
+	}
+	return out
+}
+
+func perturbSparse(as []*psdp.CSC, drift float64, seed uint64) []*psdp.CSC {
+	rng := rand.New(rand.NewPCG(seed, 0xd21f7))
+	out := make([]*psdp.CSC, len(as))
+	for i, a := range as {
+		out[i] = a.Scale(1 + drift*(2*rng.Float64()-1))
+	}
+	return out
+}
+
+// warmVsCold runs the equivalence checks for one (base, perturbed)
+// pair: cold solve of the perturbed set versus a warm start from the
+// base solve's final state.
+func warmVsCold(t *testing.T, name string, base, perturbed psdp.ConstraintSet, eps float64, opts psdp.Options) {
+	t.Helper()
+	opts.CaptureState = true
+	cold, err := psdp.Decision(base, eps, opts)
+	if err != nil {
+		t.Fatalf("%s: base solve: %v", name, err)
+	}
+	if cold.Final == nil {
+		t.Fatalf("%s: CaptureState did not fill Final", name)
+	}
+	coldP, err := psdp.Decision(perturbed, eps, opts)
+	if err != nil {
+		t.Fatalf("%s: cold perturbed solve: %v", name, err)
+	}
+	wopts := opts
+	wopts.WarmStart = cold.Final
+	warm, err := psdp.Decision(perturbed, eps, wopts)
+	if err != nil {
+		t.Fatalf("%s: warm solve: %v", name, err)
+	}
+	if !warm.WarmStarted {
+		t.Fatalf("%s: feasibility guard rejected a ≤5%% perturbation", name)
+	}
+	if warm.Outcome != coldP.Outcome {
+		t.Fatalf("%s: warm decided %v, cold decided %v", name, warm.Outcome, coldP.Outcome)
+	}
+	if warm.Iterations >= coldP.Iterations {
+		t.Fatalf("%s: warm start used %d iterations, cold %d (want strictly fewer)",
+			name, warm.Iterations, coldP.Iterations)
+	}
+	if !(warm.Lower <= warm.Upper) {
+		t.Fatalf("%s: warm bracket inverted: [%v, %v]", name, warm.Lower, warm.Upper)
+	}
+	// The dual witness must survive independent verification on the
+	// perturbed instance — warm starting may never ship a vector whose
+	// feasibility was only ever established on the base instance.
+	cert, err := psdp.VerifyDual(perturbed, warm.DualX, 1e-6)
+	if err != nil {
+		t.Fatalf("%s: VerifyDual: %v", name, err)
+	}
+	if !cert.Feasible {
+		t.Fatalf("%s: warm dual witness infeasible: λ_max = %v", name, cert.LambdaMax)
+	}
+
+	// Bitwise determinism: the warm path (λ_max guard evaluation,
+	// rescale, then the usual iteration) at GOMAXPROCS 1 vs 8.
+	var w1, w8 *psdp.DecisionResult
+	atGOMAXPROCS(1, func() { w1, err = psdp.Decision(perturbed, eps, wopts) })
+	if err != nil {
+		t.Fatalf("%s: warm solve at GOMAXPROCS 1: %v", name, err)
+	}
+	atGOMAXPROCS(8, func() { w8, err = psdp.Decision(perturbed, eps, wopts) })
+	if err != nil {
+		t.Fatalf("%s: warm solve at GOMAXPROCS 8: %v", name, err)
+	}
+	if w1.WarmStarted != w8.WarmStarted {
+		t.Fatalf("%s: warm guard decision differs across GOMAXPROCS", name)
+	}
+	sameDecision(t, name+" warm", w1, w8)
+}
+
+func TestWarmVsColdDenseRandom(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 32))
+	inst := gen.RandomDense(8, 10, 4, rng)
+	set, err := psdp.NewDenseSet(inst.A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, drift := range []float64{0.02, 0.05} {
+		pa, err := psdp.NewDenseSet(perturbDense(inst.A, drift, 7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		warmVsCold(t, "dense-random", set.WithScale(0.3), pa.WithScale(0.3),
+			0.25, psdp.Options{Seed: 9})
+	}
+}
+
+func TestWarmVsColdSparseEdgePacking(t *testing.T) {
+	g := graph.ErdosRenyi(16, 0.3, rand.New(rand.NewPCG(81, 82)))
+	inst, err := gen.SparseEdgePacking(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := psdp.NewSparseSet(inst.A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := psdp.NewSparseSet(perturbSparse(inst.A, 0.05, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmVsCold(t, "sparse-er", set.WithScale(0.2), ps.WithScale(0.2),
+		0.25, psdp.Options{Seed: 31, Oracle: psdp.OracleFactoredExact})
+}
+
+func TestWarmVsColdFactoredJL(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	inst, err := gen.RandomFactored(12, 24, 2, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := psdp.NewFactoredSet(inst.Q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := psdp.NewFactoredSet(perturbSparse(inst.Q, 0.05, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmVsCold(t, "factored-jl", set.WithScale(0.15), ps.WithScale(0.15),
+		0.25, psdp.Options{Seed: 7, SketchEps: 0.3})
+}
+
+// The warm primal witness must pass the independent primal verifier
+// too: a dense warm run with the primal matrix tracked yields an
+// averaged density matrix Y whose weak-duality bound VerifyPrimalDense
+// recomputes from scratch.
+func TestWarmPrimalWitnessVerifies(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 32))
+	inst := gen.RandomDense(8, 10, 4, rng)
+	set, err := psdp.NewDenseSet(inst.A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := psdp.Options{Seed: 9, CaptureState: true}
+	cold, err := psdp.Decision(set.WithScale(0.3), 0.25, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, err := psdp.NewDenseSet(perturbDense(inst.A, 0.05, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pset := pa.WithScale(0.3).(*psdp.DenseSet)
+	wopts := opts
+	wopts.WarmStart = cold.Final
+	wopts.TrackPrimalMatrix = true
+	warm, err := psdp.Decision(pset, 0.25, wopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Outcome != psdp.OutcomePrimal || warm.Y == nil {
+		t.Fatalf("expected a primal outcome with Y tracked, got %v (Y nil: %v)", warm.Outcome, warm.Y == nil)
+	}
+	cert, err := psdp.VerifyPrimalDense(pset, warm.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cert.PSD || cert.MinDot <= 0 {
+		t.Fatalf("warm primal witness failed verification: PSD=%v minDot=%v", cert.PSD, cert.MinDot)
+	}
+	if cert.UpperBound < warm.Lower {
+		t.Fatalf("primal witness bound %v below certified lower %v", cert.UpperBound, warm.Lower)
+	}
+}
