@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race race-smoke vet lint ci fuzz bench bench-delta experiments serve load smoke-serve
+.PHONY: build test race race-smoke vet lint ci fuzz bench bench-delta bench-engines experiments serve load smoke-serve
 
 ## build: compile every package and command
 build:
@@ -48,6 +48,7 @@ ci: vet lint test race-smoke
 fuzz:
 	$(GO) test ./internal/instio -fuzz=FuzzBuild -fuzztime=30s
 	$(GO) test ./internal/sparse -fuzz=FuzzNewCSC -fuzztime=30s
+	$(GO) test . -fuzz=FuzzEngineAgreement -fuzztime=30s
 
 ## bench: refresh the committed kernel perf baseline BENCH_psdp.json
 bench:
@@ -59,6 +60,12 @@ bench:
 ## BENCH_psdp.json (fails unless warm uses strictly fewer iterations)
 bench-delta:
 	sh scripts/bench_delta.sh
+
+## bench-engines: regenerate the MMW-vs-ALO head-to-head baseline
+## under "engines" in BENCH_psdp.json (fails unless ALO uses strictly
+## fewer iterations than MMW at the tight-eps point on every case)
+bench-engines:
+	sh scripts/bench_engines.sh
 
 ## serve: run the solve daemon on :8723 (see README "Serving")
 serve:

@@ -70,6 +70,9 @@ type benchReport struct {
 	// ServeDelta is the incremental-solving (warm vs cold) baseline
 	// owned by cmd/psdpload -mode drift; preserved the same way.
 	ServeDelta json.RawMessage `json:"serve.delta,omitempty"`
+	// Engines is the MMW-vs-ALO head-to-head baseline owned by
+	// psdpbench -engines; preserved the same way.
+	Engines json.RawMessage `json:"engines,omitempty"`
 }
 
 // allocsPerOp measures heap allocations and bytes per invocation of op,
@@ -294,6 +297,7 @@ func runKernelBench(path string, sizes []int, seed uint64) error {
 		if json.Unmarshal(data, &old) == nil {
 			rep.Serve = old.Serve
 			rep.ServeDelta = old.ServeDelta
+			rep.Engines = old.Engines
 		}
 	}
 	out, err := json.MarshalIndent(&rep, "", "  ")

@@ -27,8 +27,17 @@ func main() {
 	seed := flag.Uint64("seed", 2012, "deterministic seed for all randomness")
 	list := flag.Bool("list", false, "list experiments and exit")
 	kernels := flag.Bool("kernels", false, "benchmark the dense hot-path kernels and write -bench-out")
-	benchOut := flag.String("bench-out", "BENCH_psdp.json", "output path for -kernels JSON report")
+	engines := flag.Bool("engines", false, "head-to-head MMW vs ALO engine benchmark; gates the tight-eps crossover and writes -bench-out")
+	benchOut := flag.String("bench-out", "BENCH_psdp.json", "output path for -kernels/-engines JSON report")
 	flag.Parse()
+
+	if *engines {
+		if err := runEngineBench(*benchOut, *quick, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "psdpbench: engine benchmark failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *kernels {
 		sizes := []int{256, 512, 1024}

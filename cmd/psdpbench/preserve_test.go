@@ -5,11 +5,11 @@ import (
 	"testing"
 )
 
-// A kernel rerun must carry the psdpload-owned sections ("serve" and
-// "serve.delta") over untouched: they are separate baselines refreshed
-// by separate commands against a live daemon.
+// A kernel rerun must carry the externally-owned sections ("serve",
+// "serve.delta", "engines") over untouched: they are separate
+// baselines refreshed by separate commands.
 func TestBenchReportPreservesServeSections(t *testing.T) {
-	src := []byte(`{"go_version":"x","serve":{"rps":42},"serve.delta":{"iter_ratio":0.45}}`)
+	src := []byte(`{"go_version":"x","serve":{"rps":42},"serve.delta":{"iter_ratio":0.45},"engines":{"tight_eps":0.05}}`)
 	var old benchReport
 	if err := json.Unmarshal(src, &old); err != nil {
 		t.Fatal(err)
@@ -20,7 +20,10 @@ func TestBenchReportPreservesServeSections(t *testing.T) {
 	if string(old.ServeDelta) != `{"iter_ratio":0.45}` {
 		t.Fatalf("serve.delta section not carried: %q", old.ServeDelta)
 	}
-	rep := benchReport{GoVersion: "y", Serve: old.Serve, ServeDelta: old.ServeDelta}
+	if string(old.Engines) != `{"tight_eps":0.05}` {
+		t.Fatalf("engines section not carried: %q", old.Engines)
+	}
+	rep := benchReport{GoVersion: "y", Serve: old.Serve, ServeDelta: old.ServeDelta, Engines: old.Engines}
 	out, err := json.Marshal(&rep)
 	if err != nil {
 		t.Fatal(err)
@@ -29,7 +32,7 @@ func TestBenchReportPreservesServeSections(t *testing.T) {
 	if err := json.Unmarshal(out, &round); err != nil {
 		t.Fatal(err)
 	}
-	if string(round["serve"]) != `{"rps":42}` || string(round["serve.delta"]) != `{"iter_ratio":0.45}` {
+	if string(round["serve"]) != `{"rps":42}` || string(round["serve.delta"]) != `{"iter_ratio":0.45}` || string(round["engines"]) != `{"tight_eps":0.05}` {
 		t.Fatalf("round-trip lost a section: %s", out)
 	}
 }

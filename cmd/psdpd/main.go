@@ -28,6 +28,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/serve"
 )
 
@@ -41,7 +42,14 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request solve deadline")
 	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "cap on request-supplied deadlines")
 	maxBody := flag.Int64("max-body", 32<<20, "request body size limit in bytes")
+	engine := flag.String("engine", "mmw", "default decision engine for requests with no engine field: mmw, alo, or auto")
 	flag.Parse()
+
+	defEngine, err := core.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "psdpd: %v\n", err)
+		os.Exit(1)
+	}
 
 	srv := serve.New(serve.Config{
 		Workers:         *workers,
@@ -52,6 +60,7 @@ func main() {
 		MaxBodyBytes:    *maxBody,
 		DefaultTimeout:  *timeout,
 		MaxTimeout:      *maxTimeout,
+		DefaultEngine:   defEngine,
 	})
 	defer srv.Close()
 

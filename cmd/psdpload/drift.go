@@ -50,7 +50,7 @@ type deltaReport struct {
 
 // runDrift executes the drifting workload and returns the process exit
 // code.
-func runDrift(url string, n, m, revisions int, drift, frac, eps float64, genSeed uint64, scale float64, benchOut string) int {
+func runDrift(url string, n, m, revisions int, drift, frac, eps float64, genSeed uint64, scale float64, engine, benchOut string) int {
 	rng := rand.New(rand.NewPCG(genSeed, 0xd21f))
 	g := graph.ErdosRenyi(m, 6.0/float64(m), rng)
 	if g.M() < n {
@@ -70,7 +70,7 @@ func runDrift(url string, n, m, revisions int, drift, frac, eps float64, genSeed
 	doc := instio.FromSparseSet(set)
 	client := &http.Client{Timeout: 2 * time.Minute}
 
-	baseReq := serve.Request{Instance: doc, Eps: eps, Seed: 1, Scale: scale}
+	baseReq := serve.Request{Instance: doc, Eps: eps, Seed: 1, Scale: scale, Engine: engine}
 	baseResp, hdr, _, err := postParsed(client, url+"/v1/decision", &baseReq)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "psdpload: base solve: %v\n", err)
@@ -104,7 +104,7 @@ func runDrift(url string, n, m, revisions int, drift, frac, eps float64, genSeed
 			scales[i] = instio.DeltaScale{I: idx[i], By: by[i]}
 		}
 		deltaDoc := &instio.Instance{Delta: &instio.Delta{Base: base, Scale: scales}}
-		dreq := serve.Request{Instance: deltaDoc, Eps: eps, Seed: 1, Scale: scale}
+		dreq := serve.Request{Instance: deltaDoc, Eps: eps, Seed: 1, Scale: scale, Engine: engine}
 		t0 := time.Now()
 		warm, whdr, _, err := postParsed(client, url+"/v1/delta", &dreq)
 		warmLats = append(warmLats, time.Since(t0))
@@ -121,7 +121,7 @@ func runDrift(url string, n, m, revisions int, drift, frac, eps float64, genSeed
 			return 1
 		}
 		cur = mat
-		creq := serve.Request{Instance: mat, Eps: eps, Seed: 1, Scale: scale}
+		creq := serve.Request{Instance: mat, Eps: eps, Seed: 1, Scale: scale, Engine: engine}
 		t0 = time.Now()
 		cold, _, _, err := postParsed(client, url+"/v1/decision", &creq)
 		coldLats = append(coldLats, time.Since(t0))

@@ -73,6 +73,7 @@ func main() {
 	instances := flag.Int("instances", 4, "distinct generated instances")
 	seeds := flag.Int("seeds", 2, "distinct solver seeds per instance")
 	eps := flag.Float64("eps", 0.25, "target accuracy")
+	engine := flag.String("engine", "", "decision engine on every request: mmw, alo, auto, or \"\" for the server default")
 	genSeed := flag.Uint64("gen-seed", 7, "instance generator seed")
 	wait := flag.Duration("wait", 10*time.Second, "max time to wait for /healthz before starting")
 	benchOut := flag.String("bench-out", "BENCH_psdp.json", "merge the report under the \"serve\" key of this file (empty disables)")
@@ -80,6 +81,12 @@ func main() {
 
 	if *endpoint != "decision" && *endpoint != "maximize" {
 		fmt.Fprintf(os.Stderr, "psdpload: unknown endpoint %q\n", *endpoint)
+		os.Exit(2)
+	}
+	switch *engine {
+	case "", "mmw", "alo", "auto":
+	default:
+		fmt.Fprintf(os.Stderr, "psdpload: unknown engine %q (want mmw, alo, auto, or empty)\n", *engine)
 		os.Exit(2)
 	}
 	if *mode != "steady" && *mode != "drift" {
@@ -91,10 +98,10 @@ func main() {
 		os.Exit(1)
 	}
 	if *mode == "drift" {
-		os.Exit(runDrift(*url, *n, *m, *revisions, *drift, *driftFrac, *eps, *genSeed, *scale, *benchOut))
+		os.Exit(runDrift(*url, *n, *m, *revisions, *drift, *driftFrac, *eps, *genSeed, *scale, *engine, *benchOut))
 	}
 
-	bodies := buildBodies(*endpoint, *n, *m, *instances, *seeds, *eps, *genSeed)
+	bodies := buildBodies(*endpoint, *n, *m, *instances, *seeds, *eps, *genSeed, *engine)
 	client := &http.Client{Timeout: 2 * time.Minute}
 	target := *url + "/v1/" + *endpoint
 
@@ -168,7 +175,7 @@ func main() {
 // buildBodies pre-marshals the request mix: instances × seeds distinct
 // (instance, seed) pairs, so the digest space — and with it the cache
 // hit rate — is controlled exactly.
-func buildBodies(endpoint string, n, m, instances, seeds int, eps float64, genSeed uint64) [][]byte {
+func buildBodies(endpoint string, n, m, instances, seeds int, eps float64, genSeed uint64, engine string) [][]byte {
 	if instances < 1 {
 		instances = 1
 	}
@@ -186,7 +193,7 @@ func buildBodies(endpoint string, n, m, instances, seeds int, eps float64, genSe
 		}
 		doc := instio.FromDenseSet(set)
 		for s := 0; s < seeds; s++ {
-			req := serve.Request{Instance: doc, Eps: eps, Seed: uint64(s + 1), Scale: 0.5}
+			req := serve.Request{Instance: doc, Eps: eps, Seed: uint64(s + 1), Scale: 0.5, Engine: engine}
 			body, err := json.Marshal(&req)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "psdpload: %v\n", err)

@@ -50,11 +50,17 @@ func main() {
 	in := flag.String("in", "", "instance JSON file, or - for stdin (required)")
 	eps := flag.Float64("eps", 0.1, "target relative accuracy in (0,1)")
 	seed := flag.Uint64("seed", 1, "seed for sketches/Lanczos")
+	engine := flag.String("engine", "mmw", "decision engine: mmw (Algorithm 3.1), alo (arXiv:1507.02259), or auto")
 	decision := flag.Bool("decision", false, "run a single decision call instead of optimizing")
 	flag.Parse()
 
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "psdpsolve: -in is required (path or - for stdin)")
+		os.Exit(exitUsage)
+	}
+	eng, err := psdp.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "psdpsolve: %v\n", err)
 		os.Exit(exitUsage)
 	}
 	set, err := loadSet(*in)
@@ -64,7 +70,7 @@ func main() {
 
 	var out output
 	out.Eps = *eps
-	opts := psdp.Options{Seed: *seed}
+	opts := psdp.Options{Seed: *seed, Engine: eng}
 	if *decision {
 		dr, err := psdp.Decision(set, *eps, opts)
 		if err != nil {

@@ -166,6 +166,74 @@ func TestSparseExactDecisionStepZeroAlloc(t *testing.T) {
 	}
 }
 
+// The ALO engine holds the same discipline as MMW: after warm-up, a
+// steady-state dense iteration — which moves EVERY unfrozen coordinate,
+// not just the below-threshold set — performs ZERO heap allocations.
+func TestALODenseStepZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewPCG(101, 102))
+	inst := gen.RandomDense(24, 16, 6, rng)
+	set, err := NewDenseSet(inst.A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := newALORun(set.WithScale(0.5), 0.25, Options{Seed: 1, TheoryExact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := a.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := a.Step(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if a.done {
+		t.Fatalf("run terminated during measurement after %d iterations; measured steps are not steady-state", a.t)
+	}
+	if allocs != 0 {
+		t.Errorf("steady-state dense ALO iteration allocates %.2f per run, want 0", allocs)
+	}
+}
+
+// The sparse exact-oracle ALO path is likewise allocation-free in
+// steady state, including across the multi-block reduction regime
+// (m² above the kernel block grain).
+func TestALOSparseExactStepZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewPCG(501, 502))
+	m, n := 48, 16
+	cs := make([]*sparse.CSC, n)
+	for i := range cs {
+		cs[i] = randSparseSymPSD(m, 2, rng)
+	}
+	set, err := NewSparseSet(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := newALORun(set.WithScale(0.02), 0.25, Options{Seed: 6, Oracle: OracleFactoredExact, TheoryExact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := a.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := a.Step(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if a.done {
+		t.Fatalf("run terminated during measurement after %d iterations", a.t)
+	}
+	if allocs != 0 {
+		t.Errorf("steady-state sparse exact-oracle ALO iteration allocates %.2f per run, want 0", allocs)
+	}
+}
+
 // A workspace shared across sequential Decision calls must serve every
 // call after the first without a single pool miss: the oracles release
 // their buffers at finish, and the next call draws the same shapes.

@@ -67,6 +67,13 @@ const (
 
 // Options configure DecisionPSDP.
 type Options struct {
+	// Engine selects the iteration dynamics: EngineMMW (the zero value,
+	// Algorithm 3.1), EngineALO (the 1507.02259 update rule), or
+	// EngineAuto (resolved per instance by ResolveEngine). Both engines
+	// share the oracles, workspaces, and certificate bookkeeping, and
+	// every exit certificate is verified numerically regardless of
+	// engine.
+	Engine EngineKind
 	// Oracle selects the primitive; OracleAuto matches the set type.
 	Oracle OracleKind
 	// MaxIter caps iterations; 0 means the paper's R.
@@ -145,6 +152,9 @@ type Options struct {
 // sketch accuracies outside (0, 1), NaNs. DecisionPSDP calls it on
 // entry.
 func (o Options) Validate() error {
+	if o.Engine < EngineMMW || o.Engine > EngineAuto {
+		return fmt.Errorf("core: Options.Engine = %d unknown", o.Engine)
+	}
 	if o.Oracle < OracleAuto || o.Oracle > OracleFactoredExact {
 		return fmt.Errorf("core: Options.Oracle = %d unknown", o.Oracle)
 	}
@@ -254,18 +264,22 @@ type DecisionResult struct {
 // regardless of the outcome branch. In the paper's terms, OutcomeDual
 // answers the ε-decision problem with a dual solution and OutcomePrimal
 // with a primal (covering) solution.
+//
+// Options.Engine selects the iteration dynamics (Algorithm 3.1 by
+// default, the ALO update rule as a second engine); the certificate
+// contract above holds identically for every engine.
 func DecisionPSDP(set ConstraintSet, eps float64, opts Options) (*DecisionResult, error) {
-	d, err := newDecisionRun(set, eps, opts)
+	eng, err := newEngine(set, eps, opts)
 	if err != nil {
 		return nil, err
 	}
-	for !d.done && d.t < d.maxIter {
-		if err := d.step(); err != nil {
-			d.orc.release()
+	for !eng.Done() {
+		if err := eng.Step(); err != nil {
+			eng.abort()
 			return nil, err
 		}
 	}
-	return d.finish()
+	return eng.Certify()
 }
 
 // decisionRun is the live state of one Algorithm 3.1 run, split into
@@ -284,6 +298,15 @@ type decisionRun struct {
 	orc              expOracle
 	ws               *work.Workspace
 	n, m             int
+
+	// Engine identity and the two knobs by which the ALO engine reuses
+	// this struct's certificate bookkeeping and finish path: the oracle
+	// holds Ψ(orcX) and its λ_max estimates are multiplied by lamScale
+	// to recover λ_max(Ψ(x)). MMW runs with orcX = x, lamScale = 1; ALO
+	// runs with orcX = x/μ, lamScale = μ.
+	engineName string
+	lamScale   float64
+	orcX       []float64
 
 	x      []float64
 	frozen []bool
@@ -309,7 +332,11 @@ type decisionRun struct {
 	done bool
 }
 
-func newDecisionRun(set ConstraintSet, eps float64, opts Options) (*decisionRun, error) {
+// newRunBase builds the engine-independent part of a run: validation,
+// the paper's constants, the oracle, and the cold-start iterate.
+// Callers finish construction engine-specifically (iteration cap,
+// resume/warm-start handling, oracle init).
+func newRunBase(set ConstraintSet, eps float64, opts Options) (*decisionRun, error) {
 	if err := guardEps(eps); err != nil {
 		return nil, err
 	}
@@ -336,10 +363,6 @@ func newDecisionRun(set ConstraintSet, eps float64, opts Options) (*decisionRun,
 	if err != nil {
 		return nil, err
 	}
-	maxIter := opts.MaxIter
-	if maxIter <= 0 || maxIter > prm.R {
-		maxIter = prm.R
-	}
 	slack := opts.EarlySlack
 	if slack <= 0 {
 		slack = eps / 2
@@ -352,11 +375,11 @@ func newDecisionRun(set ConstraintSet, eps float64, opts Options) (*decisionRun,
 		eps:       eps,
 		slack:     slack,
 		threshold: 1 + eps,
-		maxIter:   maxIter,
 		orc:       orc,
 		ws:        ws,
 		n:         n,
 		m:         m,
+		lamScale:  1,
 		x:         make([]float64, n),
 		frozen:    make([]bool, n),
 		avg:       make([]float64, n),
@@ -382,24 +405,74 @@ func newDecisionRun(set ConstraintSet, eps float64, opts Options) (*decisionRun,
 			d.x[i] = 1 / (float64(n) * tr)
 		}
 	}
-	switch {
-	case opts.continueFrom != nil:
-		if opts.WarmStart != nil {
-			orc.release()
-			return nil, errors.New("core: cannot combine WarmStart with resume")
-		}
-		if err := d.restore(opts.continueFrom); err != nil {
-			orc.release()
-			return nil, err
-		}
-	case opts.WarmStart != nil:
-		d.applyWarmStart(opts.WarmStart)
-	}
-	if err := orc.init(d.x); err != nil {
-		return nil, err
-	}
 	return d, nil
 }
+
+// setIterCap installs the engine's iteration budget, honoring
+// Options.MaxIter within it.
+func (d *decisionRun) setIterCap(cap int) {
+	maxIter := d.opts.MaxIter
+	if maxIter <= 0 || maxIter > cap {
+		maxIter = cap
+	}
+	d.maxIter = maxIter
+}
+
+// installStart applies the resume/warm-start options to the cold-start
+// iterate. Both engines run it after setting their engine name, so the
+// per-engine state rules (restore rejects cross-engine states, warm
+// start falls back cold on them) apply uniformly.
+func (d *decisionRun) installStart() error {
+	switch {
+	case d.opts.continueFrom != nil:
+		if d.opts.WarmStart != nil {
+			return errors.New("core: cannot combine WarmStart with resume")
+		}
+		return d.restore(d.opts.continueFrom)
+	case d.opts.WarmStart != nil:
+		d.applyWarmStart(d.opts.WarmStart)
+	}
+	return nil
+}
+
+func newDecisionRun(set ConstraintSet, eps float64, opts Options) (*decisionRun, error) {
+	d, err := newRunBase(set, eps, opts)
+	if err != nil {
+		return nil, err
+	}
+	d.engineName = EngineNameMMW
+	d.setIterCap(d.prm.R)
+	if err := d.installStart(); err != nil {
+		d.orc.release()
+		return nil, err
+	}
+	if err := d.orc.init(d.x); err != nil {
+		return nil, err
+	}
+	d.orcX = d.x
+	return d, nil
+}
+
+// Engine interface. aloRun embeds *decisionRun and overrides Step; the
+// other methods are shared and branch on the engine fields where the
+// engines differ (lamScale, engineName).
+
+// Step implements Engine.
+func (d *decisionRun) Step() error { return d.step() }
+
+// Done implements Engine.
+func (d *decisionRun) Done() bool { return d.done || d.t >= d.maxIter }
+
+// Snapshot implements Engine.
+func (d *decisionRun) Snapshot() *DecisionState { return d.snapshot() }
+
+// Restore implements Engine.
+func (d *decisionRun) Restore(st *DecisionState) error { return d.restore(st) }
+
+// Certify implements Engine.
+func (d *decisionRun) Certify() (*DecisionResult, error) { return d.finish() }
+
+func (d *decisionRun) abort() { d.orc.release() }
 
 // step runs one MMW iteration (paper lines 3–7 plus certificate
 // bookkeeping). It sets d.done when a certificate fires or the observer
@@ -510,12 +583,24 @@ func (d *decisionRun) finish() (*DecisionResult, error) {
 	defer d.orc.release()
 	set, opts, res := d.set, d.opts, d.res
 	if res.Outcome == OutcomeInconclusive && opts.TheoryExact && d.t >= d.maxIter {
-		// Paper semantics: exhausting R iterations is the primal branch
-		// (Lemma 3.6).
-		if matrix.VecSum(d.x) > d.prm.K {
-			res.Outcome = OutcomeDual
-		} else {
-			res.Outcome = OutcomePrimal
+		switch d.engineName {
+		case EngineNameALO:
+			// The ALO budget exhausted without an early exit: decide by
+			// the certified dual ratio the run accumulated (its analog of
+			// the ‖x‖₁ > K signal below).
+			if d.bestDualRatio >= aloDualExitRatio(d.eps) {
+				res.Outcome = OutcomeDual
+			} else {
+				res.Outcome = OutcomePrimal
+			}
+		default:
+			// Paper semantics: exhausting R iterations is the primal
+			// branch (Lemma 3.6).
+			if matrix.VecSum(d.x) > d.prm.K {
+				res.Outcome = OutcomeDual
+			} else {
+				res.Outcome = OutcomePrimal
+			}
 		}
 	}
 
@@ -538,6 +623,9 @@ func (d *decisionRun) finish() (*DecisionResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The ALO engine's oracle holds Ψ(x/μ); lamScale (= μ there, 1 for
+	// MMW) maps its spectral estimates back to λ_max(Ψ(x)).
+	lam *= d.lamScale
 	res.LambdaMaxPsi = lam
 	denom := math.Max(lam*(1+1e-9), 1)
 	res.DualX = make([]float64, d.n)
@@ -571,7 +659,10 @@ func (d *decisionRun) finish() (*DecisionResult, error) {
 	// m ExpMV sweeps, once per decision call.
 	if op, ok := set.(PsiOperator); ok && usesJL(set, opts) && op.Dim() <= exactFinalBoundDim {
 		exact := newOpExactOracle(op, opts.Seed^0xbead, nil, d.ws)
-		if err := exact.init(d.x); err == nil {
+		// d.orcX is the vector the run's oracle saw (x for MMW, x/μ for
+		// ALO); either way exp(Ψ(orcX))/Tr is a trace-1 density matrix,
+		// so its min ratio certifies an upper bound by weak duality.
+		if err := exact.init(d.orcX); err == nil {
 			if rExact, _, err := exact.ratios(); err == nil {
 				if mr := matrix.VecMin(rExact); mr > 0 {
 					if ub := (1 + 1e-6) / mr; ub < res.Upper {

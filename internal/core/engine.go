@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+)
+
+// EngineKind selects the iteration dynamics behind DecisionPSDP and
+// MaximizePacking. The zero value is EngineMMW — the paper's Algorithm
+// 3.1 — so existing callers (and every committed golden bit pattern)
+// are untouched by the engine split. EngineAuto is an explicit opt-in
+// that picks per instance; see ResolveEngine for the rule.
+type EngineKind int
+
+const (
+	// EngineMMW is the matrix-multiplicative-weights decision loop of
+	// Peng–Tangwongsan Algorithm 3.1: R = O(ε⁻³ log² N) iterations,
+	// coordinate steps of (1+α) on the below-threshold set B. The
+	// reference engine and the default.
+	EngineMMW EngineKind = iota
+	// EngineALO realizes the optimization view of Allen-Zhu–Lee–
+	// Orecchia (arXiv:1507.02259) over the same oracles and workspaces:
+	// truncated gradient descent on the smoothed objective
+	// f_μ(x) = μ·Tr exp((Ψ(x)−I)/μ) − 1ᵀx with μ = Θ(ε/log N), cutting
+	// the iteration budget to O(ε⁻² log² N). At tight ε its growth rate
+	// per iteration is ~(1/ε)× MMW's, which is where it wins.
+	EngineALO
+	// EngineAuto resolves to MMW or ALO per instance (ε, n,
+	// representation); see ResolveEngine.
+	EngineAuto
+)
+
+// Engine state tags stored in DecisionState.Engine. The empty string is
+// accepted as EngineNameMMW for states captured before the engine split.
+const (
+	EngineNameMMW = "mmw"
+	EngineNameALO = "alo"
+)
+
+// String implements fmt.Stringer ("mmw", "alo", "auto").
+func (k EngineKind) String() string {
+	switch k {
+	case EngineMMW:
+		return EngineNameMMW
+	case EngineALO:
+		return EngineNameALO
+	case EngineAuto:
+		return "auto"
+	}
+	return fmt.Sprintf("EngineKind(%d)", int(k))
+}
+
+// ParseEngine maps the spelled-out engine names CLIs and config files
+// use to EngineKind: "mmw" (or "", the default), "alo", "auto".
+func ParseEngine(s string) (EngineKind, error) {
+	switch s {
+	case "", EngineNameMMW:
+		return EngineMMW, nil
+	case EngineNameALO:
+		return EngineALO, nil
+	case "auto":
+		return EngineAuto, nil
+	}
+	return EngineMMW, fmt.Errorf("core: unknown engine %q (want mmw, alo, or auto)", s)
+}
+
+// autoEngineEps is the ε at and below which EngineAuto switches to ALO:
+// the point where MMW's ε⁻³ iteration budget starts to dominate ALO's
+// larger per-iteration cost (every coordinate moves every step, and the
+// operator oracles exponentiate at the larger norm ‖Ψ‖/μ).
+const autoEngineEps = 0.1
+
+// autoEngineDenseMinN keeps tiny dense instances on MMW under
+// EngineAuto: both engines pay the same m³ eigendecomposition per
+// iteration there, and MMW's sparse |B|-coordinate updates make its
+// iterations strictly cheaper, so the crossover needs enough
+// constraints for the iteration-count saving to pay.
+const autoEngineDenseMinN = 8
+
+// ResolveEngine resolves EngineAuto to a concrete engine for an
+// instance: ALO when ε is tight enough that MMW's O(ε⁻³) budget
+// dominates (ε ≤ 0.1), except on dense instances too small for ALO's
+// denser per-iteration updates to be worth it; MMW otherwise. Concrete
+// kinds pass through unchanged. The rule is deterministic in
+// (ε, n, representation), which lets serving layers fold the resolved
+// engine into content digests.
+func ResolveEngine(kind EngineKind, set ConstraintSet, eps float64) EngineKind {
+	if kind != EngineAuto {
+		return kind
+	}
+	if eps > autoEngineEps {
+		return EngineMMW
+	}
+	if _, dense := set.(*DenseSet); dense && set.N() < autoEngineDenseMinN {
+		return EngineMMW
+	}
+	return EngineALO
+}
+
+// Engine is one live decision run behind DecisionPSDP: a stepper over a
+// constraint set's oracle (PsiOperator or dense) drawing all scratch
+// from a work.Workspace. Implementations are the mmw decisionRun and
+// the alo aloRun; the interface is sealed (abort is unexported) so the
+// certificate bookkeeping contract stays inside this package.
+type Engine interface {
+	// Step advances one iteration; the engine flags itself done when a
+	// certificate fires or an observer stops the run.
+	Step() error
+	// Done reports whether the run has terminated (certificate, observer
+	// stop, or iteration cap).
+	Done() bool
+	// Snapshot deep-copies the resumable run state, tagged with the
+	// engine's name.
+	Snapshot() *DecisionState
+	// Restore reinstates a snapshot taken by the SAME engine on the same
+	// instance; a cross-engine state is an error, never a silent
+	// restore.
+	Restore(st *DecisionState) error
+	// Certify assembles the DecisionResult with certified bounds and
+	// releases every oracle buffer back to the workspace.
+	Certify() (*DecisionResult, error)
+	// abort releases oracle buffers after a Step error (no result).
+	abort()
+}
+
+// newEngine builds the engine selected by opts.Engine (EngineAuto
+// resolved per instance) over set at accuracy eps.
+func newEngine(set ConstraintSet, eps float64, opts Options) (Engine, error) {
+	switch ResolveEngine(opts.Engine, set, eps) {
+	case EngineMMW:
+		return newDecisionRun(set, eps, opts)
+	case EngineALO:
+		return newALORun(set, eps, opts)
+	default:
+		return nil, fmt.Errorf("core: unknown engine kind %d", opts.Engine)
+	}
+}
+
+// legacyEngineName maps a DecisionState.Engine tag to its canonical
+// form: states captured before the engine split carry "" and belong to
+// the only engine that existed, MMW.
+func legacyEngineName(tag string) string {
+	if tag == "" {
+		return EngineNameMMW
+	}
+	return tag
+}

@@ -40,6 +40,12 @@ type DecisionState struct {
 	HaveDualSnap  bool      `json:"haveDualSnap,omitempty"`
 	// MaxPsiNorm is the largest λ_max(Ψ) observed.
 	MaxPsiNorm float64 `json:"maxPsiNorm,omitempty"`
+	// Engine names the engine that captured the state ("mmw" or "alo";
+	// "" from states captured before the engine split means "mmw"). The
+	// bookkeeping semantics are engine-specific, so Resume rejects a
+	// cross-engine state and WarmStart falls back to a cold start on
+	// one — never a silent cross-engine restore.
+	Engine string `json:"engine,omitempty"`
 }
 
 // Clone returns a deep copy of the state.
@@ -69,6 +75,7 @@ func (d *decisionRun) snapshot() *DecisionState {
 		BestDualX:     matrix.VecClone(d.bestDualX),
 		HaveDualSnap:  d.haveDualSnap,
 		MaxPsiNorm:    d.res.MaxPsiNorm,
+		Engine:        d.engineName,
 	}
 }
 
@@ -81,6 +88,9 @@ func (d *decisionRun) snapshot() *DecisionState {
 func (d *decisionRun) restore(st *DecisionState) error {
 	if st == nil {
 		return errors.New("core: resume: nil state")
+	}
+	if got := legacyEngineName(st.Engine); got != d.engineName {
+		return fmt.Errorf("core: resume: state was captured by engine %q, run uses engine %q (iterate dynamics and bookkeeping are engine-specific)", got, d.engineName)
 	}
 	if len(st.X) != d.n || st.N != d.n || st.M != d.m {
 		return fmt.Errorf("core: resume: state shape (n=%d, m=%d, len(x)=%d) does not match instance (n=%d, m=%d)",
@@ -144,6 +154,13 @@ func (d *decisionRun) restore(st *DecisionState) error {
 // Returns whether the warm seed was installed.
 func (d *decisionRun) applyWarmStart(st *DecisionState) bool {
 	if st == nil || len(st.X) != d.n || (st.M != 0 && st.M != d.m) {
+		return false
+	}
+	// A state captured by the other engine seeds nothing: its iterate
+	// encodes that engine's dynamics, and silently transplanting it
+	// would blur which engine's certificates a run's trajectory belongs
+	// to. Cold fallback, reported via DecisionResult.WarmStarted=false.
+	if legacyEngineName(st.Engine) != d.engineName {
 		return false
 	}
 	xw := make([]float64, d.n)

@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"sync/atomic"
 	"testing"
@@ -469,4 +470,80 @@ func TestQueuedDeadlineExpiryStorm(t *testing.T) {
 	if got := s.pool.Misses(); got != missesAfterStorm {
 		t.Fatalf("post-storm solve missed the pools %d more times; the storm corrupted the workspace", got-missesAfterStorm)
 	}
+}
+
+// Two delta requests solving concurrently from the SAME base revision
+// must never mutate the stored state: the revision store hands both
+// solvers one shared *DecisionState, so any aliasing between the
+// stored vectors and a run's working buffers is a data race (caught
+// under -race) and a silent corruption of every later warm start
+// (caught here bitwise even without -race).
+func TestConcurrentDeltasShareBaseWithoutAliasing(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2, Shards: 2})
+	doc := sparseInstance(t, 6, 14, 97)
+	base := Request{Instance: doc, Eps: 0.25, Seed: 5, Scale: 0.2}
+	resp, baseBody, baseDigest := postForDigest(t, ts.URL+"/v1/decision", &base)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("base solve: status %d: %s", resp.StatusCode, baseBody)
+	}
+	baseKey, err := parseDigest(baseDigest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev := s.revs.Get(baseKey)
+	if rev == nil {
+		t.Fatal("base revision not recorded")
+	}
+	// Bitwise snapshot of the stored state before any delta touches it.
+	before := rev.state.Clone()
+
+	mkDelta := func(i int, by float64) Request {
+		return Request{
+			Instance: &instio.Instance{Delta: &instio.Delta{
+				Base:  baseDigest,
+				Scale: []instio.DeltaScale{{I: i, By: by}},
+			}},
+			Eps: 0.25, Seed: 5, Scale: 0.2,
+		}
+	}
+	deltas := []Request{mkDelta(0, 1.04), mkDelta(2, 0.97)}
+	errs := make(chan error, len(deltas))
+	for i := range deltas {
+		go func(req Request) {
+			resp, body, err := tryPostJSON(ts.URL+"/v1/delta", &req)
+			if err == nil && resp.StatusCode != http.StatusOK {
+				err = fmt.Errorf("delta solve: status %d: %s", resp.StatusCode, body)
+			}
+			errs <- err
+		}(deltas[i])
+	}
+	for range deltas {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	after := s.revs.Get(baseKey)
+	if after == nil {
+		t.Fatal("base revision evicted during deltas")
+	}
+	if after.state != rev.state {
+		// Same pointer is fine (immutable), but if it was replaced the
+		// contents must still be the base's.
+		t.Log("revision state pointer changed; comparing contents")
+	}
+	st := after.state
+	if st.T != before.T || st.N != before.N || st.M != before.M {
+		t.Errorf("stored revision scalars changed: T %d->%d N %d->%d M %d->%d",
+			before.T, st.T, before.N, st.N, before.M, st.M)
+	}
+	if !sameBits(st.BestMinR, before.BestMinR) || !sameBits(st.BestDualRatio, before.BestDualRatio) || !sameBits(st.MaxPsiNorm, before.MaxPsiNorm) {
+		t.Error("stored revision certificate scalars changed under concurrent deltas")
+	}
+	if st.Engine != before.Engine {
+		t.Errorf("stored revision engine tag changed %q -> %q", before.Engine, st.Engine)
+	}
+	sameVecBits(t, "revision X", st.X, before.X)
+	sameVecBits(t, "revision AvgSum", st.AvgSum, before.AvgSum)
+	sameVecBits(t, "revision BestDualX", st.BestDualX, before.BestDualX)
 }

@@ -93,13 +93,17 @@ func (z *hasher) sum() digest {
 
 // digestVersion is bumped whenever the canonical encoding or the
 // solver's numerics change incompatibly, so stale cache entries from an
-// older build can never be mistaken for current results.
-const digestVersion = "psdpd-v1"
+// older build can never be mistaken for current results. v2 folded the
+// engine into the canonical form: before that, an mmw result could
+// answer an alo request from the cache.
+const digestVersion = "psdpd-v2"
 
 // requestDigest canonicalizes one solve request. kind is the endpoint
 // ("decision", "maximize", "solve"); exactly one of set or prog is
-// non-nil.
-func requestDigest(kind string, req *Request, set core.ConstraintSet, prog *core.Program) (digest, error) {
+// non-nil. engine is the EFFECTIVE engine — the request's engine with
+// the server default already substituted for "" — because the wire
+// field alone underdetermines what the solver runs.
+func requestDigest(kind string, req *Request, set core.ConstraintSet, prog *core.Program, engine core.EngineKind) (digest, error) {
 	opts, err := req.coreOptions()
 	if err != nil {
 		return digest{}, err
@@ -110,6 +114,7 @@ func requestDigest(kind string, req *Request, set core.ConstraintSet, prog *core
 	z.f64(req.Eps)
 	z.u64(req.Seed)
 	z.i64(int(canonicalOracle(opts.Oracle, set)))
+	z.i64(int(canonicalEngine(kind, engine, set, req.Eps)))
 	z.i64(req.MaxIter)
 	z.bool(req.Bucketed)
 	z.bool(req.TheoryExact)
@@ -171,6 +176,24 @@ func canonicalOracle(kind core.OracleKind, set core.ConstraintSet) core.OracleKi
 		return core.OracleFactoredJL
 	}
 	return core.OracleDenseExact
+}
+
+// canonicalEngine maps the effective engine to the value the digest
+// hashes. For decision requests EngineAuto is resolved exactly the way
+// the solver entrypoint resolves it (same set, same eps), so "auto"
+// and the explicit name of the auto choice provably produce identical
+// bytes and share one content address. For maximize/solve requests the
+// raw kind is hashed unresolved: those pipelines re-resolve Auto per
+// inner decision call at TIGHTER accuracies (eps/4 and below), so a
+// top-level resolution would not match what the solver actually runs —
+// merging the addresses there could serve one engine's bytes for the
+// other. Auto is still deterministic in the digested inputs, so the
+// address stays sound, just unmerged.
+func canonicalEngine(kind string, engine core.EngineKind, set core.ConstraintSet, eps float64) core.EngineKind {
+	if kind == "decision" {
+		return core.ResolveEngine(engine, set, eps)
+	}
+	return engine
 }
 
 // hashSet canonicalizes a constraint set. Dense sets hash their entries

@@ -3,6 +3,7 @@ package serve
 import (
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/instio"
 	"repro/internal/sparse"
 )
@@ -16,7 +17,7 @@ func digestOf(t *testing.T, kind string, req *Request) digest {
 	if sc := req.scaleOrOne(); sc != 1 {
 		set = set.WithScale(sc)
 	}
-	d, err := requestDigest(kind, req, set, nil)
+	d, err := requestDigest(kind, req, set, nil, core.EngineMMW)
 	if err != nil {
 		t.Fatal(err)
 	}

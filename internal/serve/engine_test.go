@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// The engine is part of the cache identity: the same instance solved
+// under "mmw" and under "alo" produces different (both certified)
+// bytes, so the second request must be a distinct cache entry — never
+// the first engine's bytes replayed. This is the regression test for
+// the engine/digest mismatch: before the engine was folded into
+// serve.digest, the alo request below came back as a cache "hit"
+// carrying the mmw response verbatim.
+func TestEngineSplitsCacheIdentity(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	doc := denseInstance(t, 8, 10, 11)
+
+	mmwReq := Request{Instance: doc, Eps: 0.25, Seed: 5, Scale: 0.5, Engine: "mmw"}
+	aloReq := mmwReq
+	aloReq.Engine = "alo"
+
+	resp1, body1 := postJSON(t, ts.URL+"/v1/decision", mmwReq)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("mmw solve: status %d: %s", resp1.StatusCode, body1)
+	}
+	resp2, body2 := postJSON(t, ts.URL+"/v1/decision", aloReq)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("alo solve: status %d: %s", resp2.StatusCode, body2)
+	}
+
+	if got := resp2.Header.Get("X-Psdpd-Cache"); got != "miss" {
+		t.Errorf("alo request after mmw solve: cache %q, want \"miss\" (an mmw result must never answer an alo request)", got)
+	}
+	if d1, d2 := resp1.Header.Get("X-Psdpd-Digest"), resp2.Header.Get("X-Psdpd-Digest"); d1 == d2 {
+		t.Errorf("mmw and alo requests share content address %s", d1)
+	}
+
+	var dr1, dr2 DecisionResponse
+	if err := json.Unmarshal(body1, &dr1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(body2, &dr2); err != nil {
+		t.Fatal(err)
+	}
+	// The engines run genuinely different dynamics; identical iteration
+	// counts AND identical iterates would mean the alo request was
+	// answered by the mmw solver (or vice versa).
+	if dr1.Iterations == dr2.Iterations && string(body1) == string(body2) {
+		t.Errorf("mmw and alo responses are byte-identical (%d iterations): wrong engine served", dr1.Iterations)
+	}
+
+	// Repeats under each engine stay deterministic cache hits of their
+	// OWN bytes.
+	for _, tc := range []struct {
+		req  Request
+		want []byte
+	}{{mmwReq, body1}, {aloReq, body2}} {
+		resp, body := postJSON(t, ts.URL+"/v1/decision", tc.req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("repeat: status %d: %s", resp.StatusCode, body)
+		}
+		if got := resp.Header.Get("X-Psdpd-Cache"); got != "hit" {
+			t.Errorf("repeat: cache %q, want \"hit\"", got)
+		}
+		if string(body) != string(tc.want) {
+			t.Errorf("repeat under engine %q returned different bytes", tc.req.Engine)
+		}
+	}
+}
+
+// Explicit "mmw", the empty engine (server default on a default
+// server), and the digests they produce must coincide: all three
+// provably produce identical bytes, so they share one content address.
+func TestEngineDefaultSharesMMWAddress(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	doc := denseInstance(t, 8, 10, 13)
+
+	def := Request{Instance: doc, Eps: 0.25, Seed: 5, Scale: 0.5}
+	resp1, body1 := postJSON(t, ts.URL+"/v1/decision", def)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("default solve: status %d: %s", resp1.StatusCode, body1)
+	}
+	mmw := def
+	mmw.Engine = "mmw"
+	resp2, body2 := postJSON(t, ts.URL+"/v1/decision", mmw)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("mmw solve: status %d: %s", resp2.StatusCode, body2)
+	}
+	if got := resp2.Header.Get("X-Psdpd-Cache"); got != "hit" {
+		t.Errorf("explicit mmw after default: cache %q, want \"hit\"", got)
+	}
+	if string(body1) != string(body2) {
+		t.Error("default and explicit mmw bytes differ")
+	}
+}
+
+// An unknown engine string is a 400, never an admitted solve.
+func TestEngineUnknownRejected(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	req := Request{Instance: denseInstance(t, 4, 6, 17), Eps: 0.25, Seed: 1, Engine: "simplex"}
+	resp, body := postJSON(t, ts.URL+"/v1/decision", req)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if got := s.Stats().Admitted; got != 0 {
+		t.Errorf("rejected engine still admitted %d requests", got)
+	}
+}
+
+// Config.DefaultEngine rewires what the empty engine string means; an
+// alo-default server must digest (and solve) "" as alo, sharing bytes
+// and address with an explicit alo request and splitting from mmw.
+func TestEngineServerDefaultALO(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, DefaultEngine: core.EngineALO})
+	doc := denseInstance(t, 8, 10, 19)
+
+	def := Request{Instance: doc, Eps: 0.25, Seed: 5, Scale: 0.5}
+	resp1, body1 := postJSON(t, ts.URL+"/v1/decision", def)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("default solve: status %d: %s", resp1.StatusCode, body1)
+	}
+	alo := def
+	alo.Engine = "alo"
+	resp2, body2 := postJSON(t, ts.URL+"/v1/decision", alo)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("alo solve: status %d: %s", resp2.StatusCode, body2)
+	}
+	if got := resp2.Header.Get("X-Psdpd-Cache"); got != "hit" {
+		t.Errorf("explicit alo on an alo-default server: cache %q, want \"hit\"", got)
+	}
+	if string(body1) != string(body2) {
+		t.Error("server-default alo and explicit alo bytes differ")
+	}
+	mmw := def
+	mmw.Engine = "mmw"
+	resp3, _ := postJSON(t, ts.URL+"/v1/decision", mmw)
+	if got := resp3.Header.Get("X-Psdpd-Cache"); got != "miss" {
+		t.Errorf("mmw on an alo-default server: cache %q, want \"miss\"", got)
+	}
+}
+
+// /statsz breaks admissions out per effective engine: explicit names
+// count under themselves, "" counts under the server default, and
+// "auto" on a decision request counts under its concrete resolution
+// (here eps 0.25 on a dense instance resolves to mmw) while
+// maximize/solve keep the "auto" bucket. Rejections never count.
+func TestEngineStatsCounters(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+	doc := denseInstance(t, 8, 10, 23)
+
+	post := func(path string, req Request) {
+		t.Helper()
+		resp, body := postJSON(t, ts.URL+path, req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", path, resp.StatusCode, body)
+		}
+	}
+	post("/v1/decision", Request{Instance: doc, Eps: 0.25, Seed: 5, Scale: 0.5, Engine: "mmw"})
+	post("/v1/decision", Request{Instance: doc, Eps: 0.25, Seed: 5, Scale: 0.5, Engine: "alo"})
+	// Auto at eps 0.25 resolves to mmw for a dense instance, so this
+	// admission lands in the mmw bucket — /statsz agrees with the cache
+	// identity about what actually ran.
+	post("/v1/decision", Request{Instance: doc, Eps: 0.25, Seed: 5, Scale: 0.5, Engine: "auto"})
+	post("/v1/maximize", Request{Instance: doc, Eps: 0.3, Seed: 5, Scale: 0.5, Engine: "auto"})
+	// Server default (mmw) for an empty engine field.
+	post("/v1/decision", Request{Instance: doc, Eps: 0.25, Seed: 6, Scale: 0.5})
+	// A rejected engine moves nothing.
+	if resp, _ := postJSON(t, ts.URL+"/v1/decision", Request{Instance: doc, Eps: 0.25, Seed: 7, Engine: "simplex"}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown engine status %d, want 400", resp.StatusCode)
+	}
+
+	st := s.Stats()
+	if st.RequestsMMW != 3 {
+		t.Errorf("RequestsMMW = %d, want 3 (explicit + resolved auto + server default)", st.RequestsMMW)
+	}
+	if st.RequestsALO != 1 {
+		t.Errorf("RequestsALO = %d, want 1", st.RequestsALO)
+	}
+	if st.RequestsAuto != 1 {
+		t.Errorf("RequestsAuto = %d, want 1 (the maximize request)", st.RequestsAuto)
+	}
+	if total := st.RequestsMMW + st.RequestsALO + st.RequestsAuto; total != st.Admitted {
+		t.Errorf("per-engine counters sum to %d, admitted %d", total, st.Admitted)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"math"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,6 +45,10 @@ type Config struct {
 	// means the default (128), negative disables incremental solving
 	// (/v1/delta answers 404 for every base).
 	RevisionEntries int
+	// DefaultEngine is what a request with no engine field gets: the
+	// zero value is core.EngineMMW (the reference engine), matching the
+	// library default. Requests naming an engine are unaffected.
+	DefaultEngine core.EngineKind
 }
 
 func (c Config) withDefaults() Config {
@@ -116,6 +121,15 @@ type counters struct {
 	deltaBaseMisses   atomic.Int64
 	warmStarts        atomic.Int64
 	warmColdFallbacks atomic.Int64
+	// Per-engine counts of ADMITTED requests, keyed by the EFFECTIVE
+	// engine — the server default substituted for "", and Auto resolved
+	// to its concrete pick for decision requests (maximize/solve keep
+	// "auto": their inner decisions re-resolve per call, so no single
+	// concrete engine is honest). Same discipline as the representation
+	// counters: bumped once per admitted request, never by a 400.
+	reqEngineMMW  atomic.Int64
+	reqEngineALO  atomic.Int64
+	reqEngineAuto atomic.Int64
 }
 
 // countRepresentation bumps the per-representation admission counter.
@@ -131,6 +145,20 @@ func (s *Server) countRepresentation(rep string) {
 		s.stats.reqSparse.Add(1)
 	case repProgram:
 		s.stats.reqProgram.Add(1)
+	}
+}
+
+// countEngine bumps the per-engine admission counter for the effective
+// engine label ("mmw", "alo", or "auto"). Same contract as
+// countRepresentation: exactly once per admitted request.
+func (s *Server) countEngine(engine string) {
+	switch engine {
+	case core.EngineNameMMW:
+		s.stats.reqEngineMMW.Add(1)
+	case core.EngineNameALO:
+		s.stats.reqEngineALO.Add(1)
+	case "auto":
+		s.stats.reqEngineAuto.Add(1)
 	}
 }
 
@@ -180,6 +208,12 @@ type Server struct {
 
 	fmu     sync.Mutex
 	flights map[digest]*flight
+
+	// solveSeconds is an EWMA of observed successful solve wall times
+	// (float64 bits in seconds), fed by solveClosure and read by
+	// retryAfterSeconds to turn a 429 into an actionable hint. Zero
+	// means "no solve observed yet".
+	solveSeconds atomic.Uint64
 
 	// testHookBeforeSolve, when non-nil, runs on the worker goroutine
 	// immediately before each solve. Tests use it to hold solves open
@@ -243,6 +277,9 @@ func (s *Server) Stats() StatsResponse {
 		RequestsFactored: s.stats.reqFactored.Load(),
 		RequestsSparse:   s.stats.reqSparse.Load(),
 		RequestsProgram:  s.stats.reqProgram.Load(),
+		RequestsMMW:      s.stats.reqEngineMMW.Load(),
+		RequestsALO:      s.stats.reqEngineALO.Load(),
+		RequestsAuto:     s.stats.reqEngineAuto.Load(),
 		DeltaRequests:    s.stats.deltaRequests.Load(),
 		DeltaBaseMisses:  s.stats.deltaBaseMisses.Load(),
 		WarmStarts:       s.stats.warmStarts.Load(),
@@ -411,6 +448,7 @@ func (s *Server) solveOne(clientCtx context.Context, kind string, req *Request, 
 	// rejections above never touch them.
 	s.stats.admitted.Add(1)
 	s.countRepresentation(p.rep)
+	s.countEngine(p.engine)
 	if p.isDelta {
 		s.stats.deltaRequests.Add(1)
 	}
@@ -516,6 +554,10 @@ type prepared struct {
 	d     digest
 	plain digest
 	rep   string
+	// engine is the effective engine label for the admission counters:
+	// the canonical (digested) engine, so /statsz agrees with the cache
+	// identity about what a request ran.
+	engine string
 	// wantRevision marks solves that should leave a warm-startable
 	// revision behind (sparse decision solves with the store enabled —
 	// only sparse instances can be delta bases, so recording dense or
@@ -541,6 +583,9 @@ func (s *Server) prepare(kind string, req *Request, warm *warmLink) (prepared, e
 	opts, err := req.coreOptions()
 	if err != nil {
 		return prepared{}, err
+	}
+	if req.Engine == "" {
+		opts.Engine = s.cfg.DefaultEngine
 	}
 	if err := opts.Validate(); err != nil {
 		return prepared{}, err
@@ -578,11 +623,11 @@ func (s *Server) prepare(kind string, req *Request, warm *warmLink) (prepared, e
 		if err := oracleMatchesSet(opts.Oracle, set); err != nil {
 			return prepared{}, err
 		}
-		d, err := requestDigest(kind, req, set, nil)
+		d, err := requestDigest(kind, req, set, nil, opts.Engine)
 		if err != nil {
 			return prepared{}, err
 		}
-		p := prepared{d: d, plain: d, rep: representationOf(set)}
+		p := prepared{d: d, plain: d, rep: representationOf(set), engine: canonicalEngine(kind, opts.Engine, set, req.Eps).String()}
 		eps := req.Eps
 		if kind == "decision" {
 			p.wantRevision = s.cfg.RevisionEntries > 0 && p.rep == repSparse
@@ -648,12 +693,12 @@ func (s *Server) prepare(kind string, req *Request, warm *warmLink) (prepared, e
 		if err != nil {
 			return prepared{}, err
 		}
-		d, err := requestDigest(kind, req, nil, prog)
+		d, err := requestDigest(kind, req, nil, prog, opts.Engine)
 		if err != nil {
 			return prepared{}, err
 		}
 		eps := req.Eps
-		p := prepared{d: d, plain: d, rep: repProgram}
+		p := prepared{d: d, plain: d, rep: repProgram, engine: opts.Engine.String()}
 		p.fn = s.solveClosure(func(ctx context.Context, ws *work.Workspace) (any, error) {
 			o := opts
 			o.Ctx, o.Workspace = ctx, ws
@@ -691,15 +736,54 @@ func (s *Server) recordRevision(key digest, inst *instio.Instance, dr *core.Deci
 	})
 }
 
-// solveClosure wraps a solve with the counters and the test hook.
+// solveClosure wraps a solve with the counters, the latency EWMA, and
+// the test hook.
 func (s *Server) solveClosure(fn poolFn) poolFn {
 	return func(ctx context.Context, ws *work.Workspace) (any, error) {
 		if s.testHookBeforeSolve != nil {
 			s.testHookBeforeSolve()
 		}
 		s.stats.solves.Add(1)
-		return fn(ctx, ws)
+		start := time.Now()
+		v, err := fn(ctx, ws)
+		if err == nil {
+			s.observeSolveSeconds(time.Since(start).Seconds())
+		}
+		return v, err
 	}
+}
+
+// observeSolveSeconds folds one successful solve's wall time into the
+// latency EWMA (weight 1/8; the first observation seeds it). Failed or
+// cancelled solves are excluded: a deadline-truncated sample says
+// nothing about how long a queued job will actually hold a worker.
+func (s *Server) observeSolveSeconds(sec float64) {
+	for {
+		old := s.solveSeconds.Load()
+		ewma := sec
+		if old != 0 {
+			ewma = math.Float64frombits(old)
+			ewma += (sec - ewma) / 8
+		}
+		if s.solveSeconds.CompareAndSwap(old, math.Float64bits(ewma)) {
+			return
+		}
+	}
+}
+
+// retryAfterSeconds derives the Retry-After hint on a 429 from live
+// backpressure instead of a constant: the rejected client is behind
+// every queued job plus the round already on the workers, the pool
+// drains Workers jobs per round, and one round lasts about one EWMA
+// solve. Clamped to [1, 30] so a cold server never advertises 0 and a
+// pathological queue never parks clients for minutes against a
+// transient spike.
+func (s *Server) retryAfterSeconds() int {
+	ewma := math.Float64frombits(s.solveSeconds.Load())
+	w := s.cfg.Workers
+	rounds := (s.pool.QueueDepth() + 2*w - 1) / w // ceil((queued+workers)/workers)
+	secs := int(math.Ceil(float64(rounds) * ewma))
+	return min(max(secs, 1), 30)
 }
 
 // oracleMatchesSet front-loads the oracle/representation mismatch the
@@ -784,7 +868,7 @@ func (s *Server) writeResult(w http.ResponseWriter, status int, cacheState strin
 		h.Set("X-Psdpd-Cache", cacheState)
 	}
 	if status == http.StatusTooManyRequests {
-		h.Set("Retry-After", "1")
+		h.Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 	}
 	w.WriteHeader(status)
 	w.Write(body)

@@ -761,3 +761,64 @@ func TestSparseDigestTripletOrderIrrelevant(t *testing.T) {
 		t.Fatal("cache hit returned different bytes")
 	}
 }
+
+// Retry-After on a 429 is derived from live backpressure — queue depth
+// over worker count times the observed solve-latency EWMA — not a
+// hardcoded constant. With the EWMA preset to 2s, one blocked worker,
+// and two queued jobs, the rejected client is ~3 rounds out: header 6.
+func TestRetryAfterDerivedFromBackpressure(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, Shards: 1, QueueDepth: 2})
+	var started atomic.Int32
+	gate := make(chan struct{})
+	defer close(gate)
+	s.testHookBeforeSolve = func() {
+		started.Add(1)
+		<-gate
+	}
+	s.solveSeconds.Store(math.Float64bits(2.0))
+
+	doc := denseInstance(t, 6, 8, 67)
+	mkReq := func(seed uint64) Request {
+		return Request{Instance: doc, Eps: 0.25, Seed: seed}
+	}
+	done := make(chan struct{}, 3)
+	send := func(seed uint64) {
+		req := mkReq(seed)
+		tryPostJSON(ts.URL+"/v1/decision", &req)
+		done <- struct{}{}
+	}
+
+	// One request on the worker, two in the depth-2 queue.
+	go send(1)
+	waitFor(t, func() bool { return started.Load() == 1 })
+	go send(2)
+	go send(3)
+	waitFor(t, func() bool { return s.pool.QueueDepth() == 2 })
+
+	// Rejected client: ceil((2 queued + 1 worker)/1 worker) = 3 rounds
+	// at 2s each.
+	req := mkReq(4)
+	resp, body := postJSON(t, ts.URL+"/v1/decision", &req)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d (%s), want 429", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "6" {
+		t.Errorf("Retry-After %q, want \"6\" (3 rounds x 2s EWMA)", got)
+	}
+
+	// A pathological EWMA is clamped to 30s, never parking the client
+	// for minutes.
+	s.solveSeconds.Store(math.Float64bits(100.0))
+	resp, _ = postJSON(t, ts.URL+"/v1/decision", &req)
+	if got := resp.Header.Get("Retry-After"); got != "30" {
+		t.Errorf("Retry-After %q, want clamp \"30\"", got)
+	}
+
+	// A cold server (no solve observed yet) still advertises at least
+	// 1s — never 0, which clients would treat as "immediately".
+	s.solveSeconds.Store(0)
+	resp, _ = postJSON(t, ts.URL+"/v1/decision", &req)
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Errorf("Retry-After %q, want floor \"1\"", got)
+	}
+}

@@ -76,6 +76,13 @@ type Request struct {
 	Scale float64 `json:"scale,omitempty"`
 	// Oracle is "" or "auto", "dense", "jl", "exact".
 	Oracle string `json:"oracle,omitempty"`
+	// Engine selects the iteration dynamics: "mmw" (Algorithm 3.1),
+	// "alo" (the arXiv:1507.02259 truncated-gradient engine), "auto"
+	// (per-instance selection), or "" for the server's default. The
+	// effective engine is part of the cache identity: the two engines
+	// produce different (both certified) bytes for the same instance,
+	// so an mmw result must never answer an alo request.
+	Engine string `json:"engine,omitempty"`
 	// MaxIter caps decision iterations; 0 means the paper's R.
 	MaxIter int `json:"maxIter,omitempty"`
 	// Bucketed enables the dynamic-bucketing update.
@@ -119,6 +126,18 @@ func (r *Request) coreOptions() (core.Options, error) {
 		opts.Oracle = core.OracleFactoredExact
 	default:
 		return opts, fmt.Errorf("serve: unknown oracle %q (want auto, dense, jl, or exact)", r.Oracle)
+	}
+	switch r.Engine {
+	case "":
+		// Server default; prepare substitutes Config.DefaultEngine.
+	case core.EngineNameMMW:
+		opts.Engine = core.EngineMMW
+	case core.EngineNameALO:
+		opts.Engine = core.EngineALO
+	case "auto":
+		opts.Engine = core.EngineAuto
+	default:
+		return opts, fmt.Errorf("serve: unknown engine %q (want mmw, alo, or auto)", r.Engine)
 	}
 	return opts, nil
 }
@@ -265,6 +284,14 @@ type StatsResponse struct {
 	RequestsFactored int64 `json:"requestsFactored"`
 	RequestsSparse   int64 `json:"requestsSparse"`
 	RequestsProgram  int64 `json:"requestsProgram"`
+	// Per-engine counts of admitted solve requests, keyed by the
+	// effective engine: the server default substituted for an empty
+	// engine field, and "auto" resolved to its concrete pick for
+	// decision requests (maximize/solve count under "auto" because
+	// their inner decision calls re-resolve per call).
+	RequestsMMW  int64 `json:"requestsEngineMMW"`
+	RequestsALO  int64 `json:"requestsEngineALO"`
+	RequestsAuto int64 `json:"requestsEngineAuto"`
 	// Incremental solving (/v1/delta): admitted delta requests, 404s on
 	// unknown/evicted bases, how many delta solves actually warm-started
 	// versus fell back to a cold start, the revision-store population,

@@ -95,6 +95,8 @@ type (
 	PrimalCertificate = core.PrimalCertificate
 	// OracleKind selects the per-iteration exponential primitive.
 	OracleKind = core.OracleKind
+	// EngineKind selects the iteration dynamics (MMW, ALO, or auto).
+	EngineKind = core.EngineKind
 	// Workspace is the solver's scratch-buffer arena. Set
 	// Options.Workspace to reuse one across sequential solver calls so
 	// every call after the first runs allocation-free in steady state;
@@ -116,6 +118,14 @@ const (
 	OracleDenseExact    = core.OracleDenseExact
 	OracleFactoredJL    = core.OracleFactoredJL
 	OracleFactoredExact = core.OracleFactoredExact
+
+	// Engine selection for Options.Engine. EngineMMW (the default) is the
+	// paper's Algorithm 3.1; EngineALO is the arXiv:1507.02259 truncated-
+	// gradient engine with an O(ε⁻² log² N) iteration budget; EngineAuto
+	// picks per instance (see core.ResolveEngine).
+	EngineMMW  = core.EngineMMW
+	EngineALO  = core.EngineALO
+	EngineAuto = core.EngineAuto
 )
 
 // NewMatrix returns a zero r-by-c dense matrix.
@@ -149,6 +159,17 @@ func NewSparseSet(a []*CSC) (*SparseSet, error) { return core.NewSparseSet(a) }
 
 // ParamsFor computes Algorithm 3.1's constants for an instance shape.
 func ParamsFor(n, m int, eps float64) (Params, error) { return core.ParamsFor(n, m, eps) }
+
+// ParseEngine maps an engine name ("mmw", "alo", "auto", or "" for the
+// default) to its EngineKind.
+func ParseEngine(s string) (EngineKind, error) { return core.ParseEngine(s) }
+
+// ResolveEngine resolves EngineAuto to the concrete engine the solver
+// would run for an instance at accuracy eps; concrete kinds pass
+// through unchanged.
+func ResolveEngine(kind EngineKind, set ConstraintSet, eps float64) EngineKind {
+	return core.ResolveEngine(kind, set, eps)
+}
 
 // Decision runs one ε-decision call (the paper's Algorithm 3.1,
 // decisionPSDP) on the packing constraints: it returns either a

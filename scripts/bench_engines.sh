@@ -1,0 +1,16 @@
+#!/bin/sh
+# bench_engines.sh — regenerate the MMW-vs-ALO head-to-head baseline:
+# run both engines over the dense-accept / dense-reject / sparse-exact
+# sweep and merge the iteration counts and wall times into
+# BENCH_psdp.json under the "engines" key. Fails unless ALO uses
+# strictly fewer iterations than MMW at the tight-eps point on every
+# case and both engines reach the same decision (psdpbench exits
+# nonzero on a gate violation).
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT="${BENCH_OUT:-BENCH_psdp.json}"
+
+go run ./cmd/psdpbench -engines -bench-out "$OUT" ${BENCH_ENGINES_FLAGS:-}
+
+echo "bench-engines: OK (baseline written to $OUT)"
