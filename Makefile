@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race race-smoke vet lint ci fuzz bench bench-delta bench-engines experiments serve load smoke-serve
+.PHONY: build test race race-smoke vet lint ci fuzz bench bench-delta bench-engines bench-mixed examples experiments serve load smoke-serve
 
 ## build: compile every package and command
 build:
@@ -66,6 +66,23 @@ bench-delta:
 ## fewer iterations than MMW at the tight-eps point on every case)
 bench-engines:
 	sh scripts/bench_engines.sh
+
+## bench-mixed: regenerate the mixed packing/covering baseline under
+## "mixed" in BENCH_psdp.json (fails unless both engines reach a
+## verified feasible point on every witness-feasible instance)
+bench-mixed:
+	sh scripts/bench_mixed.sh
+
+## examples: compile every example program and run the mixedcover
+## walkthrough end to end (CI runs this; mixedcover exits nonzero if
+## its verified result goes wrong, the rest are build-gated — some run
+## full experiment sweeps far too slow for a CI lap)
+examples:
+	@set -e; for d in examples/*/; do \
+		echo "== build $$d"; \
+		$(GO) build -o /dev/null ./$$d; \
+	done
+	$(GO) run ./examples/mixedcover
 
 ## serve: run the solve daemon on :8723 (see README "Serving")
 serve:

@@ -73,6 +73,9 @@ type benchReport struct {
 	// Engines is the MMW-vs-ALO head-to-head baseline owned by
 	// psdpbench -engines; preserved the same way.
 	Engines json.RawMessage `json:"engines,omitempty"`
+	// Mixed is the mixed packing/covering baseline owned by
+	// psdpbench -mixed; preserved the same way.
+	Mixed json.RawMessage `json:"mixed,omitempty"`
 }
 
 // allocsPerOp measures heap allocations and bytes per invocation of op,
@@ -298,6 +301,7 @@ func runKernelBench(path string, sizes []int, seed uint64) error {
 			rep.Serve = old.Serve
 			rep.ServeDelta = old.ServeDelta
 			rep.Engines = old.Engines
+			rep.Mixed = old.Mixed
 		}
 	}
 	out, err := json.MarshalIndent(&rep, "", "  ")

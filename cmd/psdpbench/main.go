@@ -28,12 +28,21 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	kernels := flag.Bool("kernels", false, "benchmark the dense hot-path kernels and write -bench-out")
 	engines := flag.Bool("engines", false, "head-to-head MMW vs ALO engine benchmark; gates the tight-eps crossover and writes -bench-out")
-	benchOut := flag.String("bench-out", "BENCH_psdp.json", "output path for -kernels/-engines JSON report")
+	mixedBench := flag.Bool("mixed", false, "mixed packing/covering benchmark; gates feasibility on witness-feasible instances and writes -bench-out")
+	benchOut := flag.String("bench-out", "BENCH_psdp.json", "output path for -kernels/-engines/-mixed JSON report")
 	flag.Parse()
 
 	if *engines {
 		if err := runEngineBench(*benchOut, *quick, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "psdpbench: engine benchmark failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *mixedBench {
+		if err := runMixedBench(*benchOut, *quick, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "psdpbench: mixed benchmark failed: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -6,10 +6,10 @@ import (
 )
 
 // A kernel rerun must carry the externally-owned sections ("serve",
-// "serve.delta", "engines") over untouched: they are separate
+// "serve.delta", "engines", "mixed") over untouched: they are separate
 // baselines refreshed by separate commands.
 func TestBenchReportPreservesServeSections(t *testing.T) {
-	src := []byte(`{"go_version":"x","serve":{"rps":42},"serve.delta":{"iter_ratio":0.45},"engines":{"tight_eps":0.05}}`)
+	src := []byte(`{"go_version":"x","serve":{"rps":42},"serve.delta":{"iter_ratio":0.45},"engines":{"tight_eps":0.05},"mixed":{"eps":0.1}}`)
 	var old benchReport
 	if err := json.Unmarshal(src, &old); err != nil {
 		t.Fatal(err)
@@ -23,7 +23,10 @@ func TestBenchReportPreservesServeSections(t *testing.T) {
 	if string(old.Engines) != `{"tight_eps":0.05}` {
 		t.Fatalf("engines section not carried: %q", old.Engines)
 	}
-	rep := benchReport{GoVersion: "y", Serve: old.Serve, ServeDelta: old.ServeDelta, Engines: old.Engines}
+	if string(old.Mixed) != `{"eps":0.1}` {
+		t.Fatalf("mixed section not carried: %q", old.Mixed)
+	}
+	rep := benchReport{GoVersion: "y", Serve: old.Serve, ServeDelta: old.ServeDelta, Engines: old.Engines, Mixed: old.Mixed}
 	out, err := json.Marshal(&rep)
 	if err != nil {
 		t.Fatal(err)
@@ -32,7 +35,7 @@ func TestBenchReportPreservesServeSections(t *testing.T) {
 	if err := json.Unmarshal(out, &round); err != nil {
 		t.Fatal(err)
 	}
-	if string(round["serve"]) != `{"rps":42}` || string(round["serve.delta"]) != `{"iter_ratio":0.45}` || string(round["engines"]) != `{"tight_eps":0.05}` {
+	if string(round["serve"]) != `{"rps":42}` || string(round["serve.delta"]) != `{"iter_ratio":0.45}` || string(round["engines"]) != `{"tight_eps":0.05}` || string(round["mixed"]) != `{"eps":0.1}` {
 		t.Fatalf("round-trip lost a section: %s", out)
 	}
 }

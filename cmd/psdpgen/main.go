@@ -9,6 +9,8 @@
 //	psdpgen -family sparse-grouped -n 8 -m 32 -out inst.json  # n grouped-Laplacian sparse constraints
 //	psdpgen -family beamforming -n 12 -m 16 -out inst.json
 //	psdpgen -family ellipse -out inst.json             # the Figure 1 instance
+//	psdpgen -family mixed-lp -n 8 -m 16 -out inst.json    # packing + covering LP rows (dense)
+//	psdpgen -family mixed-graph -n 8 -m 32 -out inst.json # grouped-Laplacian packing + covering (sparse)
 package main
 
 import (
@@ -21,10 +23,11 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/instio"
+	"repro/internal/mixed"
 )
 
 func main() {
-	family := flag.String("family", "random", "random | graph | sparse | sparse-grouped | beamforming | ellipse | diagonal")
+	family := flag.String("family", "random", "random | graph | sparse | sparse-grouped | beamforming | ellipse | diagonal | mixed-lp | mixed-graph")
 	n := flag.Int("n", 8, "number of constraints (users/edges where applicable)")
 	m := flag.Int("m", 16, "matrix dimension (vertices/antennas where applicable)")
 	seed := flag.Uint64("seed", 1, "generator seed")
@@ -106,6 +109,45 @@ func main() {
 			fatal(err)
 		}
 		doc = instio.FromDenseSet(set)
+	case "mixed", "mixed-lp":
+		inst, err := gen.MixedCoveringLP(*n, *m, max(2, *n/2), 0.5, rng)
+		if err != nil {
+			fatal(err)
+		}
+		set, err := core.NewDenseSet(inst.A)
+		if err != nil {
+			fatal(err)
+		}
+		prob, err := mixed.NewProblem(set, inst.C)
+		if err != nil {
+			fatal(err)
+		}
+		doc, err = instio.FromMixedProblem(prob)
+		if err != nil {
+			fatal(err)
+		}
+	case "mixed-graph":
+		g := graph.ErdosRenyi(*m, 6.0/float64(*m), rng)
+		groups := *n
+		if groups > g.M() {
+			groups = g.M()
+		}
+		inst, err := gen.MixedGraphCovering(g, groups, max(2, groups/2), rng)
+		if err != nil {
+			fatal(err)
+		}
+		set, err := core.NewSparseSet(inst.A)
+		if err != nil {
+			fatal(err)
+		}
+		prob, err := mixed.NewProblem(set, inst.C)
+		if err != nil {
+			fatal(err)
+		}
+		doc, err = instio.FromMixedProblem(prob)
+		if err != nil {
+			fatal(err)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "psdpgen: unknown family %q\n", *family)
 		os.Exit(2)

@@ -34,6 +34,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/instio"
+	"repro/internal/matrix"
+	"repro/internal/mixed"
 	"repro/internal/serve"
 )
 
@@ -61,7 +63,7 @@ type loadReport struct {
 func main() {
 	url := flag.String("url", "http://127.0.0.1:8723", "psdpd base URL")
 	mode := flag.String("mode", "steady", "steady (closed-loop load) | drift (incremental warm-vs-cold benchmark)")
-	endpoint := flag.String("endpoint", "decision", "decision | maximize (steady mode)")
+	endpoint := flag.String("endpoint", "decision", "decision | maximize | mixed (steady mode)")
 	revisions := flag.Int("revisions", 16, "drift mode: number of chained revisions")
 	drift := flag.Float64("drift", 0.05, "drift mode: per-constraint scale drift bound")
 	driftFrac := flag.Float64("drift-frac", 0.5, "drift mode: fraction of constraints drifted per revision")
@@ -79,7 +81,7 @@ func main() {
 	benchOut := flag.String("bench-out", "BENCH_psdp.json", "merge the report under the \"serve\" key of this file (empty disables)")
 	flag.Parse()
 
-	if *endpoint != "decision" && *endpoint != "maximize" {
+	if *endpoint != "decision" && *endpoint != "maximize" && *endpoint != "mixed" {
 		fmt.Fprintf(os.Stderr, "psdpload: unknown endpoint %q\n", *endpoint)
 		os.Exit(2)
 	}
@@ -191,19 +193,54 @@ func buildBodies(endpoint string, n, m, instances, seeds int, eps float64, genSe
 			fmt.Fprintf(os.Stderr, "psdpload: generating instance %d: %v\n", i, err)
 			os.Exit(1)
 		}
-		doc := instio.FromDenseSet(set)
+		var doc *instio.Instance
+		if endpoint == "mixed" {
+			prob, err := mixed.NewProblem(set, coverFor(n, rng))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "psdpload: wrapping instance %d: %v\n", i, err)
+				os.Exit(1)
+			}
+			doc, err = instio.FromMixedProblem(prob)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "psdpload: encoding instance %d: %v\n", i, err)
+				os.Exit(1)
+			}
+		} else {
+			doc = instio.FromDenseSet(set)
+		}
 		for s := 0; s < seeds; s++ {
-			req := serve.Request{Instance: doc, Eps: eps, Seed: uint64(s + 1), Scale: 0.5, Engine: engine}
+			req := serve.Request{Instance: doc, Eps: eps, Seed: uint64(s + 1), Engine: engine}
+			if endpoint != "mixed" {
+				// /v1/mixed rejects scale (it would not survive BuildMixed);
+				// the plain kinds keep it so the workload matches PR 5 runs.
+				req.Scale = 0.5
+			}
 			body, err := json.Marshal(&req)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "psdpload: %v\n", err)
 				os.Exit(1)
 			}
-			_ = endpoint // same body shape for decision and maximize
 			bodies = append(bodies, body)
 		}
 	}
 	return bodies
+}
+
+// coverFor builds a dense covering matrix whose rows demand a mix of
+// the packing variables — entries deterministic in rng so distinct
+// instances stay distinct digests and repeats stay cache hits.
+func coverFor(n int, rng *rand.Rand) *matrix.Dense {
+	rows := max(2, n/2)
+	cov := matrix.New(rows, n)
+	for r := 0; r < rows; r++ {
+		for j := 0; j < n; j++ {
+			if rng.Float64() < 0.5 {
+				cov.Set(r, j, 0.1+rng.Float64())
+			}
+		}
+		cov.Set(r, rng.IntN(n), 0.5+rng.Float64())
+	}
+	return cov
 }
 
 func post(client *http.Client, target string, body []byte) (int, string, error) {

@@ -10,6 +10,11 @@
 // With -decision, a single ε-decision call (Algorithm 3.1) is run
 // instead of the full optimizer.
 //
+// Documents carrying a "mixed" section (see psdpgen -family mixed-lp)
+// are detected automatically and routed through the mixed
+// packing/covering solver; the result reports the verified bicriteria
+// status instead of an objective bracket.
+//
 // Exit codes distinguish failure stages for scripting: 0 success,
 // 2 usage error, 3 instance parse/validation failure, 4 solve or
 // verification failure.
@@ -22,7 +27,6 @@ import (
 	"os"
 
 	psdp "repro"
-	"repro/internal/core"
 	"repro/internal/instio"
 )
 
@@ -35,11 +39,15 @@ const (
 type output struct {
 	Kind          string    `json:"kind"`
 	Eps           float64   `json:"eps"`
-	Lower         float64   `json:"lower"`
-	Upper         float64   `json:"upper"`
-	RelativeGap   float64   `json:"relativeGap"`
+	Lower         float64   `json:"lower,omitempty"`
+	Upper         float64   `json:"upper,omitempty"`
+	RelativeGap   float64   `json:"relativeGap,omitempty"`
 	X             []float64 `json:"x,omitempty"`
 	Outcome       string    `json:"outcome,omitempty"`
+	Status        string    `json:"status,omitempty"`
+	Engine        string    `json:"engine,omitempty"`
+	MinCoverage   float64   `json:"minCoverage,omitempty"`
+	Capped        int       `json:"capped,omitempty"`
 	Iterations    int       `json:"iterations,omitempty"`
 	DecisionCalls int       `json:"decisionCalls,omitempty"`
 	LambdaMax     float64   `json:"lambdaMax"`
@@ -63,13 +71,42 @@ func main() {
 		fmt.Fprintf(os.Stderr, "psdpsolve: %v\n", err)
 		os.Exit(exitUsage)
 	}
-	set, err := loadSet(*in)
+	doc, err := loadDoc(*in)
 	if err != nil {
 		fatal(exitParse, err)
 	}
 
 	var out output
 	out.Eps = *eps
+	if doc.Mixed != nil {
+		if *decision {
+			fmt.Fprintln(os.Stderr, "psdpsolve: -decision does not apply to mixed instances (the mixed solver is already a feasibility search)")
+			os.Exit(exitUsage)
+		}
+		prob, err := instio.BuildMixed(doc)
+		if err != nil {
+			fatal(exitParse, err)
+		}
+		mr, err := psdp.SolveMixed(prob, *eps, psdp.MixedOptions{Seed: *seed, Engine: eng})
+		if err != nil {
+			fatal(exitSolve, err)
+		}
+		out.Kind = "mixed"
+		out.Status = mr.Status.String()
+		out.Engine = mr.Engine
+		out.X = mr.X
+		out.MinCoverage = mr.MinCoverage
+		out.LambdaMax = mr.LambdaMax
+		out.Iterations = mr.Iterations
+		out.Capped = mr.Capped
+		out.Feasible = mr.Status == psdp.MixedFeasible
+		emit(&out)
+		return
+	}
+	set, err := instio.Build(doc)
+	if err != nil {
+		fatal(exitParse, err)
+	}
 	opts := psdp.Options{Seed: *seed, Engine: eng}
 	if *decision {
 		dr, err := psdp.Decision(set, *eps, opts)
@@ -99,7 +136,10 @@ func main() {
 	}
 	out.LambdaMax = cert.LambdaMax
 	out.Feasible = cert.Feasible
+	emit(&out)
+}
 
+func emit(out *output) {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {
@@ -107,14 +147,19 @@ func main() {
 	}
 }
 
-// loadSet reads the instance from a file, or from stdin when path is
-// "-" (the streaming instio.Decode path — no temp files needed in
-// pipelines).
-func loadSet(path string) (core.ConstraintSet, error) {
+// loadDoc reads the instance document from a file, or from stdin when
+// path is "-" — the document form so mixed sections survive for kind
+// detection; plain documents build into a ConstraintSet afterwards.
+func loadDoc(path string) (*instio.Instance, error) {
 	if path == "-" {
-		return instio.Decode(os.Stdin)
+		return instio.DecodeDocument(os.Stdin)
 	}
-	return instio.Load(path)
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return instio.DecodeDocument(f)
 }
 
 func fatal(code int, err error) {

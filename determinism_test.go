@@ -258,3 +258,73 @@ func TestMaximizeDeterministicAcrossGOMAXPROCS(t *testing.T) {
 	}
 	sameVec(t, "Maximize.X", s1.X, s8.X)
 }
+
+func sameMixed(t *testing.T, name string, a, b *psdp.MixedResult) {
+	t.Helper()
+	if a.Status != b.Status || a.Iterations != b.Iterations || a.Capped != b.Capped || a.Engine != b.Engine {
+		t.Fatalf("%s: status/iterations/capped/engine differ: %v/%d/%d/%s vs %v/%d/%d/%s",
+			name, a.Status, a.Iterations, a.Capped, a.Engine, b.Status, b.Iterations, b.Capped, b.Engine)
+	}
+	if !sameBits(a.MinCoverage, b.MinCoverage) || !sameBits(a.LambdaMax, b.LambdaMax) {
+		t.Fatalf("%s: verified quantities differ: cov %v λ %v vs cov %v λ %v",
+			name, a.MinCoverage, a.LambdaMax, b.MinCoverage, b.LambdaMax)
+	}
+	sameVec(t, name+".X", a.X, b.X)
+}
+
+func TestSolveMixedDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	rng := rand.New(rand.NewPCG(91, 92))
+	inst, err := gen.MixedCoveringLP(8, 10, 4, 0.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pack, err := psdp.NewDenseSet(inst.A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := psdp.NewMixedProblem(pack, inst.C)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eng := range []psdp.EngineKind{psdp.EngineMMW, psdp.EngineALO} {
+		run := func() *psdp.MixedResult {
+			mr, err := psdp.SolveMixed(mp, 0.15, psdp.MixedOptions{Seed: 41, Engine: eng})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return mr
+		}
+		var m1, m8 *psdp.MixedResult
+		atGOMAXPROCS(1, func() { m1 = run() })
+		atGOMAXPROCS(8, func() { m8 = run() })
+		sameMixed(t, "mixed-"+eng.String(), m1, m8)
+	}
+}
+
+func TestSolveMixedSparseDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	rng := rand.New(rand.NewPCG(95, 96))
+	g := graph.ErdosRenyi(16, 6.0/16, rng)
+	inst, err := gen.MixedGraphCovering(g, 6, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pack, err := psdp.NewSparseSet(inst.A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := psdp.NewMixedProblem(pack, inst.C)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *psdp.MixedResult {
+		mr, err := psdp.SolveMixed(mp, 0.2, psdp.MixedOptions{Seed: 43})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mr
+	}
+	var m1, m8 *psdp.MixedResult
+	atGOMAXPROCS(1, func() { m1 = run() })
+	atGOMAXPROCS(8, func() { m8 = run() })
+	sameMixed(t, "mixed-sparse", m1, m8)
+}

@@ -293,18 +293,66 @@ func goldenCases() []goldenCase {
 			if err != nil {
 				t.Fatal(err)
 			}
-			return goldenRecord{
-				Name:       "mixed-diag-solve",
-				Kind:       "mixed",
-				Outcome:    mr.Status.String(),
-				Iterations: mr.Iterations,
-				LowerBits:  bitsOf(mr.MinCoverage),
-				UpperBits:  bitsOf(mr.LambdaMax),
-				Lower:      fmt.Sprintf("%g", mr.MinCoverage),
-				Upper:      fmt.Sprintf("%g", mr.LambdaMax),
-				XBits:      vecBits(mr.X),
-			}
+			return mixedRecord("mixed-diag-solve", mr)
 		}},
+		{name: "mixed-lp-gen-solve", run: func(t *testing.T) goldenRecord {
+			rng := rand.New(rand.NewPCG(91, 92))
+			inst, err := gen.MixedCoveringLP(8, 10, 4, 0.5, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pack, err := psdp.NewDenseSet(inst.A)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mp, err := psdp.NewMixedProblem(pack, inst.C)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mr, err := psdp.SolveMixed(mp, 0.15, psdp.MixedOptions{Seed: 41})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return mixedRecord("mixed-lp-gen-solve", mr)
+		}},
+		{name: "mixed-graph-alo-solve", run: func(t *testing.T) goldenRecord {
+			rng := rand.New(rand.NewPCG(95, 96))
+			g := graph.ErdosRenyi(16, 6.0/16, rng)
+			inst, err := gen.MixedGraphCovering(g, 6, 3, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pack, err := psdp.NewSparseSet(inst.A)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mp, err := psdp.NewMixedProblem(pack, inst.C)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mr, err := psdp.SolveMixed(mp, 0.2, psdp.MixedOptions{Seed: 43, Engine: psdp.EngineALO})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return mixedRecord("mixed-graph-alo-solve", mr)
+		}},
+	}
+}
+
+func mixedRecord(name string, mr *psdp.MixedResult) goldenRecord {
+	return goldenRecord{
+		Name:       name,
+		Kind:       "mixed",
+		Outcome:    mr.Status.String(),
+		Iterations: mr.Iterations,
+		LowerBits:  bitsOf(mr.MinCoverage),
+		UpperBits:  bitsOf(mr.LambdaMax),
+		Lower:      fmt.Sprintf("%g", mr.MinCoverage),
+		Upper:      fmt.Sprintf("%g", mr.LambdaMax),
+		XBits:      vecBits(mr.X),
+		Extra: map[string]uint64{
+			"capped": uint64(mr.Capped),
+		},
 	}
 }
 

@@ -61,6 +61,10 @@ func aloIterCap(logN, eps float64) int {
 	return int(tf)
 }
 
+// ALOIterCap exposes the ALO iteration budget to sibling packages that
+// run ALO-style dynamics over the RatioOracle (internal/mixed).
+func ALOIterCap(logN, eps float64) int { return aloIterCap(logN, eps) }
+
 // aloDualExitRatio is the certified dual ratio at which the ALO engine
 // answers "accept": some iterate x/λ_max(Ψ(x)) has packing value
 // ≥ 1 − ε, i.e. OPT ≥ 1 − ε — inside the same O(ε) accept band MMW's

@@ -39,6 +39,16 @@ func (r *RatioOracle) Update(b []int, alpha float64, x []float64) error {
 	return r.o.update(b, mults, x)
 }
 
+// UpdateMults informs the oracle that x[i] was multiplied by mults[j]
+// for each i = b[j]; x is the post-update vector. Every multiplier must
+// be positive and finite. Extensions use this for non-uniform steps —
+// coordinate caps that clamp a step short of (1+alpha), and
+// ALO-style exp(η·g) multipliers — over the same oracle machinery (the
+// underlying oracles already accept arbitrary positive multipliers).
+func (r *RatioOracle) UpdateMults(b []int, mults []float64, x []float64) error {
+	return r.o.update(b, mults, x)
+}
+
 // Ratios returns rᵢ for all constraints at the current x.
 func (r *RatioOracle) Ratios() ([]float64, error) {
 	v, _, err := r.o.ratios()

@@ -324,6 +324,136 @@ func RandomFactored(n, m, cols, nnzPerCol int, rng *rand.Rand) (*Factored, error
 	return &Factored{Q: qs, OPT: math.NaN(), Name: fmt.Sprintf("random-factored(n=%d,m=%d,c=%d,z=%d)", n, m, cols, nnzPerCol)}, nil
 }
 
+// MixedLP is a generated mixed packing/covering instance with DIAGONAL
+// packing constraints — the "positive covering LP + one matrix packing
+// constraint" class the paper's §5 describes. Witness is the point the
+// construction was scaled around: C·Witness ≥ 1.5·1 entrywise and
+// λ_max(Σ WitnessᵢAᵢ) < 1 exactly (diagonal sums), so the instance is
+// bicriteria-feasible with margin at every ε.
+type MixedLP struct {
+	A       []*matrix.Dense
+	C       *matrix.Dense
+	Witness []float64
+	Name    string
+}
+
+// MixedCoveringLP generates n diagonal packing constraints of dimension
+// m and d covering rows, scaled around a random interior witness: draw
+// x* and random nonnegative diagonals, normalize x* so the packed
+// diagonal sum stays strictly inside the unit ball, then scale each
+// covering row to demand 1.5 at x*. density controls the fill of both
+// the diagonals and the covering rows.
+func MixedCoveringLP(n, m, d int, density float64, rng *rand.Rand) (*MixedLP, error) {
+	if n <= 0 || m <= 0 || d <= 0 {
+		return nil, fmt.Errorf("gen: MixedCoveringLP(%d, %d, %d): sizes must be positive", n, m, d)
+	}
+	p := matrix.New(m, n) // column i = diag of Aᵢ
+	for i := range p.Data {
+		if rng.Float64() < density {
+			p.Data[i] = rng.Float64()
+		}
+	}
+	for i := 0; i < n; i++ {
+		p.Set(rng.IntN(m), i, 0.3+rng.Float64()) // no zero-trace constraints
+	}
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = 0.5 + rng.Float64()
+	}
+	// λ_max(Σ xᵢAᵢ) is exactly the max packed diagonal entry; scale the
+	// witness to park it at 1/1.05.
+	lam := 0.0
+	for j := 0; j < m; j++ {
+		s := 0.0
+		for i := 0; i < n; i++ {
+			s += xs[i] * p.At(j, i)
+		}
+		lam = math.Max(lam, s)
+	}
+	matrix.VecScale(xs, 1/(1.05*lam), xs)
+	cov, err := coverAround(n, d, density, xs, rng)
+	if err != nil {
+		return nil, err
+	}
+	as := make([]*matrix.Dense, n)
+	for i := 0; i < n; i++ {
+		as[i] = matrix.Diag(p.Col(i))
+	}
+	return &MixedLP{A: as, C: cov, Witness: xs,
+		Name: fmt.Sprintf("mixed-covering-lp(n=%d,m=%d,d=%d)", n, m, d)}, nil
+}
+
+// MixedSparse is a generated mixed instance with general-sparse packing
+// constraints. The witness satisfies Σ Witnessᵢ·Tr[Aᵢ] < 1 (trace
+// dominates λ_max, so the packing side holds with margin) and
+// C·Witness ≥ 1.5·1.
+type MixedSparse struct {
+	A       []*sparse.CSC
+	C       *matrix.Dense
+	Witness []float64
+	Name    string
+}
+
+// MixedGraphCovering is graph packing with covering demands: the
+// packing side is the grouped-Laplacian family (groups constraints over
+// the graph's edges) and d covering rows demand weight across random
+// subsets of the groups — "pack the subgraphs inside the unit ball
+// while every demand row is served". The witness is scaled through the
+// trace bound λ_max ≤ Tr, so feasibility survives any grouping.
+func MixedGraphCovering(g *graph.Graph, groups, d int, rng *rand.Rand) (*MixedSparse, error) {
+	if d <= 0 {
+		return nil, fmt.Errorf("gen: MixedGraphCovering: d=%d covering rows must be positive", d)
+	}
+	pack, err := SparseGroupedLaplacians(g, groups, rng)
+	if err != nil {
+		return nil, err
+	}
+	n := len(pack.A)
+	xs := make([]float64, n)
+	for i, a := range pack.A {
+		tr := 0.0
+		for j := 0; j < a.C; j++ {
+			for k := a.ColPtr[j]; k < a.ColPtr[j+1]; k++ {
+				if a.Row[k] == j {
+					tr += a.Val[k]
+				}
+			}
+		}
+		if tr <= 0 {
+			return nil, fmt.Errorf("gen: MixedGraphCovering: group %d has non-positive trace %v", i, tr)
+		}
+		xs[i] = 1 / (1.05 * float64(n) * tr)
+	}
+	cov, err := coverAround(n, d, 0.6, xs, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &MixedSparse{A: pack.A, C: cov, Witness: xs,
+		Name: fmt.Sprintf("mixed-graph-covering(n=%d,m=%d,d=%d)", n, g.N, d)}, nil
+}
+
+// coverAround builds a d-by-n nonnegative covering matrix scaled so
+// C·xs = 1.5·1 exactly: random nonnegative rows (each with at least one
+// positive entry) normalized against the witness.
+func coverAround(n, d int, density float64, xs []float64, rng *rand.Rand) (*matrix.Dense, error) {
+	cov := matrix.New(d, n)
+	for j := 0; j < d; j++ {
+		row := cov.Row(j)
+		for i := 0; i < n; i++ {
+			if rng.Float64() < density {
+				row[i] = 0.5 + rng.Float64()
+			}
+		}
+		row[rng.IntN(n)] = 0.5 + rng.Float64() // no all-zero rows
+		t := matrix.VecDot(row, xs)
+		if t <= 0 || math.IsInf(t, 0) || math.IsNaN(t) {
+			return nil, fmt.Errorf("gen: covering row %d has invalid demand %v at the witness", j, t)
+		}
+		matrix.VecScale(row, 1.5/t, row)
+	}
+	return cov, nil
+}
+
 // DriftScales is the drifting-instance workload driver: a deterministic
 // per-constraint scale perturbation for incremental (warm-started)
 // serving benchmarks. A fraction frac of the n constraints — at least

@@ -304,3 +304,74 @@ func TestDriftScales(t *testing.T) {
 		}
 	}
 }
+
+// The mixed families ship a witness the construction scaled around:
+// covering demands hit exactly 1.5 at it and the packing side stays
+// strictly inside the unit ball, so generated instances are always
+// bicriteria-feasible with margin.
+func TestMixedCoveringLPWitnessFeasible(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	inst, err := MixedCoveringLP(8, 6, 4, 0.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.A) != 8 || inst.C.R != 4 || inst.C.C != 8 || len(inst.Witness) != 8 {
+		t.Fatalf("shape drift: n=%d C=%dx%d w=%d", len(inst.A), inst.C.R, inst.C.C, len(inst.Witness))
+	}
+	sum := matrix.New(6, 6)
+	for i, a := range inst.A {
+		for k := range sum.Data {
+			sum.Data[k] += inst.Witness[i] * a.Data[k]
+		}
+	}
+	for j := 0; j < 6; j++ {
+		if d := sum.At(j, j); d >= 1 {
+			t.Fatalf("packed diagonal %d = %v at the witness, want < 1", j, d)
+		}
+	}
+	for j := 0; j < inst.C.R; j++ {
+		got := matrix.VecDot(inst.C.Row(j), inst.Witness)
+		if math.Abs(got-1.5) > 1e-9 {
+			t.Fatalf("covering row %d demands %v at the witness, want 1.5", j, got)
+		}
+	}
+	for _, v := range inst.C.Data {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("covering entry %v invalid", v)
+		}
+	}
+}
+
+func TestMixedGraphCoveringWitnessFeasible(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	g := graph.ErdosRenyi(14, 6.0/14, rng)
+	inst, err := MixedGraphCovering(g, 5, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.A) != 5 || inst.C.R != 3 || inst.C.C != 5 {
+		t.Fatalf("shape drift: n=%d C=%dx%d", len(inst.A), inst.C.R, inst.C.C)
+	}
+	// Trace bound: Σ xᵢ·Tr[Aᵢ] < 1 implies λ_max(Σ xᵢAᵢ) < 1.
+	trSum := 0.0
+	for i, a := range inst.A {
+		tr := 0.0
+		for j := 0; j < a.C; j++ {
+			for k := a.ColPtr[j]; k < a.ColPtr[j+1]; k++ {
+				if a.Row[k] == j {
+					tr += a.Val[k]
+				}
+			}
+		}
+		trSum += inst.Witness[i] * tr
+	}
+	if trSum >= 1 {
+		t.Fatalf("witness trace sum %v, want < 1", trSum)
+	}
+	for j := 0; j < inst.C.R; j++ {
+		got := matrix.VecDot(inst.C.Row(j), inst.Witness)
+		if math.Abs(got-1.5) > 1e-9 {
+			t.Fatalf("covering row %d demands %v at the witness, want 1.5", j, got)
+		}
+	}
+}

@@ -8,8 +8,9 @@ import (
 )
 
 // ApplyDelta materializes a delta document against its base instance,
-// returning an ordinary sparse Instance. base is the materialized
-// (non-delta) sparse document the delta's Base digest names — the
+// returning an ordinary sparse Instance (or, for a mixed base, a mixed
+// Instance whose sparse packing side absorbed the edits). base is the
+// materialized (non-delta) document the delta's Base digest names — the
 // caller (typically a serving layer's revision store) is responsible
 // for having resolved the digest to the right document. doc is the
 // incoming delta document: an Instance whose Delta field is set and
@@ -36,7 +37,20 @@ func ApplyDelta(base, doc *Instance) (*Instance, error) {
 	if base.M <= 0 {
 		return nil, errors.New("instio: delta base field m must be positive")
 	}
-	if len(base.Sparse) == 0 {
+	// A mixed base drifts on its packing side: the delta's edits apply
+	// to the sparse packing constraints inside the mixed section and the
+	// covering side carries over unchanged, so the materialized document
+	// is again a mixed instance (and re-solves as one).
+	baseSparse := base.Sparse
+	if base.Mixed != nil {
+		if len(base.Sparse)+len(base.Dense)+len(base.Factored) > 0 {
+			return nil, errors.New("instio: mixed delta base cannot also carry top-level constraints")
+		}
+		if len(base.Mixed.Sparse) == 0 {
+			return nil, errors.New("instio: delta requires a sparse-packed mixed base instance")
+		}
+		baseSparse = base.Mixed.Sparse
+	} else if len(base.Sparse) == 0 {
 		return nil, errors.New("instio: delta requires a sparse base instance")
 	}
 	if doc.M != 0 && doc.M != base.M {
@@ -45,9 +59,18 @@ func ApplyDelta(base, doc *Instance) (*Instance, error) {
 	if len(doc.Dense)+len(doc.Factored)+len(doc.Sparse) > 0 {
 		return nil, errors.New("instio: a delta document cannot also carry dense/factored/sparse constraints")
 	}
+	if doc.Mixed != nil {
+		return nil, errors.New("instio: a delta document cannot carry a mixed section (the base decides the kind)")
+	}
 	d := doc.Delta
 
-	n := len(base.Sparse)
+	n := len(baseSparse)
+	if base.Mixed != nil && len(d.Remove)+len(d.Add) > 0 {
+		// The covering matrix's columns index the packing constraints, so
+		// changing their count would silently rewire C against different
+		// variables. Mixed bases drift by edit and scale only.
+		return nil, errors.New("instio: mixed deltas support edit and scale only (the covering columns pin the variable count)")
+	}
 	removed := make([]bool, n)
 	for _, i := range d.Remove {
 		if i < 0 || i >= n {
@@ -60,7 +83,7 @@ func ApplyDelta(base, doc *Instance) (*Instance, error) {
 	// document is never mutated.
 	ents := make([][][3]float64, n)
 	for i := range ents {
-		ents[i] = base.Sparse[i].Entries
+		ents[i] = baseSparse[i].Entries
 	}
 	for ei, e := range d.Edit {
 		if e.I < 0 || e.I >= n {
@@ -111,6 +134,17 @@ func ApplyDelta(base, doc *Instance) (*Instance, error) {
 	}
 	if len(out.Sparse) == 0 {
 		return nil, errors.New("instio: delta removes every constraint")
+	}
+	if base.Mixed != nil {
+		// Re-wrap: the canonicalized packing side goes back inside the
+		// mixed section, covering triplets copied verbatim (they were
+		// canonicalized when the base was built, and stay so).
+		out.Mixed = &MixedDoc{
+			Sparse: out.Sparse,
+			Rows:   base.Mixed.Rows,
+			Cover:  base.Mixed.Cover,
+		}
+		out.Sparse = nil
 	}
 	return out, nil
 }

@@ -59,6 +59,22 @@ func FuzzBuild(f *testing.F) {
 		`{"m":2,"sparse":[{"entries":[[0.9,0,1],[0,0.9,1]]}]}`,
 		`{"m":2,"factored":[{"cols":1,"entries":[[0.5,0,1]]}]}`,
 		`{"m":2,"sparse":[{"entries":[[1e40,0,1]]}]}`,
+		// Mixed kind: a valid packing+covering document per
+		// representation…
+		`{"m":2,"mixed":{"dense":[[[0.5,0],[0,0]],[[0,0],[0,0.5]]],"rows":1,"cover":[[0,0,0.5],[0,1,0.5]]}}`,
+		`{"m":3,"mixed":{"factored":[{"cols":1,"entries":[[0,0,1]]}],"rows":1,"cover":[[0,0,1]]}}`,
+		`{"m":2,"mixed":{"sparse":[{"entries":[[0,0,1],[1,1,1]]}],"rows":1,"cover":[[0,0,2]]}}`,
+		// …and the rejection cases: an asymmetric (one-sided) sparse
+		// packing side, a negative covering value, an all-zero covering
+		// row, fractional/out-of-range covering indices, mixing kinds.
+		`{"m":2,"mixed":{"sparse":[{"entries":[[0,1,1]]}],"rows":1,"cover":[[0,0,1]]}}`,
+		`{"m":2,"mixed":{"dense":[[[1,0],[0,1]]],"rows":1,"cover":[[0,0,-1]]}}`,
+		`{"m":2,"mixed":{"dense":[[[1,0],[0,1]]],"rows":2,"cover":[[0,0,1]]}}`,
+		`{"m":2,"mixed":{"dense":[[[1,0],[0,1]]],"rows":1,"cover":[[0.5,0,1]]}}`,
+		`{"m":2,"mixed":{"dense":[[[1,0],[0,1]]],"rows":1,"cover":[[0,9,1]]}}`,
+		`{"m":2,"mixed":{"dense":[[[1,0],[0,1]]],"rows":1,"cover":[[0,0,1e999]]}}`,
+		`{"m":2,"dense":[[[1,0],[0,1]]],"mixed":{"dense":[[[1,0],[0,1]]],"rows":1,"cover":[[0,0,1]]}}`,
+		`{"m":2,"mixed":{"rows":1,"cover":[[0,0,1]]}}`,
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s))
@@ -85,6 +101,24 @@ func FuzzBuild(f *testing.F) {
 			if len(sm.Entries) > 1<<12 {
 				return
 			}
+		}
+		if md := inst.Mixed; md != nil {
+			if md.Rows > 1<<10 || len(md.Cover) > 1<<12 ||
+				len(md.Dense) > 64 || len(md.Factored) > 64 || len(md.Sparse) > 64 {
+				return
+			}
+			for _, fac := range md.Factored {
+				if fac.Cols > 1<<10 {
+					return
+				}
+			}
+			for _, sm := range md.Sparse {
+				if len(sm.Entries) > 1<<12 {
+					return
+				}
+			}
+			fuzzMixed(t, &inst)
+			return
 		}
 		set, err := Build(&inst)
 		if err != nil {
@@ -127,4 +161,47 @@ func FuzzBuild(f *testing.F) {
 			}
 		}
 	})
+}
+
+// fuzzMixed enforces the same two properties for the mixed kind:
+// BuildMixed never panics, and every accepted document round-trips
+// through FromMixedProblem with bitwise-identical packing traces and
+// covering entries.
+func fuzzMixed(t *testing.T, inst *Instance) {
+	p, err := BuildMixed(inst)
+	if err != nil {
+		return // rejected cleanly: fine
+	}
+	if p.Pack.N() <= 0 || p.Pack.Dim() != inst.M || p.Cover.R != inst.Mixed.Rows {
+		t.Fatalf("accepted mixed problem has wrong shape: n=%d dim=%d rows=%d", p.Pack.N(), p.Pack.Dim(), p.Cover.R)
+	}
+	for _, v := range p.Cover.Data {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("accepted cover has invalid entry %v", v)
+		}
+	}
+	doc, err := FromMixedProblem(p)
+	if err != nil {
+		t.Fatalf("accepted problem does not encode: %v", err)
+	}
+	p2, err := BuildMixed(doc)
+	if err != nil {
+		t.Fatalf("round-trip rebuild failed: %v", err)
+	}
+	if p2.Pack.N() != p.Pack.N() || p2.Pack.Dim() != p.Pack.Dim() {
+		t.Fatal("round-trip pack shape drift")
+	}
+	for i := 0; i < p.Pack.N(); i++ {
+		if a, b := p.Pack.Trace(i), p2.Pack.Trace(i); math.Float64bits(a) != math.Float64bits(b) {
+			t.Fatalf("round-trip trace drift at %d: %v vs %v", i, a, b)
+		}
+	}
+	if len(p2.Cover.Data) != len(p.Cover.Data) {
+		t.Fatal("round-trip cover shape drift")
+	}
+	for k := range p.Cover.Data {
+		if a, b := p.Cover.Data[k], p2.Cover.Data[k]; math.Float64bits(a) != math.Float64bits(b) {
+			t.Fatalf("round-trip cover drift at %d: %v vs %v", k, a, b)
+		}
+	}
 }

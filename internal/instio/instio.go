@@ -17,6 +17,11 @@
 // matrix is not symmetric). Triplet order never matters: NewCSC
 // canonicalizes, so two documents listing the same entries in any
 // order build identical sets (and identical serve digests).
+//
+// Two further document kinds ride on the same envelope: "delta" (a
+// revision of a sparse base, see Delta/ApplyDelta) and "mixed" (a
+// packing side in any representation plus covering triplets, see
+// MixedDoc/BuildMixed).
 package instio
 
 import (
@@ -39,6 +44,7 @@ type Instance struct {
 	Factored []Factor       `json:"factored,omitempty"`
 	Sparse   []SparseMatrix `json:"sparse,omitempty"`
 	Delta    *Delta         `json:"delta,omitempty"`
+	Mixed    *MixedDoc      `json:"mixed,omitempty"`
 }
 
 // Delta is the incremental document kind: a revision of a sparse base
@@ -154,6 +160,9 @@ func decodeDocument(r io.Reader) (*Instance, error) {
 func Build(inst *Instance) (core.ConstraintSet, error) {
 	if inst.Delta != nil {
 		return nil, errors.New("instio: delta documents must be materialized against their base with ApplyDelta before building")
+	}
+	if inst.Mixed != nil {
+		return nil, errors.New("instio: mixed documents build with BuildMixed, not Build")
 	}
 	if inst.M <= 0 {
 		return nil, errors.New("instio: field m must be positive")

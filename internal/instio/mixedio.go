@@ -1,0 +1,143 @@
+package instio
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+	"repro/internal/mixed"
+)
+
+// MixedDoc is the mixed packing/covering document kind: a packing side
+// in exactly one representation (same shapes as the top-level kinds)
+// plus a nonnegative covering matrix C (Rows-by-n) as [row, col, value]
+// triplets. Covering triplets are canonicalized at Build — sorted by
+// (row, col, value) with duplicates summed in that fixed order — so two
+// documents listing the same covering multiset in any order build
+// bitwise-identical problems (and identical serve digests). Build
+// rejects negative or non-finite covering values, out-of-range indices,
+// and all-zero covering rows (unsatisfiable).
+type MixedDoc struct {
+	Dense    [][][]float64  `json:"dense,omitempty"`
+	Factored []Factor       `json:"factored,omitempty"`
+	Sparse   []SparseMatrix `json:"sparse,omitempty"`
+	// Rows is the number of covering constraints d.
+	Rows int `json:"rows"`
+	// Cover lists the positive entries of C as [row, col, value].
+	Cover [][3]float64 `json:"cover"`
+}
+
+// BuildMixed converts a parsed mixed document into a problem. The
+// packing side reuses the top-level Build (so every representation and
+// every validation rule of the plain kinds applies verbatim); the
+// covering side is canonicalized and validated here.
+func BuildMixed(inst *Instance) (*mixed.Problem, error) {
+	md := inst.Mixed
+	if md == nil {
+		return nil, errors.New("instio: document has no mixed section")
+	}
+	if inst.Delta != nil {
+		return nil, errors.New("instio: delta documents must be materialized against their base with ApplyDelta before building")
+	}
+	if len(inst.Dense) > 0 || len(inst.Factored) > 0 || len(inst.Sparse) > 0 {
+		return nil, errors.New("instio: mixed documents carry their packing side inside the mixed section, not at top level")
+	}
+	pack, err := Build(&Instance{M: inst.M, Dense: md.Dense, Factored: md.Factored, Sparse: md.Sparse})
+	if err != nil {
+		return nil, err
+	}
+	cover, err := buildCover(md, pack.N())
+	if err != nil {
+		return nil, err
+	}
+	return mixed.NewProblem(pack, cover)
+}
+
+// buildCover assembles the covering matrix from triplets in canonical
+// order. All values are nonnegative, so the fixed (row, col, value)
+// summation order makes the assembled matrix independent of the
+// document's listing order, bit for bit.
+func buildCover(md *MixedDoc, n int) (*matrix.Dense, error) {
+	d := md.Rows
+	if d <= 0 {
+		return nil, errors.New("instio: mixed.rows must be positive")
+	}
+	type trip struct {
+		r, c int
+		v    float64
+	}
+	trips := make([]trip, 0, len(md.Cover))
+	for k, e := range md.Cover {
+		if !isFinite(e[2]) || e[2] < 0 {
+			return nil, fmt.Errorf("instio: mixed cover entry %d has invalid value %v (want finite, ≥ 0)", k, e[2])
+		}
+		r, err := tripIndex(e[0])
+		if err != nil {
+			return nil, fmt.Errorf("instio: mixed cover entry %d: row %w", k, err)
+		}
+		c, err := tripIndex(e[1])
+		if err != nil {
+			return nil, fmt.Errorf("instio: mixed cover entry %d: col %w", k, err)
+		}
+		if r < 0 || r >= d {
+			return nil, fmt.Errorf("instio: mixed cover entry %d: row %d out of range [0, %d)", k, r, d)
+		}
+		if c < 0 || c >= n {
+			return nil, fmt.Errorf("instio: mixed cover entry %d: col %d out of range [0, %d)", k, c, n)
+		}
+		trips = append(trips, trip{r: r, c: c, v: e[2]})
+	}
+	sort.Slice(trips, func(i, j int) bool {
+		if trips[i].r != trips[j].r {
+			return trips[i].r < trips[j].r
+		}
+		if trips[i].c != trips[j].c {
+			return trips[i].c < trips[j].c
+		}
+		return trips[i].v < trips[j].v
+	})
+	cov := matrix.New(d, n)
+	for _, t := range trips {
+		cov.Data[t.r*n+t.c] += t.v
+	}
+	for k := range cov.Data {
+		if !isFinite(cov.Data[k]) {
+			return nil, errors.New("instio: mixed cover entry sums overflow to non-finite")
+		}
+	}
+	return cov, nil
+}
+
+// FromMixedProblem converts a mixed problem to the document form.
+// Covering entries are emitted in row-major order, packing entries in
+// each representation's canonical order, so encoding is deterministic.
+func FromMixedProblem(p *mixed.Problem) (*Instance, error) {
+	var base *Instance
+	switch s := p.Pack.(type) {
+	case *core.DenseSet:
+		base = FromDenseSet(s)
+	case *core.FactoredSet:
+		base = FromFactoredSet(s)
+	case *core.SparseSet:
+		base = FromSparseSet(s)
+	default:
+		return nil, fmt.Errorf("instio: unsupported packing representation %T", p.Pack)
+	}
+	md := &MixedDoc{
+		Dense:    base.Dense,
+		Factored: base.Factored,
+		Sparse:   base.Sparse,
+		Rows:     p.Cover.R,
+	}
+	for j := 0; j < p.Cover.R; j++ {
+		row := p.Cover.Row(j)
+		for i, v := range row {
+			if v != 0 {
+				md.Cover = append(md.Cover, [3]float64{float64(j), float64(i), v})
+			}
+		}
+	}
+	return &Instance{M: p.Pack.Dim(), Mixed: md}, nil
+}

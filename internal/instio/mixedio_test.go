@@ -1,0 +1,189 @@
+package instio
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/mixed"
+)
+
+func mixedDenseDoc() *Instance {
+	return &Instance{
+		M: 2,
+		Mixed: &MixedDoc{
+			Dense: [][][]float64{
+				{{0.5, 0}, {0, 0}},
+				{{0, 0}, {0, 0.5}},
+			},
+			Rows:  1,
+			Cover: [][3]float64{{0, 0, 0.5}, {0, 1, 0.5}},
+		},
+	}
+}
+
+func TestBuildMixedRepresentations(t *testing.T) {
+	cases := map[string]*Instance{
+		"dense": mixedDenseDoc(),
+		"factored": {
+			M: 3,
+			Mixed: &MixedDoc{
+				Factored: []Factor{
+					{Cols: 1, Entries: [][3]float64{{0, 0, 1}}},
+					{Cols: 2, Entries: [][3]float64{{1, 0, 0.5}, {2, 1, 0.5}}},
+				},
+				Rows:  2,
+				Cover: [][3]float64{{0, 0, 1}, {0, 1, 0.25}, {1, 1, 2}},
+			},
+		},
+		"sparse": {
+			M: 3,
+			Mixed: &MixedDoc{
+				Sparse: []SparseMatrix{
+					{Entries: [][3]float64{{0, 0, 2}, {0, 1, -1}, {1, 0, -1}, {1, 1, 2}}},
+					{Entries: [][3]float64{{2, 2, 1}}},
+				},
+				Rows:  1,
+				Cover: [][3]float64{{0, 0, 1}, {0, 1, 1}},
+			},
+		},
+	}
+	for name, inst := range cases {
+		t.Run(name, func(t *testing.T) {
+			p, err := BuildMixed(inst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.Pack.Dim() != inst.M || p.Cover.R != inst.Mixed.Rows {
+				t.Fatalf("shape drift: dim %d rows %d", p.Pack.Dim(), p.Cover.R)
+			}
+			// Round-trip: problem -> document -> encode -> decode ->
+			// problem preserves traces and cover bits exactly.
+			doc, err := FromMixedProblem(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := Encode(&buf, doc); err != nil {
+				t.Fatal(err)
+			}
+			doc2, err := DecodeDocument(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p2, err := BuildMixed(doc2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p2.Pack.N() != p.Pack.N() || p2.Pack.Dim() != p.Pack.Dim() {
+				t.Fatal("round-trip pack shape drift")
+			}
+			for i := 0; i < p.Pack.N(); i++ {
+				if math.Float64bits(p.Pack.Trace(i)) != math.Float64bits(p2.Pack.Trace(i)) {
+					t.Fatalf("round-trip trace drift at %d", i)
+				}
+			}
+			if len(p.Cover.Data) != len(p2.Cover.Data) {
+				t.Fatal("round-trip cover shape drift")
+			}
+			for k := range p.Cover.Data {
+				if math.Float64bits(p.Cover.Data[k]) != math.Float64bits(p2.Cover.Data[k]) {
+					t.Fatalf("round-trip cover drift at %d", k)
+				}
+			}
+		})
+	}
+}
+
+// TestBuildMixedCoverCanonical pins the order-independence contract:
+// any two listings of the same covering multiset (including duplicate
+// entries) assemble bitwise-identical matrices.
+func TestBuildMixedCoverCanonical(t *testing.T) {
+	base := mixedDenseDoc()
+	base.Mixed.Cover = [][3]float64{{0, 0, 0.3}, {0, 0, 0.2}, {0, 1, 0.5}}
+	shuffled := mixedDenseDoc()
+	shuffled.Mixed.Cover = [][3]float64{{0, 1, 0.5}, {0, 0, 0.2}, {0, 0, 0.3}}
+	a, err := BuildMixed(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildMixed(shuffled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range a.Cover.Data {
+		if math.Float64bits(a.Cover.Data[k]) != math.Float64bits(b.Cover.Data[k]) {
+			t.Fatalf("cover canonicalization order-dependent at %d: %v vs %v", k, a.Cover.Data[k], b.Cover.Data[k])
+		}
+	}
+}
+
+func TestBuildMixedValidation(t *testing.T) {
+	mutate := func(f func(*Instance)) *Instance {
+		inst := mixedDenseDoc()
+		f(inst)
+		return inst
+	}
+	cases := map[string]struct {
+		inst *Instance
+		want string
+	}{
+		"negative cover":   {mutate(func(i *Instance) { i.Mixed.Cover[0][2] = -1 }), "invalid value"},
+		"nan cover":        {mutate(func(i *Instance) { i.Mixed.Cover[0][2] = math.NaN() }), "invalid value"},
+		"inf cover":        {mutate(func(i *Instance) { i.Mixed.Cover[0][2] = math.Inf(1) }), "invalid value"},
+		"all-zero row":     {mutate(func(i *Instance) { i.Mixed.Rows = 2 }), "all zero"},
+		"zero rows":        {mutate(func(i *Instance) { i.Mixed.Rows = 0 }), "rows must be positive"},
+		"row out of range": {mutate(func(i *Instance) { i.Mixed.Cover[0][0] = 5 }), "out of range"},
+		"col out of range": {mutate(func(i *Instance) { i.Mixed.Cover[0][1] = 7 }), "out of range"},
+		"fractional row":   {mutate(func(i *Instance) { i.Mixed.Cover[0][0] = 0.5 }), "not a valid integer"},
+		"fractional col":   {mutate(func(i *Instance) { i.Mixed.Cover[1][1] = 0.9 }), "not a valid integer"},
+		"no pack":          {mutate(func(i *Instance) { i.Mixed.Dense = nil }), "no constraints"},
+		"two pack kinds": {mutate(func(i *Instance) {
+			i.Mixed.Sparse = []SparseMatrix{{Entries: [][3]float64{{0, 0, 1}}}}
+		}), "exactly one"},
+		"top-level pack too": {mutate(func(i *Instance) {
+			i.Dense = [][][]float64{{{1, 0}, {0, 1}}}
+		}), "top level"},
+		"not mixed": {&Instance{M: 2, Dense: [][][]float64{{{1, 0}, {0, 1}}}}, "no mixed section"},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			_, err := BuildMixed(tc.inst)
+			if err == nil {
+				t.Fatal("accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+	// And the plain Build must hand mixed documents to BuildMixed.
+	if _, err := Build(mixedDenseDoc()); err == nil || !strings.Contains(err.Error(), "BuildMixed") {
+		t.Fatalf("Build on mixed document: %v", err)
+	}
+}
+
+// TestBuildMixedSolves runs a built document end to end through the
+// solver — the document layer and solver agree on conventions.
+func TestBuildMixedSolves(t *testing.T) {
+	p, err := BuildMixed(mixedDenseDoc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mixed.Solve(p, 0.1, mixed.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != mixed.StatusFeasible {
+		t.Fatalf("status %v (coverage %v λmax %v)", res.Status, res.MinCoverage, res.LambdaMax)
+	}
+}
+
+func TestFromMixedProblemRejectsUnknownRep(t *testing.T) {
+	p := &mixed.Problem{Pack: nil, Cover: matrix.New(1, 1)}
+	if _, err := FromMixedProblem(p); err == nil {
+		t.Fatal("nil pack accepted")
+	}
+}

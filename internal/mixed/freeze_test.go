@@ -1,0 +1,319 @@
+package mixed
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+)
+
+// coverHungry builds the freeze-rule regression instance: a
+// covering-dominant system where the covering row rewards the spike
+// coordinate (high λ_max per unit of coverage) far more per round than
+// the spread coordinate, so without the coordinate cap the dynamics
+// multiply the spike straight through the packing envelope. Feasible
+// via the spread coordinate: x = (1.1, 6.7) has coverage 1.0 and
+// λ_max = 1.1 ≤ 1+10ε at ε = 0.1.
+//
+//	A₁ = diag(1, 0, …, 0)        (spike: λ_max = Tr = 1)
+//	A₂ = diag(0, 0.1, …, 0.1)    (spread over 10 axes: λ_max = 0.1, Tr = 1)
+//	C  = [0.3  0.1],  ε = 0.1
+func coverHungry(t *testing.T) *Problem {
+	t.Helper()
+	const m = 11
+	a1 := matrix.New(m, m)
+	a1.Set(0, 0, 1)
+	a2 := matrix.New(m, m)
+	for k := 1; k < m; k++ {
+		a2.Set(k, k, 0.1)
+	}
+	set, err := core.NewDenseSet([]*matrix.Dense{a1, a2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProblem(set, matrix.FromRows([][]float64{{0.3, 0.1}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// legacyUncapped replays the pre-fix dynamics on a diagonal instance:
+// the same soft-max/soft-min coupling but with no coordinate cap (the
+// `frozen` array was allocated and checked yet never set). Returns the
+// final λ_max. Kept as executable documentation that coverHungry
+// actually exercised the bug: the uncapped run blows past 1+10ε.
+func legacyUncapped(p *Problem, eps float64, maxIter int) float64 {
+	n := p.Pack.N()
+	m := p.Pack.Dim()
+	d := p.Cover.R
+	prm, err := core.ParamsFor(n, max(m, d), eps)
+	if err != nil {
+		panic(err)
+	}
+	// Diagonal instances only: Ψ and the ratios in closed form.
+	diag := make([][]float64, n)
+	unit := make([]float64, n)
+	for i := range diag {
+		diag[i] = make([]float64, m)
+		for k := range unit {
+			unit[k] = 0
+		}
+		unit[i] = 1
+		p.Pack.ApplyPsi(unit, onesVec(m), diag[i])
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = 1 / (float64(n) * p.Pack.Trace(i))
+	}
+	cx := make([]float64, d)
+	psi := make([]float64, m)
+	for t := 0; t < maxIter; t++ {
+		for k := 0; k < m; k++ {
+			psi[k] = 0
+			for i := 0; i < n; i++ {
+				psi[k] += x[i] * diag[i][k]
+			}
+		}
+		shift := matrix.VecMax(psi)
+		trExp := 0.0
+		for k := 0; k < m; k++ {
+			trExp += math.Exp(psi[k] - shift)
+		}
+		p.Cover.MulVecTo(cx, x)
+		if matrix.VecMin(cx) >= 1 {
+			break
+		}
+		minCx := matrix.VecMin(cx)
+		wsum := 0.0
+		wrow := make([]float64, d)
+		for j := 0; j < d; j++ {
+			wrow[j] = math.Exp(-(cx[j] - minCx))
+			wsum += wrow[j]
+		}
+		cRatio := make([]float64, n)
+		for j := 0; j < d; j++ {
+			for i := 0; i < n; i++ {
+				cRatio[i] += wrow[j] / wsum * p.Cover.Row(j)[i]
+			}
+		}
+		meanC := matrix.VecSum(cRatio) / float64(n)
+		if meanC <= 0 {
+			break
+		}
+		moved := false
+		for i := 0; i < n; i++ {
+			pr := 0.0
+			for k := 0; k < m; k++ {
+				pr += diag[i][k] * math.Exp(psi[k]-shift)
+			}
+			pr /= trExp
+			if pr <= (1+eps)*cRatio[i]/meanC {
+				x[i] *= 1 + prm.Alpha
+				moved = true
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+	for k := 0; k < m; k++ {
+		psi[k] = 0
+		for i := 0; i < n; i++ {
+			psi[k] += x[i] * diag[i][k]
+		}
+	}
+	return matrix.VecMax(psi)
+}
+
+func onesVec(m int) []float64 {
+	v := make([]float64, m)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+// TestFreezeRuleRegression is the tentpole regression: the uncapped
+// pre-fix dynamics push the spike coordinate past the 1+10ε packing
+// envelope on a covering-dominant instance; the repaired freeze rule
+// clamps it at (1+ε)/λ_max(A₁) and the solve terminates StatusFeasible
+// with the cap active.
+func TestFreezeRuleRegression(t *testing.T) {
+	const eps = 0.1
+	p := coverHungry(t)
+
+	// The bug, demonstrated: without the cap, the run ends with
+	// λ_max > 1+10ε (the envelope is 2.0; the uncapped trajectory lands
+	// near 2.5).
+	if lam := legacyUncapped(p, eps, 2_000_000); lam <= 1+10*eps {
+		t.Fatalf("instance no longer covering-dominant: uncapped λ_max = %v ≤ %v", lam, 1+10*eps)
+	}
+
+	res, err := Solve(p, eps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusFeasible {
+		t.Fatalf("status = %v (coverage %v, λmax %v) want feasible", res.Status, res.MinCoverage, res.LambdaMax)
+	}
+	if res.Capped < 1 {
+		t.Fatalf("Capped = %d, want the spike coordinate frozen at its cap", res.Capped)
+	}
+	if res.LambdaMax > 1+10*eps {
+		t.Fatalf("λmax %v above 1+10ε", res.LambdaMax)
+	}
+	if res.MinCoverage < 1-eps {
+		t.Fatalf("coverage %v below 1−ε", res.MinCoverage)
+	}
+	// The frozen coordinate sits exactly on the Algorithm 3.1 cap
+	// (1+ε)/λ_max(A₁) = 1.1.
+	if math.Abs(res.X[0]-1.1) > 1e-9 {
+		t.Fatalf("spike coordinate %v, want clamped at 1.1", res.X[0])
+	}
+}
+
+// TestZeroTraceCoveringScaledStart pins the documented covering-scaled
+// start: a zero packing constraint now starts at x⁰ᵢ = 1/(n·max_j Cⱼᵢ)
+// (instead of 0 plus a lazy init inside the loop), and a coordinate
+// that is useless on both sides stays frozen at 0.
+func TestZeroTraceCoveringScaledStart(t *testing.T) {
+	a1 := matrix.Diag([]float64{0.5, 0})
+	zero := matrix.New(2, 2)
+	zero2 := matrix.New(2, 2)
+	set, err := core.NewDenseSet([]*matrix.Dense{a1, zero, zero2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Coordinate 2 covers cheaply with no packing cost; coordinate 3
+	// has zero trace AND a zero covering column (useless).
+	c := matrix.FromRows([][]float64{{0.1, 2, 0}})
+	p, err := NewProblem(set, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(p, 0.1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusFeasible {
+		t.Fatalf("status = %v (coverage %v, λmax %v)", res.Status, res.MinCoverage, res.LambdaMax)
+	}
+	if res.X[1] <= 0 {
+		t.Fatalf("zero-trace covering coordinate never moved: x = %v", res.X)
+	}
+	if res.X[2] != 0 {
+		t.Fatalf("useless coordinate moved: x[2] = %v", res.X[2])
+	}
+	// The covering-scaled start is the floor of the multiplicative
+	// trajectory: x₂ can only have grown from 1/(n·max_j Cⱼ₂) = 1/6.
+	if res.X[1] < 1.0/6-1e-12 {
+		t.Fatalf("x[1] = %v below its covering-scaled start 1/6", res.X[1])
+	}
+}
+
+// TestSolveEngines runs both engines (and Auto resolution) over the
+// standard feasible instance: identical verified guarantees, distinct
+// dynamics, engine name reported.
+func TestSolveEngines(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	p, _ := feasibleInstance(t, 5, 8, 4, rng)
+	mmw, err := Solve(p, 0.15, Options{Engine: core.EngineMMW})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alo, err := Solve(p, 0.15, Options{Engine: core.EngineALO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range []*Result{mmw, alo} {
+		if res.Status != StatusFeasible {
+			t.Fatalf("engine %s: status %v (coverage %v λmax %v)", res.Engine, res.Status, res.MinCoverage, res.LambdaMax)
+		}
+	}
+	if mmw.Engine != core.EngineNameMMW || alo.Engine != core.EngineNameALO {
+		t.Fatalf("engine names %q/%q", mmw.Engine, alo.Engine)
+	}
+	// Auto resolves by the same rule Decision uses: dense n=5 < 8 stays
+	// on MMW even at tight ε.
+	auto, err := Solve(p, 0.09, Options{Engine: core.EngineAuto, MaxIter: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.Engine != core.EngineNameMMW {
+		t.Fatalf("auto on small dense resolved to %q, want mmw", auto.Engine)
+	}
+	if _, err := Solve(p, 0.15, Options{Engine: core.EngineKind(99)}); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+}
+
+// TestSolveEngineALOOnRegression checks the cap also protects the ALO
+// dynamics (every live coordinate moves every step, so the spike grows
+// even faster without it).
+func TestSolveEngineALOOnRegression(t *testing.T) {
+	p := coverHungry(t)
+	res, err := Solve(p, 0.1, Options{Engine: core.EngineALO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusFeasible {
+		t.Fatalf("status = %v (coverage %v, λmax %v)", res.Status, res.MinCoverage, res.LambdaMax)
+	}
+	if res.LambdaMax > 2 {
+		t.Fatalf("λmax %v above 1+10ε", res.LambdaMax)
+	}
+}
+
+// TestSolveWarmStart exercises the warm-start guard: a previous
+// solution re-covers immediately; malformed vectors fall back to the
+// bitwise-identical cold run.
+func TestSolveWarmStart(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 32))
+	p, _ := feasibleInstance(t, 5, 8, 4, rng)
+	cold, err := Solve(p, 0.15, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Status != StatusFeasible {
+		t.Fatalf("cold status %v", cold.Status)
+	}
+	warm, err := Solve(p, 0.15, Options{WarmStart: cold.X})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.WarmStarted {
+		t.Fatal("usable warm start not adopted")
+	}
+	if warm.Status != StatusFeasible {
+		t.Fatalf("warm status %v", warm.Status)
+	}
+	if warm.Iterations > cold.Iterations {
+		t.Fatalf("warm used %d iterations, cold %d", warm.Iterations, cold.Iterations)
+	}
+
+	for _, bad := range [][]float64{
+		{1, 2},                    // wrong length
+		{-1, 0.1, 0.1, 0.1, 0.1},  // negative
+		{math.NaN(), 1, 1, 1, 1},  // non-finite
+		{math.Inf(1), 1, 1, 1, 1}, // non-finite
+	} {
+		res, err := Solve(p, 0.15, Options{WarmStart: bad})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.WarmStarted {
+			t.Fatalf("bad warm start %v adopted", bad)
+		}
+		if res.Iterations != cold.Iterations || res.Status != cold.Status {
+			t.Fatalf("fallback run differs from cold run")
+		}
+		for i := range res.X {
+			if math.Float64bits(res.X[i]) != math.Float64bits(cold.X[i]) {
+				t.Fatalf("fallback X[%d] not bitwise cold", i)
+			}
+		}
+	}
+}

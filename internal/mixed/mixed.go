@@ -14,7 +14,11 @@
 // pᵢ = exp(Ψ)•Aᵢ/Tr[exp(Ψ)] with Young-style soft-min covering ratios
 // cᵢ = Σⱼ e^{−(Cx)ⱼ}Cⱼᵢ / Σⱼ e^{−(Cx)ⱼ}·c̄ and multiplies the
 // coordinates whose packing cost is small relative to their covering
-// benefit. The output is always VERIFIED: Solve reports a bicriteria
+// benefit. Algorithm 3.1's coordinate cap bounds the iterate: a
+// coordinate that reaches xᵢ·λ_max(Aᵢ) = 1+ε can never be part of a
+// bicriteria point with more weight on i, so it is clamped there and
+// frozen, forcing the remaining coverage onto coordinates with packing
+// headroom. The output is always VERIFIED: Solve reports a bicriteria
 // point (covering within 1−ε, packing within 1+O(ε)) only after
 // checking both sides numerically, and returns StatusInconclusive
 // otherwise — it never claims an unverified answer.
@@ -101,16 +105,105 @@ type Result struct {
 	LambdaMax float64
 	// Iterations executed.
 	Iterations int
+	// Capped counts the coordinates frozen at their Algorithm 3.1 cap
+	// xᵢ = (1+ε)/λ_max(Aᵢ) during the run.
+	Capped int
+	// Engine names the dynamics that ran ("mmw" or "alo"; Auto is
+	// resolved per instance before the run starts).
+	Engine string
+	// WarmStarted reports whether Options.WarmStart passed the
+	// feasibility guard and seeded the initial iterate.
+	WarmStarted bool
 }
 
 // Options configure Solve.
 type Options struct {
-	// MaxIter caps iterations; 0 derives the Algorithm 3.1 budget R.
+	// MaxIter caps iterations; 0 derives the engine's budget
+	// (Algorithm 3.1's R for mmw, the O(ε⁻² log² N) ALO cap for alo).
 	MaxIter int
 	// Seed drives factored-oracle randomness.
 	Seed uint64
 	// Oracle selects the packing primitive (as in core.Options).
 	Oracle core.OracleKind
+	// Engine selects the packing-side dynamics: core.EngineMMW (the
+	// zero value — Algorithm 3.1 threshold steps), core.EngineALO
+	// (truncated-gradient multiplicative steps), or core.EngineAuto
+	// (resolved per instance by core.ResolveEngine, same rule as
+	// Decision).
+	Engine core.EngineKind
+	// WarmStart, when non-nil, seeds the iterate from a previous run's
+	// final X instead of the cold start — the incremental-solving hook
+	// for drifted instances. The vector must have length n with finite
+	// nonnegative entries or the run silently falls back to the cold
+	// start (Result.WarmStarted reports which happened). Entries are
+	// clamped to the cold-start floor from below and the coordinate cap
+	// from above; the bicriteria verification at exit is unconditional
+	// either way.
+	WarmStart []float64
+}
+
+// run carries the per-solve state shared by both engines.
+type run struct {
+	p      *Problem
+	eps    float64
+	n, d   int
+	prm    core.Params
+	orc    *core.RatioOracle
+	x      []float64
+	frozen []bool
+	// guard[i] = (1+ε)/Tr[Aᵢ] is a free lower bound on the cap: since
+	// λ_max(Aᵢ) ≤ Tr[Aᵢ], no step below the guard can hit the cap, so
+	// the per-constraint λ_max (a Lanczos/eigen solve) is computed
+	// lazily, first time a coordinate crosses its guard.
+	guard []float64
+	// capv[i] = (1+ε)/λ_max(Aᵢ) once computed; 0 = not yet computed.
+	capv   []float64
+	unit   []float64
+	capped int
+}
+
+// capFor returns the coordinate cap (1+ε)/λ_max(Aᵢ), computing and
+// memoizing the certificate-grade per-constraint λ_max on first use.
+func (r *run) capFor(i int) (float64, error) {
+	if r.capv[i] != 0 {
+		return r.capv[i], nil
+	}
+	for k := range r.unit {
+		r.unit[k] = 0
+	}
+	r.unit[i] = 1
+	lam, err := core.LambdaMaxPsi(r.p.Pack, r.unit)
+	if err != nil {
+		return 0, err
+	}
+	c := math.Inf(1)
+	if lam > 0 {
+		c = (1 + r.eps) / lam
+	}
+	r.capv[i] = c
+	return c, nil
+}
+
+// step multiplies x[i] by mult, clamping at the coordinate cap: a step
+// that would land past (1+ε)/λ_max(Aᵢ) is shortened to end exactly on
+// the cap and the coordinate freezes (Algorithm 3.1's ‖x‖ bound).
+// Returns the multiplier actually applied.
+func (r *run) step(i int, mult float64) (float64, error) {
+	nx := r.x[i] * mult
+	if mult > 1 && nx > r.guard[i] {
+		cap, err := r.capFor(i)
+		if err != nil {
+			return 0, err
+		}
+		if nx >= cap {
+			mult = cap / r.x[i]
+			nx = cap
+			r.frozen[i] = true
+			r.capped++
+		}
+	}
+	r.x[i] = nx
+	return mult, nil
 }
 
 // Solve searches for a bicriteria-feasible point of the mixed system at
@@ -118,6 +211,10 @@ type Options struct {
 func Solve(p *Problem, eps float64, opts Options) (*Result, error) {
 	if eps <= 0 || eps >= 1 || math.IsNaN(eps) {
 		return nil, fmt.Errorf("mixed: eps = %v out of (0, 1)", eps)
+	}
+	engine := core.ResolveEngine(opts.Engine, p.Pack, eps)
+	if engine != core.EngineMMW && engine != core.EngineALO {
+		return nil, fmt.Errorf("mixed: unknown engine %v", opts.Engine)
 	}
 	n := p.Pack.N()
 	d := p.Cover.R
@@ -127,7 +224,11 @@ func Solve(p *Problem, eps float64, opts Options) (*Result, error) {
 	}
 	maxIter := opts.MaxIter
 	if maxIter <= 0 {
-		maxIter = prm.R
+		if engine == core.EngineALO {
+			maxIter = core.ALOIterCap(prm.LogN, eps)
+		} else {
+			maxIter = prm.R
+		}
 	}
 
 	orc, err := core.NewRatioOracle(p.Pack, core.Options{
@@ -139,29 +240,83 @@ func Solve(p *Problem, eps float64, opts Options) (*Result, error) {
 		return nil, err
 	}
 
-	// Start from the packing-safe point x⁰ᵢ = 1/(n·Tr[Aᵢ]).
-	x := make([]float64, n)
-	frozen := make([]bool, n)
+	r := &run{
+		p: p, eps: eps, n: n, d: d, prm: prm, orc: orc,
+		x:      make([]float64, n),
+		frozen: make([]bool, n),
+		guard:  make([]float64, n),
+		capv:   make([]float64, n),
+		unit:   make([]float64, n),
+	}
+
+	// Cold start: the packing-safe point x⁰ᵢ = 1/(n·Tr[Aᵢ]). A zero
+	// packing constraint exerts no packing pressure; give it the
+	// covering-scaled start x⁰ᵢ = 1/(n·max_j Cⱼᵢ) instead, so it enters
+	// the multiplicative dynamics like every other coordinate. A
+	// coordinate with zero trace AND a zero covering column is useless
+	// on both sides — it stays at 0, frozen.
 	for i := 0; i < n; i++ {
 		tr := p.Pack.Trace(i)
-		if tr <= 0 {
-			// A zero packing constraint exerts no packing pressure;
-			// give it a covering-scaled start instead.
-			x[i] = 0
-			frozen[i] = false
+		if tr > 0 {
+			r.x[i] = 1 / (float64(n) * tr)
+			r.guard[i] = (1 + eps) / tr
 			continue
 		}
-		x[i] = 1 / (float64(n) * tr)
+		r.guard[i] = math.Inf(1)
+		cmax := 0.0
+		for j := 0; j < d; j++ {
+			if v := p.Cover.Row(j)[i]; v > cmax {
+				cmax = v
+			}
+		}
+		if cmax > 0 {
+			r.x[i] = 1 / (float64(n) * cmax)
+		} else {
+			r.frozen[i] = true
+		}
 	}
-	if err := orc.Init(x); err != nil {
+
+	res := &Result{Status: StatusInconclusive, Engine: engine.String()}
+
+	// Warm start: adopt a previous iterate coordinate-wise when the
+	// vector is shaped and signed right, never dropping below the cold
+	// floor (a zero coordinate could not grow multiplicatively) and
+	// never past the cap.
+	if ws := opts.WarmStart; ws != nil && len(ws) == n && warmUsable(ws) {
+		for i := 0; i < n; i++ {
+			if r.frozen[i] || ws[i] <= r.x[i] {
+				continue
+			}
+			v := ws[i]
+			if v > r.guard[i] {
+				cap, err := r.capFor(i)
+				if err != nil {
+					return nil, err
+				}
+				if v >= cap {
+					v = cap
+					r.frozen[i] = true
+					r.capped++
+				}
+			}
+			r.x[i] = v
+		}
+		res.WarmStarted = true
+	}
+
+	if err := orc.Init(r.x); err != nil {
 		return nil, err
 	}
+
+	// ALO step size over the covering-vs-packing feedback, mirroring
+	// the Decision engine's constants: η = μ/2 with μ = ε/(4(1+log N)).
+	aloEta := eps / (8 * (1 + prm.LogN))
 
 	cx := make([]float64, d)
 	w := make([]float64, d)
 	cRatio := make([]float64, n)
-	res := &Result{Status: StatusInconclusive}
 	var b []int
+	var mults []float64
 
 	t := 0
 	for t < maxIter {
@@ -171,7 +326,7 @@ func Solve(p *Problem, eps float64, opts Options) (*Result, error) {
 			return nil, err
 		}
 		// Covering soft-min weights on the shortfall, shift-stabilized.
-		p.Cover.MulVecTo(cx, x)
+		p.Cover.MulVecTo(cx, r.x)
 		minCx := matrix.VecMin(cx)
 		if minCx >= 1 {
 			break // fully covered; verify below
@@ -201,49 +356,83 @@ func Solve(p *Problem, eps float64, opts Options) (*Result, error) {
 			break // nothing helps coverage: stuck
 		}
 
-		// B = {i : packing cost ≤ (1+ε)·relative covering benefit}.
 		b = b[:0]
-		for i := 0; i < n; i++ {
-			if frozen[i] {
-				continue
-			}
-			if pr[i] <= (1+eps)*cRatio[i]/meanC {
+		mults = mults[:0]
+		if engine == core.EngineALO {
+			// Truncated-gradient step: every live coordinate moves by
+			// exp(η·g) with g = clamp(1 − prᵢ/((1+ε)·cRatioᵢ), ±1) —
+			// Young's marginal-price comparison, packing cost against
+			// covering benefit UNNORMALIZED (both are gradients of the
+			// smoothed potentials, so they share the instance's scale).
+			// Positive (grow) below the price threshold, negative
+			// (shrink) above, saturating at one η either way. A
+			// coordinate with no covering benefit only ever shrinks.
+			for i := 0; i < n; i++ {
+				if r.frozen[i] {
+					continue
+				}
+				g := -1.0
+				if benefit := (1 + eps) * cRatio[i]; benefit > 0 {
+					g = 1 - pr[i]/benefit
+					if g > 1 {
+						g = 1
+					} else if g < -1 {
+						g = -1
+					}
+				}
 				b = append(b, i)
+				mults = append(mults, math.Exp(aloEta*g))
+			}
+		} else {
+			// B = {i : packing cost ≤ (1+ε)·relative covering benefit}.
+			for i := 0; i < n; i++ {
+				if r.frozen[i] {
+					continue
+				}
+				if pr[i] <= (1+eps)*cRatio[i]/meanC {
+					b = append(b, i)
+					mults = append(mults, 1+prm.Alpha)
+				}
+			}
+			if len(b) == 0 {
+				// Fallback: push the single best benefit/cost coordinate
+				// so progress never stalls entirely.
+				best, arg := 0.0, -1
+				for i := 0; i < n; i++ {
+					if r.frozen[i] || pr[i] <= 0 {
+						continue
+					}
+					if ratio := cRatio[i] / pr[i]; ratio > best {
+						best, arg = ratio, i
+					}
+				}
+				if arg >= 0 {
+					b = append(b, arg)
+					mults = append(mults, 1+prm.Alpha)
+				}
 			}
 		}
 		if len(b) == 0 {
-			// Fallback: push the single best benefit/cost coordinate so
-			// progress never stalls entirely.
-			best, arg := 0.0, -1
-			for i := 0; i < n; i++ {
-				if frozen[i] || pr[i] <= 0 {
-					continue
-				}
-				if ratio := cRatio[i] / pr[i]; ratio > best {
-					best, arg = ratio, i
-				}
-			}
-			if arg < 0 {
-				break
-			}
-			b = append(b, arg)
+			break // every coordinate frozen or useless: stuck
 		}
-		for _, i := range b {
-			if x[i] == 0 {
-				x[i] = 1 / (float64(n) * math.Max(p.Pack.Trace(i), 1))
+		for j, i := range b {
+			m, err := r.step(i, mults[j])
+			if err != nil {
+				return nil, err
 			}
-			x[i] *= 1 + prm.Alpha
+			mults[j] = m
 		}
-		if err := orc.Update(b, prm.Alpha, x); err != nil {
+		if err := orc.UpdateMults(b, mults, r.x); err != nil {
 			return nil, err
 		}
 	}
 
 	res.Iterations = t
-	res.X = matrix.VecClone(x)
-	p.Cover.MulVecTo(cx, x)
+	res.Capped = r.capped
+	res.X = matrix.VecClone(r.x)
+	p.Cover.MulVecTo(cx, r.x)
 	res.MinCoverage = matrix.VecMin(cx)
-	lam, err := core.LambdaMaxPsi(p.Pack, x)
+	lam, err := core.LambdaMaxPsi(p.Pack, r.x)
 	if err != nil {
 		return nil, err
 	}
@@ -252,4 +441,15 @@ func Solve(p *Problem, eps float64, opts Options) (*Result, error) {
 		res.Status = StatusFeasible
 	}
 	return res, nil
+}
+
+// warmUsable reports whether a warm-start vector is finite and
+// nonnegative throughout (shape is checked by the caller).
+func warmUsable(ws []float64) bool {
+	for _, v := range ws {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
 }

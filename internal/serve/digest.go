@@ -95,15 +95,17 @@ func (z *hasher) sum() digest {
 // solver's numerics change incompatibly, so stale cache entries from an
 // older build can never be mistaken for current results. v2 folded the
 // engine into the canonical form: before that, an mmw result could
-// answer an alo request from the cache.
-const digestVersion = "psdpd-v2"
+// answer an alo request from the cache. v3 added the mixed kind (the
+// covering matrix joins the canonical form after the packing set).
+const digestVersion = "psdpd-v3"
 
 // requestDigest canonicalizes one solve request. kind is the endpoint
-// ("decision", "maximize", "solve"); exactly one of set or prog is
-// non-nil. engine is the EFFECTIVE engine — the request's engine with
-// the server default already substituted for "" — because the wire
-// field alone underdetermines what the solver runs.
-func requestDigest(kind string, req *Request, set core.ConstraintSet, prog *core.Program, engine core.EngineKind) (digest, error) {
+// ("decision", "maximize", "solve", "mixed"); exactly one of set or
+// prog is non-nil, and cover is non-nil exactly for the mixed kind.
+// engine is the EFFECTIVE engine — the request's engine with the
+// server default already substituted for "" — because the wire field
+// alone underdetermines what the solver runs.
+func requestDigest(kind string, req *Request, set core.ConstraintSet, prog *core.Program, cover *matrix.Dense, engine core.EngineKind) (digest, error) {
 	opts, err := req.coreOptions()
 	if err != nil {
 		return digest{}, err
@@ -129,6 +131,13 @@ func requestDigest(kind string, req *Request, set core.ConstraintSet, prog *core
 		hashProgram(z, prog)
 	default:
 		return digest{}, fmt.Errorf("serve: nothing to digest")
+	}
+	if cover != nil {
+		// BuildMixed canonicalized the covering triplets (sorted, summed
+		// in fixed order), so hashing the assembled matrix keeps the
+		// digest independent of the document's listing order.
+		z.str("cover")
+		hashDense(z, cover)
 	}
 	return z.sum(), nil
 }
@@ -179,18 +188,19 @@ func canonicalOracle(kind core.OracleKind, set core.ConstraintSet) core.OracleKi
 }
 
 // canonicalEngine maps the effective engine to the value the digest
-// hashes. For decision requests EngineAuto is resolved exactly the way
-// the solver entrypoint resolves it (same set, same eps), so "auto"
-// and the explicit name of the auto choice provably produce identical
-// bytes and share one content address. For maximize/solve requests the
-// raw kind is hashed unresolved: those pipelines re-resolve Auto per
-// inner decision call at TIGHTER accuracies (eps/4 and below), so a
-// top-level resolution would not match what the solver actually runs —
-// merging the addresses there could serve one engine's bytes for the
-// other. Auto is still deterministic in the digested inputs, so the
-// address stays sound, just unmerged.
+// hashes. For decision and mixed requests EngineAuto is resolved
+// exactly the way the solver entrypoint resolves it (same set, same
+// eps — mixed.Solve calls core.ResolveEngine on its packing set), so
+// "auto" and the explicit name of the auto choice provably produce
+// identical bytes and share one content address. For maximize/solve
+// requests the raw kind is hashed unresolved: those pipelines
+// re-resolve Auto per inner decision call at TIGHTER accuracies (eps/4
+// and below), so a top-level resolution would not match what the
+// solver actually runs — merging the addresses there could serve one
+// engine's bytes for the other. Auto is still deterministic in the
+// digested inputs, so the address stays sound, just unmerged.
 func canonicalEngine(kind string, engine core.EngineKind, set core.ConstraintSet, eps float64) core.EngineKind {
-	if kind == "decision" {
+	if kind == "decision" || kind == "mixed" {
 		return core.ResolveEngine(engine, set, eps)
 	}
 	return engine

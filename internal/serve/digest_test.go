@@ -17,7 +17,7 @@ func digestOf(t *testing.T, kind string, req *Request) digest {
 	if sc := req.scaleOrOne(); sc != 1 {
 		set = set.WithScale(sc)
 	}
-	d, err := requestDigest(kind, req, set, nil, core.EngineMMW)
+	d, err := requestDigest(kind, req, set, nil, nil, core.EngineMMW)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,9 +15,13 @@ import (
 // cache — the cache shortcuts byte-identical requests, the revision
 // store shortcuts *near*-identical ones by resuming the MMW dynamics
 // near their fixed point instead of from the paper's cold start.
+// Exactly one of state (decision bases) and mixedX (mixed bases — the
+// final iterate, which is all the mixed dynamics need to resume) is
+// non-nil.
 type revision struct {
-	inst  *instio.Instance
-	state *core.DecisionState
+	inst   *instio.Instance
+	state  *core.DecisionState
+	mixedX []float64
 }
 
 // revStore is a bounded LRU of revisions keyed by the digest the
@@ -57,7 +61,7 @@ func (r *revStore) Get(key digest) *revision {
 // Put stores rev under key, evicting the least recently used revision
 // when over capacity.
 func (r *revStore) Put(key digest, rev *revision) {
-	if r.max <= 0 || rev == nil || rev.state == nil {
+	if r.max <= 0 || rev == nil || (rev.state == nil && rev.mixedX == nil) {
 		return
 	}
 	r.mu.Lock()

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/instio"
+	"repro/internal/mixed"
 	"repro/internal/work"
 )
 
@@ -114,6 +115,13 @@ type counters struct {
 	reqFactored atomic.Int64
 	reqSparse   atomic.Int64
 	reqProgram  atomic.Int64
+	// Mixed requests count under their packing representation in a
+	// separate family (a mixed-sparse solve exercises different code
+	// than a plain sparse decision), so the three mixed counters sum to
+	// exactly the admitted /v1/mixed requests.
+	reqMixedDense    atomic.Int64
+	reqMixedFactored atomic.Int64
+	reqMixedSparse   atomic.Int64
 	// Incremental-solving counters: delta requests that materialized
 	// and entered the pipeline, 404s for unknown/evicted bases, and the
 	// warm-vs-cold split of how delta solves actually started.
@@ -145,6 +153,12 @@ func (s *Server) countRepresentation(rep string) {
 		s.stats.reqSparse.Add(1)
 	case repProgram:
 		s.stats.reqProgram.Add(1)
+	case repMixedDense:
+		s.stats.reqMixedDense.Add(1)
+	case repMixedFactored:
+		s.stats.reqMixedFactored.Add(1)
+	case repMixedSparse:
+		s.stats.reqMixedSparse.Add(1)
 	}
 }
 
@@ -163,10 +177,13 @@ func (s *Server) countEngine(engine string) {
 }
 
 const (
-	repDense    = "dense"
-	repFactored = "factored"
-	repSparse   = "sparse"
-	repProgram  = "program"
+	repDense         = "dense"
+	repFactored      = "factored"
+	repSparse        = "sparse"
+	repProgram       = "program"
+	repMixedDense    = "mixed-dense"
+	repMixedFactored = "mixed-factored"
+	repMixedSparse   = "mixed-sparse"
 )
 
 // representationOf labels a built constraint set for the admission
@@ -193,6 +210,7 @@ func representationOf(set core.ConstraintSet) string {
 //	POST /v1/decision  — one ε-decision call (Algorithm 3.1)
 //	POST /v1/maximize  — the full packing optimizer (Lemma 2.2)
 //	POST /v1/solve     — a general positive SDP (Appendix A pipeline)
+//	POST /v1/mixed     — a mixed packing/covering system (§5 extension)
 //	POST /v1/batch     — many of the above in one request
 //	GET  /healthz      — liveness
 //	GET  /statsz       — counters (requests, cache, queue, pool)
@@ -238,6 +256,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/decision", s.handleKind("decision"))
 	s.mux.HandleFunc("POST /v1/maximize", s.handleKind("maximize"))
 	s.mux.HandleFunc("POST /v1/solve", s.handleKind("solve"))
+	s.mux.HandleFunc("POST /v1/mixed", s.handleKind("mixed"))
 	s.mux.HandleFunc("POST /v1/delta", s.handleDelta)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -258,35 +277,38 @@ func (s *Server) Close() { s.pool.Close() }
 func (s *Server) Stats() StatsResponse {
 	hits, _ := s.cache.Counters()
 	return StatsResponse{
-		Requests:         s.stats.requests.Load(),
-		Admitted:         s.stats.admitted.Load(),
-		Solves:           s.stats.solves.Load(),
-		CacheHits:        hits,
-		CacheEntries:     s.cache.Len(),
-		DedupShared:      s.stats.dedupShared.Load(),
-		Rejected:         s.stats.rejected.Load(),
-		Cancelled:        s.stats.cancelled.Load(),
-		Errors:           s.stats.errors.Load(),
-		InFlight:         s.stats.inFlight.Load(),
-		QueueDepth:       s.pool.QueueDepth(),
-		PoolExecuted:     s.pool.Executed(),
-		PoolSkipped:      s.pool.Skipped(),
-		PoolMisses:       s.pool.Misses(),
-		ShardPoolMisses:  s.pool.ShardMisses(),
-		RequestsDense:    s.stats.reqDense.Load(),
-		RequestsFactored: s.stats.reqFactored.Load(),
-		RequestsSparse:   s.stats.reqSparse.Load(),
-		RequestsProgram:  s.stats.reqProgram.Load(),
-		RequestsMMW:      s.stats.reqEngineMMW.Load(),
-		RequestsALO:      s.stats.reqEngineALO.Load(),
-		RequestsAuto:     s.stats.reqEngineAuto.Load(),
-		DeltaRequests:    s.stats.deltaRequests.Load(),
-		DeltaBaseMisses:  s.stats.deltaBaseMisses.Load(),
-		WarmStarts:       s.stats.warmStarts.Load(),
-		ColdFallbacks:    s.stats.warmColdFallbacks.Load(),
-		Revisions:        s.revs.Len(),
-		DeltaLineage:     s.lineage.Snapshot(),
-		UptimeSeconds:    int64(time.Since(s.start).Seconds()),
+		Requests:              s.stats.requests.Load(),
+		Admitted:              s.stats.admitted.Load(),
+		Solves:                s.stats.solves.Load(),
+		CacheHits:             hits,
+		CacheEntries:          s.cache.Len(),
+		DedupShared:           s.stats.dedupShared.Load(),
+		Rejected:              s.stats.rejected.Load(),
+		Cancelled:             s.stats.cancelled.Load(),
+		Errors:                s.stats.errors.Load(),
+		InFlight:              s.stats.inFlight.Load(),
+		QueueDepth:            s.pool.QueueDepth(),
+		PoolExecuted:          s.pool.Executed(),
+		PoolSkipped:           s.pool.Skipped(),
+		PoolMisses:            s.pool.Misses(),
+		ShardPoolMisses:       s.pool.ShardMisses(),
+		RequestsDense:         s.stats.reqDense.Load(),
+		RequestsFactored:      s.stats.reqFactored.Load(),
+		RequestsSparse:        s.stats.reqSparse.Load(),
+		RequestsProgram:       s.stats.reqProgram.Load(),
+		RequestsMixedDense:    s.stats.reqMixedDense.Load(),
+		RequestsMixedFactored: s.stats.reqMixedFactored.Load(),
+		RequestsMixedSparse:   s.stats.reqMixedSparse.Load(),
+		RequestsMMW:           s.stats.reqEngineMMW.Load(),
+		RequestsALO:           s.stats.reqEngineALO.Load(),
+		RequestsAuto:          s.stats.reqEngineAuto.Load(),
+		DeltaRequests:         s.stats.deltaRequests.Load(),
+		DeltaBaseMisses:       s.stats.deltaBaseMisses.Load(),
+		WarmStarts:            s.stats.warmStarts.Load(),
+		ColdFallbacks:         s.stats.warmColdFallbacks.Load(),
+		Revisions:             s.revs.Len(),
+		DeltaLineage:          s.lineage.Snapshot(),
+		UptimeSeconds:         int64(time.Since(s.start).Seconds()),
 	}
 }
 
@@ -357,7 +379,19 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 	}
 	dreq := req
 	dreq.Instance = mat
-	res := s.solveOne(r.Context(), "decision", &dreq, &warmLink{baseKey: baseKey, baseHex: dd.Base, state: rev.state})
+	// The base revision decides the solve kind: a delta against a mixed
+	// base materializes a mixed document and re-solves the mixed system
+	// (warm-started from the base's final iterate), everything else is a
+	// decision solve.
+	kind := "decision"
+	warm := &warmLink{baseKey: baseKey, baseHex: dd.Base}
+	if mat.Mixed != nil {
+		kind = "mixed"
+		warm.mixedX = rev.mixedX
+	} else {
+		warm.state = rev.state
+	}
+	res := s.solveOne(r.Context(), kind, &dreq, warm)
 	if res.haveDigest {
 		w.Header().Set("X-Psdpd-Digest", res.digest.String())
 	}
@@ -411,12 +445,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 // warmLink carries the incremental-solving context of a delta request
 // into the solve pipeline: the revision key the client named, its hex
-// form for lineage records, and the stored final state the decision
-// closure warm-starts from.
+// form for lineage records, and the stored warm-start payload — the
+// final decision state for decision bases, the final iterate for mixed
+// bases (exactly one is non-nil).
 type warmLink struct {
 	baseKey digest
 	baseHex string
 	state   *core.DecisionState
+	mixedX  []float64
 }
 
 // solveResult is solveOne's outcome: HTTP status, cache disposition
@@ -590,8 +626,8 @@ func (s *Server) prepare(kind string, req *Request, warm *warmLink) (prepared, e
 	if err := opts.Validate(); err != nil {
 		return prepared{}, err
 	}
-	if warm != nil && kind != "decision" {
-		return prepared{}, fmt.Errorf("serve: warm start applies to decision solves only, not %q", kind)
+	if warm != nil && kind != "decision" && kind != "mixed" {
+		return prepared{}, fmt.Errorf("serve: warm start applies to decision and mixed solves only, not %q", kind)
 	}
 
 	switch kind {
@@ -623,7 +659,7 @@ func (s *Server) prepare(kind string, req *Request, warm *warmLink) (prepared, e
 		if err := oracleMatchesSet(opts.Oracle, set); err != nil {
 			return prepared{}, err
 		}
-		d, err := requestDigest(kind, req, set, nil, opts.Engine)
+		d, err := requestDigest(kind, req, set, nil, nil, opts.Engine)
 		if err != nil {
 			return prepared{}, err
 		}
@@ -682,6 +718,70 @@ func (s *Server) prepare(kind string, req *Request, warm *warmLink) (prepared, e
 		})
 		return p, nil
 
+	case "mixed":
+		if req.Instance == nil {
+			return prepared{}, errors.New("serve: mixed request needs an instance")
+		}
+		if req.Program != nil {
+			return prepared{}, errors.New("serve: mixed request cannot carry a program")
+		}
+		if req.scaleOrOne() != 1 {
+			return prepared{}, errors.New("serve: mixed requests do not support scale")
+		}
+		prob, err := instio.BuildMixed(req.Instance)
+		if err != nil {
+			return prepared{}, err
+		}
+		if err := oracleMatchesSet(opts.Oracle, prob.Pack); err != nil {
+			return prepared{}, err
+		}
+		d, err := requestDigest(kind, req, prob.Pack, nil, prob.Cover, opts.Engine)
+		if err != nil {
+			return prepared{}, err
+		}
+		p := prepared{d: d, plain: d, rep: "mixed-" + representationOf(prob.Pack),
+			engine: canonicalEngine(kind, opts.Engine, prob.Pack, req.Eps).String()}
+		// Only sparse-packed mixed instances can be delta bases (same
+		// rule as decision: ApplyDelta edits sparse triplets), so only
+		// those pay the revision snapshot.
+		p.wantRevision = s.cfg.RevisionEntries > 0 && p.rep == repMixedSparse
+		if warm != nil {
+			p.isDelta = true
+			if d == warm.baseKey {
+				// Identity delta: demote to a plain re-solve of the base,
+				// exactly like the decision path.
+				warm = nil
+			} else {
+				p.d = warmDigest(d, warm.baseKey)
+			}
+		}
+		eps := req.Eps
+		mo := mixed.Options{
+			MaxIter: req.MaxIter,
+			Seed:    req.Seed,
+			Oracle:  opts.Oracle,
+			Engine:  opts.Engine,
+		}
+		key, inst, record := p.d, req.Instance, p.wantRevision
+		p.fn = s.solveClosure(func(_ context.Context, _ *work.Workspace) (any, error) {
+			o := mo
+			if warm != nil {
+				// A reshaped delta (added/removed constraints) fails the
+				// solver's warm-start shape guard and falls back cold;
+				// Result.WarmStarted reports which happened.
+				o.WarmStart = warm.mixedX
+			}
+			mr, err := mixed.Solve(prob, eps, o)
+			if err != nil {
+				return nil, err
+			}
+			if record {
+				s.recordMixedRevision(key, inst, mr, warm)
+			}
+			return mixedResponse(eps, mr), nil
+		})
+		return p, nil
+
 	case "solve":
 		if req.Program == nil {
 			return prepared{}, errors.New("serve: solve request needs a program")
@@ -693,7 +793,7 @@ func (s *Server) prepare(kind string, req *Request, warm *warmLink) (prepared, e
 		if err != nil {
 			return prepared{}, err
 		}
-		d, err := requestDigest(kind, req, nil, prog, opts.Engine)
+		d, err := requestDigest(kind, req, nil, prog, nil, opts.Engine)
 		if err != nil {
 			return prepared{}, err
 		}
@@ -733,6 +833,27 @@ func (s *Server) recordRevision(key digest, inst *instio.Instance, dr *core.Deci
 		Derived:     key.String(),
 		WarmStarted: dr.WarmStarted,
 		Iterations:  dr.Iterations,
+	})
+}
+
+// recordMixedRevision is recordRevision's mixed counterpart: the
+// stored warm-start payload is the final iterate X rather than a
+// decision state, and the lineage/warm counters read the mixed result.
+func (s *Server) recordMixedRevision(key digest, inst *instio.Instance, mr *mixed.Result, warm *warmLink) {
+	s.revs.Put(key, &revision{inst: inst, mixedX: mr.X})
+	if warm == nil {
+		return
+	}
+	if mr.WarmStarted {
+		s.stats.warmStarts.Add(1)
+	} else {
+		s.stats.warmColdFallbacks.Add(1)
+	}
+	s.lineage.Add(LineageEntry{
+		Base:        warm.baseHex,
+		Derived:     key.String(),
+		WarmStarted: mr.WarmStarted,
+		Iterations:  mr.Iterations,
 	})
 }
 
@@ -834,6 +955,21 @@ func maximizeResponse(eps float64, sol *core.Solution) *MaximizeResponse {
 		X:               sol.X,
 		DecisionCalls:   sol.DecisionCalls,
 		TotalIterations: sol.TotalIterations,
+	}
+}
+
+func mixedResponse(eps float64, mr *mixed.Result) *MixedResponse {
+	return &MixedResponse{
+		Kind:        "mixed",
+		Eps:         eps,
+		Status:      mr.Status.String(),
+		Engine:      mr.Engine,
+		Iterations:  mr.Iterations,
+		Capped:      mr.Capped,
+		WarmStarted: mr.WarmStarted,
+		MinCoverage: Num(mr.MinCoverage),
+		LambdaMax:   Num(mr.LambdaMax),
+		X:           mr.X,
 	}
 }
 

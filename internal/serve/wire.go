@@ -59,9 +59,10 @@ func (v *Num) UnmarshalJSON(b []byte) error {
 }
 
 // Request is the body of every solve endpoint. /v1/decision and
-// /v1/maximize require Instance; /v1/solve requires Program. Kind is
-// only meaningful inside /v1/batch items, where it selects the
-// endpoint ("decision", "maximize", or "solve").
+// /v1/maximize require Instance; /v1/mixed requires an Instance whose
+// mixed section is set; /v1/solve requires Program. Kind is only
+// meaningful inside /v1/batch items, where it selects the endpoint
+// ("decision", "maximize", "solve", or "mixed").
 type Request struct {
 	Kind     string           `json:"kind,omitempty"`
 	Instance *instio.Instance `json:"instance,omitempty"`
@@ -225,6 +226,23 @@ type SolveResponse struct {
 	TotalIterations int       `json:"totalIterations"`
 }
 
+// MixedResponse is the /v1/mixed result: a VERIFIED bicriteria point of
+// the mixed packing/covering system (status "feasible" means coverage
+// ≥ 1−ε and λ_max ≤ 1+10ε were both checked numerically) or the best
+// iterate with its measured violations (status "inconclusive").
+type MixedResponse struct {
+	Kind        string    `json:"kind"`
+	Eps         float64   `json:"eps"`
+	Status      string    `json:"status"`
+	Engine      string    `json:"engine"`
+	Iterations  int       `json:"iterations"`
+	Capped      int       `json:"capped"`
+	WarmStarted bool      `json:"warmStarted,omitempty"`
+	MinCoverage Num       `json:"minCoverage"`
+	LambdaMax   Num       `json:"lambdaMax"`
+	X           []float64 `json:"x"`
+}
+
 // ErrorResponse is the body of every non-2xx answer.
 type ErrorResponse struct {
 	Error string `json:"error"`
@@ -284,6 +302,11 @@ type StatsResponse struct {
 	RequestsFactored int64 `json:"requestsFactored"`
 	RequestsSparse   int64 `json:"requestsSparse"`
 	RequestsProgram  int64 `json:"requestsProgram"`
+	// Mixed requests count under their packing representation in their
+	// own family: the three sum to the admitted /v1/mixed requests.
+	RequestsMixedDense    int64 `json:"requestsMixedDense"`
+	RequestsMixedFactored int64 `json:"requestsMixedFactored"`
+	RequestsMixedSparse   int64 `json:"requestsMixedSparse"`
 	// Per-engine counts of admitted solve requests, keyed by the
 	// effective engine: the server default substituted for an empty
 	// engine field, and "auto" resolved to its concrete pick for

@@ -1,0 +1,16 @@
+#!/bin/sh
+# bench_mixed.sh — regenerate the mixed packing/covering baseline: run
+# both generator families (dense covering-LP, sparse graph covering)
+# under both engines and merge the iteration counts and wall times into
+# BENCH_psdp.json under the "mixed" key. Fails unless every run ends
+# verified feasible — the generators construct instances with a known
+# interior witness, so an inconclusive result is a solver regression
+# (psdpbench exits nonzero on a gate violation).
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT="${BENCH_OUT:-BENCH_psdp.json}"
+
+go run ./cmd/psdpbench -mixed -bench-out "$OUT" ${BENCH_MIXED_FLAGS:-}
+
+echo "bench-mixed: OK (baseline written to $OUT)"

@@ -93,6 +93,43 @@ if ! grep -q '"warmStarts":[1-9]' "$BIN/statsz.json"; then
 fi
 echo "serve smoke: delta warm-start OK"
 
+# Mixed packing/covering gate: generate a mixed covering-LP instance,
+# solve it with the CLI, POST the same document through /v1/mixed, and
+# re-POST to require a content-cache hit — the full workload path
+# (generator, CLI, endpoint, cache identity) in one pass.
+"$BIN/psdpgen" -family mixed-lp -n 8 -m 12 -seed 11 -out "$BIN/mixed.json"
+"$BIN/psdpsolve" -in "$BIN/mixed.json" -eps 0.2 > "$BIN/mixed_cli.json"
+grep -q '"kind": "mixed"' "$BIN/mixed_cli.json"
+grep -q '"status"' "$BIN/mixed_cli.json"
+
+printf '{"instance":%s,"eps":0.2,"seed":5}' \
+    "$(cat "$BIN/mixed.json")" > "$BIN/mixed_req.json"
+code="$(curl -s -D "$BIN/mixed_hdrs1" -o "$BIN/mixed_resp.json" -w '%{http_code}' \
+    -H 'Content-Type: application/json' \
+    --data-binary @"$BIN/mixed_req.json" \
+    "http://127.0.0.1:$PORT/v1/mixed")"
+if [ "$code" != "200" ]; then
+    echo "mixed /v1/mixed POST failed: HTTP $code"
+    cat "$BIN/mixed_resp.json"
+    exit 1
+fi
+grep -q '"status"' "$BIN/mixed_resp.json"
+
+curl -s -D "$BIN/mixed_hdrs2" -o "$BIN/mixed_resp2.json" \
+    -H 'Content-Type: application/json' \
+    --data-binary @"$BIN/mixed_req.json" \
+    "http://127.0.0.1:$PORT/v1/mixed" > /dev/null
+if ! tr -d '\r' < "$BIN/mixed_hdrs2" | grep -qi '^x-psdpd-cache: hit'; then
+    echo "identical mixed re-POST was not a cache hit (headers below)"
+    cat "$BIN/mixed_hdrs2"
+    exit 1
+fi
+if ! cmp -s "$BIN/mixed_resp.json" "$BIN/mixed_resp2.json"; then
+    echo "mixed cache hit returned different bytes"
+    exit 1
+fi
+echo "serve smoke: mixed endpoint + cache hit OK"
+
 kill "$PID"
 wait "$PID" 2>/dev/null || true
 PID=""
