@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race race-smoke vet lint ci fuzz bench bench-delta bench-engines bench-mixed examples experiments serve load smoke-serve
+.PHONY: build test race race-smoke vet lint ci fuzz bench bench-delta bench-engines bench-mixed bench-obs examples experiments serve load smoke-serve
 
 ## build: compile every package and command
 build:
@@ -72,6 +72,12 @@ bench-engines:
 ## verified feasible point on every witness-feasible instance)
 bench-mixed:
 	sh scripts/bench_mixed.sh
+
+## bench-obs: regenerate the observability-overhead baseline under
+## "obs" in BENCH_psdp.json (fails if telemetry adds allocations on the
+## solver hot path or pushes the on/off cost ratio past the gates)
+bench-obs:
+	$(GO) run ./cmd/psdpbench -obs -bench-out BENCH_psdp.json
 
 ## examples: compile every example program and run the mixedcover
 ## walkthrough end to end (CI runs this; mixedcover exits nonzero if

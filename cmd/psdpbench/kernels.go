@@ -76,6 +76,9 @@ type benchReport struct {
 	// Mixed is the mixed packing/covering baseline owned by
 	// psdpbench -mixed; preserved the same way.
 	Mixed json.RawMessage `json:"mixed,omitempty"`
+	// Obs is the observability-overhead baseline owned by
+	// psdpbench -obs; preserved the same way.
+	Obs json.RawMessage `json:"obs,omitempty"`
 }
 
 // allocsPerOp measures heap allocations and bytes per invocation of op,
@@ -302,6 +305,7 @@ func runKernelBench(path string, sizes []int, seed uint64) error {
 			rep.ServeDelta = old.ServeDelta
 			rep.Engines = old.Engines
 			rep.Mixed = old.Mixed
+			rep.Obs = old.Obs
 		}
 	}
 	out, err := json.MarshalIndent(&rep, "", "  ")

@@ -29,8 +29,17 @@ func main() {
 	kernels := flag.Bool("kernels", false, "benchmark the dense hot-path kernels and write -bench-out")
 	engines := flag.Bool("engines", false, "head-to-head MMW vs ALO engine benchmark; gates the tight-eps crossover and writes -bench-out")
 	mixedBench := flag.Bool("mixed", false, "mixed packing/covering benchmark; gates feasibility on witness-feasible instances and writes -bench-out")
+	obsBench := flag.Bool("obs", false, "observability overhead benchmark; gates zero telemetry allocs on the solver hot path and writes -bench-out")
 	benchOut := flag.String("bench-out", "BENCH_psdp.json", "output path for -kernels/-engines/-mixed JSON report")
 	flag.Parse()
+
+	if *obsBench {
+		if err := runObsBench(*benchOut, *quick, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "psdpbench: observability benchmark failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *engines {
 		if err := runEngineBench(*benchOut, *quick, *seed); err != nil {

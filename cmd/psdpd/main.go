@@ -7,21 +7,32 @@
 //
 //	psdpd [-addr :8723] [-workers N] [-shards S] [-queue 64]
 //	      [-cache 1024] [-revisions 128] [-timeout 30s] [-max-timeout 5m]
+//	      [-log json|text|off] [-slow 1s] [-no-metrics] [-ops-addr host:port]
 //
 // Endpoints: POST /v1/decision, /v1/maximize, /v1/solve, /v1/batch,
 // /v1/delta (incremental solving over the revision store); GET
-// /healthz, /statsz. SIGINT/SIGTERM drain in-flight solves before
-// exit.
+// /healthz (liveness), /readyz (readiness), /statsz, /metrics
+// (Prometheus text), /debugz/slow (recent slow/failed solves).
+// SIGINT/SIGTERM drain in-flight solves before exit.
+//
+// -ops-addr starts a second listener for the operations surface only:
+// net/http/pprof under /debug/pprof/, plus the same /metrics, /statsz,
+// and /debugz/slow. Keeping pprof off the serving address means the
+// profiling endpoints can stay firewalled without a proxy in front of
+// the solve API.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -43,11 +54,27 @@ func main() {
 	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "cap on request-supplied deadlines")
 	maxBody := flag.Int64("max-body", 32<<20, "request body size limit in bytes")
 	engine := flag.String("engine", "mmw", "default decision engine for requests with no engine field: mmw, alo, or auto")
+	logMode := flag.String("log", "off", "structured request logging to stderr: json, text, or off")
+	slow := flag.Duration("slow", time.Second, "record successful solves at/over this duration in /debugz/slow")
+	noMetrics := flag.Bool("no-metrics", false, "disable the /metrics registry (the endpoint answers 404)")
+	opsAddr := flag.String("ops-addr", "", "optional second listener for pprof + /metrics + /statsz + /debugz/slow")
 	flag.Parse()
 
 	defEngine, err := core.ParseEngine(*engine)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "psdpd: %v\n", err)
+		os.Exit(1)
+	}
+
+	var logger *slog.Logger
+	switch *logMode {
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	case "text":
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	case "off", "":
+	default:
+		fmt.Fprintf(os.Stderr, "psdpd: unknown -log mode %q (want json, text, or off)\n", *logMode)
 		os.Exit(1)
 	}
 
@@ -61,6 +88,9 @@ func main() {
 		DefaultTimeout:  *timeout,
 		MaxTimeout:      *maxTimeout,
 		DefaultEngine:   defEngine,
+		DisableMetrics:  *noMetrics,
+		Logger:          logger,
+		SlowSolve:       *slow,
 	})
 	defer srv.Close()
 
@@ -72,6 +102,22 @@ func main() {
 	httpSrv := &http.Server{Handler: srv}
 	log.Printf("psdpd: listening on http://%s (workers=%d queue=%d cache=%d timeout=%s)",
 		ln.Addr(), *workers, *queue, *cacheEntries, *timeout)
+
+	var opsSrv *http.Server
+	if *opsAddr != "" {
+		opsLn, err := net.Listen("tcp", *opsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "psdpd: ops listener: %v\n", err)
+			os.Exit(1)
+		}
+		opsSrv = &http.Server{Handler: opsMux(srv)}
+		go func() {
+			if err := opsSrv.Serve(opsLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("psdpd: ops listener: %v", err)
+			}
+		}()
+		log.Printf("psdpd: ops surface on http://%s (pprof, metrics, statsz, debugz)", opsLn.Addr())
+	}
 
 	done := make(chan error, 1)
 	go func() { done <- httpSrv.Serve(ln) }()
@@ -88,8 +134,38 @@ func main() {
 		log.Printf("psdpd: %v, draining", s)
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
+		if opsSrv != nil {
+			opsSrv.Shutdown(ctx)
+		}
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			log.Printf("psdpd: shutdown: %v", err)
 		}
 	}
+}
+
+// opsMux builds the operations-surface handler: pprof (registered
+// explicitly — the daemon never touches http.DefaultServeMux) plus the
+// observability endpoints that make sense next to a profile.
+func opsMux(srv *serve.Server) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if h := srv.Metrics(); h != nil {
+		mux.Handle("GET /metrics", h)
+	}
+	mux.HandleFunc("GET /statsz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, srv.Stats())
+	})
+	mux.HandleFunc("GET /debugz/slow", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, map[string]any{"entries": srv.SlowSnapshot()})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
 }

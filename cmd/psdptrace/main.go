@@ -1,15 +1,26 @@
-// Command psdptrace runs one ε-decision call on a JSON instance and
-// streams per-iteration telemetry — the run-time view of Lemma 3.2
-// (λ_max(Ψ) tracking ‖x‖₁ under their caps) on the user's own instance.
+// Command psdptrace runs one solve on a JSON instance and streams
+// per-iteration telemetry — the run-time view of Lemma 3.2 (λ_max(Ψ)
+// tracking ‖x‖₁ under their caps) on the user's own instance.
 //
 // Usage:
 //
 //	psdptrace -in instance.json [-eps 0.2] [-every 50] [-max 0]
+//	          [-engine mmw|alo|auto] [-json]
 //
-// Output columns: iteration, ‖x‖₁, λ_max(Ψ), min/max ratio, |B|.
+// The instance document may be dense, factored, or sparse (traced
+// per-iteration through the decision solver), or a mixed
+// packing/covering document (solved with the §5 extension; the mixed
+// engine reports a summary, not per-iteration rows).
+//
+// Default output is aligned columns: iteration, ‖x‖₁, λ_max(Ψ),
+// min/max ratio, |B|. With -json, each traced iteration is one NDJSON
+// record and the run ends with a summary record carrying the certified
+// bounds and the solver's phase breakdown (oracle/expm/update/
+// bookkeeping wall time), machine-readable for plotting pipelines.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,32 +35,89 @@ func main() {
 	every := flag.Int("every", 50, "print every k-th iteration")
 	maxIter := flag.Int("max", 0, "iteration cap (0 = theory bound R)")
 	seed := flag.Uint64("seed", 1, "seed")
+	engine := flag.String("engine", "", "iteration dynamics: mmw, alo, or auto (default mmw)")
+	asJSON := flag.Bool("json", false, "emit NDJSON records instead of columns")
 	flag.Parse()
 
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "psdptrace: -in is required")
 		os.Exit(2)
 	}
-	set, err := instio.Load(*in)
+	eng, err := psdp.ParseEngine(*engine)
 	if err != nil {
 		fatal(err)
 	}
-	prm, err := psdp.ParamsFor(set.N(), set.Dim(), *eps)
+	f, err := os.Open(*in)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("# n=%d m=%d eps=%g K=%.4g alpha=%.4g R=%d\n",
-		set.N(), set.Dim(), *eps, prm.K, prm.Alpha, prm.R)
-	fmt.Printf("# caps: ||x||1 exit at K=%.4g, Lemma 3.2 spectrum cap (1+10e)K=%.4g\n",
-		prm.K, (1+10**eps)*prm.K)
-	fmt.Printf("%10s  %12s  %12s  %10s  %10s  %6s\n",
-		"iter", "||x||_1", "lmax(Psi)", "min r", "max r", "|B|")
+	inst, err := instio.DecodeDocument(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
 
-	dr, err := psdp.Decision(set, *eps, psdp.Options{
-		Seed:    *seed,
-		MaxIter: *maxIter,
+	if inst.Mixed != nil {
+		traceMixed(inst, *eps, *maxIter, *seed, eng, *asJSON)
+		return
+	}
+	traceDecision(inst, *eps, *every, *maxIter, *seed, eng, *asJSON)
+}
+
+// summary is the final NDJSON record of a -json run.
+type summary struct {
+	Record     string           `json:"record"` // "summary"
+	Kind       string           `json:"kind"`   // "decision" or "mixed"
+	Engine     string           `json:"engine"`
+	Eps        float64          `json:"eps"`
+	Outcome    string           `json:"outcome,omitempty"`
+	Status     string           `json:"status,omitempty"`
+	Iterations int              `json:"iterations"`
+	Lower      float64          `json:"lower,omitempty"`
+	Upper      float64          `json:"upper,omitempty"`
+	Phases     *psdp.SolveStats `json:"phases,omitempty"`
+}
+
+// iterRecord wraps IterationInfo with a record discriminator so a
+// stream consumer can split iterations from the summary.
+type iterRecord struct {
+	Record string `json:"record"` // "iteration"
+	psdp.IterationInfo
+}
+
+func traceDecision(inst *instio.Instance, eps float64, every, maxIter int, seed uint64, eng psdp.EngineKind, asJSON bool) {
+	set, err := instio.Build(inst)
+	if err != nil {
+		fatal(err)
+	}
+	resolved := psdp.ResolveEngine(eng, set, eps)
+	prm, err := psdp.ParamsFor(set.N(), set.Dim(), eps)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	if !asJSON {
+		fmt.Printf("# n=%d m=%d eps=%g engine=%s K=%.4g alpha=%.4g R=%d\n",
+			set.N(), set.Dim(), eps, resolved, prm.K, prm.Alpha, prm.R)
+		fmt.Printf("# caps: ||x||1 exit at K=%.4g, Lemma 3.2 spectrum cap (1+10e)K=%.4g\n",
+			prm.K, (1+10*eps)*prm.K)
+		fmt.Printf("%10s  %12s  %12s  %10s  %10s  %6s\n",
+			"iter", "||x||_1", "lmax(Psi)", "min r", "max r", "|B|")
+	}
+
+	var st psdp.SolveStats
+	dr, err := psdp.Decision(set, eps, psdp.Options{
+		Seed:    seed,
+		MaxIter: maxIter,
+		Engine:  eng,
+		Phases:  &st,
 		OnIteration: func(info psdp.IterationInfo) bool {
-			if info.T%max(*every, 1) == 0 || info.T == 1 {
+			if info.T%max(every, 1) != 0 && info.T != 1 {
+				return true
+			}
+			if asJSON {
+				enc.Encode(iterRecord{Record: "iteration", IterationInfo: info})
+			} else {
 				fmt.Printf("%10d  %12.5g  %12.5g  %10.4g  %10.4g  %6d\n",
 					info.T, info.XNorm1, info.LambdaMax, info.MinRatio, info.MaxRatio, info.Updated)
 			}
@@ -59,9 +127,49 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if asJSON {
+		enc.Encode(summary{
+			Record: "summary", Kind: "decision", Engine: resolved.String(), Eps: eps,
+			Outcome: dr.Outcome.String(), Iterations: dr.Iterations,
+			Lower: dr.Lower, Upper: dr.Upper, Phases: &st,
+		})
+		return
+	}
 	fmt.Printf("# outcome=%s iterations=%d certified: %.6g <= OPT <= %.6g\n",
 		dr.Outcome, dr.Iterations, dr.Lower, dr.Upper)
+	fmt.Printf("# phases: oracle=%.3fms (expm=%.3fms) update=%.3fms bookkeep=%.3fms\n",
+		ms(st.OracleNS), ms(st.ExpmNS), ms(st.UpdateNS), ms(st.BookkeepNS))
 }
+
+func traceMixed(inst *instio.Instance, eps float64, maxIter int, seed uint64, eng psdp.EngineKind, asJSON bool) {
+	prob, err := instio.BuildMixed(inst)
+	if err != nil {
+		fatal(err)
+	}
+	if !asJSON {
+		fmt.Printf("# mixed: n=%d m=%d cover=%d eps=%g\n",
+			prob.Pack.N(), prob.Pack.Dim(), prob.Cover.R, eps)
+	}
+	mr, err := psdp.SolveMixed(prob, eps, psdp.MixedOptions{
+		MaxIter: maxIter,
+		Seed:    seed,
+		Engine:  eng,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if asJSON {
+		json.NewEncoder(os.Stdout).Encode(summary{
+			Record: "summary", Kind: "mixed", Engine: mr.Engine, Eps: eps,
+			Status: mr.Status.String(), Iterations: mr.Iterations,
+		})
+		return
+	}
+	fmt.Printf("# status=%s engine=%s iterations=%d capped=%d minCoverage=%.6g lambdaMax=%.6g\n",
+		mr.Status, mr.Engine, mr.Iterations, mr.Capped, mr.MinCoverage, mr.LambdaMax)
+}
+
+func ms(ns int64) float64 { return float64(ns) / 1e6 }
 
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "psdptrace: %v\n", err)

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/matrix"
 )
@@ -113,9 +114,19 @@ func (a *aloRun) Step() error {
 		}
 	}
 	a.t++
+	ph := a.opts.Phases
+	var mark time.Time
+	if ph != nil {
+		mark = time.Now()
+	}
 	r, info, err := a.orc.ratios()
 	if err != nil {
 		return fmt.Errorf("core: iteration %d: %w", a.t, err)
+	}
+	if ph != nil {
+		now := time.Now()
+		ph.OracleNS += now.Sub(mark).Nanoseconds()
+		mark = now
 	}
 	// The oracle sees Ψ(x)/μ; scale its spectral estimate back.
 	lam := a.mu * info.LambdaMax
@@ -174,6 +185,11 @@ func (a *aloRun) Step() error {
 		a.b = append(a.b, i)
 		a.mults = append(a.mults, mult)
 	}
+	if ph != nil {
+		now := time.Now()
+		ph.BookkeepNS += now.Sub(mark).Nanoseconds()
+		mark = now
+	}
 	if len(a.b) > 0 {
 		matrix.VecScale(a.xs, a.invMu, a.x)
 		// Scaling by 1/μ commutes with the per-coordinate multipliers,
@@ -181,6 +197,10 @@ func (a *aloRun) Step() error {
 		if err := a.orc.update(a.b, a.mults, a.xs); err != nil {
 			return err
 		}
+	}
+	if ph != nil {
+		ph.UpdateNS += time.Since(mark).Nanoseconds()
+		ph.Iterations++
 	}
 
 	if a.opts.OnIteration != nil {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/matrix"
 	"repro/internal/parallel"
@@ -90,6 +91,14 @@ type Options struct {
 	Seed uint64
 	// Stats, when non-nil, accumulates analytic work/depth.
 	Stats *parallel.Stats
+	// Phases, when non-nil, accumulates the per-phase wall-time
+	// breakdown of the run (oracle apply, expm/Lanczos primitives,
+	// coordinate updates, certificate bookkeeping) — see SolveStats.
+	// The struct must not be shared across concurrent runs; sequential
+	// calls (MaximizePacking) accumulate into it naturally. Capture is
+	// allocation-free, so the zero-alloc steady-state contract survives
+	// with phases enabled.
+	Phases *SolveStats
 	// TrackPrimalMatrix accumulates Y = avg_t P⁽ᵗ⁾ densely (dense
 	// oracle only).
 	TrackPrimalMatrix bool
@@ -174,18 +183,20 @@ func (o Options) Validate() error {
 }
 
 // IterationInfo is the per-iteration telemetry passed to
-// Options.OnIteration.
+// Options.OnIteration. The JSON tags define the wire shape of the
+// per-iteration records emitted by the trace tooling (psdptrace -json).
 type IterationInfo struct {
 	// T is the 1-based iteration number.
-	T int
+	T int `json:"t"`
 	// XNorm1 is ‖x‖₁ after the update.
-	XNorm1 float64
+	XNorm1 float64 `json:"x_norm1"`
 	// LambdaMax is the oracle's λ_max(Ψ) estimate before the update.
-	LambdaMax float64
+	LambdaMax float64 `json:"lambda_max"`
 	// MinRatio and MaxRatio are the extremes of rᵢ this iteration.
-	MinRatio, MaxRatio float64
+	MinRatio float64 `json:"min_ratio"`
+	MaxRatio float64 `json:"max_ratio"`
 	// Updated is |B|, the number of coordinates bumped.
-	Updated int
+	Updated int `json:"updated"`
 }
 
 // Outcome labels which branch of the ε-decision problem fired.
@@ -485,9 +496,19 @@ func (d *decisionRun) step() error {
 		}
 	}
 	d.t++
+	ph := d.opts.Phases
+	var mark time.Time
+	if ph != nil {
+		mark = time.Now()
+	}
 	r, info, err := d.orc.ratios()
 	if err != nil {
 		return fmt.Errorf("core: iteration %d: %w", d.t, err)
+	}
+	if ph != nil {
+		now := time.Now()
+		ph.OracleNS += now.Sub(mark).Nanoseconds()
+		mark = now
 	}
 	if info.LambdaMax > d.res.MaxPsiNorm {
 		d.res.MaxPsiNorm = info.LambdaMax
@@ -525,6 +546,11 @@ func (d *decisionRun) step() error {
 			d.mults = append(d.mults, math.Pow(1+d.prm.Alpha, float64(steps)))
 		}
 	}
+	if ph != nil {
+		now := time.Now()
+		ph.BookkeepNS += now.Sub(mark).Nanoseconds()
+		mark = now
+	}
 	if len(d.b) > 0 {
 		for j, i := range d.b {
 			d.x[i] *= d.mults[j]
@@ -532,6 +558,10 @@ func (d *decisionRun) step() error {
 		if err := d.orc.update(d.b, d.mults, d.x); err != nil {
 			return err
 		}
+	}
+	if ph != nil {
+		ph.UpdateNS += time.Since(mark).Nanoseconds()
+		ph.Iterations++
 	}
 
 	if d.opts.OnIteration != nil {
@@ -758,9 +788,13 @@ func buildOracle(set ConstraintSet, opts Options, ws *work.Workspace) (expOracle
 	case OracleAuto:
 		switch s := set.(type) {
 		case *DenseSet:
-			return newDenseOracle(s, opts.Stats, ws), nil
+			o := newDenseOracle(s, opts.Stats, ws)
+			o.ph = opts.Phases
+			return o, nil
 		case PsiOperator:
-			return newOpJLOracle(s, opts.SketchEps, opts.Seed, opts.Stats, ws), nil
+			o := newOpJLOracle(s, opts.SketchEps, opts.Seed, opts.Stats, ws)
+			o.ph = opts.Phases
+			return o, nil
 		default:
 			return nil, fmt.Errorf("core: unknown constraint set type %T", set)
 		}
@@ -769,19 +803,25 @@ func buildOracle(set ConstraintSet, opts Options, ws *work.Workspace) (expOracle
 		if !ok {
 			return nil, errNotDense
 		}
-		return newDenseOracle(s, opts.Stats, ws), nil
+		o := newDenseOracle(s, opts.Stats, ws)
+		o.ph = opts.Phases
+		return o, nil
 	case OracleFactoredJL:
 		op, err := operatorFor(set, "OracleFactoredJL")
 		if err != nil {
 			return nil, err
 		}
-		return newOpJLOracle(op, opts.SketchEps, opts.Seed, opts.Stats, ws), nil
+		o := newOpJLOracle(op, opts.SketchEps, opts.Seed, opts.Stats, ws)
+		o.ph = opts.Phases
+		return o, nil
 	case OracleFactoredExact:
 		op, err := operatorFor(set, "OracleFactoredExact")
 		if err != nil {
 			return nil, err
 		}
-		return newOpExactOracle(op, opts.Seed, opts.Stats, ws), nil
+		o := newOpExactOracle(op, opts.Seed, opts.Stats, ws)
+		o.ph = opts.Phases
+		return o, nil
 	default:
 		return nil, fmt.Errorf("core: unknown oracle kind %d", opts.Oracle)
 	}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/eigen"
 	"repro/internal/expm"
@@ -79,6 +80,9 @@ type denseOracle struct {
 	// updatesSinceRebuild triggers a fresh Ψ = Σ xᵢAᵢ rebuild.
 	updatesSinceRebuild int
 	st                  *parallel.Stats
+	// ph, when non-nil, accumulates the expm/eigendecomposition share of
+	// the oracle's time (SolveStats.ExpmNS).
+	ph *SolveStats
 }
 
 const denseRebuildPeriod = 256
@@ -125,9 +129,16 @@ func (o *denseOracle) update(b []int, mults []float64, x []float64) error {
 }
 
 func (o *denseOracle) ratios() ([]float64, oracleInfo, error) {
+	var mark time.Time
+	if o.ph != nil {
+		mark = time.Now()
+	}
 	lmax, logTr, err := expm.NormalizedExpSymInto(o.ws, o.psi, &o.dec, o.p)
 	if err != nil {
 		return nil, oracleInfo{}, err
+	}
+	if o.ph != nil {
+		o.ph.ExpmNS += time.Since(mark).Nanoseconds()
 	}
 	n := o.set.N()
 	m := o.set.m

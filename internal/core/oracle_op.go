@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"time"
 
 	"repro/internal/eigen"
 	"repro/internal/expm"
@@ -129,6 +130,9 @@ type opJLOracle struct {
 	lambdaEst float64
 	st        *parallel.Stats
 	tol       float64
+	// ph, when non-nil, accumulates the Lanczos/ExpMV share of the
+	// oracle's time (SolveStats.ExpmNS).
+	ph *SolveStats
 
 	sc   opScratch
 	jl   *sketch.JL
@@ -193,8 +197,15 @@ func (o *opJLOracle) refreshLambda() error {
 }
 
 func (o *opJLOracle) ratios() ([]float64, oracleInfo, error) {
+	var mark time.Time
+	if o.ph != nil {
+		mark = time.Now()
+	}
 	if err := o.refreshLambda(); err != nil {
 		return nil, oracleInfo{}, err
+	}
+	if o.ph != nil {
+		o.ph.ExpmNS += time.Since(mark).Nanoseconds()
 	}
 	m := o.set.Dim()
 	n := o.set.N()
@@ -220,6 +231,9 @@ func (o *opJLOracle) ratios() ([]float64, oracleInfo, error) {
 	// without building a closure.
 	s := o.s
 	logs := o.logs
+	if o.ph != nil {
+		mark = time.Now()
+	}
 	if parallel.SerialBlock(o.rows, 1) {
 		for r := 0; r < o.rows; r++ {
 			logs[r] = expm.ExpMVInto(s.Data[r*m:(r+1)*m], o.sc.halfFns[r], o.jl.RowVec(r), normHalf, o.tol, &o.sc.mv[r])
@@ -230,6 +244,9 @@ func (o *opJLOracle) ratios() ([]float64, oracleInfo, error) {
 				logs[r] = expm.ExpMVInto(s.Data[r*m:(r+1)*m], o.sc.halfFns[r], o.jl.RowVec(r), normHalf, o.tol, &o.sc.mv[r])
 			}
 		})
+	}
+	if o.ph != nil {
+		o.ph.ExpmNS += time.Since(mark).Nanoseconds()
 	}
 	// Rescale all rows to the common maximum log-scale L.
 	maxLog := rescaleRows(s, logs)
@@ -369,6 +386,9 @@ type opExactOracle struct {
 	lambdaEst float64
 	seed      uint64
 	st        *parallel.Stats
+	// ph, when non-nil, accumulates the Lanczos/ExpMV share of the
+	// oracle's time (SolveStats.ExpmNS).
+	ph *SolveStats
 
 	sc     opScratch
 	cols   *matrix.Dense
@@ -401,6 +421,10 @@ func (o *opExactOracle) update(_ []int, _ []float64, x []float64) error {
 }
 
 func (o *opExactOracle) ratios() ([]float64, oracleInfo, error) {
+	var mark time.Time
+	if o.ph != nil {
+		mark = time.Now()
+	}
 	o.sc.pcg.Seed(o.seed, 0xfeed)
 	lam, err := eigen.LanczosMax(o.sc.applyFn, o.set.Dim(), eigen.LanczosOpts{
 		MaxIter: exactLanczosIter, Tol: 1e-8,
@@ -409,6 +433,9 @@ func (o *opExactOracle) ratios() ([]float64, oracleInfo, error) {
 	})
 	if err != nil {
 		return nil, oracleInfo{}, err
+	}
+	if o.ph != nil {
+		o.ph.ExpmNS += time.Since(mark).Nanoseconds()
 	}
 	o.lambdaEst = math.Max(lam, 0)
 	m := o.set.Dim()
@@ -420,6 +447,9 @@ func (o *opExactOracle) ratios() ([]float64, oracleInfo, error) {
 	// one held m×m buffer written once per call.
 	cols := o.cols
 	logs := o.logs
+	if o.ph != nil {
+		mark = time.Now()
+	}
 	if parallel.SerialBlock(m, 1) {
 		for r := 0; r < m; r++ {
 			e := o.basisV[r*m : (r+1)*m]
@@ -434,6 +464,9 @@ func (o *opExactOracle) ratios() ([]float64, oracleInfo, error) {
 				logs[r] = expm.ExpMVInto(cols.Data[r*m:(r+1)*m], o.sc.halfFns[r], e, normHalf, 1e-12, &o.sc.mv[r])
 			}
 		})
+	}
+	if o.ph != nil {
+		o.ph.ExpmNS += time.Since(mark).Nanoseconds()
 	}
 	maxLog := rescaleRows(cols, logs)
 	trEst := sumSquares(cols.Data)

@@ -1,0 +1,42 @@
+package core
+
+// SolveStats is the per-phase wall-clock breakdown of a solver run,
+// accumulated when Options.Phases points at one. The paper's analysis
+// is iteration-count-centric (Theorem 3.1's R = O(ε⁻³log²N) for MMW,
+// O(ε⁻²log²N) for the ALO engine), so the phase split follows the
+// per-iteration anatomy of Algorithm 3.1:
+//
+//   - OracleNS:   the exp(Ψ)•Aᵢ ratio oracle (paper line 4) — the whole
+//     ratios() call, eigendecomposition or sketch included.
+//   - ExpmNS:     the spectral primitives inside the oracle (the dense
+//     eigendecomposition-based exp, or Lanczos λ_max refresh plus the
+//     ExpMV Taylor chains). A subset of OracleNS, split out because it
+//     is the paper's dominant-cost term.
+//   - UpdateNS:   the multiplicative coordinate update and the oracle's
+//     incremental Ψ maintenance (paper lines 6–7).
+//   - BookkeepNS: certificate tracking, freeze/cap handling, and B-set
+//     selection between oracle and update.
+//
+// All timings use the monotonic clock and are accumulated with plain
+// stores: a SolveStats must not be shared across concurrent runs.
+// MaximizePacking's sequence of decision calls accumulates into one
+// struct naturally, since every call reads the same Options.Phases
+// pointer. Enabling phase capture keeps the steady-state iteration
+// allocation-free (the regression tests pin this).
+type SolveStats struct {
+	Iterations int   `json:"iterations"`
+	OracleNS   int64 `json:"oracle_ns"`
+	ExpmNS     int64 `json:"expm_ns"`
+	UpdateNS   int64 `json:"update_ns"`
+	BookkeepNS int64 `json:"bookkeep_ns"`
+}
+
+// Merge adds o's counts into s (for aggregating per-run stats into
+// service-lifetime totals).
+func (s *SolveStats) Merge(o SolveStats) {
+	s.Iterations += o.Iterations
+	s.OracleNS += o.OracleNS
+	s.ExpmNS += o.ExpmNS
+	s.UpdateNS += o.UpdateNS
+	s.BookkeepNS += o.BookkeepNS
+}

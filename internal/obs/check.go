@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// expositionLine matches one valid Prometheus text-format sample line:
+// name{labels} value. The value accepts decimals, scientific notation,
+// and the IEEE specials.
+var expositionLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|[+-]?Inf|NaN)$`)
+
+// CheckExposition validates every line of a rendered exposition: HELP
+// and TYPE comments for each family in order, and well-formed sample
+// lines. It is the minimal line-format checker shared by this package's
+// golden tests, the serve-layer exposition test, and psdpbench's obs
+// gate — deliberately not a full openmetrics parser, just enough to
+// catch a malformed line before a real scraper does.
+func CheckExposition(text string) error {
+	sawType := map[string]string{}
+	var current string
+	for i, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			continue
+		case strings.HasPrefix(line, "# TYPE "):
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				return fmt.Errorf("line %d: malformed TYPE comment %q", i+1, line)
+			}
+			name, typ := parts[2], parts[3]
+			if typ != "counter" && typ != "gauge" && typ != "histogram" {
+				return fmt.Errorf("line %d: unknown metric type %q", i+1, typ)
+			}
+			if prev, ok := sawType[name]; ok && prev != typ {
+				return fmt.Errorf("line %d: metric %q re-typed %s -> %s", i+1, name, prev, typ)
+			}
+			sawType[name] = typ
+			current = name
+		case strings.HasPrefix(line, "#"):
+			return fmt.Errorf("line %d: unknown comment %q", i+1, line)
+		default:
+			if !expositionLine.MatchString(line) {
+				return fmt.Errorf("line %d: malformed sample line %q", i+1, line)
+			}
+			name := line
+			if j := strings.IndexAny(line, "{ "); j >= 0 {
+				name = line[:j]
+			}
+			base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+			if current == "" || (!strings.HasPrefix(name, current) && !strings.HasPrefix(base, current)) {
+				// Sample lines must follow their family's TYPE comment.
+				if _, ok := sawType[name]; !ok && sawType[base] == "" {
+					return fmt.Errorf("line %d: sample %q before its TYPE comment", i+1, name)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket latency/size histogram. Everything is
+// preallocated at registration — per-bucket atomic counts and the
+// fully rendered per-bucket label strings — so Observe is lock-free
+// and allocation-free: one linear scan over the (small, fixed) bucket
+// bounds, one atomic add, one CAS loop for the sum.
+type Histogram struct {
+	upper  []float64 // finite upper bounds, strictly increasing
+	counts []atomic.Uint64
+	// counts[len(upper)] is the +Inf overflow bucket; the total count
+	// is the sum over all buckets, maintained separately for O(1) reads.
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+
+	labels string
+	// leLabels[i] is the pre-rendered label string of bucket i with the
+	// le="..." pair merged in ({a="b",le="0.01"}); the last entry is the
+	// +Inf bucket.
+	leLabels []string
+}
+
+func newHistogram(buckets []float64, labels []Label) *Histogram {
+	if len(buckets) == 0 {
+		panic("obs: histogram needs at least one finite bucket bound")
+	}
+	for i, b := range buckets {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			panic(fmt.Sprintf("obs: histogram bucket bound %v must be finite", b))
+		}
+		if i > 0 && b <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: histogram bucket bounds not strictly increasing at %v", b))
+		}
+	}
+	h := &Histogram{
+		upper:    append([]float64(nil), buckets...),
+		counts:   make([]atomic.Uint64, len(buckets)+1),
+		labels:   renderLabels(labels),
+		leLabels: make([]string, len(buckets)+1),
+	}
+	for i := range h.leLabels {
+		le := "+Inf"
+		if i < len(buckets) {
+			le = strconv.FormatFloat(buckets[i], 'g', -1, 64)
+		}
+		h.leLabels[i] = renderLabels(append(append([]Label(nil), labels...), Label{Key: "le", Value: le}))
+	}
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.upper) && v > h.upper[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+func (h *Histogram) labelKey() string { return h.labels }
+
+func (h *Histogram) expose(w *writer, name string) {
+	// A scrape races concurrent Observe calls by design; cumulative
+	// bucket counts are each read once, so the exposed snapshot is
+	// monotone even if slightly torn (Prometheus tolerates this — the
+	// next scrape converges).
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		w.str(name)
+		w.str("_bucket")
+		w.str(h.leLabels[i])
+		w.str(" ")
+		w.u64(cum)
+		w.str("\n")
+	}
+	w.str(name)
+	w.str("_sum")
+	w.str(h.labels)
+	w.str(" ")
+	w.f64(h.Sum())
+	w.str("\n")
+	w.str(name)
+	w.str("_count")
+	w.str(h.labels)
+	w.str(" ")
+	w.u64(cum)
+	w.str("\n")
+}
+
+// ExpBuckets returns n strictly increasing bucket bounds starting at
+// start and growing by factor — the standard shape for latency
+// histograms (e.g. ExpBuckets(0.0001, 2, 16) spans 100µs to ~3.3s).
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}

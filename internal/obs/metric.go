@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer counter. The zero
+// value is usable but unregistered; obtain one from Registry.Counter.
+type Counter struct {
+	v      atomic.Uint64
+	labels string
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+func (c *Counter) labelKey() string { return c.labels }
+
+func (c *Counter) expose(w *writer, name string) {
+	w.str(name)
+	w.str(c.labels)
+	w.str(" ")
+	w.u64(c.v.Load())
+	w.str("\n")
+}
+
+// Gauge is a settable float gauge (stored as IEEE bits in one atomic
+// word, so Set/Add/Value are lock-free).
+type Gauge struct {
+	bits   atomic.Uint64
+	labels string
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add atomically adds v (CAS loop).
+func (g *Gauge) Add(v float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) labelKey() string { return g.labels }
+
+func (g *Gauge) expose(w *writer, name string) {
+	w.str(name)
+	w.str(g.labels)
+	w.str(" ")
+	w.f64(g.Value())
+	w.str("\n")
+}
+
+// funcMetric samples fn at scrape time (CounterFunc / GaugeFunc): the
+// bridge to counters that already live elsewhere as atomics.
+type funcMetric struct {
+	labels string
+	fn     func() float64
+}
+
+func (f *funcMetric) labelKey() string { return f.labels }
+
+func (f *funcMetric) expose(w *writer, name string) {
+	w.str(name)
+	w.str(f.labels)
+	w.str(" ")
+	w.f64(f.fn())
+	w.str("\n")
+}

@@ -1,0 +1,278 @@
+// Package obs is a dependency-free, allocation-free metrics layer for
+// the solve daemon: atomic counters and gauges, fixed-bucket latency
+// histograms, and func-backed metrics that sample existing state at
+// scrape time, exposed in the Prometheus text format (version 0.0.4).
+//
+// The design contract mirrors the solver's workspace discipline: every
+// series is fully preallocated at registration (label strings rendered
+// once, histogram bucket rows rendered once), so the hot-path write
+// operations — Counter.Inc, Gauge.Set, Histogram.Observe — perform
+// zero heap allocations and take no locks beyond their own atomics.
+// The steady-state zero-allocation guarantee of the solve pipeline
+// therefore survives with metrics enabled, and the regression tests
+// pin it with testing.AllocsPerRun.
+//
+// Registration is not free (it allocates and takes the registry lock)
+// and is meant to happen once at startup; registering the same
+// (name, labels) series twice panics, as does a name reused with a
+// different metric type — both are programmer errors that would
+// silently corrupt the exposition.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Label is one key="value" pair attached to a series. Keys must match
+// [a-zA-Z_][a-zA-Z0-9_]*; values are escaped at registration.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// series is anything that can write its exposition lines.
+type series interface {
+	expose(w *writer, name string)
+	labelKey() string
+}
+
+// family groups every series registered under one metric name: the
+// Prometheus format allows exactly one HELP/TYPE pair per name, with
+// all label variants listed beneath it.
+type family struct {
+	name, help, typ string
+	series          []series
+	seen            map[string]bool
+}
+
+// Registry holds registered metrics and renders the exposition.
+type Registry struct {
+	mu    sync.Mutex
+	fams  map[string]*family
+	order []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// register adds s under name, enforcing the one-type-per-name and
+// unique-labels invariants.
+func (r *Registry) register(name, help, typ string, s series) {
+	mustValidName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fams[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ, seen: make(map[string]bool)}
+		r.fams[name] = f
+		r.order = append(r.order, name)
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as both %s and %s", name, f.typ, typ))
+	}
+	lk := s.labelKey()
+	if f.seen[lk] {
+		panic(fmt.Sprintf("obs: duplicate series %s%s", name, lk))
+	}
+	f.seen[lk] = true
+	f.series = append(f.series, s)
+}
+
+// Counter registers a monotonically increasing integer counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	c := &Counter{labels: renderLabels(labels)}
+	r.register(name, help, "counter", c)
+	return c
+}
+
+// CounterFunc registers a counter whose value is sampled from fn at
+// scrape time — the bridge for counters that already exist as atomics
+// elsewhere (no double counting, no extra hot-path work).
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, "counter", &funcMetric{labels: renderLabels(labels), fn: fn})
+}
+
+// Gauge registers a settable float gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	g := &Gauge{labels: renderLabels(labels)}
+	r.register(name, help, "gauge", g)
+	return g
+}
+
+// GaugeFunc registers a gauge sampled from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, "gauge", &funcMetric{labels: renderLabels(labels), fn: fn})
+}
+
+// Histogram registers a fixed-bucket histogram. buckets are the finite
+// upper bounds in strictly increasing order (an +Inf bucket is always
+// added); they are shared read-only, so one slice can serve many
+// series. Observe is lock-free and allocation-free.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	h := newHistogram(buckets, labels)
+	r.register(name, help, "histogram", h)
+	return h
+}
+
+// WritePrometheus renders every registered metric in the text
+// exposition format, families sorted by name for a stable scrape.
+func (r *Registry) WritePrometheus(out io.Writer) error {
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	fams := make([]*family, len(names))
+	sort.Strings(names)
+	for i, n := range names {
+		fams[i] = r.fams[n]
+	}
+	r.mu.Unlock()
+
+	w := &writer{buf: make([]byte, 0, 4096)}
+	for _, f := range fams {
+		w.str("# HELP ")
+		w.str(f.name)
+		w.str(" ")
+		w.str(escapeHelp(f.help))
+		w.str("\n# TYPE ")
+		w.str(f.name)
+		w.str(" ")
+		w.str(f.typ)
+		w.str("\n")
+		for _, s := range f.series {
+			s.expose(w, f.name)
+		}
+	}
+	_, err := out.Write(w.buf)
+	return err
+}
+
+// Handler returns an http.Handler serving the exposition (the /metrics
+// endpoint).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// writer is a tiny append-only buffer with the numeric formatting the
+// exposition needs.
+type writer struct {
+	buf []byte
+}
+
+func (w *writer) str(s string) { w.buf = append(w.buf, s...) }
+
+func (w *writer) f64(v float64) { w.buf = appendFloat(w.buf, v) }
+
+func (w *writer) u64(v uint64) { w.buf = strconv.AppendUint(w.buf, v, 10) }
+
+// appendFloat formats a float the way Prometheus expects: shortest
+// round-trip decimal, with the IEEE specials spelled +Inf/-Inf/NaN.
+func appendFloat(buf []byte, v float64) []byte {
+	switch {
+	case v != v: // NaN
+		return append(buf, "NaN"...)
+	case v > maxFloat:
+		return append(buf, "+Inf"...)
+	case v < -maxFloat:
+		return append(buf, "-Inf"...)
+	}
+	return strconv.AppendFloat(buf, v, 'g', -1, 64)
+}
+
+const maxFloat = 1.7976931348623157e308
+
+// renderLabels pre-renders a label set as the literal `{k="v",...}`
+// byte string every exposition line reuses; empty label sets render as
+// the empty string. Keys are validated, values escaped, order preserved
+// as given (callers pass a fixed order, so the exposition is stable).
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		mustValidLabelKey(l.Key)
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeValue escapes a label value per the exposition format:
+// backslash, double quote, and newline.
+func escapeValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a help string (backslash and newline only; quotes
+// are legal in help text).
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func mustValidName(name string) {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+}
+
+func mustValidLabelKey(key string) {
+	if !validName(key) || strings.Contains(key, ":") {
+		panic(fmt.Sprintf("obs: invalid label key %q", key))
+	}
+	if strings.HasPrefix(key, "__") {
+		panic(fmt.Sprintf("obs: label key %q is reserved", key))
+	}
+}
+
+// validName reports whether s matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		alpha := (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':'
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// checkExposition is the test-side adapter over CheckExposition (the
+// exported, error-returning line-format checker in check.go).
+func checkExposition(t *testing.T, text string) {
+	t.Helper()
+	if err := CheckExposition(text); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_requests_total", "Requests.", L("endpoint", "decision"))
+	c.Add(3)
+	g := r.Gauge("test_queue_depth", "Queue depth.")
+	g.Set(2.5)
+	r.GaugeFunc("test_uptime_seconds", "Uptime.", func() float64 { return 12 })
+	h := r.Histogram("test_latency_seconds", "Latency.", []float64{0.01, 0.1, 1}, L("kind", "solve"))
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := `# HELP test_latency_seconds Latency.
+# TYPE test_latency_seconds histogram
+test_latency_seconds_bucket{kind="solve",le="0.01"} 1
+test_latency_seconds_bucket{kind="solve",le="0.1"} 2
+test_latency_seconds_bucket{kind="solve",le="1"} 2
+test_latency_seconds_bucket{kind="solve",le="+Inf"} 3
+test_latency_seconds_sum{kind="solve"} 5.055
+test_latency_seconds_count{kind="solve"} 3
+# HELP test_queue_depth Queue depth.
+# TYPE test_queue_depth gauge
+test_queue_depth 2.5
+# HELP test_requests_total Requests.
+# TYPE test_requests_total counter
+test_requests_total{endpoint="decision"} 3
+# HELP test_uptime_seconds Uptime.
+# TYPE test_uptime_seconds gauge
+test_uptime_seconds 12
+`
+	if got != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	checkExposition(t, got)
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("esc_total", "x", L("path", "a\"b\\c\nd"))
+	c.Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `esc_total{path="a\"b\\c\nd"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Errorf("escaped line %q not found in:\n%s", want, b.String())
+	}
+	checkExposition(t, b.String())
+}
+
+func TestHistogramSemantics(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4}, nil)
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 100} {
+		h.Observe(v)
+	}
+	// Boundary values land in their bucket inclusively (le semantics).
+	wantPerBucket := []uint64{2, 2, 1, 1}
+	for i, want := range wantPerBucket {
+		if got := h.counts[i].Load(); got != want {
+			t.Errorf("bucket %d count = %d, want %d", i, got, want)
+		}
+	}
+	if h.Count() != 6 {
+		t.Errorf("count = %d, want 6", h.Count())
+	}
+	if h.Sum() != 108 {
+		t.Errorf("sum = %v, want 108", h.Sum())
+	}
+}
+
+func TestGaugeAdd(t *testing.T) {
+	var g Gauge
+	g.Set(1.5)
+	g.Add(2)
+	g.Add(-0.5)
+	if got := g.Value(); got != 3 {
+		t.Errorf("gauge = %v, want 3", got)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(0.001, 4, 4)
+	want := []float64{0.001, 0.004, 0.016, 0.064}
+	for i := range want {
+		if math.Abs(b[i]-want[i]) > 1e-12 {
+			t.Fatalf("bucket %d = %v, want %v", i, b[i], want[i])
+		}
+	}
+}
+
+func TestDuplicateSeriesPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "x", L("a", "b"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("dup_total", "x", L("a", "b"))
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mix_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("type mismatch did not panic")
+		}
+	}()
+	r.Gauge("mix_total", "x")
+}
+
+// The hot-path write operations must be allocation-free: this is the
+// contract that lets the serve and solver layers observe every request
+// and iteration without breaking their zero-alloc steady state.
+func TestHotPathZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("alloc_total", "x", L("k", "v"))
+	g := r.Gauge("alloc_gauge", "x")
+	h := r.Histogram("alloc_seconds", "x", ExpBuckets(0.0001, 2, 16))
+	if allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(2)
+		g.Set(1.25)
+		g.Add(0.5)
+		h.Observe(0.01)
+		h.Observe(123)
+	}); allocs != 0 {
+		t.Errorf("hot-path metric writes allocate %.2f per run, want 0", allocs)
+	}
+}
+
+// Concurrent histogram writes from many goroutines must neither race
+// (run under -race) nor lose observations.
+func TestHistogramConcurrentWrites(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("conc_seconds", "x", []float64{0.001, 0.01, 0.1, 1})
+	c := r.Counter("conc_total", "x")
+	g := r.Gauge("conc_gauge", "x")
+	const (
+		workers = 8
+		perG    = 2000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(float64(i%7) * 0.005)
+				c.Inc()
+				g.Add(1)
+			}
+		}(w)
+	}
+	// Scrape concurrently with the writers: the exposition must stay
+	// well-formed mid-flight.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			if err := r.WritePrometheus(&b); err != nil {
+				t.Error(err)
+				return
+			}
+			checkExposition(t, b.String())
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	if got := h.Count(); got != workers*perG {
+		t.Errorf("histogram count = %d, want %d", got, workers*perG)
+	}
+	if got := c.Value(); got != workers*perG {
+		t.Errorf("counter = %d, want %d", got, workers*perG)
+	}
+	if got := g.Value(); got != workers*perG {
+		t.Errorf("gauge = %v, want %d", got, workers*perG)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	checkExposition(t, b.String())
+}

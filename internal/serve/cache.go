@@ -22,6 +22,11 @@ type cache struct {
 type cacheEntry struct {
 	key  digest
 	body []byte
+	// iters is the solver iteration count of the cached solve — served
+	// in the X-Psdpd-Iterations header. Solves are deterministic, so the
+	// count is part of the content the digest addresses: hits repeat it
+	// bitwise just like the body.
+	iters int
 }
 
 // newCache returns a cache holding at most max entries; max <= 0
@@ -30,34 +35,37 @@ func newCache(max int) *cache {
 	return &cache{max: max, ll: list.New(), m: make(map[digest]*list.Element)}
 }
 
-// Get returns the cached body for key, or nil. Callers must not mutate
-// the returned slice.
-func (c *cache) Get(key digest) []byte {
+// Get returns the cached body and iteration count for key, or
+// (nil, 0). Callers must not mutate the returned slice.
+func (c *cache) Get(key digest) ([]byte, int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.m[key]; ok {
 		c.ll.MoveToFront(el)
 		c.hits++
-		return el.Value.(*cacheEntry).body
+		e := el.Value.(*cacheEntry)
+		return e.body, e.iters
 	}
 	c.misses++
-	return nil
+	return nil, 0
 }
 
-// Put stores body under key, evicting the least recently used entry
-// when over capacity. The cache takes ownership of body.
-func (c *cache) Put(key digest, body []byte) {
+// Put stores body (and the solve's iteration count) under key, evicting
+// the least recently used entry when over capacity. The cache takes
+// ownership of body.
+func (c *cache) Put(key digest, body []byte, iters int) {
 	if c.max <= 0 {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.m[key]; ok {
-		el.Value.(*cacheEntry).body = body
+		e := el.Value.(*cacheEntry)
+		e.body, e.iters = body, iters
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, body: body, iters: iters})
 	for c.ll.Len() > c.max {
 		el := c.ll.Back()
 		c.ll.Remove(el)

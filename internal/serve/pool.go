@@ -5,6 +5,7 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/work"
 )
@@ -31,6 +32,9 @@ type job struct {
 	ctx context.Context
 	fn  poolFn
 	res chan jobResult // buffered(1): the worker never blocks on delivery
+	// at is the admission timestamp; the worker derives the queue-wait
+	// observation from it when an observer is installed.
+	at time.Time
 }
 
 // shard is one independent slice of the pool: a bounded queue feeding a
@@ -63,6 +67,11 @@ type Pool struct {
 	// job, so tests and /statsz can watch for pool-miss growth (e.g.
 	// after a cancellation storm) without racing on the workspace.
 	misses []atomic.Int64
+
+	// onWait, when non-nil, observes the queue wait (admission → pickup)
+	// of every job a worker picks up, executed or skipped. Install it
+	// with SetQueueWaitObserver before the first Do.
+	onWait func(time.Duration)
 }
 
 // NewPool starts a pool with the given number of shards and workers.
@@ -98,6 +107,9 @@ func (p *Pool) worker(id int, sh *shard) {
 	defer p.wg.Done()
 	ws := work.New() // pinned: lives exactly as long as this worker
 	for j := range sh.jobs {
+		if p.onWait != nil {
+			p.onWait(time.Since(j.at))
+		}
 		if err := j.ctx.Err(); err != nil {
 			// Cancelled while queued: answer without touching the
 			// workspace, so storms of dead requests cost nothing.
@@ -127,7 +139,7 @@ func (p *Pool) Do(ctx context.Context, key uint64, fn poolFn) (any, error) {
 		p.skipped.Add(1)
 		return nil, err
 	}
-	j := &job{ctx: ctx, fn: fn, res: make(chan jobResult, 1)}
+	j := &job{ctx: ctx, fn: fn, res: make(chan jobResult, 1), at: time.Now()}
 	sh := p.shards[key%uint64(len(p.shards))]
 	p.mu.RLock()
 	if p.closed.Load() {
@@ -187,6 +199,43 @@ func (p *Pool) QueueDepth() int {
 		depth += len(sh.jobs)
 	}
 	return depth
+}
+
+// SetQueueWaitObserver installs fn to observe every job's queue wait
+// (admission → worker pickup). It must be called before the first Do;
+// the channel handoff then publishes it to the workers.
+func (p *Pool) SetQueueWaitObserver(fn func(time.Duration)) { p.onWait = fn }
+
+// Shards reports the number of shards.
+func (p *Pool) Shards() int { return len(p.shards) }
+
+// ShardDepth reports the number of queued jobs in shard i.
+func (p *Pool) ShardDepth(i int) int { return len(p.shards[i].jobs) }
+
+// QueueCap reports each shard's admission-queue capacity.
+func (p *Pool) QueueCap() int { return cap(p.shards[0].jobs) }
+
+// ShardMissCount reports the workspace miss counter aggregated over the
+// workers of shard i (worker w → shard w mod shards).
+func (p *Pool) ShardMissCount(i int) int64 {
+	var total int64
+	for w := i; w < len(p.misses); w += len(p.shards) {
+		total += p.misses[w].Load()
+	}
+	return total
+}
+
+// Saturated reports whether every shard's admission queue is at
+// capacity — the readiness signal a front tier health-gates on: a
+// saturated pool answers 429 to any new solve, so routing fresh
+// traffic elsewhere beats queuing it here.
+func (p *Pool) Saturated() bool {
+	for _, sh := range p.shards {
+		if len(sh.jobs) < cap(sh.jobs) {
+			return false
+		}
+	}
+	return true
 }
 
 // Close stops admission, waits for queued jobs to drain, and stops the

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"runtime"
@@ -50,6 +51,19 @@ type Config struct {
 	// zero value is core.EngineMMW (the reference engine), matching the
 	// library default. Requests naming an engine are unaffected.
 	DefaultEngine core.EngineKind
+	// DisableMetrics turns off the /metrics registry (the endpoint then
+	// answers 404). The default — metrics on — is designed to be safe:
+	// every hot-path series is preallocated atomics, so leaving it
+	// enabled costs no allocations and no locks on the request path.
+	DisableMetrics bool
+	// Logger, when non-nil, receives one structured record per HTTP
+	// request (request ID, method, path, status, duration, cache
+	// disposition). Nil disables request logging.
+	Logger *slog.Logger
+	// SlowSolve is the duration at or above which a successful solve is
+	// recorded in the /debugz/slow ring (default 1s). Failed solves
+	// (5xx) are always recorded.
+	SlowSolve time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -83,17 +97,23 @@ func (c Config) withDefaults() Config {
 	if c.RevisionEntries == 0 {
 		c.RevisionEntries = 128
 	}
+	if c.SlowSolve <= 0 {
+		c.SlowSolve = time.Second
+	}
 	return c
 }
 
 // flight is one in-progress solve shared by every concurrent request
 // with the same digest (singleflight): the first arrival leads and
-// solves; followers wait on done and reuse the leader's bytes.
+// solves; followers wait on done and reuse the leader's bytes (and the
+// leader's iteration count — deterministic, so shared answers carry the
+// same X-Psdpd-Iterations a lone solve would).
 type flight struct {
 	done   chan struct{}
 	status int
 	cache  string
 	body   []byte
+	iters  int
 }
 
 type counters struct {
@@ -212,8 +232,11 @@ func representationOf(set core.ConstraintSet) string {
 //	POST /v1/solve     — a general positive SDP (Appendix A pipeline)
 //	POST /v1/mixed     — a mixed packing/covering system (§5 extension)
 //	POST /v1/batch     — many of the above in one request
-//	GET  /healthz      — liveness
+//	GET  /healthz      — liveness (process up)
+//	GET  /readyz       — readiness (503 while all admission queues are full)
 //	GET  /statsz       — counters (requests, cache, queue, pool)
+//	GET  /metrics      — Prometheus text exposition (unless disabled)
+//	GET  /debugz/slow  — ring of the most recent slow/failed solves
 type Server struct {
 	cfg     Config
 	pool    *Pool
@@ -223,6 +246,14 @@ type Server struct {
 	mux     *http.ServeMux
 	stats   counters
 	start   time.Time
+
+	// metrics is the /metrics registry wiring (nil when disabled); slow
+	// is the /debugz/slow ring; phases aggregates SolveStats across
+	// every solve; logger receives per-request records (nil = off).
+	metrics *serveMetrics
+	slow    *slowLog
+	phases  phaseTotals
+	logger  *slog.Logger
 
 	fmu     sync.Mutex
 	flights map[digest]*flight
@@ -252,6 +283,11 @@ func New(cfg Config) *Server {
 		mux:     http.NewServeMux(),
 		start:   time.Now(),
 		flights: make(map[digest]*flight),
+		slow:    &slowLog{},
+		logger:  cfg.Logger,
+	}
+	if !cfg.DisableMetrics {
+		s.metrics = newServeMetrics(s)
 	}
 	s.mux.HandleFunc("POST /v1/decision", s.handleKind("decision"))
 	s.mux.HandleFunc("POST /v1/maximize", s.handleKind("maximize"))
@@ -260,14 +296,28 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/delta", s.handleDelta)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	s.mux.HandleFunc("GET /debugz/slow", s.handleSlow)
+	if s.metrics != nil {
+		s.mux.Handle("GET /metrics", s.metrics.reg.Handler())
+	}
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+// Metrics returns the Prometheus exposition handler backing GET
+// /metrics (nil when metrics are disabled), so an ops listener can
+// serve the same registry on a separate address.
+func (s *Server) Metrics() http.Handler {
+	if s.metrics == nil {
+		return nil
+	}
+	return s.metrics.reg.Handler()
 }
+
+// SlowSnapshot returns the retained slow/failed-solve records, newest
+// first — the same data GET /debugz/slow serves.
+func (s *Server) SlowSnapshot() []SlowEntry { return s.slow.Snapshot() }
 
 // Close stops the worker pool after draining queued jobs. The caller is
 // responsible for stopping the HTTP listener first.
@@ -308,12 +358,38 @@ func (s *Server) Stats() StatsResponse {
 		ColdFallbacks:         s.stats.warmColdFallbacks.Load(),
 		Revisions:             s.revs.Len(),
 		DeltaLineage:          s.lineage.Snapshot(),
+		SolverIterations:      s.phases.iterations.Load(),
+		SolverOracleNS:        s.phases.oracleNS.Load(),
+		SolverExpmNS:          s.phases.expmNS.Load(),
+		SolverUpdateNS:        s.phases.updateNS.Load(),
+		SolverBookkeepNS:      s.phases.bookkeepNS.Load(),
 		UptimeSeconds:         int64(time.Since(s.start).Seconds()),
 	}
 }
 
+// handleHealthz is liveness only: the process is up and serving HTTP.
+// Load-balancer health gates belong on /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// handleReadyz is readiness: 503 while every shard's admission queue is
+// at capacity, because a saturated pool answers 429 to any new solve —
+// a front tier should route fresh traffic elsewhere until the queues
+// drain. Liveness (/healthz) stays 200 throughout: the process is
+// healthy, just full.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.pool.Saturated() {
+		writeJSON(w, http.StatusServiceUnavailable,
+			map[string]any{"ready": false, "reason": "all admission queues saturated"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ready": true})
+}
+
+// handleSlow serves the slow/failed-solve ring, newest first.
+func (s *Server) handleSlow(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"entries": s.slow.Snapshot()})
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
@@ -331,6 +407,9 @@ func (s *Server) handleKind(kind string) http.HandlerFunc {
 		res := s.solveOne(r.Context(), kind, &req, nil)
 		if res.haveDigest {
 			w.Header().Set("X-Psdpd-Digest", res.digest.String())
+		}
+		if res.status == http.StatusOK {
+			w.Header().Set("X-Psdpd-Iterations", strconv.Itoa(res.iters))
 		}
 		s.writeResult(w, res.status, res.cache, res.body)
 	}
@@ -395,6 +474,9 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 	if res.haveDigest {
 		w.Header().Set("X-Psdpd-Digest", res.digest.String())
 	}
+	if res.status == http.StatusOK {
+		w.Header().Set("X-Psdpd-Iterations", strconv.Itoa(res.iters))
+	}
 	w.Header().Set("X-Psdpd-Base", dd.Base)
 	s.writeResult(w, res.status, res.cache, res.body)
 }
@@ -457,20 +539,53 @@ type warmLink struct {
 
 // solveResult is solveOne's outcome: HTTP status, cache disposition
 // ("hit", "miss", "shared", or "" for pre-digest failures), the
-// marshaled body, and the content address the response lives under
+// marshaled body, the solver iteration count behind a 200 (served in
+// X-Psdpd-Iterations; deterministic, so hits and shares repeat it
+// exactly), and the content address the response lives under
 // (haveDigest false for pre-digest failures).
 type solveResult struct {
 	status     int
 	cache      string
 	body       []byte
+	iters      int
 	digest     digest
 	haveDigest bool
 }
 
-// solveOne runs one request end to end: validate and build, digest,
+// solveOne times solveRun and feeds the slow/failed ring: every 5xx,
+// and every 200 whose wall time reached Config.SlowSolve, leaves a
+// record behind (with the request ID, when the context carries one, as
+// the join key back to the access log).
+func (s *Server) solveOne(clientCtx context.Context, kind string, req *Request, warm *warmLink) solveResult {
+	start := time.Now()
+	res := s.solveRun(clientCtx, kind, req, warm)
+	elapsed := time.Since(start)
+	slow := res.status == http.StatusOK && elapsed >= s.cfg.SlowSolve
+	if slow || res.status >= http.StatusInternalServerError {
+		e := SlowEntry{
+			Time:       nowRFC3339(),
+			RequestID:  requestIDFrom(clientCtx),
+			Kind:       kind,
+			Status:     res.status,
+			Cache:      res.cache,
+			DurationMS: float64(elapsed.Nanoseconds()) / 1e6,
+			Iterations: res.iters,
+		}
+		if res.haveDigest {
+			e.Digest = res.digest.String()
+		}
+		if res.status != http.StatusOK {
+			e.Detail = slowDetail(res.body)
+		}
+		s.slow.add(e)
+	}
+	return res
+}
+
+// solveRun runs one request end to end: validate and build, digest,
 // cache lookup, singleflight join-or-lead, pool admission, solve.
 // warm is non-nil on the /v1/delta path only.
-func (s *Server) solveOne(clientCtx context.Context, kind string, req *Request, warm *warmLink) solveResult {
+func (s *Server) solveRun(clientCtx context.Context, kind string, req *Request, warm *warmLink) solveResult {
 	s.stats.inFlight.Add(1)
 	defer s.stats.inFlight.Add(-1)
 
@@ -485,6 +600,7 @@ func (s *Server) solveOne(clientCtx context.Context, kind string, req *Request, 
 	s.stats.admitted.Add(1)
 	s.countRepresentation(p.rep)
 	s.countEngine(p.engine)
+	s.metrics.countAdmitted(kind, p.rep, p.engine)
 	if p.isDelta {
 		s.stats.deltaRequests.Add(1)
 	}
@@ -497,13 +613,13 @@ func (s *Server) solveOne(clientCtx context.Context, kind string, req *Request, 
 	const maxAttempts = 3
 	out := solveResult{digest: p.d, haveDigest: true}
 	for attempt := 0; attempt < maxAttempts; attempt++ {
-		if cached := s.cache.Get(p.d); cached != nil {
+		if cached, iters := s.cache.Get(p.d); cached != nil {
 			// A decision hit whose revision was evicted falls through to
 			// a fresh (deterministic, byte-identical) solve purely to
 			// repopulate the revision store; everything else returns the
 			// cached bytes outright.
 			if !p.wantRevision || s.revs.Get(p.d) != nil {
-				out.status, out.cache, out.body = http.StatusOK, "hit", cached
+				out.status, out.cache, out.body, out.iters = http.StatusOK, "hit", cached, iters
 				return out
 			}
 		}
@@ -514,7 +630,7 @@ func (s *Server) solveOne(clientCtx context.Context, kind string, req *Request, 
 			s.stats.dedupShared.Add(1)
 			select {
 			case <-f.done:
-				out.status, out.cache, out.body = f.status, "shared", f.body
+				out.status, out.cache, out.body, out.iters = f.status, "shared", f.body, f.iters
 				if out.status == http.StatusOK {
 					return out
 				}
@@ -529,12 +645,12 @@ func (s *Server) solveOne(clientCtx context.Context, kind string, req *Request, 
 		s.flights[p.d] = f
 		s.fmu.Unlock()
 
-		f.status, f.cache, f.body = s.execute(req, p.d, p.fn)
+		f.status, f.cache, f.body, f.iters = s.execute(req, p.d, p.fn)
 		s.fmu.Lock()
 		delete(s.flights, p.d)
 		s.fmu.Unlock()
 		close(f.done)
-		out.status, out.cache, out.body = f.status, f.cache, f.body
+		out.status, out.cache, out.body, out.iters = f.status, f.cache, f.body, f.iters
 		return out
 	}
 	return out
@@ -547,7 +663,7 @@ func (s *Server) solveOne(clientCtx context.Context, kind string, req *Request, 
 // when it fires mid-solve, the decision stepper aborts at its next
 // iteration checkpoint and the worker's workspace gets every buffer
 // back before the next job.
-func (s *Server) execute(req *Request, d digest, fn poolFn) (int, string, []byte) {
+func (s *Server) execute(req *Request, d digest, fn poolFn) (int, string, []byte, int) {
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMs > 0 {
 		timeout = min(time.Duration(req.TimeoutMs)*time.Millisecond, s.cfg.MaxTimeout)
@@ -559,26 +675,33 @@ func (s *Server) execute(req *Request, d digest, fn poolFn) (int, string, []byte
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		s.stats.rejected.Add(1)
-		return http.StatusTooManyRequests, "miss", marshalError(err)
+		return http.StatusTooManyRequests, "miss", marshalError(err), 0
 	case errors.Is(err, ErrPoolClosed):
-		return http.StatusServiceUnavailable, "miss", marshalError(err)
+		return http.StatusServiceUnavailable, "miss", marshalError(err), 0
 	case errors.Is(err, context.DeadlineExceeded):
 		s.stats.cancelled.Add(1)
-		return http.StatusGatewayTimeout, "miss", marshalError(err)
+		return http.StatusGatewayTimeout, "miss", marshalError(err), 0
 	case errors.Is(err, context.Canceled):
 		s.stats.cancelled.Add(1)
-		return http.StatusServiceUnavailable, "miss", marshalError(err)
+		return http.StatusServiceUnavailable, "miss", marshalError(err), 0
 	case err != nil:
 		s.stats.errors.Add(1)
-		return http.StatusInternalServerError, "miss", marshalError(err)
+		return http.StatusInternalServerError, "miss", marshalError(err), 0
 	}
 	body, merr := json.Marshal(v)
 	if merr != nil {
 		s.stats.errors.Add(1)
-		return http.StatusInternalServerError, "miss", marshalError(merr)
+		return http.StatusInternalServerError, "miss", marshalError(merr), 0
 	}
-	s.cache.Put(d, body)
-	return http.StatusOK, "miss", body
+	// The iteration count rides with the cached body: it is a property
+	// of the deterministic solve, so hits and shares must serve the same
+	// X-Psdpd-Iterations a fresh solve would.
+	iters := 0
+	if ic, ok := v.(interface{ iterCount() int }); ok {
+		iters = ic.iterCount()
+	}
+	s.cache.Put(d, body, iters)
+	return http.StatusOK, "miss", body, iters
 }
 
 // prepared is the outcome of request validation: the solve closure,
@@ -687,9 +810,11 @@ func (s *Server) prepare(kind string, req *Request, warm *warmLink) (prepared, e
 				}
 			}
 			key, inst, record := p.d, req.Instance, p.wantRevision
-			p.fn = s.solveClosure(func(ctx context.Context, ws *work.Workspace) (any, error) {
+			p.fn = s.solveClosure("decision", func(ctx context.Context, ws *work.Workspace) (any, error) {
 				o := opts
 				o.Ctx, o.Workspace = ctx, ws
+				var st core.SolveStats
+				o.Phases = &st
 				// The snapshot costs three O(n) copies at finish; skip it
 				// when the revision store is disabled and would drop it.
 				o.CaptureState = record
@@ -700,6 +825,7 @@ func (s *Server) prepare(kind string, req *Request, warm *warmLink) (prepared, e
 				if err != nil {
 					return nil, err
 				}
+				s.recordPhases(&st)
 				if record {
 					s.recordRevision(key, inst, dr, warm)
 				}
@@ -707,13 +833,16 @@ func (s *Server) prepare(kind string, req *Request, warm *warmLink) (prepared, e
 			})
 			return p, nil
 		}
-		p.fn = s.solveClosure(func(ctx context.Context, ws *work.Workspace) (any, error) {
+		p.fn = s.solveClosure("maximize", func(ctx context.Context, ws *work.Workspace) (any, error) {
 			o := opts
 			o.Ctx, o.Workspace = ctx, ws
+			var st core.SolveStats
+			o.Phases = &st
 			sol, err := core.MaximizePacking(set, eps, o)
 			if err != nil {
 				return nil, err
 			}
+			s.recordPhases(&st)
 			return maximizeResponse(eps, sol), nil
 		})
 		return p, nil
@@ -763,7 +892,7 @@ func (s *Server) prepare(kind string, req *Request, warm *warmLink) (prepared, e
 			Engine:  opts.Engine,
 		}
 		key, inst, record := p.d, req.Instance, p.wantRevision
-		p.fn = s.solveClosure(func(_ context.Context, _ *work.Workspace) (any, error) {
+		p.fn = s.solveClosure("mixed", func(_ context.Context, _ *work.Workspace) (any, error) {
 			o := mo
 			if warm != nil {
 				// A reshaped delta (added/removed constraints) fails the
@@ -775,6 +904,10 @@ func (s *Server) prepare(kind string, req *Request, warm *warmLink) (prepared, e
 			if err != nil {
 				return nil, err
 			}
+			// The mixed engine has no phase instrumentation (its inner
+			// loop is a width-reduced first-order method, not the
+			// oracle/expm pipeline); its iterations still count.
+			s.phases.iterations.Add(int64(mr.Iterations))
 			if record {
 				s.recordMixedRevision(key, inst, mr, warm)
 			}
@@ -799,13 +932,16 @@ func (s *Server) prepare(kind string, req *Request, warm *warmLink) (prepared, e
 		}
 		eps := req.Eps
 		p := prepared{d: d, plain: d, rep: repProgram, engine: opts.Engine.String()}
-		p.fn = s.solveClosure(func(ctx context.Context, ws *work.Workspace) (any, error) {
+		p.fn = s.solveClosure("solve", func(ctx context.Context, ws *work.Workspace) (any, error) {
 			o := opts
 			o.Ctx, o.Workspace = ctx, ws
+			var st core.SolveStats
+			o.Phases = &st
 			cs, err := core.SolveCovering(prog, eps, o)
 			if err != nil {
 				return nil, err
 			}
+			s.recordPhases(&st)
 			return solveResponse(eps, cs), nil
 		})
 		return p, nil
@@ -857,9 +993,9 @@ func (s *Server) recordMixedRevision(key digest, inst *instio.Instance, mr *mixe
 	})
 }
 
-// solveClosure wraps a solve with the counters, the latency EWMA, and
-// the test hook.
-func (s *Server) solveClosure(fn poolFn) poolFn {
+// solveClosure wraps a solve with the counters, the latency EWMA, the
+// per-kind solve-latency histogram, and the test hook.
+func (s *Server) solveClosure(kind string, fn poolFn) poolFn {
 	return func(ctx context.Context, ws *work.Workspace) (any, error) {
 		if s.testHookBeforeSolve != nil {
 			s.testHookBeforeSolve()
@@ -868,7 +1004,9 @@ func (s *Server) solveClosure(fn poolFn) poolFn {
 		start := time.Now()
 		v, err := fn(ctx, ws)
 		if err == nil {
-			s.observeSolveSeconds(time.Since(start).Seconds())
+			sec := time.Since(start).Seconds()
+			s.observeSolveSeconds(sec)
+			s.metrics.observeSolve(kind, sec)
 		}
 		return v, err
 	}

@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// slowLogSize is the fixed capacity of the slow/failed-solve ring.
+const slowLogSize = 64
+
+// SlowEntry is one record of the slow/failed-solve ring served at
+// GET /debugz/slow: enough context to find the request in the logs
+// (request ID), re-run it (digest), and judge it (status, duration,
+// iterations).
+type SlowEntry struct {
+	Time       string  `json:"time"`
+	RequestID  string  `json:"requestId,omitempty"`
+	Kind       string  `json:"kind"`
+	Digest     string  `json:"digest,omitempty"`
+	Status     int     `json:"status"`
+	Cache      string  `json:"cache,omitempty"`
+	DurationMS float64 `json:"durationMs"`
+	Iterations int     `json:"iterations,omitempty"`
+	Detail     string  `json:"detail,omitempty"`
+}
+
+// slowLog is a fixed-size ring of the most recent slow or failed
+// solves. Writes take one short mutex hold (index bump + slot store) —
+// cheap enough to sit on the request path unconditionally, since only
+// slow or failed requests ever reach it.
+type slowLog struct {
+	mu   sync.Mutex
+	ring [slowLogSize]SlowEntry
+	n    int // total records ever added
+}
+
+func (l *slowLog) add(e SlowEntry) {
+	l.mu.Lock()
+	l.ring[l.n%slowLogSize] = e
+	l.n++
+	l.mu.Unlock()
+}
+
+// Snapshot returns the retained entries, newest first.
+func (l *slowLog) Snapshot() []SlowEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	k := min(l.n, slowLogSize)
+	out := make([]SlowEntry, k)
+	for i := 0; i < k; i++ {
+		out[i] = l.ring[(l.n-1-i)%slowLogSize]
+	}
+	return out
+}
+
+// slowDetail truncates an error body for the ring (the full body is in
+// the response; the ring is a debugging index, not a mirror).
+func slowDetail(body []byte) string {
+	const maxDetail = 256
+	if len(body) > maxDetail {
+		return string(body[:maxDetail]) + "…"
+	}
+	return string(body)
+}
+
+// nowRFC3339 stamps ring entries.
+func nowRFC3339() string { return time.Now().UTC().Format(time.RFC3339Nano) }

@@ -243,6 +243,14 @@ type MixedResponse struct {
 	X           []float64 `json:"x"`
 }
 
+// iterCount reports the solver iterations behind a response — the
+// deterministic quantity the X-Psdpd-Iterations header carries (and the
+// cache stores, so hits repeat it exactly).
+func (r *DecisionResponse) iterCount() int { return r.Iterations }
+func (r *MaximizeResponse) iterCount() int { return r.TotalIterations }
+func (r *SolveResponse) iterCount() int    { return r.TotalIterations }
+func (r *MixedResponse) iterCount() int    { return r.Iterations }
+
 // ErrorResponse is the body of every non-2xx answer.
 type ErrorResponse struct {
 	Error string `json:"error"`
@@ -325,5 +333,14 @@ type StatsResponse struct {
 	ColdFallbacks   int64          `json:"coldFallbacks"`
 	Revisions       int            `json:"revisions"`
 	DeltaLineage    []LineageEntry `json:"deltaLineage,omitempty"`
-	UptimeSeconds   int64          `json:"uptimeSeconds"`
+	// Solver phase telemetry aggregated across every solve this process
+	// has run (core.SolveStats): total iterations and wall nanoseconds
+	// split into oracle application, the expm/Lanczos primitives inside
+	// it, coordinate updates, and certificate/B-set bookkeeping.
+	SolverIterations int64 `json:"solverIterations"`
+	SolverOracleNS   int64 `json:"solverOracleNs"`
+	SolverExpmNS     int64 `json:"solverExpmNs"`
+	SolverUpdateNS   int64 `json:"solverUpdateNs"`
+	SolverBookkeepNS int64 `json:"solverBookkeepNs"`
+	UptimeSeconds    int64 `json:"uptimeSeconds"`
 }

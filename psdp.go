@@ -72,6 +72,11 @@ type (
 	SparseSet = core.SparseSet
 	// Options configure the solver (oracle choice, seeds, limits).
 	Options = core.Options
+	// SolveStats accumulates the per-phase wall-time breakdown of a
+	// solve when set as Options.Phases: iterations, oracle application,
+	// the expm/Lanczos primitives inside it, coordinate updates, and
+	// certificate bookkeeping.
+	SolveStats = core.SolveStats
 	// Params are Algorithm 3.1's constants (K, α, R).
 	Params = core.Params
 	// DecisionResult reports one ε-decision call with certified bounds.

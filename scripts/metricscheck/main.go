@@ -1,0 +1,63 @@
+// Command metricscheck fetches a Prometheus text endpoint, validates
+// the exposition format (HELP/TYPE ordering, known types, line
+// grammar), and requires every series name given as an extra argument
+// to appear in the scrape. It exists so shell gates like
+// serve_smoke.sh can reuse the same checker the unit tests run
+// (internal/obs.CheckExposition) instead of approximating it with grep.
+//
+// Usage:
+//
+//	metricscheck http://127.0.0.1:8723/metrics psdpd_requests_total ...
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: metricscheck <metrics-url> [required-series ...]")
+		os.Exit(2)
+	}
+	url := os.Args[1]
+	resp, err := http.Get(url)
+	if err != nil {
+		fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("%s: HTTP %d", url, resp.StatusCode))
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		fatal(fmt.Errorf("%s: content type %q, want text/plain exposition", url, ct))
+	}
+	text := string(body)
+	if err := obs.CheckExposition(text); err != nil {
+		fatal(fmt.Errorf("malformed exposition: %w", err))
+	}
+	var missing []string
+	for _, name := range os.Args[2:] {
+		if !strings.Contains(text, name) {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		fatal(fmt.Errorf("scrape is missing required series: %s", strings.Join(missing, ", ")))
+	}
+	fmt.Printf("metricscheck: %s OK (%d required series present)\n", url, len(os.Args)-2)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "metricscheck: %v\n", err)
+	os.Exit(1)
+}

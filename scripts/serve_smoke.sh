@@ -35,6 +35,25 @@ PID=$!
     -n 6 -m 8 -instances 4 -seeds 2 -eps 0.25 \
     -bench-out ""
 
+# Observability gate: after real traffic, /metrics must serve
+# well-formed Prometheus text (validated with the same checker the unit
+# tests use) carrying the core serving series, and the daemon must
+# report ready.
+go run ./scripts/metricscheck "http://127.0.0.1:$PORT/metrics" \
+    psdpd_requests_total \
+    psdpd_solves_total \
+    psdpd_admitted_total \
+    psdpd_request_seconds_bucket \
+    psdpd_solve_seconds_count \
+    psdpd_queue_wait_seconds_count \
+    psdpd_solver_iterations_total \
+    psdpd_solver_phase_seconds_total
+curl -fs "http://127.0.0.1:$PORT/readyz" > /dev/null || {
+    echo "/readyz not OK on an idle daemon"
+    exit 1
+}
+echo "serve smoke: metrics exposition OK"
+
 # Sparse representation gate: generate an edge-Laplacian sparse
 # instance, solve it with the CLI, then POST the same document through
 # /v1/decision and require a 200 with a decision body.
