@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race race-smoke vet lint ci fuzz bench bench-delta bench-engines bench-mixed bench-obs examples experiments serve load smoke-serve
+.PHONY: build test race race-smoke vet lint ci fuzz bench bench-kernels bench-delta bench-engines bench-mixed bench-obs examples experiments serve load smoke-serve
 
 ## build: compile every package and command
 build:
@@ -53,6 +53,17 @@ fuzz:
 ## bench: refresh the committed kernel perf baseline BENCH_psdp.json
 bench:
 	$(GO) run ./cmd/psdpbench -kernels -bench-out BENCH_psdp.json
+
+## bench-kernels: regression gate — re-measure the kernels into a
+## scratch report and fail if any kernel is >1.05x slower than the
+## committed BENCH_psdp.json at n>=256, or allocates per op. The
+## committed baseline is left untouched; refresh it with `make bench`
+## after an intentional change.
+BENCH_CANDIDATE ?= /tmp/bench_psdp_candidate.json
+bench-kernels:
+	cp BENCH_psdp.json $(BENCH_CANDIDATE)
+	$(GO) run ./cmd/psdpbench -kernels -bench-out $(BENCH_CANDIDATE)
+	$(GO) run ./scripts/benchgate -baseline BENCH_psdp.json -candidate $(BENCH_CANDIDATE)
 
 ## bench-delta: regenerate the incremental-serving baseline — boot
 ## psdpd, run the drifting-instance workload, record warm-vs-cold

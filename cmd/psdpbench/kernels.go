@@ -56,8 +56,21 @@ type decisionResult struct {
 	AllocsPerIter float64 `json:"allocs_per_iter"`
 }
 
+// benchMeta records the environment a kernel report was measured in, so
+// numbers in a committed BENCH_psdp.json are interpretable on another
+// machine: the parallel regime (GOMAXPROCS/NumCPU), the toolchain, and
+// which inner-kernel implementation was active behind the dispatch seam
+// ("go-tiled" unless a build-tagged SIMD backend installed itself).
+type benchMeta struct {
+	GoVersion    string `json:"go_version"`
+	GOMAXPROCS   int    `json:"gomaxprocs"`
+	NumCPU       int    `json:"num_cpu"`
+	DispatchPath string `json:"dispatch_path"`
+}
+
 // benchReport is the top-level BENCH_psdp.json document.
 type benchReport struct {
+	Meta      benchMeta        `json:"meta"`
 	GoVersion string           `json:"go_version"`
 	Procs     int              `json:"gomaxprocs"`
 	NumCPU    int              `json:"num_cpu"`
@@ -264,6 +277,12 @@ func runKernelBench(path string, sizes []int, seed uint64) error {
 	}
 
 	rep := benchReport{
+		Meta: benchMeta{
+			GoVersion:    runtime.Version(),
+			GOMAXPROCS:   procs,
+			NumCPU:       runtime.NumCPU(),
+			DispatchPath: matrix.DispatchPath(),
+		},
 		GoVersion: runtime.Version(),
 		Procs:     procs,
 		NumCPU:    runtime.NumCPU(),

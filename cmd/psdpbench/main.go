@@ -58,7 +58,10 @@ func main() {
 	}
 
 	if *kernels {
-		sizes := []int{256, 512, 1024}
+		// 127 and 257 are non-multiples of every tile, panel, and k-chunk
+		// dimension, so the edge/remainder paths are timed, not just the
+		// full-tile fast paths.
+		sizes := []int{127, 256, 257, 512, 1024}
 		if *quick {
 			sizes = []int{64, 128}
 		}

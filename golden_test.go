@@ -24,6 +24,7 @@ import (
 	"math/rand/v2"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 
 	psdp "repro"
@@ -358,6 +359,54 @@ func mixedRecord(name string, mr *psdp.MixedResult) goldenRecord {
 
 func goldenPath(name string) string {
 	return filepath.Join("testdata", "golden", name+".json")
+}
+
+// TestGoldenCorpusGuard is the explicit byte-for-byte corpus gate (its
+// own CI step, separate from the tier-1 sweep). It fails if the
+// committed file set and the case list drift apart — a case silently
+// dropped from goldenCases would otherwise make TestGoldenCorpus pass
+// vacuously — and then re-runs every case at GOMAXPROCS=8 against the
+// committed bit patterns, pinning the parallel axis at whole-solver
+// level rather than only in the kernel unit tests.
+func TestGoldenCorpusGuard(t *testing.T) {
+	if *updateGolden {
+		t.Skip("corpus is being rewritten")
+	}
+	cases := goldenCases()
+	entries, err := os.ReadDir(filepath.Join("testdata", "golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	committed := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		committed[e.Name()] = true
+	}
+	if len(entries) != len(cases) {
+		t.Errorf("corpus drift: %d committed golden files, %d cases", len(entries), len(cases))
+	}
+	for _, gc := range cases {
+		if !committed[gc.name+".json"] {
+			t.Errorf("case %q has no committed golden file", gc.name)
+		}
+	}
+	orig := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(orig)
+	runtime.GOMAXPROCS(8)
+	for _, gc := range cases {
+		gc := gc
+		t.Run(gc.name, func(t *testing.T) {
+			got := gc.run(t)
+			data, err := os.ReadFile(goldenPath(gc.name))
+			if err != nil {
+				t.Fatalf("missing golden file: %v", err)
+			}
+			var want goldenRecord
+			if err := json.Unmarshal(data, &want); err != nil {
+				t.Fatalf("parsing %s: %v", goldenPath(gc.name), err)
+			}
+			compareGolden(t, &want, &got)
+		})
+	}
 }
 
 func TestGoldenCorpus(t *testing.T) {

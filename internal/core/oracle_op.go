@@ -27,10 +27,18 @@ import (
 // generator per iteration — the streams are bitwise identical), the
 // ratio vector, the Lanczos workspace, and the Ψ-apply closures — one
 // sequential closure for Lanczos plus one per exponential row for the
-// concurrent ExpMV loop, each owning its column scratch. Closures read
-// the current dual vector through xp at call time, so update() needs no
-// rebuild.
+// concurrent ExpMV loop, each owning its column scratch.
+//
+// The whole bundle round-trips through the workspace stash between
+// decision calls: building it costs O(rows) heap allocations (the
+// closures, their column scratch, and the three ExpMV vectors per row),
+// which used to recur on every Decision call and dominated the factored
+// path's allocation profile. The closures read the operator and the
+// current dual vector through a shared holder at call time, so a
+// restored bundle rebinds to the new oracle by overwriting two holder
+// fields — no closure is ever rebuilt.
 type opScratch struct {
+	hold    *opHolder
 	pcg     *rand.PCG
 	rng     *rand.Rand
 	r       []float64   // ratio buffer returned by ratios
@@ -42,29 +50,56 @@ type opScratch struct {
 	mv      []expm.MVScratch          // per-row ExpMV scratch
 }
 
+// opHolder is the indirection the stashed closures read through: the
+// operator and a pointer to the owning oracle's dual vector. Stashing
+// nils both fields (so the instance is not retained across runs);
+// restoring points them at the new owner.
+type opHolder struct {
+	set PsiOperator
+	xp  *[]float64
+}
+
+// opStashKey identifies the shape of a stashed opScratch bundle. Two
+// bundles are interchangeable exactly when every buffer length matches:
+// n (ratio vector), dim (ExpMV vectors), scratch (Ψ-apply column
+// scratch), rows (closure count).
+type opStashKey struct{ n, dim, scratch, rows int }
+
 func (sc *opScratch) ready() bool { return sc.pcg != nil }
 
 // init builds the scratch for rows concurrent exponential rows over
-// set, drawing every buffer from ws. The Lanczos basis is prewarmed to
-// the oracle's per-iteration refresh depth lanczosIter — with rows
-// pooled in ws, so repeat runs reuse them — and steady-state λ_max
-// refreshes never allocate, however slowly they converge.
+// set, restoring a stashed bundle of the same shape when one is
+// available — the steady state for repeated decision calls on one
+// workspace — and building from scratch otherwise. The Lanczos basis is
+// prewarmed to the oracle's per-iteration refresh depth lanczosIter,
+// with rows pooled in ws, so steady-state λ_max refreshes never
+// allocate, however slowly they converge.
 func (sc *opScratch) init(set PsiOperator, ws *work.Workspace, rows, lanczosIter int, xp *[]float64) {
+	key := opStashKey{set.N(), set.Dim(), set.PsiScratchLen(), rows}
+	if v, ok := ws.TakeStash(key); ok {
+		*sc = *v.(*opScratch)
+		sc.hold.set = set
+		sc.hold.xp = xp
+		sc.lws.Prewarm(ws, set.Dim(), lanczosIter)
+		return
+	}
+	hold := &opHolder{set: set, xp: xp}
+	sc.hold = hold
 	sc.pcg = &rand.PCG{}
 	sc.rng = rand.New(sc.pcg)
-	sc.r = ws.Vec(set.N())
-	sc.psiTmp = ws.Vec(set.PsiScratchLen())
+	sc.r = make([]float64, set.N())
+	sc.psiTmp = make([]float64, set.PsiScratchLen())
 	sc.lws.Prewarm(ws, set.Dim(), lanczosIter)
 	tmp := sc.psiTmp
-	sc.applyFn = func(in, out []float64) { set.ApplyPsiScratch(*xp, in, out, tmp) }
+	sc.applyFn = func(in, out []float64) { hold.set.ApplyPsiScratch(*hold.xp, in, out, tmp) }
 	sc.halfFns = make([]func(in, out []float64), rows)
 	sc.mv = make([]expm.MVScratch, rows)
 	sc.rowTmps = make([][]float64, rows)
 	for r := range sc.halfFns {
-		rowTmp := ws.Vec(set.PsiScratchLen())
+		rowTmp := make([]float64, set.PsiScratchLen())
 		sc.rowTmps[r] = rowTmp
 		sc.halfFns[r] = func(in, out []float64) {
-			set.ApplyPsiScratch(*xp, in, out, rowTmp)
+			hold.set.ApplyPsiScratch(*hold.xp, in, out, rowTmp)
 			for i := range out {
 				out[i] *= 0.5
 			}
@@ -80,21 +115,23 @@ const (
 	exactLanczosIter = 64
 )
 
-// release hands every pooled buffer back to ws; the scratch reverts to
-// its unbuilt state.
+// release returns the Lanczos basis rows to ws and stashes the whole
+// bundle for the next same-shaped init; the scratch reverts to its
+// unbuilt state. The closures' column scratch stays inside the bundle —
+// it is captured by the closures, so handing it to the vector pool
+// would let an unrelated borrower alias it. Stashing nils the holder so
+// the operator instance is not retained across runs.
 func (sc *opScratch) release(ws *work.Workspace) {
 	if sc.pcg == nil {
 		return
 	}
-	ws.PutVec(sc.r)
-	ws.PutVec(sc.psiTmp)
-	for _, tmp := range sc.rowTmps {
-		ws.PutVec(tmp)
-	}
 	sc.lws.ReleaseBasis(ws)
-	sc.pcg, sc.rng = nil, nil
-	sc.r, sc.psiTmp, sc.rowTmps = nil, nil, nil
-	sc.applyFn, sc.halfFns, sc.mv = nil, nil, nil
+	key := opStashKey{len(sc.r), sc.hold.set.Dim(), len(sc.psiTmp), len(sc.halfFns)}
+	sc.hold.set, sc.hold.xp = nil, nil
+	st := new(opScratch)
+	*st = *sc
+	ws.Stash(key, st)
+	*sc = opScratch{}
 }
 
 // opJLOracle is the bigDotExp primitive of Theorem 4.1 over any

@@ -191,12 +191,16 @@ func LanczosMax(apply func(in, out []float64), dim int, opts LanczosOpts) (float
 }
 
 // reorthogonalize removes the components of w along every basis vector
-// with one classical Gram–Schmidt sweep: coefficients are deterministic
-// block reductions, and the update is a single VecLinComb pass. coeffs
+// with one classical Gram–Schmidt sweep, as two fused passes: the
+// projection coefficients come from VecMultiDot (w streamed once across
+// four basis rows at a time, bit-identical to per-row VecDots), then the
+// update is a single VecLinComb pass. Negation is exact (a sign-bit
+// flip), so the coefficients match the old -VecDot loop bitwise. coeffs
 // is caller scratch of length len(basis).
 func reorthogonalize(w []float64, basis [][]float64, coeffs []float64) {
-	for u, b := range basis {
-		coeffs[u] = -matrix.VecDot(w, b)
+	matrix.VecMultiDot(coeffs, w, basis)
+	for u := range coeffs {
+		coeffs[u] = -coeffs[u]
 	}
 	matrix.VecLinComb(w, coeffs, basis)
 }

@@ -1,0 +1,33 @@
+package matrix
+
+// CPU-dispatch seam for the register-tiled inner kernels.
+//
+// The pure-Go tiles in tile.go are the default implementation on every
+// platform. A hand-vectorized backend (AVX2, NEON, …) lands behind this
+// seam without touching any call site:
+//
+//  1. add the assembly plus a thin Go wrapper in a build-tagged file
+//     (e.g. tile_avx2.go + tile_avx2.s, //go:build amd64 && psdpsimd);
+//  2. in that file's init(), probe the CPU feature, then set
+//     hookAxpyTiles / hookDotTiles and implName;
+//  3. the hook returns true when it handled the range, false to fall
+//     back (e.g. sizes below the vector width), and MUST preserve the
+//     reduction contract documented in tile.go — per output element the
+//     k-sum runs over l ascending with a single accumulator. A SIMD
+//     backend therefore vectorizes across output elements (the i×j
+//     tile), never across k, keeping results bit-for-bit identical.
+//
+// The golden-corpus guard test and the kernels_test.go equivalence suite
+// run against whatever backend is active, so a reassociating backend
+// cannot land silently.
+var (
+	implName = "go-tiled"
+
+	hookAxpyTiles func(ad, bd, od []float64, k, c, lo, hi, jb, je int) bool
+	hookDotTiles  func(ad, bd, od []float64, k, ostride, lo, hi, jb, je int) bool
+)
+
+// DispatchPath names the active inner-kernel implementation
+// ("go-tiled" unless a build-tagged SIMD backend installed itself).
+// Bench reports record it so cross-machine numbers are interpretable.
+func DispatchPath() string { return implName }

@@ -54,24 +54,28 @@ func SymMulABInto(out, a, b *Dense, st *parallel.Stats) {
 	st.Add(int64(n)*int64(n)*int64(n), parallel.Log2(n))
 }
 
-// symMulRows computes rows [lo, hi) of the upper triangle of a·b,
-// zeroing each output row segment before accumulating.
+// symMulRows computes rows [lo, hi) of the upper triangle of a·b in
+// 3-row register tiles (see tile.go). Each full tile accumulates the
+// rectangle j ∈ [tile base, n) — up to two sub-diagonal entries per
+// tile, which mirrorUpper overwrites — so the tile body stays
+// rectangular. Remainder rows accumulate j ∈ [i, n) exactly as before.
 func symMulRows(ad, bd, od []float64, n, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		arow := ad[i*n : (i+1)*n]
-		orow := od[i*n : (i+1)*n]
-		for j := i; j < n; j++ {
-			orow[j] = 0
-		}
-		for l, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := bd[l*n+i : (l+1)*n]
-			for jo, bv := range brow {
-				orow[i+jo] += av * bv
+	i := lo
+	for ; i+2 < hi; i += 3 {
+		for r := i; r < i+3; r++ {
+			seg := od[r*n+i : (r+1)*n]
+			for j := range seg {
+				seg[j] = 0
 			}
 		}
+		axpyTiles(ad, bd, od, n, n, i, i+3, i, n)
+	}
+	for ; i < hi; i++ {
+		seg := od[i*n+i : (i+1)*n]
+		for j := range seg {
+			seg[j] = 0
+		}
+		axpyTiles(ad, bd, od, n, n, i, i+1, i, n)
 	}
 }
 
@@ -103,19 +107,36 @@ func GramInto(out, q *Dense, st *parallel.Stats) {
 	st.Add(int64(n)*int64(n)*int64(k), parallel.Log2(k))
 }
 
-// gramRows computes rows [lo, hi) of the upper triangle of q·qᵀ. Every
-// entry is assigned (not accumulated), so dirty output storage is fine.
+// gramRows computes rows [lo, hi) of the upper triangle of q·qᵀ in 2×4
+// register tiles under an L2 row-panel sweep (see tile.go). Every entry
+// is assigned (not accumulated), so dirty output storage is fine; full
+// tiles assign the rectangle j ∈ [tile base, n), whose sub-diagonal
+// entry mirrorUpper overwrites.
 func gramRows(qd, od []float64, n, k, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		qi := qd[i*k : (i+1)*k]
-		orow := od[i*n : (i+1)*n]
-		for j := i; j < n; j++ {
-			qj := qd[j*k : (j+1)*k]
-			var s float64
-			for l, v := range qi {
-				s += v * qj[l]
+	p := panelDim(k)
+	for jb := 0; jb < n; jb += p {
+		je := jb + p
+		if je > n {
+			je = n
+		}
+		i := lo
+		for ; i+1 < hi; i += 2 {
+			js := jb
+			if i > js {
+				js = i
 			}
-			orow[j] = s
+			if js < je {
+				dotTiles(qd, qd, od, k, n, i, i+2, js, je)
+			}
+		}
+		for ; i < hi; i++ {
+			js := jb
+			if i > js {
+				js = i
+			}
+			if js < je {
+				dotTiles(qd, qd, od, k, n, i, i+1, js, je)
+			}
 		}
 	}
 }
@@ -154,18 +175,36 @@ func CongruenceDiagInto(out, v *Dense, d []float64, st *parallel.Stats) {
 }
 
 // congruenceRows computes rows [lo, hi) of the upper triangle of
-// v·diag(d)·vᵀ. Every entry is assigned, so dirty output is fine.
+// v·diag(d)·vᵀ in 2×4 register tiles (see congruenceTiles); every term
+// keeps the scalar loop's (v[i][l]·d[l])·v[j][l] association. Every
+// entry is assigned, so dirty output is fine; full tiles assign the
+// rectangle j ∈ [tile base, n), whose sub-diagonal entry mirrorUpper
+// overwrites.
 func congruenceRows(vd, d, od []float64, n, k, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		vi := vd[i*k : (i+1)*k]
-		orow := od[i*n : (i+1)*n]
-		for j := i; j < n; j++ {
-			vj := vd[j*k : (j+1)*k]
-			var s float64
-			for l, vv := range vi {
-				s += vv * d[l] * vj[l]
+	p := panelDim(k)
+	for jb := 0; jb < n; jb += p {
+		je := jb + p
+		if je > n {
+			je = n
+		}
+		i := lo
+		for ; i+1 < hi; i += 2 {
+			js := jb
+			if i > js {
+				js = i
 			}
-			orow[j] = s
+			if js < je {
+				congruenceTiles(vd, d, od, k, n, i, i+2, js, je)
+			}
+		}
+		for ; i < hi; i++ {
+			js := jb
+			if i > js {
+				js = i
+			}
+			if js < je {
+				congruenceTiles(vd, d, od, k, n, i, i+1, js, je)
+			}
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package matrix
 
 import (
+	"fmt"
 	"math"
 	"math/rand/v2"
 	"runtime"
@@ -295,6 +296,130 @@ func TestQuickReductionsStableAcrossGOMAXPROCS(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// adversarialSizes exercises every edge of the register-tiled kernels:
+// sizes below one tile (1, 2), exactly the 3-row axpy tile and the 2×4
+// dot tile (2, 3, 4), one past each (5), and two primes (127, 257) that
+// are non-multiples of every tile, row-panel, and k-chunk dimension, so
+// every remainder path runs with nontrivial extents.
+var adversarialSizes = []int{1, 2, 3, 4, 5, 127, 257}
+
+// sprinkleZeros plants exact zeros so the scalar references' zero-skip
+// paths diverge structurally from the tiles' unconditional accumulation
+// — the ±0 equivalence documented in tile.go is what keeps the results
+// bitwise identical anyway.
+func sprinkleZeros(m *Dense, rng *rand.Rand) {
+	for i := range m.Data {
+		if rng.IntN(5) == 0 {
+			m.Data[i] = 0
+		}
+	}
+}
+
+// Every tiled kernel, at every adversarial size, must match its scalar
+// reference bitwise — and produce identical bits at GOMAXPROCS 1 and 8.
+func TestTiledKernelsAdversarialSizesBitwise(t *testing.T) {
+	orig := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(orig)
+	for _, n := range adversarialSizes {
+		n := n
+		t.Run(fmt.Sprintf("n%d", n), func(t *testing.T) {
+			rng := rand.New(rand.NewPCG(uint64(n), 0x711e))
+			a := randDenseN(n, n, rng)
+			b := randDenseN(n, n, rng)
+			sprinkleZeros(a, rng)
+			sprinkleZeros(b, rng)
+			sym := randDenseN(n, n, rng)
+			sym.Symmetrize()
+			d := make([]float64, n)
+			for i := range d {
+				d[i] = rng.NormFloat64()
+			}
+
+			wantAB := naiveMulAB(a, b)
+			wantABT := New(n, n)
+			wantGram := New(n, n)
+			wantCong := New(n, n)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					var sT, sG float64
+					for l := 0; l < n; l++ {
+						sT += a.Data[i*n+l] * b.Data[j*n+l]
+						sG += a.Data[i*n+l] * a.Data[j*n+l]
+					}
+					wantABT.Data[i*n+j] = sT
+					wantGram.Data[i*n+j] = sG
+				}
+				// CongruenceDiag computes the upper triangle and mirrors it;
+				// the (v[i][l]·d[l])·v[j][l] association is not symmetric in
+				// (i, j), so the reference must mirror too.
+				for j := i; j < n; j++ {
+					var sC float64
+					for l := 0; l < n; l++ {
+						sC += a.Data[i*n+l] * d[l] * a.Data[j*n+l]
+					}
+					wantCong.Data[i*n+j] = sC
+				}
+			}
+			mirrorUpper(wantCong)
+			wantSym := naiveMulAB(sym, sym)
+			mirrorUpper(wantSym)
+
+			check := func(procs int) {
+				runtime.GOMAXPROCS(procs)
+				defer runtime.GOMAXPROCS(orig)
+				tag := fmt.Sprintf("@GOMAXPROCS=%d n=%d", procs, n)
+				bitwiseEqual(t, MulAB(a, b, nil), wantAB, "MulAB"+tag)
+				bitwiseEqual(t, MulABT(a, b, nil), wantABT, "MulABT"+tag)
+				bitwiseEqual(t, Gram(a, nil), wantGram, "Gram"+tag)
+				bitwiseEqual(t, CongruenceDiag(a, d, nil), wantCong, "CongruenceDiag"+tag)
+				bitwiseEqual(t, SymMulAB(sym, sym, nil), wantSym, "SymMulAB"+tag)
+			}
+			check(1)
+			check(8)
+		})
+	}
+}
+
+// VecMultiDot must return exactly the bits of per-row VecDot calls, in
+// every regime: single block, the sequential multi-block replay at
+// GOMAXPROCS=1, and the forked path — with row counts covering the
+// 4-row fused groups and their remainders.
+func TestVecMultiDotMatchesVecDotBitwise(t *testing.T) {
+	orig := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(orig)
+	rng := rand.New(rand.NewPCG(77, 0xd07))
+	for _, n := range []int{1, 3, 4095, 4096, 4097, 50000} {
+		for _, rows := range []int{1, 3, 4, 7} {
+			a := make([]float64, n)
+			for i := range a {
+				a[i] = rng.NormFloat64()
+			}
+			vs := make([][]float64, rows)
+			for u := range vs {
+				vs[u] = make([]float64, n)
+				for i := range vs[u] {
+					vs[u][i] = rng.NormFloat64()
+				}
+			}
+			got1 := make([]float64, rows)
+			got8 := make([]float64, rows)
+			runtime.GOMAXPROCS(1)
+			VecMultiDot(got1, a, vs)
+			runtime.GOMAXPROCS(8)
+			VecMultiDot(got8, a, vs)
+			runtime.GOMAXPROCS(orig)
+			for u := range vs {
+				want := VecDot(a, vs[u])
+				if math.Float64bits(got1[u]) != math.Float64bits(want) ||
+					math.Float64bits(got8[u]) != math.Float64bits(want) {
+					t.Errorf("VecMultiDot n=%d rows=%d u=%d: got %v/%v, want %v (bitwise)",
+						n, rows, u, got1[u], got8[u], want)
+				}
+			}
+		}
 	}
 }
 

@@ -148,55 +148,16 @@ func MulABInto(out, a, b *Dense, st *parallel.Stats) {
 
 // mulRowsAB computes rows [lo, hi) of the product: od rows accumulate
 // ad-row-scaled bd rows, after a zeroing sweep so recycled output
-// storage behaves like a fresh matrix. Rows are processed in pairs
-// (register blocking) so every streamed b row feeds two output rows;
-// each output entry still accumulates over l in increasing order, so
-// results are bit-for-bit identical to the single-row loop.
+// storage behaves like a fresh matrix. The work runs in 3-row register
+// tiles under an L2 k-chunk sweep (see tile.go); each output entry
+// still accumulates over l in increasing order, so results are
+// bit-for-bit identical to the single-row loop.
 func mulRowsAB(ad, bd, od []float64, k, c, lo, hi int) {
 	zero := od[lo*c : hi*c]
 	for j := range zero {
 		zero[j] = 0
 	}
-	i := lo
-	for ; i+1 < hi; i += 2 {
-		a0 := ad[i*k : (i+1)*k]
-		a1 := ad[(i+1)*k : (i+2)*k]
-		o0 := od[i*c : (i+1)*c]
-		o1 := od[(i+1)*c : (i+2)*c]
-		for l := 0; l < k; l++ {
-			av0, av1 := a0[l], a1[l]
-			brow := bd[l*c : (l+1)*c]
-			switch {
-			case av0 == 0 && av1 == 0:
-			case av1 == 0:
-				for j, bv := range brow {
-					o0[j] += av0 * bv
-				}
-			case av0 == 0:
-				for j, bv := range brow {
-					o1[j] += av1 * bv
-				}
-			default:
-				for j, bv := range brow {
-					o0[j] += av0 * bv
-					o1[j] += av1 * bv
-				}
-			}
-		}
-	}
-	for ; i < hi; i++ {
-		arow := ad[i*k : (i+1)*k]
-		orow := od[i*c : (i+1)*c]
-		for l, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := bd[l*c : (l+1)*c]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
+	axpyTiles(ad, bd, od, k, c, lo, hi, 0, c)
 }
 
 // MulABT returns a·bᵀ. Both operands are traversed row-major, which is
@@ -220,18 +181,17 @@ func MulABT(a, b *Dense, st *parallel.Stats) *Dense {
 	return out
 }
 
+// mulRowsABT computes rows [lo, hi) of a·bᵀ in 4×4 register tiles under
+// an L2 row-panel sweep (see tile.go); each dot runs over l ascending,
+// bitwise identical to the scalar loop.
 func mulRowsABT(ad, bd, od []float64, k, bn, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		arow := ad[i*k : (i+1)*k]
-		orow := od[i*bn : (i+1)*bn]
-		for j := 0; j < bn; j++ {
-			brow := bd[j*k : (j+1)*k]
-			var s float64
-			for l, av := range arow {
-				s += av * brow[l]
-			}
-			orow[j] = s
+	p := panelDim(k)
+	for jb := 0; jb < bn; jb += p {
+		je := jb + p
+		if je > bn {
+			je = bn
 		}
+		dotTiles(ad, bd, od, k, bn, lo, hi, jb, je)
 	}
 }
 

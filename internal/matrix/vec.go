@@ -149,6 +149,84 @@ func dotSeg(a, b []float64, lo, hi int) float64 {
 	return s
 }
 
+// VecMultiDot computes out[u] = VecDot(a, vs[u]) for every u in one
+// fused pass: a is streamed once per block across four vs rows at a
+// time, instead of once per dot. This is the projection half of the
+// Lanczos CGS2 sweep (the update half is VecLinComb), where the same w
+// is dotted against the whole Krylov basis. Every out[u] follows the
+// exact block decomposition and combine order of a separate VecDot
+// call, so results are bit-for-bit identical to the unfused loop.
+func VecMultiDot(out, a []float64, vs [][]float64) {
+	if len(out) != len(vs) {
+		panic("matrix: VecMultiDot length mismatch")
+	}
+	n := len(a)
+	for _, v := range vs {
+		if len(v) != n {
+			panic("matrix: VecMultiDot vector length mismatch")
+		}
+	}
+	for u := range out {
+		out[u] = 0
+	}
+	blocks := parallel.BlockCount(n, 4096)
+	if blocks == 1 {
+		// Block partials are never −0 (the accumulator starts at +0 and
+		// x + (−x) rounds to +0), so accumulating one partial onto the
+		// zeroed slot assigns it bitwise.
+		multiDotSeg(out, a, vs, 0, n)
+		return
+	}
+	if parallel.Workers() == 1 {
+		// Replay VecDot's sequential block combine for every u at once:
+		// same blocks, same ascending-order partial sums.
+		for b := 0; b < blocks; b++ {
+			multiDotSeg(out, a, vs, b*n/blocks, (b+1)*n/blocks)
+		}
+		return
+	}
+	// Forked path: each dot is its own deterministic reduction. The
+	// fused replay would need a blocks×len(vs) partial buffer; the
+	// per-dot form already forks and stays bit-identical.
+	for u, v := range vs {
+		out[u] = VecDot(a, v)
+	}
+}
+
+// multiDotSeg adds the partial dots of a[lo:hi] against every vs row
+// onto out, four rows per pass over a. Each row's partial is a single
+// accumulator over l ascending, exactly as dotSeg computes it, and is
+// added onto out[u] exactly as SumBlocks adds block partials.
+func multiDotSeg(out, a []float64, vs [][]float64, lo, hi int) {
+	as := a[lo:hi]
+	u := 0
+	for ; u+3 < len(vs); u += 4 {
+		b0 := vs[u][lo:hi][:len(as)]
+		b1 := vs[u+1][lo:hi][:len(as)]
+		b2 := vs[u+2][lo:hi][:len(as)]
+		b3 := vs[u+3][lo:hi][:len(as)]
+		var s0, s1, s2, s3 float64
+		for l, av := range as {
+			s0 += av * b0[l]
+			s1 += av * b1[l]
+			s2 += av * b2[l]
+			s3 += av * b3[l]
+		}
+		out[u] += s0
+		out[u+1] += s1
+		out[u+2] += s2
+		out[u+3] += s3
+	}
+	for ; u < len(vs); u++ {
+		bs := vs[u][lo:hi][:len(as)]
+		var s float64
+		for l, av := range as {
+			s += av * bs[l]
+		}
+		out[u] += s
+	}
+}
+
 // VecSum returns Σ aᵢ.
 func VecSum(a []float64) float64 {
 	if parallel.OneBlock(len(a), 4096) {

@@ -138,11 +138,50 @@ func (m *CSC) TMulVecInto(out, v []float64) {
 	})
 }
 
+// tMulVecCols computes out[j] = (column j)·v for j in [lo, hi), four
+// columns at a time: while all four columns still have entries their
+// accumulation chains run interleaved, putting four independent add
+// chains in flight instead of one latency-bound chain, then each column
+// drains its remaining entries alone. Every column's sum still visits
+// its entries in ascending k order with a single accumulator, so out is
+// bitwise identical to the one-column loop.
 func tMulVecCols(m *CSC, out, v []float64, lo, hi int) {
-	for j := lo; j < hi; j++ {
+	cp, val, row := m.ColPtr, m.Val, m.Row
+	j := lo
+	for ; j+3 < hi; j += 4 {
+		k0, e0 := cp[j], cp[j+1]
+		k1, e1 := cp[j+1], cp[j+2]
+		k2, e2 := cp[j+2], cp[j+3]
+		k3, e3 := cp[j+3], cp[j+4]
+		var s0, s1, s2, s3 float64
+		for k0 < e0 && k1 < e1 && k2 < e2 && k3 < e3 {
+			s0 += val[k0] * v[row[k0]]
+			s1 += val[k1] * v[row[k1]]
+			s2 += val[k2] * v[row[k2]]
+			s3 += val[k3] * v[row[k3]]
+			k0++
+			k1++
+			k2++
+			k3++
+		}
+		for ; k0 < e0; k0++ {
+			s0 += val[k0] * v[row[k0]]
+		}
+		for ; k1 < e1; k1++ {
+			s1 += val[k1] * v[row[k1]]
+		}
+		for ; k2 < e2; k2++ {
+			s2 += val[k2] * v[row[k2]]
+		}
+		for ; k3 < e3; k3++ {
+			s3 += val[k3] * v[row[k3]]
+		}
+		out[j], out[j+1], out[j+2], out[j+3] = s0, s1, s2, s3
+	}
+	for ; j < hi; j++ {
 		var s float64
-		for k := m.ColPtr[j]; k < m.ColPtr[j+1]; k++ {
-			s += m.Val[k] * v[m.Row[k]]
+		for k := cp[j]; k < cp[j+1]; k++ {
+			s += val[k] * v[row[k]]
 		}
 		out[j] = s
 	}

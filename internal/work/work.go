@@ -35,9 +35,10 @@ type matKey struct{ r, c int }
 // Workspace is a size-keyed arena of reusable buffers. The zero value
 // is ready to use (pools initialize on first Put), as is a nil pointer.
 type Workspace struct {
-	vecs map[int][][]float64
-	ints map[int][][]int
-	mats map[matKey][]*matrix.Dense
+	vecs  map[int][][]float64
+	ints  map[int][][]int
+	mats  map[matKey][]*matrix.Dense
+	stash map[any][]any
 	// misses counts pool misses (fresh allocations); steady-state reuse
 	// keeps it flat, which the workspace tests assert.
 	misses int
@@ -127,6 +128,41 @@ func (ws *Workspace) Mat(r, c int) *matrix.Dense {
 		ws.misses++
 	}
 	return matrix.New(r, c)
+}
+
+// Stash stores an opaque reusable bundle under key (any comparable
+// value; callers use unexported struct keys carrying the bundle's shape
+// so distinct shapes never collide). Several bundles may be stashed
+// under one key — slice semantics, like the buffer pools — because
+// several holders of the same shape can be live at once (e.g. the JL
+// and exact operator oracles of one decision run). A nil workspace
+// drops the bundle.
+func (ws *Workspace) Stash(key, v any) {
+	if ws == nil || v == nil {
+		return
+	}
+	if ws.stash == nil {
+		ws.stash = make(map[any][]any)
+	}
+	ws.stash[key] = append(ws.stash[key], v)
+}
+
+// TakeStash pops a bundle previously stashed under key, reporting
+// whether one was available. Misses count toward Misses(), since the
+// caller will build the bundle fresh.
+func (ws *Workspace) TakeStash(key any) (any, bool) {
+	if ws == nil {
+		return nil, false
+	}
+	free := ws.stash[key]
+	if len(free) == 0 {
+		ws.misses++
+		return nil, false
+	}
+	v := free[len(free)-1]
+	free[len(free)-1] = nil
+	ws.stash[key] = free[:len(free)-1]
+	return v, true
 }
 
 // PutMat returns a matrix to the pool.

@@ -1,0 +1,118 @@
+// Command benchgate compares a freshly measured kernel report against
+// the committed BENCH_psdp.json baseline and fails when a kernel has
+// regressed. It is the enforcement half of `make bench-kernels`: the
+// committed file stays the reference, the fresh run is a candidate, and
+// the gate holds two rules:
+//
+//  1. Speed: at sizes n >= -min-n (default 256, where the cache-blocked
+//     tiles are load-bearing), the candidate's GOMAXPROCS=1 ns/op must
+//     not exceed -max-ratio (default 1.05) times the committed ns/op for
+//     the same (kernel, n).
+//  2. Allocations: no candidate kernel may allocate per op at
+//     GOMAXPROCS=1 unless the committed baseline already records an
+//     allocation for the same (kernel, n) — VecDot's one multi-block
+//     reduction closure is the lone grandfathered case. MemStats deltas
+//     occasionally smear a background allocation across the measured
+//     window, so fractional values below 1 alloc/op are treated as
+//     zero; values >= 1 mean the kernel itself allocates.
+//
+// Kernels present in only one of the two files are reported but do not
+// fail the gate, so adding or renaming a kernel does not require
+// regenerating the baseline in the same change.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type kernelResult struct {
+	Kernel      string  `json:"kernel"`
+	N           int     `json:"n"`
+	NsPar1      float64 `json:"ns_par_p1"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+type report struct {
+	Kernels []kernelResult `json:"kernels"`
+}
+
+func load(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Kernels) == 0 {
+		return nil, fmt.Errorf("%s: no kernels section", path)
+	}
+	return &r, nil
+}
+
+type key struct {
+	kernel string
+	n      int
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_psdp.json", "committed baseline report")
+	candidate := flag.String("candidate", "", "freshly measured report to gate (required)")
+	maxRatio := flag.Float64("max-ratio", 1.05, "maximum candidate/baseline ns ratio at n >= min-n")
+	minN := flag.Int("min-n", 256, "smallest size the speed gate applies to")
+	flag.Parse()
+	if *candidate == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -candidate is required")
+		os.Exit(2)
+	}
+
+	base, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	cand, err := load(*candidate)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+
+	ref := make(map[key]kernelResult, len(base.Kernels))
+	for _, k := range base.Kernels {
+		ref[key{k.Kernel, k.N}] = k
+	}
+
+	failures := 0
+	for _, k := range cand.Kernels {
+		b, ok := ref[key{k.Kernel, k.N}]
+		if k.AllocsPerOp >= 1 && !(ok && b.AllocsPerOp >= 1) {
+			failures++
+			fmt.Printf("FAIL %-18s n=%-5d %.1f allocs/op, want 0\n", k.Kernel, k.N, k.AllocsPerOp)
+		}
+		if k.N < *minN {
+			continue
+		}
+		if !ok {
+			fmt.Printf("note %-18s n=%-5d has no committed baseline (new kernel or size)\n", k.Kernel, k.N)
+			continue
+		}
+		ratio := k.NsPar1 / b.NsPar1
+		status := "ok  "
+		if b.NsPar1 > 0 && ratio > *maxRatio {
+			failures++
+			status = "FAIL"
+		}
+		fmt.Printf("%s %-18s n=%-5d %12.0f ns vs %12.0f ns committed (%.2fx)\n",
+			status, k.Kernel, k.N, k.NsPar1, b.NsPar1, ratio)
+	}
+	if failures > 0 {
+		fmt.Printf("benchgate: %d failure(s) against %s\n", failures, *baseline)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: all kernels within %.2fx of %s at n >= %d, zero allocs/op\n",
+		*maxRatio, *baseline, *minN)
+}
