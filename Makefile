@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race race-smoke vet lint ci fuzz bench bench-kernels bench-delta bench-engines bench-mixed bench-obs examples experiments serve load smoke-serve
+.PHONY: build test race race-smoke vet lint ci fuzz bench bench-kernels bench-delta bench-engines bench-mixed bench-obs bench-cluster examples experiments serve load smoke-serve smoke-cluster
 
 ## build: compile every package and command
 build:
@@ -90,6 +90,14 @@ bench-mixed:
 bench-obs:
 	$(GO) run ./cmd/psdpbench -obs -bench-out BENCH_psdp.json
 
+## bench-cluster: regenerate the horizontal-scaling baseline under
+## "cluster" in BENCH_psdp.json — boot 1-, 2-, and 3-replica fleets
+## behind psdpfront, drive each with the unique-digest cold workload,
+## and fail unless req/s scales >=1.7x at two replicas and >=2.3x at
+## three versus one
+bench-cluster:
+	sh scripts/bench_cluster.sh
+
 ## examples: compile every example program and run the mixedcover
 ## walkthrough end to end (CI runs this; mixedcover exits nonzero if
 ## its verified result goes wrong, the rest are build-gated — some run
@@ -115,6 +123,12 @@ load:
 ## psdpload, fail on any non-2xx/non-429 response
 smoke-serve:
 	sh scripts/serve_smoke.sh
+
+## smoke-cluster: the CI clustering gate — boot 3 replicas + psdpfront,
+## solve through the front, kill the digest's owner, and require the
+## re-routed answer to be byte-identical with zero non-2xx/429
+smoke-cluster:
+	sh scripts/cluster_smoke.sh
 
 ## experiments: regenerate the paper experiment tables (E1–E16)
 experiments:

@@ -92,6 +92,9 @@ type benchReport struct {
 	// Obs is the observability-overhead baseline owned by
 	// psdpbench -obs; preserved the same way.
 	Obs json.RawMessage `json:"obs,omitempty"`
+	// Cluster is the multi-replica scaling baseline owned by
+	// cmd/psdpload -mode cluster; preserved the same way.
+	Cluster json.RawMessage `json:"cluster,omitempty"`
 }
 
 // allocsPerOp measures heap allocations and bytes per invocation of op,
@@ -325,6 +328,7 @@ func runKernelBench(path string, sizes []int, seed uint64) error {
 			rep.Engines = old.Engines
 			rep.Mixed = old.Mixed
 			rep.Obs = old.Obs
+			rep.Cluster = old.Cluster
 		}
 	}
 	out, err := json.MarshalIndent(&rep, "", "  ")

@@ -7,10 +7,10 @@ import (
 
 // A kernel rerun must carry the externally-owned sections ("serve",
 // "serve.delta", "engines", "mixed",
-// "obs") over untouched: they are separate
+// "obs", "cluster") over untouched: they are separate
 // baselines refreshed by separate commands.
 func TestBenchReportPreservesServeSections(t *testing.T) {
-	src := []byte(`{"go_version":"x","serve":{"rps":42},"serve.delta":{"iter_ratio":0.45},"engines":{"tight_eps":0.05},"mixed":{"eps":0.1},"obs":{"ratio":1.01}}`)
+	src := []byte(`{"go_version":"x","serve":{"rps":42},"serve.delta":{"iter_ratio":0.45},"engines":{"tight_eps":0.05},"mixed":{"eps":0.1},"obs":{"ratio":1.01},"cluster":{"speedup_2_vs_1":1.9}}`)
 	var old benchReport
 	if err := json.Unmarshal(src, &old); err != nil {
 		t.Fatal(err)
@@ -30,7 +30,10 @@ func TestBenchReportPreservesServeSections(t *testing.T) {
 	if string(old.Obs) != `{"ratio":1.01}` {
 		t.Fatalf("obs section not carried: %q", old.Obs)
 	}
-	rep := benchReport{GoVersion: "y", Serve: old.Serve, ServeDelta: old.ServeDelta, Engines: old.Engines, Mixed: old.Mixed, Obs: old.Obs}
+	if string(old.Cluster) != `{"speedup_2_vs_1":1.9}` {
+		t.Fatalf("cluster section not carried: %q", old.Cluster)
+	}
+	rep := benchReport{GoVersion: "y", Serve: old.Serve, ServeDelta: old.ServeDelta, Engines: old.Engines, Mixed: old.Mixed, Obs: old.Obs, Cluster: old.Cluster}
 	out, err := json.Marshal(&rep)
 	if err != nil {
 		t.Fatal(err)
@@ -39,7 +42,7 @@ func TestBenchReportPreservesServeSections(t *testing.T) {
 	if err := json.Unmarshal(out, &round); err != nil {
 		t.Fatal(err)
 	}
-	if string(round["serve"]) != `{"rps":42}` || string(round["serve.delta"]) != `{"iter_ratio":0.45}` || string(round["engines"]) != `{"tight_eps":0.05}` || string(round["mixed"]) != `{"eps":0.1}` || string(round["obs"]) != `{"ratio":1.01}` {
+	if string(round["serve"]) != `{"rps":42}` || string(round["serve.delta"]) != `{"iter_ratio":0.45}` || string(round["engines"]) != `{"tight_eps":0.05}` || string(round["mixed"]) != `{"eps":0.1}` || string(round["obs"]) != `{"ratio":1.01}` || string(round["cluster"]) != `{"speedup_2_vs_1":1.9}` {
 		t.Fatalf("round-trip lost a section: %s", out)
 	}
 }

@@ -8,6 +8,16 @@
 //	psdpd [-addr :8723] [-workers N] [-shards S] [-queue 64]
 //	      [-cache 1024] [-revisions 128] [-timeout 30s] [-max-timeout 5m]
 //	      [-log json|text|off] [-slow 1s] [-no-metrics] [-ops-addr host:port]
+//	      [-cluster url1,url2,...] [-self url] [-probe-interval 500ms]
+//	      [-drain-grace 10s] [-solve-floor 0]
+//
+// Cluster mode: -cluster takes the full static member list (base URLs)
+// and -self names this replica's own entry. Placement is consistent
+// hashing over the health-gated member list — each content digest has
+// one owning replica, requests landing off-owner ask the owner for
+// cached results/revisions before solving locally, and SIGTERM drains
+// gracefully (admission 307-redirects to peers, in-flight work
+// finishes, /readyz goes 503 so the fleet drops this member).
 //
 // Endpoints: POST /v1/decision, /v1/maximize, /v1/solve, /v1/batch,
 // /v1/delta (incremental solving over the revision store); GET
@@ -36,11 +46,14 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 func main() {
@@ -58,6 +71,11 @@ func main() {
 	slow := flag.Duration("slow", time.Second, "record successful solves at/over this duration in /debugz/slow")
 	noMetrics := flag.Bool("no-metrics", false, "disable the /metrics registry (the endpoint answers 404)")
 	opsAddr := flag.String("ops-addr", "", "optional second listener for pprof + /metrics + /statsz + /debugz/slow")
+	clusterList := flag.String("cluster", "", "comma-separated base URLs of every replica (enables cluster mode)")
+	self := flag.String("self", "", "this replica's own base URL as it appears in -cluster")
+	probeInterval := flag.Duration("probe-interval", 500*time.Millisecond, "cluster health-probe period")
+	drainGrace := flag.Duration("drain-grace", 10*time.Second, "max wait for in-flight solves on SIGTERM")
+	solveFloor := flag.Duration("solve-floor", 0, "hold a worker at least this long per executed solve (capacity modeling for scaling benchmarks; 0 = off)")
 	flag.Parse()
 
 	defEngine, err := core.ParseEngine(*engine)
@@ -78,7 +96,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	srv := serve.New(serve.Config{
+	cfg := serve.Config{
 		Workers:         *workers,
 		Shards:          *shards,
 		QueueDepth:      *queue,
@@ -91,7 +109,43 @@ func main() {
 		DisableMetrics:  *noMetrics,
 		Logger:          logger,
 		SlowSolve:       *slow,
-	})
+		SolveFloor:      *solveFloor,
+	}
+
+	ctx, stopCluster := context.WithCancel(context.Background())
+	defer stopCluster()
+	if *clusterList != "" {
+		members := splitMembers(*clusterList)
+		if *self == "" {
+			fmt.Fprintln(os.Stderr, "psdpd: -cluster requires -self (this replica's URL in the member list)")
+			os.Exit(1)
+		}
+		found := false
+		for _, m := range members {
+			found = found || m == *self
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "psdpd: -self %q is not in -cluster %q\n", *self, *clusterList)
+			os.Exit(1)
+		}
+		rep := cluster.NewReplica(cluster.ReplicaConfig{
+			Self:           *self,
+			Members:        members,
+			ProbeInterval:  *probeInterval,
+			LocalResults:   store.NewResultLRU(*cacheEntries),
+			LocalRevisions: store.NewRevisionLRU(*revisions),
+		})
+		rep.Start(ctx)
+		cfg.Results = rep.Results
+		cfg.Revisions = rep.Revisions
+		cfg.Placement = rep.Ring
+		cfg.SelfURL = *self
+		cfg.ClusterInfo = rep.Info
+		cfg.RegisterMetrics = rep.RegisterMetrics
+		log.Printf("psdpd: cluster mode, self=%s members=%d", *self, len(members))
+	}
+
+	srv := serve.New(cfg)
 	defer srv.Close()
 
 	ln, err := net.Listen("tcp", *addr)
@@ -132,15 +186,37 @@ func main() {
 		}
 	case s := <-sig:
 		log.Printf("psdpd: %v, draining", s)
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		dctx, cancel := context.WithTimeout(context.Background(), *drainGrace)
 		defer cancel()
-		if opsSrv != nil {
-			opsSrv.Shutdown(ctx)
+		// Graceful drain first: admission stops (new solves 307-redirect
+		// to peers in cluster mode), in-flight work finishes, /readyz
+		// goes 503 so the fleet drops this member — all while the
+		// listener stays up for redirects and peer fetches. Only then
+		// does the listener close.
+		if err := srv.Drain(dctx); err != nil {
+			log.Printf("psdpd: drain: %v", err)
 		}
-		if err := httpSrv.Shutdown(ctx); err != nil {
+		stopCluster()
+		if opsSrv != nil {
+			opsSrv.Shutdown(dctx)
+		}
+		if err := httpSrv.Shutdown(dctx); err != nil {
 			log.Printf("psdpd: shutdown: %v", err)
 		}
 	}
+}
+
+// splitMembers parses the -cluster list (comma-separated base URLs,
+// trailing slashes trimmed so member names compare equal everywhere).
+func splitMembers(s string) []string {
+	var out []string
+	for _, m := range strings.Split(s, ",") {
+		m = strings.TrimSuffix(strings.TrimSpace(m), "/")
+		if m != "" {
+			out = append(out, m)
+		}
+	}
+	return out
 }
 
 // opsMux builds the operations-surface handler: pprof (registered

@@ -1,0 +1,108 @@
+// Command psdpfront is the psdpd cluster front: a thin router that
+// sends each solve request to the replica owning its content digest
+// (consistent hashing over a health-gated member list), so cache
+// entries, warm-start revision lineages, and warm worker workspaces
+// stay shard-local across the fleet. Responses are relayed verbatim —
+// status, X-Psdpd-* headers, Retry-After, body bytes — so a client
+// cannot tell the front from a single replica.
+//
+// Usage:
+//
+//	psdpfront -members url1,url2,... [-addr :8722] [-engine mmw]
+//	          [-probe-interval 500ms] [-max-in-flight 1024]
+//
+// -engine must match the replicas' default engine so the front
+// computes the same content digests they do.
+//
+// Endpoints: the replica solve surface (POST /v1/decision, /v1/maximize,
+// /v1/solve, /v1/mixed, /v1/delta, /v1/batch), plus GET /healthz,
+// /readyz (503 with no healthy members), /statsz (membership view and
+// per-peer route counters), /metrics.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+func main() {
+	addr := flag.String("addr", ":8722", "listen address (host:port; port 0 picks a free port)")
+	members := flag.String("members", "", "comma-separated base URLs of the psdpd replicas (required)")
+	engine := flag.String("engine", "mmw", "replicas' default decision engine (must match their -engine)")
+	probeInterval := flag.Duration("probe-interval", 500*time.Millisecond, "health-probe period")
+	maxInFlight := flag.Int("max-in-flight", 1024, "front admission cap (beyond it: 429 with a live Retry-After)")
+	flag.Parse()
+
+	list := splitMembers(*members)
+	if len(list) == 0 {
+		fmt.Fprintln(os.Stderr, "psdpfront: -members is required")
+		os.Exit(1)
+	}
+	defEngine, err := core.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "psdpfront: %v\n", err)
+		os.Exit(1)
+	}
+
+	front := cluster.NewFront(cluster.FrontConfig{
+		Members:       list,
+		ProbeInterval: *probeInterval,
+		DefaultEngine: defEngine,
+		MaxInFlight:   *maxInFlight,
+	})
+	ctx, stop := context.WithCancel(context.Background())
+	defer stop()
+	front.Start(ctx)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "psdpfront: %v\n", err)
+		os.Exit(1)
+	}
+	httpSrv := &http.Server{Handler: front}
+	log.Printf("psdpfront: listening on http://%s, routing over %d members", ln.Addr(), len(list))
+
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "psdpfront: %v\n", err)
+			os.Exit(1)
+		}
+	case s := <-sig:
+		log.Printf("psdpfront: %v, shutting down", s)
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(sctx); err != nil {
+			log.Printf("psdpfront: shutdown: %v", err)
+		}
+	}
+}
+
+func splitMembers(s string) []string {
+	var out []string
+	for _, m := range strings.Split(s, ",") {
+		m = strings.TrimSuffix(strings.TrimSpace(m), "/")
+		if m != "" {
+			out = append(out, m)
+		}
+	}
+	return out
+}

@@ -1,0 +1,221 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/instio"
+	"repro/internal/serve"
+)
+
+// Cluster mode measures horizontal scaling: a unique-digest cold
+// workload (every request carries a fresh seed, so no request is ever
+// a cache hit or a singleflight share anywhere in the fleet) is driven
+// through the front, and sustained req/s is recorded per fleet size.
+// Because the benchmark box may have fewer cores than replicas, the
+// replicas run with -solve-floor: each executed solve holds a worker
+// for at least the floor, pinning per-replica capacity to
+// workers/floor. What the benchmark then measures is the cluster
+// tier's ability to spread that capacity — routing, placement, and
+// admission overhead — which is exactly the quantity that must scale.
+//
+// Each invocation measures ONE fleet size (-replicas k) and merges it
+// into the "cluster" section of the bench baseline; speedups versus
+// the 1-replica run are recomputed whenever both sides exist.
+
+// clusterScale is one fleet size's measurement.
+type clusterScale struct {
+	Replicas    int     `json:"replicas"`
+	Concurrency int     `json:"concurrency"`
+	DurationSec float64 `json:"duration_s"`
+	Requests    int64   `json:"requests"`
+	Solved      int64   `json:"solved"`
+	RPS         float64 `json:"rps"`
+	P50Ms       float64 `json:"p50_ms"`
+	P95Ms       float64 `json:"p95_ms"`
+	Rejected429 int64   `json:"rejected_429"`
+	Errors      int64   `json:"errors"`
+}
+
+// clusterReport is the whole "cluster" bench section.
+type clusterReport struct {
+	// Mode documents that these numbers measure routing/spread of
+	// floor-pinned capacity, not raw solver parallelism (the benchmark
+	// box does not grow cores with replicas).
+	Mode         string                  `json:"mode"`
+	SolveFloorMs float64                 `json:"solve_floor_ms"`
+	Workers      int                     `json:"workers_per_replica"`
+	Scales       map[string]clusterScale `json:"scales"`
+	Speedup2     float64                 `json:"speedup_2_vs_1,omitempty"`
+	Speedup3     float64                 `json:"speedup_3_vs_1,omitempty"`
+}
+
+// runCluster drives the unique-digest workload against url and merges
+// the result under benchOut's "cluster" key. Returns the process exit
+// code.
+func runCluster(url string, replicas, concurrency int, duration time.Duration,
+	n, m int, eps float64, genSeed uint64, engine string,
+	floor time.Duration, workers int, benchOut string) int {
+
+	// A small pool of tiny instances; uniqueness comes from the seed,
+	// which is part of the content digest.
+	docs := make([]*instio.Instance, 4)
+	for i := range docs {
+		rng := rand.New(rand.NewPCG(genSeed, uint64(i)))
+		inst := gen.RandomDense(n, m, max(2, m/4), rng)
+		set, err := core.NewDenseSet(inst.A)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "psdpload: generating instance %d: %v\n", i, err)
+			return 1
+		}
+		docs[i] = instio.FromDenseSet(set)
+	}
+
+	client := &http.Client{Timeout: 2 * time.Minute}
+	target := url + "/v1/decision"
+	// Fresh digests across reruns too: the seed base folds in wall time
+	// so a second benchmark run never hits the fleet's cache.
+	seedBase := uint64(time.Now().UnixNano())
+	var nextSeed atomic.Uint64
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		requests  atomic.Int64
+		rejected  atomic.Int64
+		errCount  atomic.Int64
+	)
+	deadline := time.Now().Add(duration)
+	var wg sync.WaitGroup
+	for c := 0; c < concurrency; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				seed := seedBase + nextSeed.Add(1)
+				req := serve.Request{Instance: docs[int(seed)%len(docs)], Eps: eps, Seed: seed, Engine: engine}
+				body, err := json.Marshal(&req)
+				if err != nil {
+					errCount.Add(1)
+					return
+				}
+				start := time.Now()
+				status, _, err := post(client, target, body)
+				lat := time.Since(start)
+				requests.Add(1)
+				switch {
+				case err != nil:
+					errCount.Add(1)
+					fmt.Fprintf(os.Stderr, "psdpload: %v\n", err)
+				case status == http.StatusTooManyRequests:
+					rejected.Add(1)
+					time.Sleep(10 * time.Millisecond)
+				case status >= 200 && status < 300:
+					mu.Lock()
+					latencies = append(latencies, lat)
+					mu.Unlock()
+				default:
+					errCount.Add(1)
+					fmt.Fprintf(os.Stderr, "psdpload: unexpected status %d\n", status)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	scale := clusterScale{
+		Replicas:    replicas,
+		Concurrency: concurrency,
+		DurationSec: duration.Seconds(),
+		Requests:    requests.Load(),
+		Solved:      int64(len(latencies)),
+		RPS:         float64(len(latencies)) / duration.Seconds(),
+		P50Ms:       pctMs(latencies, 0.50),
+		P95Ms:       pctMs(latencies, 0.95),
+		Rejected429: rejected.Load(),
+		Errors:      errCount.Load(),
+	}
+
+	rep, err := mergeClusterScale(benchOut, scale, floor, workers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "psdpload: writing %s: %v\n", benchOut, err)
+		return 1
+	}
+	out, _ := json.MarshalIndent(rep, "", "  ")
+	fmt.Println(string(out))
+	if scale.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "psdpload: %d responses were neither 2xx nor 429\n", scale.Errors)
+		return 1
+	}
+	return 0
+}
+
+// mergeClusterScale folds one fleet size's measurement into the
+// "cluster" section, preserving the other sizes and recomputing
+// speedups against the 1-replica baseline.
+func mergeClusterScale(path string, scale clusterScale, floor time.Duration, workers int) (*clusterReport, error) {
+	rep := &clusterReport{
+		Mode:         "capacity-model",
+		SolveFloorMs: float64(floor.Nanoseconds()) / 1e6,
+		Workers:      workers,
+		Scales:       map[string]clusterScale{},
+	}
+	doc := map[string]json.RawMessage{}
+	if path != "" {
+		if data, err := os.ReadFile(path); err == nil {
+			if err := json.Unmarshal(data, &doc); err != nil {
+				return nil, fmt.Errorf("existing file is not a JSON object: %w", err)
+			}
+			if raw, ok := doc["cluster"]; ok {
+				// Best-effort: an unreadable section is replaced wholesale.
+				var prev clusterReport
+				if json.Unmarshal(raw, &prev) == nil && prev.Scales != nil {
+					rep.Scales = prev.Scales
+				}
+			}
+		} else if !os.IsNotExist(err) {
+			return nil, err
+		}
+	}
+	rep.Scales[strconv.Itoa(scale.Replicas)] = scale
+	if base, ok := rep.Scales["1"]; ok && base.RPS > 0 {
+		if s2, ok := rep.Scales["2"]; ok {
+			rep.Speedup2 = s2.RPS / base.RPS
+		}
+		if s3, ok := rep.Scales["3"]; ok {
+			rep.Speedup3 = s3.RPS / base.RPS
+		}
+	}
+	if path == "" {
+		return rep, nil
+	}
+	if err := mergeBenchInto(doc, path, "cluster", rep); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// mergeBenchInto writes doc back with key replaced by rep.
+func mergeBenchInto(doc map[string]json.RawMessage, path, key string, rep any) error {
+	enc, err := json.Marshal(rep)
+	if err != nil {
+		return err
+	}
+	doc[key] = enc
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

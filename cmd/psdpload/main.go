@@ -62,7 +62,7 @@ type loadReport struct {
 
 func main() {
 	url := flag.String("url", "http://127.0.0.1:8723", "psdpd base URL")
-	mode := flag.String("mode", "steady", "steady (closed-loop load) | drift (incremental warm-vs-cold benchmark)")
+	mode := flag.String("mode", "steady", "steady (closed-loop load) | drift (incremental warm-vs-cold benchmark) | cluster (unique-digest scaling run)")
 	endpoint := flag.String("endpoint", "decision", "decision | maximize | mixed (steady mode)")
 	revisions := flag.Int("revisions", 16, "drift mode: number of chained revisions")
 	drift := flag.Float64("drift", 0.05, "drift mode: per-constraint scale drift bound")
@@ -77,6 +77,9 @@ func main() {
 	eps := flag.Float64("eps", 0.25, "target accuracy")
 	engine := flag.String("engine", "", "decision engine on every request: mmw, alo, auto, or \"\" for the server default")
 	genSeed := flag.Uint64("gen-seed", 7, "instance generator seed")
+	replicas := flag.Int("replicas", 1, "cluster mode: fleet size this run measures (merged under that key)")
+	floor := flag.Duration("floor", 0, "cluster mode: the replicas' -solve-floor, recorded in the bench section")
+	workersPer := flag.Int("workers-per-replica", 0, "cluster mode: the replicas' -workers, recorded in the bench section")
 	wait := flag.Duration("wait", 10*time.Second, "max time to wait for /healthz before starting")
 	benchOut := flag.String("bench-out", "BENCH_psdp.json", "merge the report under the \"serve\" key of this file (empty disables)")
 	flag.Parse()
@@ -91,8 +94,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "psdpload: unknown engine %q (want mmw, alo, auto, or empty)\n", *engine)
 		os.Exit(2)
 	}
-	if *mode != "steady" && *mode != "drift" {
-		fmt.Fprintf(os.Stderr, "psdpload: unknown mode %q (want steady or drift)\n", *mode)
+	if *mode != "steady" && *mode != "drift" && *mode != "cluster" {
+		fmt.Fprintf(os.Stderr, "psdpload: unknown mode %q (want steady, drift, or cluster)\n", *mode)
 		os.Exit(2)
 	}
 	if err := waitHealthy(*url, *wait); err != nil {
@@ -101,6 +104,10 @@ func main() {
 	}
 	if *mode == "drift" {
 		os.Exit(runDrift(*url, *n, *m, *revisions, *drift, *driftFrac, *eps, *genSeed, *scale, *engine, *benchOut))
+	}
+	if *mode == "cluster" {
+		os.Exit(runCluster(*url, *replicas, *concurrency, *duration,
+			*n, *m, *eps, *genSeed, *engine, *floor, *workersPer, *benchOut))
 	}
 
 	bodies := buildBodies(*endpoint, *n, *m, *instances, *seeds, *eps, *genSeed, *engine)

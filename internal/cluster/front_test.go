@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"bytes"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// The front's own admission 429 derives Retry-After from the slowest
+// healthy peer's latency EWMA — live capacity, not a constant — with
+// the same [1, 30] clamp the replicas use.
+func TestFrontAdmissionRetryAfterFromEWMA(t *testing.T) {
+	f := NewFront(FrontConfig{Members: []string{"http://peer-a", "http://peer-b"}, MaxInFlight: 1})
+
+	// Cold front (no proxied request observed yet): floor of 1s, never
+	// 0, which clients would read as "retry immediately".
+	if got := f.retryAfterSeconds(); got != 1 {
+		t.Fatalf("cold Retry-After = %d, want 1", got)
+	}
+
+	f.peers["http://peer-a"].observe(2.2)
+	f.peers["http://peer-b"].observe(7.2)
+	if got := f.retryAfterSeconds(); got != 8 {
+		t.Fatalf("Retry-After = %d, want ceil(7.2) = 8 (slowest healthy peer)", got)
+	}
+
+	// An unhealthy peer's latency no longer counts: the hint tracks the
+	// peers a retry could actually land on.
+	f.prober.MarkUnhealthy("http://peer-b")
+	if got := f.retryAfterSeconds(); got != 3 {
+		t.Fatalf("Retry-After = %d, want ceil(2.2) = 3 after the slow peer left", got)
+	}
+
+	// Pathological latency clamps at 30s.
+	f.peers["http://peer-a"].ewmaBits.Store(math.Float64bits(99.0))
+	if got := f.retryAfterSeconds(); got != 30 {
+		t.Fatalf("Retry-After = %d, want clamp 30", got)
+	}
+
+	// End to end through the handler: with the single slot taken, the
+	// next request is the front's own 429 carrying that live hint.
+	f.inFlight.Add(1)
+	defer f.inFlight.Add(-1)
+	rr := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/v1/decision", strings.NewReader("{}"))
+	f.ServeHTTP(rr, req)
+	if rr.Code != 429 {
+		t.Fatalf("status %d, want 429 from the admission gate", rr.Code)
+	}
+	if got := rr.Header().Get("Retry-After"); got != "30" {
+		t.Fatalf("Retry-After %q, want \"30\"", got)
+	}
+	if !bytes.Contains(rr.Body.Bytes(), []byte("front:")) {
+		t.Fatalf("admission 429 body %q should identify the front", rr.Body.String())
+	}
+}
+
+// The EWMA warms on the first observation and then moves with weight
+// 1/8 — slow enough to ride out one outlier, fast enough to track a
+// real slowdown.
+func TestPeerStateEWMA(t *testing.T) {
+	var p peerState
+	if got := p.ewma(); got != 0 {
+		t.Fatalf("unobserved ewma = %v, want 0", got)
+	}
+	p.observe(4.0)
+	if got := p.ewma(); got != 4.0 {
+		t.Fatalf("first observation ewma = %v, want 4.0 (no zero bias)", got)
+	}
+	p.observe(8.0)
+	if got := p.ewma(); got != 4.5 {
+		t.Fatalf("ewma after (4, 8) = %v, want 4.5", got)
+	}
+}

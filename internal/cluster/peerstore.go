@@ -1,0 +1,312 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/placement"
+	"repro/internal/store"
+)
+
+// maxPeerBody bounds a fetched peer response (same order as the serve
+// tier's request-body bound; responses are smaller than requests).
+const maxPeerBody = 64 << 20
+
+// fetchCounters is one store's peer-fetch telemetry: aggregate atomics
+// on the hot path plus a per-peer map (fetches are the miss path, so a
+// mutex-guarded map is fine there).
+type fetchCounters struct {
+	attempts atomic.Int64
+	hits     atomic.Int64
+	misses   atomic.Int64
+	errors   atomic.Int64
+
+	mu      sync.Mutex
+	perPeer map[string]*peerCount
+}
+
+type peerCount struct {
+	Fetches int64 `json:"fetches"`
+	Hits    int64 `json:"hits"`
+	Errors  int64 `json:"errors"`
+}
+
+func (c *fetchCounters) record(peer string, hit bool, errd bool) {
+	c.attempts.Add(1)
+	switch {
+	case errd:
+		c.errors.Add(1)
+	case hit:
+		c.hits.Add(1)
+	default:
+		c.misses.Add(1)
+	}
+	c.mu.Lock()
+	if c.perPeer == nil {
+		c.perPeer = make(map[string]*peerCount)
+	}
+	pc := c.perPeer[peer]
+	if pc == nil {
+		pc = &peerCount{}
+		c.perPeer[peer] = pc
+	}
+	pc.Fetches++
+	if hit {
+		pc.Hits++
+	}
+	if errd {
+		pc.Errors++
+	}
+	c.mu.Unlock()
+}
+
+func (c *fetchCounters) snapshot() map[string]peerCount {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]peerCount, len(c.perPeer))
+	for k, v := range c.perPeer {
+		out[k] = *v
+	}
+	return out
+}
+
+// resultFlight is one in-progress peer fetch shared by every
+// concurrent local miss of the same digest (singleflight across the
+// fetch: the owner is asked once, not once per waiter).
+type resultFlight struct {
+	done  chan struct{}
+	body  []byte
+	iters int
+}
+
+// PeerResultStore implements store.ResultStore over a local layer plus
+// the ring: Get serves local hits outright; a local miss whose digest
+// is owned by a remote peer asks that owner (GET /v1/peer/result/
+// {digest}) before reporting a miss, caching a fetched hit locally so
+// the fleet converges. Put writes the local layer only — results
+// propagate by demand, never by broadcast.
+type PeerResultStore struct {
+	local  store.ResultStore
+	ring   *placement.Ring
+	client *http.Client
+	// onPeerError, when non-nil, is told about transport failures so
+	// the prober can demote the peer immediately.
+	onPeerError func(peer string)
+	counters    fetchCounters
+
+	fmu     sync.Mutex
+	flights map[store.Key]*resultFlight
+}
+
+// NewPeerResultStore wraps local with peer-aware miss handling. client
+// nil defaults to a 5s-timeout client.
+func NewPeerResultStore(local store.ResultStore, ring *placement.Ring, client *http.Client, onPeerError func(string)) *PeerResultStore {
+	if client == nil {
+		client = defaultClient(5 * time.Second)
+	}
+	return &PeerResultStore{
+		local:       local,
+		ring:        ring,
+		client:      client,
+		onPeerError: onPeerError,
+		flights:     make(map[store.Key]*resultFlight),
+	}
+}
+
+// Local returns the in-process layer. The serve tier's peer endpoints
+// unwrap through this so peer fetches terminate at ground truth
+// instead of chasing each other's miss paths.
+func (p *PeerResultStore) Local() store.ResultStore { return p.local }
+
+// Get implements store.ResultStore.
+func (p *PeerResultStore) Get(key store.Key) ([]byte, int) {
+	if b, it := p.local.Get(key); b != nil {
+		return b, it
+	}
+	owner, remote := p.ring.Owner(key)
+	if !remote {
+		// This replica owns the digest (or the ring is empty): a local
+		// miss is final and the caller solves here.
+		return nil, 0
+	}
+
+	p.fmu.Lock()
+	if f, ok := p.flights[key]; ok {
+		p.fmu.Unlock()
+		<-f.done
+		return f.body, f.iters
+	}
+	f := &resultFlight{done: make(chan struct{})}
+	p.flights[key] = f
+	p.fmu.Unlock()
+
+	f.body, f.iters = p.fetch(owner, key)
+	p.fmu.Lock()
+	delete(p.flights, key)
+	p.fmu.Unlock()
+	close(f.done)
+	return f.body, f.iters
+}
+
+// fetch asks owner for key and, on a hit, fills the local layer with
+// the exact bytes so the next request is a local hit.
+func (p *PeerResultStore) fetch(owner string, key store.Key) ([]byte, int) {
+	resp, err := p.client.Get(owner + "/v1/peer/result/" + key.String())
+	if err != nil {
+		p.counters.record(owner, false, true)
+		if p.onPeerError != nil {
+			p.onPeerError(owner)
+		}
+		return nil, 0
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		p.counters.record(owner, false, false)
+		return nil, 0
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerBody))
+	if err != nil {
+		p.counters.record(owner, false, true)
+		return nil, 0
+	}
+	// writeResult appends one newline after the cached bytes; strip it
+	// so the stored body is byte-identical to a locally-solved one.
+	body := bytes.TrimSuffix(raw, []byte("\n"))
+	iters, _ := strconv.Atoi(resp.Header.Get("X-Psdpd-Iterations"))
+	p.counters.record(owner, true, false)
+	p.local.Put(key, body, iters)
+	return body, iters
+}
+
+// Put implements store.ResultStore (local layer only).
+func (p *PeerResultStore) Put(key store.Key, body []byte, iters int) { p.local.Put(key, body, iters) }
+
+// Len implements store.ResultStore.
+func (p *PeerResultStore) Len() int { return p.local.Len() }
+
+// Counters implements store.ResultStore (the local layer's hit/miss
+// view; peer-fetch telemetry is separate via FetchCounters).
+func (p *PeerResultStore) Counters() (hits, misses int64) { return p.local.Counters() }
+
+// FetchCounters reports (attempts, hits, misses, errors) of the peer
+// fetch path.
+func (p *PeerResultStore) FetchCounters() (attempts, hits, misses, errors int64) {
+	return p.counters.attempts.Load(), p.counters.hits.Load(),
+		p.counters.misses.Load(), p.counters.errors.Load()
+}
+
+// PerPeer snapshots the per-peer fetch counters.
+func (p *PeerResultStore) PerPeer() map[string]peerCount { return p.counters.snapshot() }
+
+// revisionFlight mirrors resultFlight for revision fetches.
+type revisionFlight struct {
+	done chan struct{}
+	rev  *store.Revision
+}
+
+// PeerRevisionStore implements store.RevisionStore with the same
+// peer-aware miss handling: a delta request landing off-owner fetches
+// the base's materialized instance and final solver state from the
+// owner (GET /v1/peer/revision/{digest}) instead of answering 404.
+type PeerRevisionStore struct {
+	local       store.RevisionStore
+	ring        *placement.Ring
+	client      *http.Client
+	onPeerError func(peer string)
+	counters    fetchCounters
+
+	fmu     sync.Mutex
+	flights map[store.Key]*revisionFlight
+}
+
+// NewPeerRevisionStore wraps local with peer-aware miss handling.
+func NewPeerRevisionStore(local store.RevisionStore, ring *placement.Ring, client *http.Client, onPeerError func(string)) *PeerRevisionStore {
+	if client == nil {
+		client = defaultClient(5 * time.Second)
+	}
+	return &PeerRevisionStore{
+		local:       local,
+		ring:        ring,
+		client:      client,
+		onPeerError: onPeerError,
+		flights:     make(map[store.Key]*revisionFlight),
+	}
+}
+
+// Local returns the in-process layer (see PeerResultStore.Local).
+func (p *PeerRevisionStore) Local() store.RevisionStore { return p.local }
+
+// Get implements store.RevisionStore.
+func (p *PeerRevisionStore) Get(key store.Key) *store.Revision {
+	if rev := p.local.Get(key); rev != nil {
+		return rev
+	}
+	owner, remote := p.ring.Owner(key)
+	if !remote {
+		return nil
+	}
+
+	p.fmu.Lock()
+	if f, ok := p.flights[key]; ok {
+		p.fmu.Unlock()
+		<-f.done
+		return f.rev
+	}
+	f := &revisionFlight{done: make(chan struct{})}
+	p.flights[key] = f
+	p.fmu.Unlock()
+
+	f.rev = p.fetch(owner, key)
+	p.fmu.Lock()
+	delete(p.flights, key)
+	p.fmu.Unlock()
+	close(f.done)
+	return f.rev
+}
+
+func (p *PeerRevisionStore) fetch(owner string, key store.Key) *store.Revision {
+	resp, err := p.client.Get(owner + "/v1/peer/revision/" + key.String())
+	if err != nil {
+		p.counters.record(owner, false, true)
+		if p.onPeerError != nil {
+			p.onPeerError(owner)
+		}
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		p.counters.record(owner, false, false)
+		return nil
+	}
+	var rev store.Revision
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxPeerBody)).Decode(&rev); err != nil {
+		p.counters.record(owner, false, true)
+		return nil
+	}
+	p.counters.record(owner, true, false)
+	// Adopt locally so the warm-start chain grows here (the pinning
+	// policy then protects this base for the lifetime of its deriveds).
+	p.local.Put(key, &rev)
+	return &rev
+}
+
+// Put implements store.RevisionStore (local layer only).
+func (p *PeerRevisionStore) Put(key store.Key, rev *store.Revision) { p.local.Put(key, rev) }
+
+// Len implements store.RevisionStore.
+func (p *PeerRevisionStore) Len() int { return p.local.Len() }
+
+// FetchCounters reports (attempts, hits, misses, errors) of the peer
+// fetch path.
+func (p *PeerRevisionStore) FetchCounters() (attempts, hits, misses, errors int64) {
+	return p.counters.attempts.Load(), p.counters.hits.Load(),
+		p.counters.misses.Load(), p.counters.errors.Load()
+}

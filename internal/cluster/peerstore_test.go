@@ -1,0 +1,30 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/placement"
+	"repro/internal/store"
+	"repro/internal/store/storetest"
+)
+
+// The peer-backed stores must satisfy the same contract as the
+// in-process LRUs they wrap: the serving tier cannot tell them apart.
+// The fleet is live, so Gets whose digest lands on the remote replica
+// exercise the real HTTP fetch path (answering 404 -> miss, since
+// nothing was solved there).
+func TestPeerBackedStoresSatisfyContract(t *testing.T) {
+	fl := bootFleet(t, 2, nil)
+	self := fl.urls[0]
+
+	t.Run("PeerResultStore", func(t *testing.T) {
+		storetest.ResultStore(t, func(t *testing.T) store.ResultStore {
+			return NewPeerResultStore(store.NewResultLRU(64), placement.NewRing(self, fl.urls), nil, nil)
+		})
+	})
+	t.Run("PeerRevisionStore", func(t *testing.T) {
+		storetest.RevisionStore(t, func(t *testing.T) store.RevisionStore {
+			return NewPeerRevisionStore(store.NewRevisionLRU(16), placement.NewRing(self, fl.urls), nil, nil)
+		})
+	})
+}

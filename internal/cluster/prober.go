@@ -1,0 +1,180 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Prober health-gates a static member list: every member starts
+// healthy (static membership is the boot state), a periodic GET
+// /readyz demotes members that answer non-200 or fail transport, and
+// MarkUnhealthy demotes immediately when a peer fetch or proxied
+// request hits a transport error — the prober's next round re-promotes
+// the member once /readyz answers 200 again.
+//
+// Whenever the healthy set changes, onChange receives the new sorted
+// list. Callers feed it to placement.Ring.Update, which is the whole
+// membership protocol: placement is a pure function of the healthy
+// list, so every node that observes the same list agrees on ownership.
+type Prober struct {
+	members  []string
+	interval time.Duration
+	client   *http.Client
+	onChange func(healthy []string)
+
+	mu        sync.Mutex
+	healthy   map[string]bool
+	lastProbe map[string]string
+	lastErr   map[string]string
+}
+
+// NewProber builds a prober over members (all initially healthy).
+// interval <= 0 defaults to 500ms; client nil defaults to a 2s-timeout
+// client. onChange, if non-nil, fires once immediately with the full
+// list and then on every healthy-set transition.
+func NewProber(members []string, interval time.Duration, client *http.Client, onChange func([]string)) *Prober {
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	if client == nil {
+		client = defaultClient(2 * time.Second)
+	}
+	p := &Prober{
+		members:   append([]string(nil), members...),
+		interval:  interval,
+		client:    client,
+		onChange:  onChange,
+		healthy:   make(map[string]bool, len(members)),
+		lastProbe: make(map[string]string, len(members)),
+		lastErr:   make(map[string]string, len(members)),
+	}
+	for _, m := range p.members {
+		p.healthy[m] = true
+	}
+	if onChange != nil {
+		onChange(p.Healthy())
+	}
+	return p
+}
+
+// Start runs the probe loop until ctx is cancelled. It probes once
+// immediately so a replica that was down at boot is dropped before the
+// first interval elapses.
+func (p *Prober) Start(ctx context.Context) {
+	go func() {
+		p.ProbeNow(ctx)
+		t := time.NewTicker(p.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				p.ProbeNow(ctx)
+			}
+		}
+	}()
+}
+
+// ProbeNow probes every member once, concurrently, and applies the
+// results as one transition.
+func (p *Prober) ProbeNow(ctx context.Context) {
+	type outcome struct {
+		member string
+		ok     bool
+		errMsg string
+	}
+	results := make(chan outcome, len(p.members))
+	for _, m := range p.members {
+		go func(m string) {
+			ok, errMsg := p.probeOne(ctx, m)
+			results <- outcome{member: m, ok: ok, errMsg: errMsg}
+		}(m)
+	}
+	now := nowRFC3339()
+	changed := false
+	p.mu.Lock()
+	for range p.members {
+		o := <-results
+		p.lastProbe[o.member] = now
+		p.lastErr[o.member] = o.errMsg
+		if p.healthy[o.member] != o.ok {
+			p.healthy[o.member] = o.ok
+			changed = true
+		}
+	}
+	p.mu.Unlock()
+	if changed {
+		p.fireChange()
+	}
+}
+
+func (p *Prober) probeOne(ctx context.Context, member string) (bool, string) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, member+"/readyz", nil)
+	if err != nil {
+		return false, err.Error()
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return false, err.Error()
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false, resp.Status
+	}
+	return true, ""
+}
+
+// MarkUnhealthy demotes member immediately (transport-error fast
+// path). The member rejoins at the next successful probe.
+func (p *Prober) MarkUnhealthy(member string) {
+	p.mu.Lock()
+	was, known := p.healthy[member]
+	if known {
+		p.healthy[member] = false
+		p.lastErr[member] = "marked unhealthy after transport error"
+	}
+	p.mu.Unlock()
+	if known && was {
+		p.fireChange()
+	}
+}
+
+func (p *Prober) fireChange() {
+	if p.onChange != nil {
+		p.onChange(p.Healthy())
+	}
+}
+
+// Healthy returns the sorted healthy member list.
+func (p *Prober) Healthy() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.members))
+	for _, m := range p.members {
+		if p.healthy[m] {
+			out = append(out, m)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot returns every member's status in member-list order.
+func (p *Prober) Snapshot() []MemberStatus {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]MemberStatus, len(p.members))
+	for i, m := range p.members {
+		out[i] = MemberStatus{
+			URL:       m,
+			Healthy:   p.healthy[m],
+			LastProbe: p.lastProbe[m],
+			LastError: p.lastErr[m],
+		}
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Membership is health-gated, not static: dead or not-ready members
+// are demoted (by probe or by transport-error fast path) and rejoin at
+// the next successful probe, with onChange firing on every transition.
+func TestProberHealthGating(t *testing.T) {
+	var ready atomic.Bool
+	ready.Store(true)
+	live := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/readyz" && ready.Load() {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer live.Close()
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+
+	var mu sync.Mutex
+	var last []string
+	changes := 0
+	p := NewProber([]string{live.URL, deadURL}, time.Hour, nil, func(h []string) {
+		mu.Lock()
+		last = append([]string(nil), h...)
+		changes++
+		mu.Unlock()
+	})
+
+	// Boot state: the full static list is healthy, announced once.
+	if got := p.Healthy(); len(got) != 2 {
+		t.Fatalf("boot healthy = %v, want both members", got)
+	}
+	mu.Lock()
+	if changes != 1 || len(last) != 2 {
+		t.Fatalf("boot onChange fired %d times with %v", changes, last)
+	}
+	mu.Unlock()
+
+	// First probe drops the dead member.
+	p.ProbeNow(context.Background())
+	if got := p.Healthy(); len(got) != 1 || got[0] != live.URL {
+		t.Fatalf("after probe: healthy = %v, want [%s]", got, live.URL)
+	}
+	mu.Lock()
+	if len(last) != 1 || last[0] != live.URL {
+		t.Fatalf("onChange saw %v, want [%s]", last, live.URL)
+	}
+	mu.Unlock()
+
+	// Transport-error fast path demotes without waiting for a probe.
+	p.MarkUnhealthy(live.URL)
+	if got := p.Healthy(); len(got) != 0 {
+		t.Fatalf("after MarkUnhealthy: healthy = %v, want none", got)
+	}
+
+	// The next successful probe re-promotes.
+	p.ProbeNow(context.Background())
+	if got := p.Healthy(); len(got) != 1 || got[0] != live.URL {
+		t.Fatalf("after recovery probe: healthy = %v, want [%s]", got, live.URL)
+	}
+
+	// A 503 /readyz (e.g. a draining replica) demotes exactly like a
+	// dead one.
+	ready.Store(false)
+	p.ProbeNow(context.Background())
+	if got := p.Healthy(); len(got) != 0 {
+		t.Fatalf("after readyz 503: healthy = %v, want none", got)
+	}
+
+	snap := p.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d members, want 2", len(snap))
+	}
+	for _, m := range snap {
+		if m.Healthy {
+			t.Fatalf("snapshot member %s healthy, want all demoted", m.URL)
+		}
+		if m.LastError == "" || m.LastProbe == "" {
+			t.Fatalf("snapshot member %s missing probe detail: %+v", m.URL, m)
+		}
+	}
+
+	// MarkUnhealthy on an already-unhealthy or unknown member must not
+	// re-fire onChange.
+	mu.Lock()
+	before := changes
+	mu.Unlock()
+	p.MarkUnhealthy(live.URL)
+	p.MarkUnhealthy("http://nobody.invalid")
+	mu.Lock()
+	if changes != before {
+		t.Fatalf("redundant MarkUnhealthy fired onChange (%d -> %d)", before, changes)
+	}
+	mu.Unlock()
+}

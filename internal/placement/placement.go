@@ -1,0 +1,156 @@
+// Package placement maps content digests to owning replicas. The
+// digest discipline built up by the serving tier — canonicalized
+// instances, digest-keyed caching and warm-start lineages — is what
+// makes cross-node routing cheap: the digest IS the placement key, so
+// "which node owns this request's cache entry, its revision lineage,
+// and the warm worker workspaces for its shape" is one deterministic
+// function of the request content.
+//
+// Two implementations: Local (the single-process daemon: every digest
+// is owned here) and Ring (consistent hashing over a member list, for
+// the cluster tier). Ring is deliberately minimal — static membership
+// updated wholesale by a health prober — because the correctness story
+// leans entirely on determinism: every node computing owners from the
+// same member list agrees, and when the list changes only the digests
+// whose successor changed move (never between two surviving members).
+package placement
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"sync"
+
+	"repro/internal/store"
+)
+
+// Placement maps a content digest to the member that owns it. Owner
+// returns ("", false) when the digest is owned locally — either there
+// are no remote members (the single-node Local placement) or the ring
+// resolved to the caller itself.
+type Placement interface {
+	// Owner returns the base URL of the member owning key, or
+	// ("", false) when the caller should handle it locally.
+	Owner(key store.Key) (string, bool)
+	// Members returns the current member list (empty for Local).
+	Members() []string
+}
+
+// Local is the always-me placement: the single-process daemon owns
+// every digest. The zero value is ready to use.
+type Local struct{}
+
+// Owner implements Placement: everything is local.
+func (Local) Owner(store.Key) (string, bool) { return "", false }
+
+// Members implements Placement.
+func (Local) Members() []string { return nil }
+
+// vnodes is the number of virtual points each member contributes to
+// the ring. 128 points per member keeps the ownership split within a
+// few percent of uniform and the add/remove churn within a few percent
+// of the ideal 1/N.
+const vnodes = 128
+
+// Ring is a consistent-hash placement over a mutable member list.
+// Safe for concurrent Owner/Members/Update: lookups take a read lock
+// on an immutable snapshot that Update swaps wholesale.
+type Ring struct {
+	// self, when non-empty, names the member the caller itself is:
+	// Owner returns ("", false) for digests this member owns, so
+	// callers can distinguish "mine" from "fetch from that peer".
+	self string
+
+	mu     sync.RWMutex
+	points []ringPoint // sorted by hash
+	member []string    // current member list, sorted
+}
+
+type ringPoint struct {
+	hash  uint64
+	owner string
+}
+
+// NewRing builds a ring over members. self may be "" (a pure router,
+// like the front tier, owns nothing) or one of the members (a replica
+// that serves its own share locally).
+func NewRing(self string, members []string) *Ring {
+	r := &Ring{self: self}
+	r.Update(members)
+	return r
+}
+
+// Update replaces the member list wholesale. The prober calls this on
+// every health transition; Owner lookups in flight keep the previous
+// snapshot.
+func (r *Ring) Update(members []string) {
+	pts := make([]ringPoint, 0, len(members)*vnodes)
+	for _, m := range members {
+		var buf [8]byte
+		for v := 0; v < vnodes; v++ {
+			binary.LittleEndian.PutUint64(buf[:], uint64(v))
+			h := sha256.Sum256(append([]byte(m+"#"), buf[:]...))
+			pts = append(pts, ringPoint{hash: binary.LittleEndian.Uint64(h[:8]), owner: m})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].hash != pts[j].hash {
+			return pts[i].hash < pts[j].hash
+		}
+		// Ties (astronomically unlikely) break deterministically by
+		// member name so every node agrees.
+		return pts[i].owner < pts[j].owner
+	})
+	sorted := append([]string(nil), members...)
+	sort.Strings(sorted)
+	r.mu.Lock()
+	r.points, r.member = pts, sorted
+	r.mu.Unlock()
+}
+
+// Owner implements Placement: the member whose point is the successor
+// of the digest's position on the circle. A digest is keyed by its
+// leading 8 bytes — it is already a SHA-256, so the distribution is
+// uniform without rehashing.
+func (r *Ring) Owner(key store.Key) (string, bool) {
+	h := binary.LittleEndian.Uint64(key[:8])
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return "", false
+	}
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: successor of the largest hash is the first point
+	}
+	owner := r.points[i].owner
+	if owner == r.self {
+		return "", false
+	}
+	return owner, true
+}
+
+// Members implements Placement.
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.member...)
+}
+
+// OwnerName is Owner without the self short-circuit: the member name
+// that owns key even when that member is self. The front tier's
+// routing and debugging endpoints want the name, not the "mine"
+// disposition.
+func (r *Ring) OwnerName(key store.Key) (string, bool) {
+	h := binary.LittleEndian.Uint64(key[:8])
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return "", false
+	}
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].owner, true
+}

@@ -1,0 +1,187 @@
+package placement
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// corpus builds n deterministic pseudo-digests (hashes of a counter,
+// so they are uniform like real content digests).
+func corpus(n int) []store.Key {
+	out := make([]store.Key, n)
+	for i := range out {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], uint64(i)*2654435761)
+		out[i] = store.Key(sha256.Sum256(buf[:]))
+	}
+	return out
+}
+
+func members(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://replica-%d:8723", i)
+	}
+	return out
+}
+
+func ownersOf(r *Ring, keys []store.Key) []string {
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		o, ok := r.OwnerName(k)
+		if !ok {
+			panic("no owner")
+		}
+		out[i] = o
+	}
+	return out
+}
+
+func TestRingDeterministicAcrossInstances(t *testing.T) {
+	keys := corpus(512)
+	a := NewRing("", members(3))
+	b := NewRing("", members(3))
+	oa, ob := ownersOf(a, keys), ownersOf(b, keys)
+	for i := range keys {
+		if oa[i] != ob[i] {
+			t.Fatalf("digest %d: ring instances disagree (%s vs %s) — placement must be a pure function of the member list", i, oa[i], ob[i])
+		}
+	}
+}
+
+func TestRingSpreadsRoughlyUniformly(t *testing.T) {
+	keys := corpus(4096)
+	r := NewRing("", members(3))
+	counts := map[string]int{}
+	for _, o := range ownersOf(r, keys) {
+		counts[o]++
+	}
+	want := float64(len(keys)) / 3
+	for m, c := range counts {
+		if frac := float64(c) / want; frac < 0.7 || frac > 1.3 {
+			t.Fatalf("member %s owns %d of %d digests (%.2fx the fair share) — vnode count too low", m, c, len(keys), frac)
+		}
+	}
+}
+
+// The consistent-hashing contract, stated as the satellite task pins
+// it: adding a member moves at most ~1/N of a digest corpus onto the
+// new member, and never moves a digest between two surviving members.
+func TestRingAddMovesBoundedAndOnlyToNewMember(t *testing.T) {
+	keys := corpus(4096)
+	before := NewRing("", members(3))
+	ob := ownersOf(before, keys)
+
+	grown := append(members(3), "http://replica-new:8723")
+	after := NewRing("", grown)
+	oa := ownersOf(after, keys)
+
+	moved := 0
+	for i := range keys {
+		if ob[i] == oa[i] {
+			continue
+		}
+		moved++
+		if oa[i] != "http://replica-new:8723" {
+			t.Fatalf("digest %d moved between surviving members (%s -> %s)", i, ob[i], oa[i])
+		}
+	}
+	// Ideal is 1/4 of the corpus; 128 vnodes keeps the realized share
+	// close. 0.35 is the "≤ ~1/N" bound with sampling slack.
+	if frac := float64(moved) / float64(len(keys)); frac > 0.35 {
+		t.Fatalf("adding 1 member to 3 moved %.1f%% of digests, want ≲ 25%%", frac*100)
+	}
+	if moved == 0 {
+		t.Fatal("adding a member moved nothing — the new member owns no share")
+	}
+}
+
+func TestRingRemoveMovesOnlyTheDeadMembersShare(t *testing.T) {
+	keys := corpus(4096)
+	full := members(3)
+	before := NewRing("", full)
+	ob := ownersOf(before, keys)
+
+	dead := full[1]
+	after := NewRing("", []string{full[0], full[2]})
+	oa := ownersOf(after, keys)
+
+	moved := 0
+	for i := range keys {
+		if ob[i] == oa[i] {
+			continue
+		}
+		if ob[i] != dead {
+			t.Fatalf("digest %d owned by surviving %s moved to %s when %s died", i, ob[i], oa[i], dead)
+		}
+		moved++
+	}
+	if frac := float64(moved) / float64(len(keys)); frac < 0.20 || frac > 0.45 {
+		t.Fatalf("removing 1 of 3 members moved %.1f%% of digests, want ≈ 33%%", frac*100)
+	}
+}
+
+// Update in place must agree with a freshly built ring: the health
+// prober shrinks and regrows the member list through Update, and
+// placement must stay a pure function of the list.
+func TestRingUpdateMatchesFreshBuild(t *testing.T) {
+	keys := corpus(1024)
+	r := NewRing("", members(3))
+	r.Update(members(2))
+	fresh := NewRing("", members(2))
+	or, of := ownersOf(r, keys), ownersOf(fresh, keys)
+	for i := range keys {
+		if or[i] != of[i] {
+			t.Fatalf("digest %d: updated ring disagrees with fresh ring", i)
+		}
+	}
+	// Regrow: back to the 3-member placement exactly.
+	r.Update(members(3))
+	o3 := ownersOf(NewRing("", members(3)), keys)
+	for i, o := range ownersOf(r, keys) {
+		if o != o3[i] {
+			t.Fatalf("digest %d: regrown ring disagrees with original", i)
+		}
+	}
+}
+
+func TestRingSelfShortCircuit(t *testing.T) {
+	keys := corpus(256)
+	ms := members(3)
+	r := NewRing(ms[0], ms)
+	sawMine, sawPeer := false, false
+	for _, k := range keys {
+		name, _ := r.OwnerName(k)
+		peer, remote := r.Owner(k)
+		if name == ms[0] {
+			sawMine = true
+			if remote {
+				t.Fatalf("digest owned by self reported as remote peer %s", peer)
+			}
+		} else {
+			sawPeer = true
+			if !remote || peer != name {
+				t.Fatalf("digest owned by %s reported as (%q, %v)", name, peer, remote)
+			}
+		}
+	}
+	if !sawMine || !sawPeer {
+		t.Fatal("corpus did not exercise both self and peer ownership")
+	}
+}
+
+func TestLocalOwnsEverything(t *testing.T) {
+	var l Local
+	for _, k := range corpus(16) {
+		if _, remote := l.Owner(k); remote {
+			t.Fatal("Local placement must own every digest")
+		}
+	}
+	if len(l.Members()) != 0 {
+		t.Fatal("Local placement has no members")
+	}
+}

@@ -1,0 +1,46 @@
+package serve
+
+import (
+	"net/http"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// The exported ContentDigest must agree byte-for-byte with the digest
+// the serving path computes (the X-Psdpd-Digest header): it is the
+// routing key the cluster front uses, and any divergence would scatter
+// one digest's cache entries across replicas.
+func TestContentDigestMatchesServedHeader(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	doc := denseInstance(t, 6, 8, 23)
+	cases := []struct {
+		name, kind string
+		req        Request
+	}{
+		{"decision", "decision", Request{Instance: doc, Eps: 0.25, Seed: 3, Scale: 0.5}},
+		{"decision-alo", "decision", Request{Instance: doc, Eps: 0.25, Seed: 3, Scale: 0.5, Engine: "alo"}},
+		{"decision-factored", "decision", Request{Instance: factoredInstance(t, 10, 16, 29), Eps: 0.3, Seed: 7, Scale: 0.1, SketchEps: 0.4}},
+		{"maximize", "maximize", Request{Instance: doc, Eps: 0.25, Seed: 3}},
+		{"solve", "solve", Request{Program: &ProgramDoc{
+			C: [][]float64{{2, 0}, {0, 1}},
+			A: [][][]float64{{{1, 0}, {0, 0.5}}},
+			B: []float64{1},
+		}, Eps: 0.2, Seed: 2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := ContentDigest(tc.kind, &tc.req, core.EngineMMW)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, body := postJSON(t, ts.URL+"/v1/"+tc.kind, &tc.req)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d: %s", resp.StatusCode, body)
+			}
+			if got := resp.Header.Get("X-Psdpd-Digest"); got != want.String() {
+				t.Fatalf("ContentDigest %s, served header %s", want, got)
+			}
+		})
+	}
+}

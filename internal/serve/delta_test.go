@@ -495,7 +495,7 @@ func TestConcurrentDeltasShareBaseWithoutAliasing(t *testing.T) {
 		t.Fatal("base revision not recorded")
 	}
 	// Bitwise snapshot of the stored state before any delta touches it.
-	before := rev.state.Clone()
+	before := rev.State.Clone()
 
 	mkDelta := func(i int, by float64) Request {
 		return Request{
@@ -527,12 +527,12 @@ func TestConcurrentDeltasShareBaseWithoutAliasing(t *testing.T) {
 	if after == nil {
 		t.Fatal("base revision evicted during deltas")
 	}
-	if after.state != rev.state {
+	if after.State != rev.State {
 		// Same pointer is fine (immutable), but if it was replaced the
 		// contents must still be the base's.
 		t.Log("revision state pointer changed; comparing contents")
 	}
-	st := after.state
+	st := after.State
 	if st.T != before.T || st.N != before.N || st.M != before.M {
 		t.Errorf("stored revision scalars changed: T %d->%d N %d->%d M %d->%d",
 			before.T, st.T, before.N, st.N, before.M, st.M)

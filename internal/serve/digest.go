@@ -3,27 +3,27 @@ package serve
 import (
 	"crypto/sha256"
 	"encoding/binary"
-	"encoding/hex"
 	"fmt"
 	"hash"
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/instio"
 	"repro/internal/matrix"
 	"repro/internal/sparse"
+	"repro/internal/store"
 )
 
 // digest is the content address of a request: SHA-256 over the
 // canonicalized instance plus every solve-relevant option. Two requests
 // share a digest exactly when the solver is guaranteed to produce
 // bitwise-identical results for them, which is what makes the digest
-// safe as both the cache key and the singleflight key.
-type digest [sha256.Size]byte
+// safe as the cache key, the singleflight key, and — aliased to
+// store.Key — the placement key the whole cluster tier routes by.
+type digest = store.Key
 
-func (d digest) String() string { return hex.EncodeToString(d[:]) }
-
-// shardKey folds the digest to the uint64 used for shard routing.
-func (d digest) shardKey() uint64 { return binary.LittleEndian.Uint64(d[:8]) }
+// shardKey folds a digest to the uint64 used for shard routing.
+func shardKey(d digest) uint64 { return binary.LittleEndian.Uint64(d[:8]) }
 
 // hasher wraps a hash.Hash with fixed-width little-endian writers. All
 // floats are hashed as their IEEE 754 bit patterns: the canonical form
@@ -162,13 +162,69 @@ func warmDigest(plain, base digest) digest {
 // parseDigest decodes the hex digest form clients echo back (the
 // X-Psdpd-Digest response header / delta base field).
 func parseDigest(s string) (digest, error) {
-	var d digest
-	raw, err := hex.DecodeString(s)
-	if err != nil || len(raw) != len(d) {
+	d, err := store.ParseKey(s)
+	if err != nil {
 		return digest{}, fmt.Errorf("serve: %q is not a %d-byte hex digest", s, len(d))
 	}
-	copy(d[:], raw)
 	return d, nil
+}
+
+// ContentDigest computes the content address psdpd assigns to a solve
+// request — the exact digest the X-Psdpd-Digest response header
+// carries for a 200, and therefore the placement key the cluster tier
+// routes by. kind is the endpoint ("decision", "maximize", "solve",
+// "mixed"); defaultEngine substitutes for an empty engine field, so a
+// front tier configured with the replicas' default computes the same
+// address the replicas do. Exported for internal/cluster: routing by
+// the true content address is what keeps cache entries, revision
+// lineages, and warm worker workspaces shard-local across the fleet.
+func ContentDigest(kind string, req *Request, defaultEngine core.EngineKind) (store.Key, error) {
+	if math.IsNaN(req.Eps) || req.Eps <= 0 || req.Eps >= 1 {
+		return store.Key{}, fmt.Errorf("serve: eps = %v out of (0, 1)", req.Eps)
+	}
+	opts, err := req.coreOptions()
+	if err != nil {
+		return store.Key{}, err
+	}
+	if req.Engine == "" {
+		opts.Engine = defaultEngine
+	}
+	switch kind {
+	case "decision", "maximize":
+		if req.Instance == nil {
+			return store.Key{}, fmt.Errorf("serve: %s request needs an instance", kind)
+		}
+		set, err := instio.Build(req.Instance)
+		if err != nil {
+			return store.Key{}, err
+		}
+		if scale := req.scaleOrOne(); scale != 1 {
+			if math.IsNaN(scale) || math.IsInf(scale, 0) || scale <= 0 {
+				return store.Key{}, fmt.Errorf("serve: scale = %v must be positive and finite", req.Scale)
+			}
+			set = set.WithScale(scale)
+		}
+		return requestDigest(kind, req, set, nil, nil, opts.Engine)
+	case "mixed":
+		if req.Instance == nil {
+			return store.Key{}, fmt.Errorf("serve: mixed request needs an instance")
+		}
+		prob, err := instio.BuildMixed(req.Instance)
+		if err != nil {
+			return store.Key{}, err
+		}
+		return requestDigest(kind, req, prob.Pack, nil, prob.Cover, opts.Engine)
+	case "solve":
+		if req.Program == nil {
+			return store.Key{}, fmt.Errorf("serve: solve request needs a program")
+		}
+		prog, err := req.Program.build()
+		if err != nil {
+			return store.Key{}, err
+		}
+		return requestDigest(kind, req, nil, prog, nil, opts.Engine)
+	}
+	return store.Key{}, fmt.Errorf("serve: unknown request kind %q", kind)
 }
 
 // canonicalOracle resolves OracleAuto to the concrete oracle the

@@ -177,26 +177,3 @@ func TestDigestCSCShape(t *testing.T) {
 		t.Fatal("CSCs of different column counts collided")
 	}
 }
-
-func TestCacheLRU(t *testing.T) {
-	c := newCache(2)
-	var k1, k2, k3 digest
-	k1[0], k2[0], k3[0] = 1, 2, 3
-	c.Put(k1, []byte("a"), 7)
-	c.Put(k2, []byte("b"), 8)
-	if b, it := c.Get(k1); b == nil || it != 7 {
-		t.Fatalf("k1: got (%q, %d), want body with iters 7", b, it)
-	}
-	c.Put(k3, []byte("c"), 9) // evicts k2 (least recently used)
-	if b, _ := c.Get(k2); b != nil {
-		t.Fatal("k2 should have been evicted")
-	}
-	b1, _ := c.Get(k1)
-	b3, it3 := c.Get(k3)
-	if b1 == nil || b3 == nil || it3 != 9 {
-		t.Fatal("survivors missing")
-	}
-	if c.Len() != 2 {
-		t.Fatalf("len %d, want 2", c.Len())
-	}
-}

@@ -148,15 +148,25 @@ func newServeMetrics(s *Server) *serveMetrics {
 
 	// Cache.
 	r.CounterFunc("psdpd_cache_hits_total", "Content-cache hits.", func() float64 {
-		h, _ := s.cache.Counters()
+		h, _ := s.results.Counters()
 		return float64(h)
 	})
 	r.CounterFunc("psdpd_cache_misses_total", "Content-cache misses.", func() float64 {
-		_, mi := s.cache.Counters()
+		_, mi := s.results.Counters()
 		return float64(mi)
 	})
-	r.GaugeFunc("psdpd_cache_entries", "Content-cache population.", func() float64 { return float64(s.cache.Len()) })
+	r.GaugeFunc("psdpd_cache_entries", "Content-cache population.", func() float64 { return float64(s.results.Len()) })
 	r.GaugeFunc("psdpd_revisions", "Warm-start revision store population.", func() float64 { return float64(s.revs.Len()) })
+
+	// Cluster/drain surface. The per-peer route and fetch counters ride
+	// in through Config.RegisterMetrics (the cluster stores own them).
+	r.GaugeFunc("psdpd_draining", "1 while the replica is draining (admission stopped).", func() float64 {
+		if s.draining.Load() {
+			return 1
+		}
+		return 0
+	})
+	cf("psdpd_drain_redirects_total", "Solve requests 307-redirected to a peer during drain.", s.drainRedirects.Load)
 
 	// Live state gauges.
 	r.GaugeFunc("psdpd_in_flight", "Requests currently inside the solve pipeline.",

@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/store"
+)
+
+// This file is the replica side of the cluster tier: the peer fetch
+// endpoints other replicas (and the front) read cached state from, and
+// the graceful-drain machinery that lets a replica leave the fleet
+// without dropping work.
+//
+// The peer endpoints deliberately read the LOCAL storage layer only.
+// In cluster mode s.results/s.revs are peer-backed wrappers whose miss
+// path fetches from the digest's owner; if the peer endpoints read
+// through those wrappers, two replicas with a simultaneous miss would
+// fetch from each other forever. Unwrapping via the Local() accessor
+// makes every peer fetch terminate at ground truth.
+
+// localResults returns the in-process layer behind s.results.
+func (s *Server) localResults() store.ResultStore {
+	if lb, ok := s.results.(interface{ Local() store.ResultStore }); ok {
+		return lb.Local()
+	}
+	return s.results
+}
+
+// localRevs returns the in-process layer behind s.revs.
+func (s *Server) localRevs() store.RevisionStore {
+	if lb, ok := s.revs.(interface{ Local() store.RevisionStore }); ok {
+		return lb.Local()
+	}
+	return s.revs
+}
+
+// handlePeerResult serves one locally-cached result body verbatim:
+// GET /v1/peer/result/{digest} answers the exact bytes (and iteration
+// count) a client would have received from this replica, or 404. It is
+// how a request landing on a digest's new owner after a membership
+// change can return the answer the old owner already computed.
+func (s *Server) handlePeerResult(w http.ResponseWriter, r *http.Request) {
+	s.stats.requests.Add(1)
+	d, err := parseDigest(r.PathValue("digest"))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	body, iters := s.localResults().Get(d)
+	if body == nil {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("serve: no cached result for %s", d))
+		return
+	}
+	w.Header().Set("X-Psdpd-Digest", d.String())
+	w.Header().Set("X-Psdpd-Iterations", strconv.Itoa(iters))
+	s.writeResult(w, http.StatusOK, "hit", body)
+}
+
+// handlePeerRevision serves one locally-stored warm-start revision as
+// JSON (instance document plus final solver state), or 404. Peer-backed
+// revision stores use it so a delta request landing off-owner can still
+// warm-start from the base's final state.
+func (s *Server) handlePeerRevision(w http.ResponseWriter, r *http.Request) {
+	s.stats.requests.Add(1)
+	d, err := parseDigest(r.PathValue("digest"))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	rev := s.localRevs().Get(d)
+	if rev == nil {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("serve: no revision for %s", d))
+		return
+	}
+	w.Header().Set("X-Psdpd-Digest", d.String())
+	writeJSON(w, http.StatusOK, rev)
+}
+
+// Drain gracefully retires the replica: admission stops immediately
+// (new solve requests are 307-redirected to a peer), /readyz flips to
+// 503 so the health prober drops this member from every ring, and
+// Drain blocks until in-flight work (including queued jobs) finishes
+// or ctx expires. The HTTP listener must stay up while Drain runs —
+// redirects and peer fetches of this replica's cache still need it.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if s.stats.inFlight.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("serve: drain timed out with %d requests in flight: %w",
+				s.stats.inFlight.Load(), ctx.Err())
+		case <-tick.C:
+		}
+	}
+}
+
+// Draining reports whether Drain has been initiated.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// redirectIfDraining answers a solve request arriving after Drain
+// began: 307 to a peer (rotating through the membership, preserving
+// method and body) when the placement knows one, 503 otherwise. Returns
+// true when it wrote the response. In-flight requests admitted before
+// the flip are unaffected.
+func (s *Server) redirectIfDraining(w http.ResponseWriter, r *http.Request) bool {
+	if !s.draining.Load() {
+		return false
+	}
+	var peers []string
+	for _, m := range s.place.Members() {
+		if m != s.cfg.SelfURL {
+			peers = append(peers, m)
+		}
+	}
+	if len(peers) == 0 {
+		s.writeError(w, http.StatusServiceUnavailable, fmt.Errorf("serve: draining"))
+		return true
+	}
+	s.drainRedirects.Add(1)
+	target := peers[int(s.drainNext.Add(1)-1)%len(peers)]
+	// 307 keeps the method and body: the client re-POSTs the identical
+	// solve to the peer, which computes the identical bytes.
+	http.Redirect(w, r, target+r.URL.RequestURI(), http.StatusTemporaryRedirect)
+	return true
+}

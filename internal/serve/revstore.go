@@ -1,90 +1,13 @@
 package serve
 
-import (
-	"container/list"
-	"sync"
+import "sync"
 
-	"repro/internal/core"
-	"repro/internal/instio"
-)
-
-// revision is one warm-startable solve the service remembers: the
-// materialized instance document (what a delta's edits apply to) and
-// the final solver state (what the next solve warm-starts from). The
-// revision store is the solver-mathematics counterpart of the result
-// cache — the cache shortcuts byte-identical requests, the revision
-// store shortcuts *near*-identical ones by resuming the MMW dynamics
-// near their fixed point instead of from the paper's cold start.
-// Exactly one of state (decision bases) and mixedX (mixed bases — the
-// final iterate, which is all the mixed dynamics need to resume) is
-// non-nil.
-type revision struct {
-	inst   *instio.Instance
-	state  *core.DecisionState
-	mixedX []float64
-}
-
-// revStore is a bounded LRU of revisions keyed by the digest the
-// client was handed for the generating solve (X-Psdpd-Digest). Both
-// the documents and the states are treated as immutable after Put:
-// concurrent delta requests read the same revision.
-type revStore struct {
-	mu  sync.Mutex
-	max int
-	ll  *list.List // front = most recently used
-	m   map[digest]*list.Element
-}
-
-type revEntry struct {
-	key digest
-	rev *revision
-}
-
-// newRevStore returns a store holding at most max revisions; max <= 0
-// disables it (every Get misses, Put drops).
-func newRevStore(max int) *revStore {
-	return &revStore{max: max, ll: list.New(), m: make(map[digest]*list.Element)}
-}
-
-// Get returns the revision for key, or nil. The returned revision is
-// shared — callers must not mutate it.
-func (r *revStore) Get(key digest) *revision {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if el, ok := r.m[key]; ok {
-		r.ll.MoveToFront(el)
-		return el.Value.(*revEntry).rev
-	}
-	return nil
-}
-
-// Put stores rev under key, evicting the least recently used revision
-// when over capacity.
-func (r *revStore) Put(key digest, rev *revision) {
-	if r.max <= 0 || rev == nil || (rev.state == nil && rev.mixedX == nil) {
-		return
-	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if el, ok := r.m[key]; ok {
-		el.Value.(*revEntry).rev = rev
-		r.ll.MoveToFront(el)
-		return
-	}
-	r.m[key] = r.ll.PushFront(&revEntry{key: key, rev: rev})
-	for r.ll.Len() > r.max {
-		el := r.ll.Back()
-		r.ll.Remove(el)
-		delete(r.m, el.Value.(*revEntry).key)
-	}
-}
-
-// Len reports the number of stored revisions.
-func (r *revStore) Len() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.ll.Len()
-}
+// The revision store itself — the bounded LRU of warm-startable solves
+// keyed by response digest — lives in internal/store (RevisionLRU, with
+// lineage pinning) behind the store.RevisionStore interface, so the
+// cluster tier can swap in a peer-backed implementation. What remains
+// here is the lineage log: serving-layer telemetry about how delta
+// solves actually started, which has no storage semantics.
 
 // LineageEntry records one delta solve for /statsz: which revision it
 // derived from, the digest it produced, whether the warm start was

@@ -17,6 +17,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/instio"
 	"repro/internal/mixed"
+	"repro/internal/obs"
+	"repro/internal/placement"
+	"repro/internal/store"
 	"repro/internal/work"
 )
 
@@ -64,6 +67,38 @@ type Config struct {
 	// recorded in the /debugz/slow ring (default 1s). Failed solves
 	// (5xx) are always recorded.
 	SlowSolve time.Duration
+
+	// Results, when non-nil, replaces the default in-process result LRU
+	// (store.NewResultLRU(CacheEntries)). The cluster tier injects a
+	// peer-backed store here so a miss asks the digest's owner before
+	// solving locally.
+	Results store.ResultStore
+	// Revisions, when non-nil, replaces the default in-process revision
+	// LRU (store.NewRevisionLRU(RevisionEntries)).
+	Revisions store.RevisionStore
+	// Placement maps content digests to owning replicas; nil means
+	// placement.Local{} (single-node: every digest is owned here). The
+	// server itself never proxies solves — routing is the front tier's
+	// job — but drain redirects and /statsz membership read it.
+	Placement placement.Placement
+	// SelfURL is this replica's base URL as it appears in the member
+	// list ("" for single-node). Drain redirects exclude it.
+	SelfURL string
+	// SolveFloor, when positive, holds the worker for at least this long
+	// per EXECUTED solve (cache hits and singleflight shares are
+	// unaffected). It exists for capacity modeling: on a machine with
+	// fewer cores than replicas under test, per-replica throughput is
+	// pinned to Workers/SolveFloor so cluster scaling measurements are
+	// honest about what they measure. Production deployments leave it 0.
+	SolveFloor time.Duration
+	// ClusterInfo, when non-nil, is sampled by /statsz into the
+	// "cluster" section (membership view, per-peer counters). The
+	// cluster wiring in cmd/psdpd installs it; single-node leaves it nil.
+	ClusterInfo func() any
+	// RegisterMetrics, when non-nil, runs against the /metrics registry
+	// at construction so outer layers (the cluster stores' per-peer
+	// fetch counters) can export series without a second registry.
+	RegisterMetrics func(*obs.Registry)
 }
 
 func (c Config) withDefaults() Config {
@@ -240,12 +275,23 @@ func representationOf(set core.ConstraintSet) string {
 type Server struct {
 	cfg     Config
 	pool    *Pool
-	cache   *cache
-	revs    *revStore
-	lineage *lineageLog
-	mux     *http.ServeMux
-	stats   counters
-	start   time.Time
+	results store.ResultStore
+	revs    store.RevisionStore
+	// revsEnabled gates warm-start recording: true when a revision store
+	// was injected or RevisionEntries is positive.
+	revsEnabled bool
+	place       placement.Placement
+	lineage     *lineageLog
+	mux         *http.ServeMux
+	stats       counters
+	start       time.Time
+
+	// draining flips once on SIGTERM: admission stops (new solves are
+	// 307-redirected to a healthy peer, or 503 with no peers), in-flight
+	// work finishes, /readyz goes 503 so the front drops this member.
+	draining       atomic.Bool
+	drainRedirects atomic.Int64
+	drainNext      atomic.Uint64
 
 	// metrics is the /metrics registry wiring (nil when disabled); slow
 	// is the /debugz/slow ring; phases aggregates SolveStats across
@@ -275,19 +321,33 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		pool:    NewPool(cfg.Shards, cfg.Workers, cfg.QueueDepth),
-		cache:   newCache(cfg.CacheEntries),
-		revs:    newRevStore(cfg.RevisionEntries),
-		lineage: newLineageLog(32),
-		mux:     http.NewServeMux(),
-		start:   time.Now(),
-		flights: make(map[digest]*flight),
-		slow:    &slowLog{},
-		logger:  cfg.Logger,
+		cfg:         cfg,
+		pool:        NewPool(cfg.Shards, cfg.Workers, cfg.QueueDepth),
+		results:     cfg.Results,
+		revs:        cfg.Revisions,
+		revsEnabled: cfg.Revisions != nil || cfg.RevisionEntries > 0,
+		place:       cfg.Placement,
+		lineage:     newLineageLog(32),
+		mux:         http.NewServeMux(),
+		start:       time.Now(),
+		flights:     make(map[digest]*flight),
+		slow:        &slowLog{},
+		logger:      cfg.Logger,
+	}
+	if s.results == nil {
+		s.results = store.NewResultLRU(cfg.CacheEntries)
+	}
+	if s.revs == nil {
+		s.revs = store.NewRevisionLRU(cfg.RevisionEntries)
+	}
+	if s.place == nil {
+		s.place = placement.Local{}
 	}
 	if !cfg.DisableMetrics {
 		s.metrics = newServeMetrics(s)
+		if cfg.RegisterMetrics != nil {
+			cfg.RegisterMetrics(s.metrics.reg)
+		}
 	}
 	s.mux.HandleFunc("POST /v1/decision", s.handleKind("decision"))
 	s.mux.HandleFunc("POST /v1/maximize", s.handleKind("maximize"))
@@ -295,6 +355,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/mixed", s.handleKind("mixed"))
 	s.mux.HandleFunc("POST /v1/delta", s.handleDelta)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/peer/result/{digest}", s.handlePeerResult)
+	s.mux.HandleFunc("GET /v1/peer/revision/{digest}", s.handlePeerRevision)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
@@ -325,13 +387,17 @@ func (s *Server) Close() { s.pool.Close() }
 
 // Stats snapshots the service counters.
 func (s *Server) Stats() StatsResponse {
-	hits, _ := s.cache.Counters()
+	hits, _ := s.results.Counters()
+	var cluster any
+	if s.cfg.ClusterInfo != nil {
+		cluster = s.cfg.ClusterInfo()
+	}
 	return StatsResponse{
 		Requests:              s.stats.requests.Load(),
 		Admitted:              s.stats.admitted.Load(),
 		Solves:                s.stats.solves.Load(),
 		CacheHits:             hits,
-		CacheEntries:          s.cache.Len(),
+		CacheEntries:          s.results.Len(),
 		DedupShared:           s.stats.dedupShared.Load(),
 		Rejected:              s.stats.rejected.Load(),
 		Cancelled:             s.stats.cancelled.Load(),
@@ -364,6 +430,9 @@ func (s *Server) Stats() StatsResponse {
 		SolverUpdateNS:        s.phases.updateNS.Load(),
 		SolverBookkeepNS:      s.phases.bookkeepNS.Load(),
 		UptimeSeconds:         int64(time.Since(s.start).Seconds()),
+		Draining:              s.draining.Load(),
+		DrainRedirects:        s.drainRedirects.Load(),
+		Cluster:               cluster,
 	}
 }
 
@@ -379,6 +448,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // drain. Liveness (/healthz) stays 200 throughout: the process is
 // healthy, just full.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable,
+			map[string]any{"ready": false, "reason": "draining"})
+		return
+	}
 	if s.pool.Saturated() {
 		writeJSON(w, http.StatusServiceUnavailable,
 			map[string]any{"ready": false, "reason": "all admission queues saturated"})
@@ -399,6 +473,9 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleKind(kind string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.stats.requests.Add(1)
+		if s.redirectIfDraining(w, r) {
+			return
+		}
 		var req Request
 		if err := s.decodeBody(w, r, &req); err != nil {
 			s.writeError(w, http.StatusBadRequest, err)
@@ -425,6 +502,9 @@ func (s *Server) handleKind(kind string) http.HandlerFunc {
 // never pollute the cold content address space.
 func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 	s.stats.requests.Add(1)
+	if s.redirectIfDraining(w, r) {
+		return
+	}
 	var req Request
 	if err := s.decodeBody(w, r, &req); err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
@@ -451,7 +531,7 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("serve: unknown base revision %s (solve the base via /v1/decision first; it may have been evicted)", dd.Base))
 		return
 	}
-	mat, err := instio.ApplyDelta(rev.inst, req.Instance)
+	mat, err := instio.ApplyDelta(rev.Inst, req.Instance)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
@@ -466,9 +546,9 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 	warm := &warmLink{baseKey: baseKey, baseHex: dd.Base}
 	if mat.Mixed != nil {
 		kind = "mixed"
-		warm.mixedX = rev.mixedX
+		warm.mixedX = rev.MixedX
 	} else {
-		warm.state = rev.state
+		warm.state = rev.State
 	}
 	res := s.solveOne(r.Context(), kind, &dreq, warm)
 	if res.haveDigest {
@@ -483,6 +563,9 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.stats.requests.Add(1)
+	if s.redirectIfDraining(w, r) {
+		return
+	}
 	var batch BatchRequest
 	if err := s.decodeBody(w, r, &batch); err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
@@ -613,7 +696,7 @@ func (s *Server) solveRun(clientCtx context.Context, kind string, req *Request, 
 	const maxAttempts = 3
 	out := solveResult{digest: p.d, haveDigest: true}
 	for attempt := 0; attempt < maxAttempts; attempt++ {
-		if cached, iters := s.cache.Get(p.d); cached != nil {
+		if cached, iters := s.results.Get(p.d); cached != nil {
 			// A decision hit whose revision was evicted falls through to
 			// a fresh (deterministic, byte-identical) solve purely to
 			// repopulate the revision store; everything else returns the
@@ -671,7 +754,7 @@ func (s *Server) execute(req *Request, d digest, fn poolFn) (int, string, []byte
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 
-	v, err := s.pool.Do(ctx, d.shardKey(), fn)
+	v, err := s.pool.Do(ctx, shardKey(d), fn)
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		s.stats.rejected.Add(1)
@@ -700,7 +783,7 @@ func (s *Server) execute(req *Request, d digest, fn poolFn) (int, string, []byte
 	if ic, ok := v.(interface{ iterCount() int }); ok {
 		iters = ic.iterCount()
 	}
-	s.cache.Put(d, body, iters)
+	s.results.Put(d, body, iters)
 	return http.StatusOK, "miss", body, iters
 }
 
@@ -789,7 +872,7 @@ func (s *Server) prepare(kind string, req *Request, warm *warmLink) (prepared, e
 		p := prepared{d: d, plain: d, rep: representationOf(set), engine: canonicalEngine(kind, opts.Engine, set, req.Eps).String()}
 		eps := req.Eps
 		if kind == "decision" {
-			p.wantRevision = s.cfg.RevisionEntries > 0 && p.rep == repSparse
+			p.wantRevision = s.revsEnabled && p.rep == repSparse
 			if warm != nil {
 				p.isDelta = true
 				if d == warm.baseKey {
@@ -873,7 +956,7 @@ func (s *Server) prepare(kind string, req *Request, warm *warmLink) (prepared, e
 		// Only sparse-packed mixed instances can be delta bases (same
 		// rule as decision: ApplyDelta edits sparse triplets), so only
 		// those pay the revision snapshot.
-		p.wantRevision = s.cfg.RevisionEntries > 0 && p.rep == repMixedSparse
+		p.wantRevision = s.revsEnabled && p.rep == repMixedSparse
 		if warm != nil {
 			p.isDelta = true
 			if d == warm.baseKey {
@@ -955,7 +1038,14 @@ func (s *Server) prepare(kind string, req *Request, warm *warmLink) (prepared, e
 // store (making it a warm-startable base for future deltas) and, on
 // the delta path, records the lineage and the warm-vs-cold split.
 func (s *Server) recordRevision(key digest, inst *instio.Instance, dr *core.DecisionResult, warm *warmLink) {
-	s.revs.Put(key, &revision{inst: inst, state: dr.Final})
+	rev := &store.Revision{Inst: inst, State: dr.Final}
+	if warm != nil {
+		// The parent link is what the revision store's pinning policy
+		// walks: while this derived revision lives, its base cannot be
+		// evicted out from under the warm-start chain.
+		rev.Parent = &warm.baseKey
+	}
+	s.revs.Put(key, rev)
 	if warm == nil {
 		return
 	}
@@ -976,7 +1066,11 @@ func (s *Server) recordRevision(key digest, inst *instio.Instance, dr *core.Deci
 // stored warm-start payload is the final iterate X rather than a
 // decision state, and the lineage/warm counters read the mixed result.
 func (s *Server) recordMixedRevision(key digest, inst *instio.Instance, mr *mixed.Result, warm *warmLink) {
-	s.revs.Put(key, &revision{inst: inst, mixedX: mr.X})
+	rev := &store.Revision{Inst: inst, MixedX: mr.X}
+	if warm != nil {
+		rev.Parent = &warm.baseKey
+	}
+	s.revs.Put(key, rev)
 	if warm == nil {
 		return
 	}
@@ -1003,6 +1097,14 @@ func (s *Server) solveClosure(kind string, fn poolFn) poolFn {
 		s.stats.solves.Add(1)
 		start := time.Now()
 		v, err := fn(ctx, ws)
+		if floor := s.cfg.SolveFloor; floor > 0 {
+			// Capacity modeling: the worker stays held until the floor
+			// elapses, so per-replica throughput is exactly
+			// Workers/SolveFloor regardless of how fast the solve ran.
+			if rem := floor - time.Since(start); rem > 0 {
+				time.Sleep(rem)
+			}
+		}
 		if err == nil {
 			sec := time.Since(start).Seconds()
 			s.observeSolveSeconds(sec)

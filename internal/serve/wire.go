@@ -343,4 +343,11 @@ type StatsResponse struct {
 	SolverUpdateNS   int64 `json:"solverUpdateNs"`
 	SolverBookkeepNS int64 `json:"solverBookkeepNs"`
 	UptimeSeconds    int64 `json:"uptimeSeconds"`
+	// Cluster tier: whether this replica is draining, how many solve
+	// requests it has 307-redirected to peers since drain began, and —
+	// when the daemon runs in cluster mode — the membership view and
+	// per-peer counters sampled from the cluster wiring.
+	Draining       bool  `json:"draining,omitempty"`
+	DrainRedirects int64 `json:"drainRedirects,omitempty"`
+	Cluster        any   `json:"cluster,omitempty"`
 }

@@ -1,0 +1,85 @@
+package store
+
+import (
+	"container/list"
+	"sync"
+)
+
+// ResultLRU is the in-process ResultStore: marshaled response bodies
+// with LRU eviction at a fixed entry cap. Hits return the exact bytes
+// of the original response, so a cached answer is bitwise identical to
+// the solve that produced it — the serving-layer analogue of the
+// golden-corpus guarantee.
+type ResultLRU struct {
+	mu  sync.Mutex
+	max int
+	ll  *list.List // front = most recently used
+	m   map[Key]*list.Element
+
+	hits, misses int64
+}
+
+type resultEntry struct {
+	key  Key
+	body []byte
+	// iters is the solver iteration count of the cached solve — served
+	// in the X-Psdpd-Iterations header. Solves are deterministic, so the
+	// count is part of the content the digest addresses: hits repeat it
+	// bitwise just like the body.
+	iters int
+}
+
+// NewResultLRU returns a store holding at most max entries; max <= 0
+// disables it (every Get misses, Put drops).
+func NewResultLRU(max int) *ResultLRU {
+	return &ResultLRU{max: max, ll: list.New(), m: make(map[Key]*list.Element)}
+}
+
+// Get implements ResultStore.
+func (c *ResultLRU) Get(key Key) ([]byte, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		e := el.Value.(*resultEntry)
+		return e.body, e.iters
+	}
+	c.misses++
+	return nil, 0
+}
+
+// Put implements ResultStore.
+func (c *ResultLRU) Put(key Key, body []byte, iters int) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		e := el.Value.(*resultEntry)
+		e.body, e.iters = body, iters
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&resultEntry{key: key, body: body, iters: iters})
+	for c.ll.Len() > c.max {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.m, el.Value.(*resultEntry).key)
+	}
+}
+
+// Len implements ResultStore.
+func (c *ResultLRU) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Counters implements ResultStore.
+func (c *ResultLRU) Counters() (int64, int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

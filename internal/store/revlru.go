@@ -1,0 +1,132 @@
+package store
+
+import (
+	"container/list"
+	"sync"
+)
+
+// RevisionLRU is the in-process RevisionStore: a bounded LRU with a
+// lineage-pinning eviction policy. Plain LRU would happily evict the
+// root of an active warm-start chain — the client streams deltas
+// against a base while unrelated traffic churns the store, the base
+// (cold, by definition: clients POST deltas, not the base) slides to
+// the LRU tail, and the next delta 404s mid-stream. Pinning prevents
+// exactly that: a revision with live derived revisions (entries whose
+// Parent names it) is skipped during eviction, so pressure falls on
+// leaves and unrelated entries first. Only when every resident entry
+// is pinned — a store-sized chain, not a churn pattern — does eviction
+// fall back to plain LRU so memory stays bounded.
+type RevisionLRU struct {
+	mu  sync.Mutex
+	max int
+	ll  *list.List // front = most recently used
+	m   map[Key]*list.Element
+	// pins[k] counts resident revisions whose Parent is k; an entry
+	// with pins > 0 is an active lineage root (or interior node) and is
+	// passed over by the eviction scan.
+	pins map[Key]int
+
+	// pinnedSkips counts eviction scans that passed over a pinned
+	// entry — the observable trace of the GC policy doing its job.
+	pinnedSkips int64
+}
+
+type revEntry struct {
+	key Key
+	rev *Revision
+}
+
+// NewRevisionLRU returns a store holding at most max revisions; max <=
+// 0 disables it (every Get misses, Put drops).
+func NewRevisionLRU(max int) *RevisionLRU {
+	return &RevisionLRU{max: max, ll: list.New(), m: make(map[Key]*list.Element), pins: make(map[Key]int)}
+}
+
+// Get implements RevisionStore.
+func (r *RevisionLRU) Get(key Key) *Revision {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if el, ok := r.m[key]; ok {
+		r.ll.MoveToFront(el)
+		return el.Value.(*revEntry).rev
+	}
+	return nil
+}
+
+// Put implements RevisionStore.
+func (r *RevisionLRU) Put(key Key, rev *Revision) {
+	if r.max <= 0 || rev == nil || (rev.State == nil && rev.MixedX == nil) {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if el, ok := r.m[key]; ok {
+		e := el.Value.(*revEntry)
+		r.unpin(e.rev)
+		e.rev = rev
+		r.pin(rev)
+		r.ll.MoveToFront(el)
+		return
+	}
+	r.m[key] = r.ll.PushFront(&revEntry{key: key, rev: rev})
+	r.pin(rev)
+	for r.ll.Len() > r.max {
+		r.evictOne()
+	}
+}
+
+// evictOne removes the least recently used UNPINNED entry, falling
+// back to the plain LRU victim when every resident entry is pinned.
+// Callers hold r.mu.
+func (r *RevisionLRU) evictOne() {
+	var victim *list.Element
+	for el := r.ll.Back(); el != nil; el = el.Prev() {
+		if r.pins[el.Value.(*revEntry).key] == 0 {
+			victim = el
+			break
+		}
+		r.pinnedSkips++
+	}
+	if victim == nil {
+		victim = r.ll.Back() // every entry pinned: bound memory anyway
+	}
+	e := victim.Value.(*revEntry)
+	r.ll.Remove(victim)
+	delete(r.m, e.key)
+	r.unpin(e.rev)
+}
+
+// pin/unpin maintain the live-children counts. A parent needs no store
+// entry to carry a pin count (it may already be gone); counts at zero
+// are deleted so the map tracks only live lineage edges.
+func (r *RevisionLRU) pin(rev *Revision) {
+	if rev.Parent != nil {
+		r.pins[*rev.Parent]++
+	}
+}
+
+func (r *RevisionLRU) unpin(rev *Revision) {
+	if rev.Parent == nil {
+		return
+	}
+	if n := r.pins[*rev.Parent] - 1; n > 0 {
+		r.pins[*rev.Parent] = n
+	} else {
+		delete(r.pins, *rev.Parent)
+	}
+}
+
+// Len implements RevisionStore.
+func (r *RevisionLRU) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ll.Len()
+}
+
+// PinnedSkips reports how many times eviction passed over a pinned
+// lineage entry — nonzero means the GC policy saved an active chain.
+func (r *RevisionLRU) PinnedSkips() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.pinnedSkips
+}

@@ -1,0 +1,82 @@
+// Package store defines the stateful layers of the serving tier as
+// pluggable interfaces: the content-addressed result store (cached
+// response bytes) and the warm-start revision store (final solver
+// states + materialized instances). The serve package programs against
+// these interfaces only; the in-process LRU implementations in this
+// package are the single-node defaults, and internal/cluster provides
+// peer-backed implementations that consult the digest's owning replica
+// on a local miss. Because every key is a content digest — two requests
+// share a key exactly when the solver is guaranteed to produce
+// bitwise-identical bytes for them — any implementation that returns
+// previously-stored bytes unmodified preserves the serving tier's
+// byte-identical-response contract, no matter which node produced them.
+package store
+
+import (
+	"encoding/hex"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/instio"
+)
+
+// Key is a content address: the SHA-256 serve computes over the
+// canonicalized request. The digest is the placement key — the same
+// bytes route, cache, and warm-start a request everywhere in the fleet.
+type Key [32]byte
+
+// String returns the canonical lowercase-hex form clients see in
+// X-Psdpd-Digest.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// ParseKey decodes the hex digest form clients echo back.
+func ParseKey(s string) (Key, error) {
+	var k Key
+	raw, err := hex.DecodeString(s)
+	if err != nil || len(raw) != len(k) {
+		return Key{}, fmt.Errorf("store: %q is not a %d-byte hex digest", s, len(k))
+	}
+	copy(k[:], raw)
+	return k, nil
+}
+
+// ResultStore holds marshaled 2xx response bodies by content address.
+// Implementations must return stored bytes unmodified (callers never
+// mutate a returned slice) and must be safe for concurrent use. A nil
+// body from Get means miss.
+type ResultStore interface {
+	// Get returns the stored body and solver iteration count for key,
+	// or (nil, 0) on a miss.
+	Get(key Key) ([]byte, int)
+	// Put stores body (and the solve's iteration count) under key. The
+	// store takes ownership of body.
+	Put(key Key, body []byte, iters int)
+	// Len reports the number of locally held entries.
+	Len() int
+	// Counters returns (hits, misses) observed by Get so far.
+	Counters() (hits, misses int64)
+}
+
+// Revision is one warm-startable solve the service remembers: the
+// materialized instance document (what a delta's edits apply to), the
+// warm-start payload — exactly one of State (decision bases) and
+// MixedX (mixed bases) is non-nil — and, for revisions derived through
+// /v1/delta, the key of the base revision they resumed from. Parent is
+// what the pinning GC policy walks: a base with live derived revisions
+// must not be evicted out from under an active warm-start chain.
+type Revision struct {
+	Inst   *instio.Instance    `json:"instance"`
+	State  *core.DecisionState `json:"state,omitempty"`
+	MixedX []float64           `json:"mixedX,omitempty"`
+	Parent *Key                `json:"-"`
+}
+
+// RevisionStore holds revisions by the digest the client was handed for
+// the generating solve (X-Psdpd-Digest). Revisions are immutable after
+// Put: concurrent delta requests read the same revision. Nil from Get
+// means miss.
+type RevisionStore interface {
+	Get(key Key) *Revision
+	Put(key Key, rev *Revision)
+	Len() int
+}

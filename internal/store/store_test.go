@@ -1,0 +1,146 @@
+package store_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/store"
+	"repro/internal/store/storetest"
+)
+
+func TestResultLRUContract(t *testing.T) {
+	storetest.ResultStore(t, func(t *testing.T) store.ResultStore {
+		return store.NewResultLRU(64)
+	})
+}
+
+func TestRevisionLRUContract(t *testing.T) {
+	storetest.RevisionStore(t, func(t *testing.T) store.RevisionStore {
+		return store.NewRevisionLRU(64)
+	})
+}
+
+func key(i byte) store.Key {
+	var k store.Key
+	k[0] = i
+	return k
+}
+
+func rev(n int, parent *store.Key) *store.Revision {
+	return &store.Revision{State: &core.DecisionState{N: n, M: 2, X: make([]float64, n)}, Parent: parent}
+}
+
+func TestResultLRUEvictsLeastRecent(t *testing.T) {
+	c := store.NewResultLRU(2)
+	c.Put(key(1), []byte("a"), 7)
+	c.Put(key(2), []byte("b"), 8)
+	if b, it := c.Get(key(1)); b == nil || it != 7 {
+		t.Fatalf("k1: got (%q, %d), want body with iters 7", b, it)
+	}
+	c.Put(key(3), []byte("c"), 9) // evicts k2 (least recently used)
+	if b, _ := c.Get(key(2)); b != nil {
+		t.Fatal("k2 should have been evicted")
+	}
+	b1, _ := c.Get(key(1))
+	b3, it3 := c.Get(key(3))
+	if b1 == nil || b3 == nil || it3 != 9 {
+		t.Fatal("survivors missing")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len %d, want 2", c.Len())
+	}
+}
+
+func TestResultLRUDisabled(t *testing.T) {
+	c := store.NewResultLRU(0)
+	c.Put(key(1), []byte("a"), 1)
+	if b, _ := c.Get(key(1)); b != nil {
+		t.Fatal("disabled store must drop puts")
+	}
+	if c.Len() != 0 {
+		t.Fatal("disabled store must stay empty")
+	}
+}
+
+// The GC/pinning policy: a lineage root with live derived revisions
+// survives LRU pressure that would otherwise evict it; pressure falls
+// on unrelated entries and leaves instead.
+func TestRevisionLRUPinsLineageRoots(t *testing.T) {
+	r := store.NewRevisionLRU(4)
+	root := key(1)
+	r.Put(root, rev(2, nil))
+	// Derive a chain off the root: root <- d1 <- d2. Root and d1 are
+	// now pinned (each has a live child); d2 is a leaf.
+	d1, d2 := key(2), key(3)
+	r.Put(d1, rev(3, &root))
+	r.Put(d2, rev(4, &d1))
+
+	// Flood with unrelated revisions — far more than capacity — while
+	// the client keeps using the chain head (each flood step reads d2,
+	// as a streaming client does between deltas). The root and d1 are
+	// never touched again, so plain LRU would evict them first; the
+	// pinning policy must not, because the live head warm-starts off
+	// them.
+	for i := byte(10); i < 30; i++ {
+		k := key(i)
+		r.Put(k, rev(5, nil))
+		if r.Get(d2) == nil {
+			t.Fatalf("active chain head evicted at flood step %d", i)
+		}
+	}
+
+	if r.Get(root) == nil {
+		t.Fatal("pinned lineage root was evicted under churn")
+	}
+	if r.Get(d1) == nil {
+		t.Fatal("pinned interior chain revision was evicted under churn")
+	}
+	if r.Len() > 4 {
+		t.Fatalf("len %d exceeds cap 4", r.Len())
+	}
+	if r.PinnedSkips() == 0 {
+		t.Fatal("eviction never skipped a pinned entry — pinning not exercised")
+	}
+}
+
+// When a chain's children are themselves evicted, the root's pin drops
+// and ordinary LRU resumes: pinning is a liveness rule, not a leak.
+func TestRevisionLRUUnpinsWhenChildrenDie(t *testing.T) {
+	r := store.NewRevisionLRU(3)
+	root := key(1)
+	r.Put(root, rev(2, nil))
+	leaf := key(2)
+	r.Put(leaf, rev(3, &root))
+
+	// Three fresh entries: capacity 3 forces evictions. The leaf is
+	// unpinned and colder than the new entries, so it goes first; once
+	// it is gone the root is unpinned and goes next.
+	for i := byte(10); i < 13; i++ {
+		r.Put(key(i), rev(4, nil))
+	}
+	if r.Get(leaf) != nil {
+		t.Fatal("unpinned leaf should have been evicted")
+	}
+	if r.Get(root) != nil {
+		t.Fatal("root should be evictable after its only child died")
+	}
+}
+
+// A store whose every resident entry is pinned still evicts (plain LRU
+// fallback): memory stays bounded even for a store-sized chain.
+func TestRevisionLRUBoundedWhenAllPinned(t *testing.T) {
+	r := store.NewRevisionLRU(3)
+	// Chain k1 <- k2 <- k3 <- k4...: every resident is some entry's
+	// parent.
+	prev := key(1)
+	r.Put(prev, rev(2, nil))
+	for i := byte(2); i <= 8; i++ {
+		k := key(i)
+		p := prev
+		r.Put(k, rev(3, &p))
+		prev = k
+	}
+	if r.Len() > 3 {
+		t.Fatalf("len %d exceeds cap 3 with an all-pinned chain", r.Len())
+	}
+}

@@ -1,0 +1,204 @@
+// Package storetest is the contract test suite for the store
+// interfaces. Every ResultStore and RevisionStore implementation —
+// the in-process LRUs and the peer-backed cluster stores alike — must
+// pass these suites: the serving tier's byte-identical-response
+// guarantee rests on any implementation returning exactly the bytes
+// that were put, keyed exactly by content address.
+package storetest
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/instio"
+	"repro/internal/store"
+)
+
+// key returns a distinct deterministic Key.
+func key(i byte) store.Key {
+	var k store.Key
+	k[0], k[1] = i, i^0x5a
+	return k
+}
+
+// ResultStore runs the contract suite against a fresh store from
+// factory. The factory is called per subtest and must return an empty
+// store that retains at least 8 entries before evicting.
+func ResultStore(t *testing.T, factory func(t *testing.T) store.ResultStore) {
+	t.Helper()
+
+	t.Run("MissIsNil", func(t *testing.T) {
+		s := factory(t)
+		if b, it := s.Get(key(1)); b != nil || it != 0 {
+			t.Fatalf("empty store Get = (%q, %d), want (nil, 0)", b, it)
+		}
+	})
+
+	t.Run("PutGetExactBytes", func(t *testing.T) {
+		s := factory(t)
+		body := []byte(`{"kind":"decision","x":[0.125,3.5]}`)
+		s.Put(key(2), body, 17)
+		got, it := s.Get(key(2))
+		if !bytes.Equal(got, body) {
+			t.Fatalf("Get = %q, want the exact bytes %q", got, body)
+		}
+		if it != 17 {
+			t.Fatalf("iters = %d, want 17", it)
+		}
+	})
+
+	t.Run("KeysAreIndependent", func(t *testing.T) {
+		s := factory(t)
+		for i := byte(0); i < 8; i++ {
+			s.Put(key(i), []byte{i, i + 1}, int(i))
+		}
+		for i := byte(0); i < 8; i++ {
+			b, it := s.Get(key(i))
+			if !bytes.Equal(b, []byte{i, i + 1}) || it != int(i) {
+				t.Fatalf("key %d: got (%v, %d)", i, b, it)
+			}
+		}
+	})
+
+	t.Run("OverwriteReplaces", func(t *testing.T) {
+		s := factory(t)
+		s.Put(key(3), []byte("old"), 1)
+		s.Put(key(3), []byte("new"), 2)
+		b, it := s.Get(key(3))
+		if string(b) != "new" || it != 2 {
+			t.Fatalf("after overwrite: (%q, %d), want (new, 2)", b, it)
+		}
+	})
+
+	t.Run("CountersMove", func(t *testing.T) {
+		s := factory(t)
+		s.Put(key(4), []byte("x"), 0)
+		s.Get(key(4))
+		s.Get(key(5))
+		hits, misses := s.Counters()
+		if hits < 1 {
+			t.Fatalf("hits = %d, want >= 1", hits)
+		}
+		if misses < 1 {
+			t.Fatalf("misses = %d, want >= 1", misses)
+		}
+	})
+
+	t.Run("ConcurrentAccessIsSafe", func(t *testing.T) {
+		s := factory(t)
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 50; i++ {
+					k := key(byte(i % 6))
+					s.Put(k, []byte(fmt.Sprintf("v%d", i%6)), i%6)
+					if b, _ := s.Get(k); b != nil && string(b) != fmt.Sprintf("v%d", i%6) {
+						// Another goroutine may have raced a different
+						// value in only if bodies differ per key — they
+						// don't here, so any body must match.
+						t.Errorf("goroutine %d: got %q", g, b)
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+	})
+}
+
+// testRevision builds a minimal valid decision revision.
+func testRevision(n int, parent *store.Key) *store.Revision {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1 / float64(n*(i+1))
+	}
+	return &store.Revision{
+		Inst:   &instio.Instance{},
+		State:  &core.DecisionState{N: n, M: 4, Eps: 0.25, T: 3, X: x, Engine: core.EngineNameMMW},
+		Parent: parent,
+	}
+}
+
+// RevisionStore runs the contract suite against a fresh store from
+// factory. The factory must return an empty store retaining at least 4
+// revisions before evicting.
+func RevisionStore(t *testing.T, factory func(t *testing.T) store.RevisionStore) {
+	t.Helper()
+
+	t.Run("MissIsNil", func(t *testing.T) {
+		s := factory(t)
+		if rev := s.Get(key(1)); rev != nil {
+			t.Fatalf("empty store Get = %+v, want nil", rev)
+		}
+	})
+
+	t.Run("PutGetRoundTrip", func(t *testing.T) {
+		s := factory(t)
+		in := testRevision(5, nil)
+		s.Put(key(2), in)
+		out := s.Get(key(2))
+		if out == nil {
+			t.Fatal("stored revision missing")
+		}
+		if out.State == nil || out.State.N != 5 || len(out.State.X) != 5 {
+			t.Fatalf("state mangled: %+v", out.State)
+		}
+		for i, v := range in.State.X {
+			if out.State.X[i] != v {
+				t.Fatalf("X[%d] = %v, want %v (bitwise)", i, out.State.X[i], v)
+			}
+		}
+		if out.Inst == nil {
+			t.Fatal("instance dropped")
+		}
+	})
+
+	t.Run("MixedPayload", func(t *testing.T) {
+		s := factory(t)
+		s.Put(key(3), &store.Revision{Inst: &instio.Instance{}, MixedX: []float64{0.5, 0.25}})
+		out := s.Get(key(3))
+		if out == nil || len(out.MixedX) != 2 || out.MixedX[0] != 0.5 {
+			t.Fatalf("mixed revision mangled: %+v", out)
+		}
+	})
+
+	t.Run("EmptyPayloadDropped", func(t *testing.T) {
+		s := factory(t)
+		s.Put(key(4), &store.Revision{Inst: &instio.Instance{}})
+		if s.Get(key(4)) != nil {
+			t.Fatal("revision with neither state nor mixed payload should not be stored")
+		}
+	})
+
+	t.Run("OverwriteReplaces", func(t *testing.T) {
+		s := factory(t)
+		s.Put(key(5), testRevision(3, nil))
+		s.Put(key(5), testRevision(7, nil))
+		out := s.Get(key(5))
+		if out == nil || out.State.N != 7 {
+			t.Fatalf("overwrite lost: %+v", out)
+		}
+	})
+
+	t.Run("ConcurrentAccessIsSafe", func(t *testing.T) {
+		s := factory(t)
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 30; i++ {
+					k := key(byte(i % 4))
+					s.Put(k, testRevision(2+i%4, nil))
+					s.Get(k)
+				}
+			}()
+		}
+		wg.Wait()
+	})
+}

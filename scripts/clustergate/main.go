@@ -1,0 +1,73 @@
+// Command clustergate gates the recorded horizontal-scaling baseline:
+// it reads the "cluster" section of the bench file (written by
+// `psdpload -mode cluster` via scripts/bench_cluster.sh) and fails
+// unless all three fleet sizes are present and error-free and the
+// measured req/s scales by at least the required factors over the
+// single-replica run.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type scale struct {
+	RPS    float64 `json:"rps"`
+	Solved int64   `json:"solved"`
+	Errors int64   `json:"errors"`
+}
+
+type clusterSection struct {
+	Mode     string           `json:"mode"`
+	Scales   map[string]scale `json:"scales"`
+	Speedup2 float64          `json:"speedup_2_vs_1"`
+	Speedup3 float64          `json:"speedup_3_vs_1"`
+}
+
+func main() {
+	bench := flag.String("bench", "BENCH_psdp.json", "bench baseline to gate")
+	min2 := flag.Float64("min2", 1.7, "required 2-replica req/s speedup over 1")
+	min3 := flag.Float64("min3", 2.3, "required 3-replica req/s speedup over 1")
+	flag.Parse()
+
+	data, err := os.ReadFile(*bench)
+	if err != nil {
+		fail("reading %s: %v", *bench, err)
+	}
+	var doc struct {
+		Cluster *clusterSection `json:"cluster"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fail("parsing %s: %v", *bench, err)
+	}
+	if doc.Cluster == nil {
+		fail("%s has no \"cluster\" section; run scripts/bench_cluster.sh", *bench)
+	}
+	c := doc.Cluster
+	for _, k := range []string{"1", "2", "3"} {
+		s, ok := c.Scales[k]
+		if !ok {
+			fail("cluster section is missing the %s-replica scale", k)
+		}
+		if s.Errors > 0 {
+			fail("%s-replica run recorded %d non-2xx/429 responses", k, s.Errors)
+		}
+		if s.Solved == 0 || s.RPS <= 0 {
+			fail("%s-replica run solved nothing (rps=%v)", k, s.RPS)
+		}
+	}
+	if c.Speedup2 < *min2 {
+		fail("2-replica speedup %.2fx < required %.2fx", c.Speedup2, *min2)
+	}
+	if c.Speedup3 < *min3 {
+		fail("3-replica speedup %.2fx < required %.2fx", c.Speedup3, *min3)
+	}
+	fmt.Printf("clustergate: OK (2 replicas %.2fx, 3 replicas %.2fx)\n", c.Speedup2, c.Speedup3)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "clustergate: "+format+"\n", args...)
+	os.Exit(1)
+}
